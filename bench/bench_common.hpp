@@ -1,0 +1,40 @@
+#pragma once
+
+/// Shared plumbing for the experiment benches: a ready thread pool, trial
+/// counts, and the protocol-by-name cell helper.
+
+#include <string>
+
+#include "wakeup/wakeup.hpp"
+
+namespace wakeup::bench {
+
+inline util::ThreadPool& pool() {
+  static util::ThreadPool instance(util::ThreadPool::default_workers());
+  return instance;
+}
+
+/// Builds a CellSpec for a registry protocol at (n, k, s) with the given
+/// pattern generator. Trials default to a bench-friendly count.
+inline sim::CellSpec cell_for(const std::string& protocol_name, std::uint32_t n,
+                              std::uint32_t k, mac::Slot s,
+                              std::function<mac::WakePattern(util::Rng&)> pattern,
+                              std::uint64_t trials = 24, std::uint64_t base_seed = 20130522) {
+  sim::CellSpec cell;
+  cell.protocol = [protocol_name, n, k, s](std::uint64_t seed) {
+    proto::ProtocolSpec spec;
+    spec.name = protocol_name;
+    spec.n = n;
+    spec.k = k;
+    spec.s = s;
+    spec.seed = seed;
+    return proto::make_protocol_by_name(spec);
+  };
+  cell.pattern = std::move(pattern);
+  cell.trials = trials;
+  cell.base_seed = base_seed;
+  cell.cell_tag = util::hash_words({n, k, static_cast<std::uint64_t>(s)});
+  return cell;
+}
+
+}  // namespace wakeup::bench

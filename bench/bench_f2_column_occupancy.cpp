@@ -1,0 +1,57 @@
+/// F2 — Figure 2 reproduction: stations with different wake times occupy
+/// different rows of the same column.
+///
+/// Paper Figure 2 shows stations u, v, w with staggered wake times
+/// transmitting conditionally to sets in different rows but the same
+/// column j.  This bench wakes a staggered group and reports, at sampled
+/// slots, how many operative stations sit on each row (|S_{i,j}|) — the
+/// quantity conditions S1/S2 of well-balancedness constrain.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace wakeup;
+
+int main() {
+  const std::uint32_t n = 1024;
+  const auto params = comb::MatrixParams::make(n, 2);
+
+  // A staggered group: station i wakes at i * m_1 / 2 so early stations
+  // have descended a few rows by the time late ones join row 1.
+  std::vector<comb::WakeEvent> wakes;
+  const auto step = static_cast<std::int64_t>(params.m(1)) / 2;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    wakes.push_back({static_cast<comb::Station>(i * 31 % n),
+                     static_cast<std::int64_t>(i) * step});
+  }
+
+  sim::ResultsSink sink("f2_column_occupancy",
+                        {"slot j", "rho(j)", "row1", "row2", "row3", "row4", "row5+",
+                         "sum |S_i|/2^i"});
+  const std::int64_t horizon = static_cast<std::int64_t>(params.m(1)) * 8;
+  for (std::int64_t t = 0; t <= horizon; t += step) {
+    const auto occ = comb::row_occupancy(params, wakes, t);
+    double weighted = 0;
+    std::uint64_t row5plus = 0;
+    for (unsigned i = 1; i < occ.size(); ++i) {
+      weighted += static_cast<double>(occ[i]) / static_cast<double>(1ULL << i);
+      if (i >= 5) row5plus += occ[i];
+    }
+    sink.cell(t)
+        .cell(std::uint64_t{params.rho(static_cast<std::uint64_t>(t))})
+        .cell(std::uint64_t{occ.size() > 1 ? occ[1] : 0})
+        .cell(std::uint64_t{occ.size() > 2 ? occ[2] : 0})
+        .cell(std::uint64_t{occ.size() > 3 ? occ[3] : 0})
+        .cell(std::uint64_t{occ.size() > 4 ? occ[4] : 0})
+        .cell(row5plus)
+        .cell(weighted, 3);
+    sink.end_row();
+  }
+  sink.flush("F2: per-column row occupancy |S_{i,j}| under staggered wake-ups (Figure 2 data)");
+
+  std::cout << "Claim check: columns host stations on multiple rows simultaneously\n"
+               "(the Figure 2 situation); the S1 potential sum |S_i|/2^i stays\n"
+               "bounded (~log n), which is what makes isolation probable.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Y — multi-channel wake-up extension (the authors' follow-up direction,
+/// refs [6, 7]: scalable wake-up of multi-channel single-hop networks).
+///
+/// How much does a C-channel network buy?  We sweep C for three strategies
+/// against the single-channel baseline on the same instances.
+///
+/// Expected shape: striped round-robin's worst case is exactly ceil(n/C)
+/// (perfect C-fold TDM speedup); hash-grouped wait_and_go cuts contention
+/// per channel to ~k/C, dropping steeply with C; random-channel RPD also
+/// gains (each slot now offers C independent solo opportunities).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/mc_simulator.hpp"
+
+using namespace wakeup;
+
+namespace {
+
+double mean_rounds(const proto::McProtocol& protocol, std::uint32_t n, std::uint32_t k,
+                   std::uint64_t trials, std::uint64_t base_seed) {
+  double total = 0;
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    util::Rng rng(util::hash_words({base_seed, 0x4d43ULL /* "MC" */, i}));
+    const auto pattern = mac::patterns::simultaneous(n, k, 0, rng);
+    const auto result = sim::run_mc_wakeup(protocol, pattern);
+    if (result.success) {
+      total += static_cast<double>(result.rounds);
+      ++ok;
+    }
+  }
+  return ok > 0 ? total / static_cast<double>(ok) : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t n = 512, k = 64;
+  const std::uint64_t trials = 16;
+
+  sim::ResultsSink sink("y_multichannel",
+                        {"channels", "striped_rr", "group_wag", "random_rpd",
+                         "wag_1ch_baseline", "ceil(n/C)"});
+
+  const auto baseline = proto::make_single_channel_adapter(
+      proto::make_wait_and_go(n, k, comb::FamilyKind::kRandomized, 7), 1);
+  const double wag_baseline = mean_rounds(*baseline, n, k, trials, 99);
+
+  for (std::uint32_t channels : {1u, 2u, 4u, 8u, 16u}) {
+    const auto rr = proto::make_striped_round_robin(n, channels);
+    const auto wag =
+        proto::make_group_wait_and_go(n, k, channels, comb::FamilyKind::kRandomized, 7);
+    const auto rpd = proto::make_random_channel_rpd(n, channels, 7);
+    sink.cell(std::uint64_t{channels})
+        .cell(mean_rounds(*rr, n, k, trials, 99), 1)
+        .cell(mean_rounds(*wag, n, k, trials, 99), 1)
+        .cell(mean_rounds(*rpd, n, k, trials, 99), 1)
+        .cell(wag_baseline, 1)
+        .cell(util::ceil_div(n, channels));
+    sink.end_row();
+  }
+  sink.flush("Y: multi-channel wake-up — mean rounds vs channel count (n=512, k=64)");
+  std::cout << "Claim check: striped RR <= ceil(n/C); grouped wait_and_go drops\n"
+               "steeply with C (contention ~k/C per channel) — deterministic wake-up\n"
+               "scales with channels, the theme of the authors' follow-up [6,7].\n";
+  return 0;
+}

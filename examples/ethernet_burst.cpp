@@ -1,0 +1,59 @@
+/// ethernet_burst — correlated burst arrivals on a shared segment.
+///
+/// The classic LAN story the paper's introduction motivates: a higher-layer
+/// event (say, a switch rebooting) makes a burst of hosts contend for one
+/// shared medium at nearly the same moment, with a few stragglers.  We
+/// compare the paper's deterministic protocols with the classic randomized
+/// ones on identical bursts and report mean rounds to the first delivered
+/// frame.
+
+#include <iostream>
+
+#include "wakeup/wakeup.hpp"
+
+int main() {
+  using namespace wakeup;
+
+  constexpr std::uint32_t n = 1024;  // addressable hosts
+  constexpr std::uint32_t k = 24;    // hosts caught in the burst
+  constexpr std::uint64_t trials = 40;
+
+  util::ThreadPool pool(util::ThreadPool::default_workers());
+  util::ConsoleTable table({"protocol", "mean", "p95", "max", "collisions/trial"});
+
+  for (const std::string name :
+       {"wakeup_with_s", "wakeup_with_k", "wakeup_matrix", "rpd_n", "slotted_aloha",
+        "round_robin"}) {
+    sim::CellSpec cell;
+    cell.protocol = [&, name](std::uint64_t seed) {
+      proto::ProtocolSpec spec;
+      spec.name = name;
+      spec.n = n;
+      spec.k = k;
+      spec.s = 0;
+      spec.seed = seed;
+      return proto::make_protocol_by_name(spec);
+    };
+    cell.pattern = [&](util::Rng& rng) {
+      // Burst of 4 sub-bursts, 8 slots apart: most hosts at s, echoes after.
+      return mac::patterns::batched(n, k, /*s=*/0, /*batches=*/4, /*gap=*/8, rng);
+    };
+    cell.trials = trials;
+    cell.base_seed = 777;
+    const auto result = sim::run_cell(cell, &pool);
+    table.cell(name)
+        .cell(result.rounds.mean, 1)
+        .cell(result.rounds.p95, 1)
+        .cell(result.rounds.max, 0)
+        .cell(result.collisions.mean, 1);
+    table.end_row();
+  }
+
+  std::cout << "Ethernet-style burst: n=" << n << ", k=" << k << ", " << trials
+            << " trials, batched arrivals (4 x 8 slots)\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading: the deterministic Scenario A/B algorithms resolve the burst in\n"
+               "O(k log(n/k)) slots with zero knowledge of who is contending; RPD is\n"
+               "fast on average but has a heavy tail; round-robin pays ~n regardless.\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "combinatorics/builders.hpp"
+#include "util/math.hpp"
+
+namespace wakeup::comb {
+
+SelectiveFamily build_bit_splitter(std::uint32_t n) {
+  std::vector<TransmissionSet> sets;
+  // The universe set isolates every singleton X = {x}.
+  sets.push_back(TransmissionSet::universe_set(n));
+  const unsigned bits = util::ceil_log2(n);
+  for (unsigned b = 0; b < bits; ++b) {
+    util::DynamicBitset zero(n);
+    util::DynamicBitset one(n);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if ((u >> b) & 1u) {
+        one.set(u);
+      } else {
+        zero.set(u);
+      }
+    }
+    sets.emplace_back(std::move(zero));
+    sets.emplace_back(std::move(one));
+  }
+  return SelectiveFamily(FamilyParams{n, 2}, std::move(sets), "bit_splitter");
+}
+
+}  // namespace wakeup::comb

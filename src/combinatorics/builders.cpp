@@ -1,0 +1,39 @@
+#include "combinatorics/builders.hpp"
+
+namespace wakeup::comb {
+
+std::string_view family_kind_name(FamilyKind kind) noexcept {
+  switch (kind) {
+    case FamilyKind::kRandomized:
+      return "randomized";
+    case FamilyKind::kBitSplitter:
+      return "bit_splitter";
+    case FamilyKind::kModPrime:
+      return "mod_prime";
+    case FamilyKind::kKautzSingleton:
+      return "kautz_singleton";
+    case FamilyKind::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+SelectiveFamily build_family(FamilyKind kind, std::uint32_t n, std::uint32_t k,
+                             std::uint64_t seed, double c) {
+  switch (kind) {
+    case FamilyKind::kBitSplitter:
+      if (k <= 2) return build_bit_splitter(n);
+      return build_randomized(n, k, c, seed);  // splitter cannot handle k > 2
+    case FamilyKind::kModPrime:
+      return build_mod_prime(n, k);
+    case FamilyKind::kKautzSingleton:
+      return build_kautz_singleton(n, k);
+    case FamilyKind::kGreedy:
+      return build_greedy(n, k, seed);
+    case FamilyKind::kRandomized:
+      break;
+  }
+  return build_randomized(n, k, c, seed);
+}
+
+}  // namespace wakeup::comb

@@ -1,0 +1,55 @@
+#include "combinatorics/doubling_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::comb {
+
+DoublingSchedule::DoublingSchedule(const Config& config) : config_(config) {
+  const unsigned levels = std::max(1u, util::ceil_log2(std::max<std::uint32_t>(2, config.k_max)));
+  std::uint64_t offset = 0;
+  for (unsigned j = 1; j <= levels; ++j) {
+    const auto kj = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config.n, util::ipow(2, j)));
+    const std::uint64_t family_seed = util::hash_words({config.seed, 0x444246ULL, j});
+    SelectiveFamily fam = build_family(config.kind, config.n, kj, family_seed, config.c);
+    starts_.push_back(offset);
+    offset += fam.length();
+    families_.push_back(std::move(fam));
+  }
+  period_ = offset;
+}
+
+bool DoublingSchedule::transmits(Station u, std::uint64_t idx) const noexcept {
+  const Position pos = position(idx);
+  return families_[pos.family_index].transmits(u, static_cast<std::size_t>(pos.step));
+}
+
+DoublingSchedule::Position DoublingSchedule::position(std::uint64_t idx) const noexcept {
+  const std::uint64_t off = idx % period_;
+  // starts_ is sorted; find the last start <= off.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), off);
+  const auto fam = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+  return Position{fam, off - starts_[fam]};
+}
+
+bool DoublingSchedule::is_family_start(std::uint64_t idx) const noexcept {
+  const std::uint64_t off = idx % period_;
+  return std::binary_search(starts_.begin(), starts_.end(), off);
+}
+
+std::uint64_t DoublingSchedule::next_family_start(std::uint64_t t) const noexcept {
+  const std::uint64_t off = t % period_;
+  auto it = std::lower_bound(starts_.begin(), starts_.end(), off);
+  if (it != starts_.end()) return t + (*it - off);
+  // Wrap to the first start (offset 0) of the next period.
+  return t + (period_ - off);
+}
+
+DoublingSchedulePtr make_doubling_schedule(const DoublingSchedule::Config& config) {
+  return std::make_shared<const DoublingSchedule>(config);
+}
+
+}  // namespace wakeup::comb

@@ -1,0 +1,95 @@
+#include <algorithm>
+
+#include "combinatorics/builders.hpp"
+#include "combinatorics/verifier.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::comb {
+namespace {
+
+/// One target subset the family must isolate.
+struct Target {
+  util::DynamicBitset bits;
+  bool covered = false;
+};
+
+/// How many still-uncovered targets would `candidate` isolate?
+std::size_t coverage(const util::DynamicBitset& candidate, const std::vector<Target>& targets) {
+  std::size_t c = 0;
+  for (const Target& t : targets) {
+    if (!t.covered && candidate.intersection_count(t.bits) == 1) ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+SelectiveFamily build_greedy(std::uint32_t n, std::uint32_t k, std::uint64_t seed) {
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  const FamilyParams params{n, k};
+
+  // Enumerate every target subset (exponential in n — small-n use only).
+  std::vector<Target> targets;
+  for (std::uint32_t size = params.lo(); size <= params.hi(); ++size) {
+    for_each_subset(n, size, [&](const std::vector<Station>& subset) {
+      util::DynamicBitset b(n);
+      for (Station u : subset) b.set(u);
+      targets.push_back(Target{std::move(b), false});
+      return true;
+    });
+  }
+
+  // Candidate pool: random sets at the density matched to each size class,
+  // plus every singleton (a singleton {x} isolates every target containing
+  // x, so greedy always has a progress move and terminates).
+  std::vector<util::DynamicBitset> pool;
+  util::Rng rng(util::hash_words({seed, 0x475245454459ULL /* "GREEDY" */}));
+  for (std::uint32_t size = params.lo(); size <= params.hi(); ++size) {
+    const double p = 1.0 / static_cast<double>(size);
+    const std::size_t count = 16 * static_cast<std::size_t>(util::log2n_clamped(n));
+    for (std::size_t i = 0; i < count; ++i) {
+      util::DynamicBitset b(n);
+      for (std::uint32_t u = 0; u < n; ++u) {
+        if (rng.bernoulli(p)) b.set(u);
+      }
+      if (b.any()) pool.push_back(std::move(b));
+    }
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    util::DynamicBitset b(n);
+    b.set(u);
+    pool.push_back(std::move(b));
+  }
+
+  std::vector<TransmissionSet> chosen;
+  std::size_t uncovered = targets.size();
+  while (uncovered > 0) {
+    std::size_t best_idx = 0;
+    std::size_t best_cov = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const std::size_t c = coverage(pool[i], targets);
+      if (c > best_cov) {
+        best_cov = c;
+        best_idx = i;
+      }
+    }
+    if (best_cov == 0) {
+      // Cannot happen while singletons remain in the pool and some target is
+      // uncovered, but guard against pathological inputs anyway.
+      break;
+    }
+    const util::DynamicBitset& pick = pool[best_idx];
+    for (Target& t : targets) {
+      if (!t.covered && pick.intersection_count(t.bits) == 1) {
+        t.covered = true;
+        --uncovered;
+      }
+    }
+    chosen.emplace_back(pick);
+  }
+  return SelectiveFamily(params, std::move(chosen), "greedy");
+}
+
+}  // namespace wakeup::comb

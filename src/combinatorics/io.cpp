@@ -1,0 +1,96 @@
+#include "combinatorics/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wakeup::comb {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("read_family: line " + std::to_string(line) + ": " + message);
+}
+
+/// Next non-empty, non-comment line; false at EOF.
+bool next_line(std::istream& is, std::string& out, std::size_t& line_no) {
+  while (std::getline(is, out)) {
+    ++line_no;
+    const auto first = out.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (out[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_family(std::ostream& os, const SelectiveFamily& family) {
+  os << "selective-family v1\n";
+  os << "n " << family.params().n << " k " << family.params().k << " origin "
+     << (family.origin().empty() ? "unknown" : family.origin()) << "\n";
+  for (std::size_t j = 0; j < family.length(); ++j) {
+    const auto& members = family.set(j).members();
+    os << "set " << members.size();
+    for (Station u : members) os << ' ' << u;
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+SelectiveFamily read_family(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!next_line(is, line, line_no) || line.find("selective-family v1") == std::string::npos) {
+    fail(line_no, "expected header 'selective-family v1'");
+  }
+
+  if (!next_line(is, line, line_no)) fail(line_no, "missing parameter line");
+  std::istringstream params_in(line);
+  std::string tok_n, tok_k, tok_origin, origin;
+  std::uint32_t n = 0, k = 0;
+  params_in >> tok_n >> n >> tok_k >> k >> tok_origin >> origin;
+  if (tok_n != "n" || tok_k != "k" || tok_origin != "origin" || n == 0) {
+    fail(line_no, "malformed parameter line (want: n <n> k <k> origin <word>)");
+  }
+
+  std::vector<TransmissionSet> sets;
+  for (;;) {
+    if (!next_line(is, line, line_no)) fail(line_no, "missing 'end'");
+    std::istringstream set_in(line);
+    std::string keyword;
+    set_in >> keyword;
+    if (keyword == "end") break;
+    if (keyword != "set") fail(line_no, "expected 'set' or 'end', got '" + keyword + "'");
+    std::size_t count = 0;
+    if (!(set_in >> count)) fail(line_no, "missing member count");
+    std::vector<Station> members;
+    members.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t id = 0;
+      if (!(set_in >> id)) fail(line_no, "fewer members than declared");
+      if (id >= n) fail(line_no, "station id " + std::to_string(id) + " out of range");
+      members.push_back(static_cast<Station>(id));
+    }
+    std::uint64_t extra;
+    if (set_in >> extra) fail(line_no, "more members than declared");
+    sets.emplace_back(n, members);
+  }
+  return SelectiveFamily(FamilyParams{n, k}, std::move(sets), origin);
+}
+
+void save_family(const std::string& path, const SelectiveFamily& family) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_family: cannot open " + path);
+  write_family(out, family);
+  if (!out) throw std::runtime_error("save_family: write failed for " + path);
+}
+
+SelectiveFamily load_family(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_family: cannot open " + path);
+  return read_family(in);
+}
+
+}  // namespace wakeup::comb

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file io.hpp
+/// Text serialization for combinatorial artifacts, so experiments can pin
+/// the exact family/schedule a run used (reproducibility across builds) and
+/// the CLI can load externally produced objects.
+///
+/// Format (line-oriented, '#' comments allowed):
+///   selective-family v1
+///   n <n> k <k> origin <word>
+///   set <m> <id_1> ... <id_m>     # one line per set, in order
+///   end
+
+#include <iosfwd>
+#include <string>
+
+#include "combinatorics/selective_family.hpp"
+
+namespace wakeup::comb {
+
+/// Writes `family` to `os` in the format above.
+void write_family(std::ostream& os, const SelectiveFamily& family);
+
+/// Parses a family; throws std::runtime_error with a line-numbered message
+/// on malformed input (unknown header, ids out of range, missing end).
+[[nodiscard]] SelectiveFamily read_family(std::istream& is);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_family(const std::string& path, const SelectiveFamily& family);
+[[nodiscard]] SelectiveFamily load_family(const std::string& path);
+
+}  // namespace wakeup::comb

@@ -1,0 +1,32 @@
+#include "combinatorics/builders.hpp"
+#include "util/math.hpp"
+#include "util/primes.hpp"
+
+namespace wakeup::comb {
+
+SelectiveFamily build_mod_prime(std::uint32_t n, std::uint32_t k) {
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  // For x != y in [n], |x - y| < n has at most floor(log2 n) prime factors,
+  // so (k-1)*floor(log2 n) + 1 primes guarantee one that separates x from
+  // every other member of X.
+  const unsigned lg = util::floor_log2(n == 0 ? 1 : n);
+  const std::size_t prime_count =
+      static_cast<std::size_t>(k > 1 ? (k - 1) * (lg == 0 ? 1 : lg) : 0) + 1;
+  const auto primes = util::first_primes_from(2, prime_count);
+
+  std::vector<TransmissionSet> sets;
+  for (std::uint64_t p : primes) {
+    for (std::uint64_t r = 0; r < p; ++r) {
+      util::DynamicBitset members(n);
+      for (std::uint32_t u = static_cast<std::uint32_t>(r); u < n;
+           u += static_cast<std::uint32_t>(p)) {
+        members.set(u);
+      }
+      if (members.any()) sets.emplace_back(std::move(members));
+    }
+  }
+  return SelectiveFamily(FamilyParams{n, k}, std::move(sets), "mod_prime");
+}
+
+}  // namespace wakeup::comb

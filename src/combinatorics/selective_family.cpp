@@ -1,0 +1,12 @@
+#include "combinatorics/selective_family.hpp"
+
+namespace wakeup::comb {
+
+std::int64_t SelectiveFamily::first_selecting_step(const util::DynamicBitset& x) const noexcept {
+  for (std::size_t j = 0; j < sets_.size(); ++j) {
+    if (sets_[j].intersection_count(x) == 1) return static_cast<std::int64_t>(j);
+  }
+  return -1;
+}
+
+}  // namespace wakeup::comb

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file selective_family.hpp
+/// (n,k)-selective families — the combinatorial engine of Scenarios A and B.
+///
+/// Definition (paper §3): a family F of subsets of [n] is (n,k)-selective,
+/// 2 <= k <= n, if for every X ⊆ [n] with k/2 <= |X| <= k there exists F ∈ F
+/// with |X ∩ F| = 1.  A station transmitting "according to" a family
+/// transmits at step j iff it belongs to the j-th set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "combinatorics/transmission_set.hpp"
+
+namespace wakeup::comb {
+
+/// Parameters a family was built for.
+struct FamilyParams {
+  std::uint32_t n = 0;  ///< universe size
+  std::uint32_t k = 0;  ///< selectivity target: covers |X| in [ceil(k/2), k]
+
+  /// Smallest subset size the family must select from (ceil(k/2), min 1).
+  [[nodiscard]] std::uint32_t lo() const noexcept { return k <= 1 ? 1 : (k + 1) / 2; }
+  /// Largest subset size the family must select from.
+  [[nodiscard]] std::uint32_t hi() const noexcept { return k; }
+};
+
+/// An ordered sequence of transmission sets claimed to be (n,k)-selective.
+/// Whether the claim is machine-checked depends on the builder (see
+/// builders.hpp); `verifier.hpp` provides exhaustive and sampled checks.
+class SelectiveFamily {
+ public:
+  SelectiveFamily() = default;
+  SelectiveFamily(FamilyParams params, std::vector<TransmissionSet> sets, std::string origin)
+      : params_(params), sets_(std::move(sets)), origin_(std::move(origin)) {}
+
+  [[nodiscard]] const FamilyParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t length() const noexcept { return sets_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sets_.empty(); }
+  [[nodiscard]] const TransmissionSet& set(std::size_t j) const noexcept { return sets_[j]; }
+  [[nodiscard]] const std::vector<TransmissionSet>& sets() const noexcept { return sets_; }
+
+  /// Which builder produced this family (for reports).
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+
+  /// Does station u transmit at step j of this family?
+  [[nodiscard]] bool transmits(Station u, std::size_t j) const noexcept {
+    return sets_[j].contains(u);
+  }
+
+  /// First step j at which |X ∩ F_j| == 1, or -1 if none.  X is a bitset
+  /// over [n].  This is the quantity the wake-up analysis bounds.
+  [[nodiscard]] std::int64_t first_selecting_step(const util::DynamicBitset& x) const noexcept;
+
+ private:
+  FamilyParams params_{};
+  std::vector<TransmissionSet> sets_;
+  std::string origin_;
+};
+
+}  // namespace wakeup::comb

@@ -1,0 +1,29 @@
+#include "combinatorics/transmission_set.hpp"
+
+#include <algorithm>
+
+namespace wakeup::comb {
+
+TransmissionSet::TransmissionSet(std::uint32_t n, const std::vector<Station>& members)
+    : bits_(n) {
+  for (Station u : members) bits_.set(u);
+  members_ = bits_.to_indices();
+}
+
+TransmissionSet::TransmissionSet(util::DynamicBitset bits) : bits_(std::move(bits)) {
+  members_ = bits_.to_indices();
+}
+
+TransmissionSet TransmissionSet::universe_set(std::uint32_t n) {
+  util::DynamicBitset b(n);
+  for (std::uint32_t u = 0; u < n; ++u) b.set(u);
+  return TransmissionSet(std::move(b));
+}
+
+TransmissionSet TransmissionSet::singleton(std::uint32_t n, Station u) {
+  util::DynamicBitset b(n);
+  b.set(u);
+  return TransmissionSet(std::move(b));
+}
+
+}  // namespace wakeup::comb

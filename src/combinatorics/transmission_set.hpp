@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file transmission_set.hpp
+/// A transmission set: the subset of station IDs allowed to transmit in one
+/// slot.  Selective families, schedules and the Scenario C transmission
+/// matrix are all sequences of these.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/dynamic_bitset.hpp"
+
+namespace wakeup::comb {
+
+/// Stations are indexed 0..n-1 (the paper uses 1..n).
+using Station = std::uint32_t;
+
+/// Immutable set of stations over a universe [n], with O(1) membership and
+/// word-parallel intersection against caller-supplied bitsets.
+class TransmissionSet {
+ public:
+  TransmissionSet() = default;
+
+  /// Builds from explicit member list (duplicates ignored). `n` is the
+  /// universe size; members must be < n.
+  TransmissionSet(std::uint32_t n, const std::vector<Station>& members);
+
+  /// Builds directly from a bitset of size n.
+  explicit TransmissionSet(util::DynamicBitset bits);
+
+  [[nodiscard]] std::uint32_t universe() const noexcept {
+    return static_cast<std::uint32_t>(bits_.size());
+  }
+  [[nodiscard]] bool contains(Station u) const noexcept { return bits_.test(u); }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// Sorted member list.
+  [[nodiscard]] const std::vector<Station>& members() const noexcept { return members_; }
+  [[nodiscard]] const util::DynamicBitset& bits() const noexcept { return bits_; }
+
+  /// |this ∩ X| for a caller-side station bitset of the same universe.
+  [[nodiscard]] std::size_t intersection_count(const util::DynamicBitset& x) const noexcept {
+    return bits_.intersection_count(x);
+  }
+
+  /// The unique element of this ∩ X if the intersection is a singleton,
+  /// -1 otherwise (the selectivity query).
+  [[nodiscard]] std::int64_t sole_intersection(const util::DynamicBitset& x) const noexcept {
+    return bits_.sole_intersection(x);
+  }
+
+  /// The full universe set [n].
+  [[nodiscard]] static TransmissionSet universe_set(std::uint32_t n);
+
+  /// The singleton {u}.
+  [[nodiscard]] static TransmissionSet singleton(std::uint32_t n, Station u);
+
+ private:
+  util::DynamicBitset bits_;
+  std::vector<Station> members_;
+};
+
+}  // namespace wakeup::comb

@@ -1,0 +1,124 @@
+#include "combinatorics/verifier.hpp"
+
+#include <algorithm>
+
+namespace wakeup::comb {
+namespace {
+
+util::DynamicBitset to_bitset(std::uint32_t n, const std::vector<Station>& members) {
+  util::DynamicBitset b(n);
+  for (Station u : members) b.set(u);
+  return b;
+}
+
+}  // namespace
+
+void for_each_subset(std::uint32_t n, std::uint32_t size,
+                     const std::function<bool(const std::vector<Station>&)>& fn) {
+  if (size == 0 || size > n) return;
+  std::vector<Station> subset(size);
+  // Standard lexicographic combination enumeration.
+  for (std::uint32_t i = 0; i < size; ++i) subset[i] = i;
+  for (;;) {
+    if (!fn(subset)) return;
+    // Advance to next combination.
+    std::int64_t i = static_cast<std::int64_t>(size) - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] ==
+                         n - size + static_cast<std::uint32_t>(i)) {
+      --i;
+    }
+    if (i < 0) return;
+    ++subset[static_cast<std::size_t>(i)];
+    for (std::size_t j = static_cast<std::size_t>(i) + 1; j < size; ++j) {
+      subset[j] = subset[j - 1] + 1;
+    }
+  }
+}
+
+std::vector<Station> random_subset(std::uint32_t n, std::uint32_t size, util::Rng& rng) {
+  // Floyd's algorithm: uniform without replacement.
+  std::vector<Station> out;
+  out.reserve(size);
+  util::DynamicBitset chosen(n);
+  for (std::uint32_t j = n - size; j < n; ++j) {
+    const auto t = static_cast<Station>(rng.uniform(j + 1));
+    if (chosen.test(t)) {
+      chosen.set(j);
+      out.push_back(j);
+    } else {
+      chosen.set(t);
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SelectivityReport verify_exhaustive(const SelectiveFamily& family) {
+  SelectivityReport report;
+  const auto& p = family.params();
+  for (std::uint32_t size = p.lo(); size <= p.hi() && report.ok; ++size) {
+    for_each_subset(p.n, size, [&](const std::vector<Station>& subset) {
+      ++report.subsets_checked;
+      const auto x = to_bitset(p.n, subset);
+      if (family.first_selecting_step(x) < 0) {
+        report.ok = false;
+        report.violation = SelectivityViolation{subset};
+        return false;
+      }
+      return true;
+    });
+  }
+  return report;
+}
+
+SelectivityReport verify_sampled(const SelectiveFamily& family, std::uint64_t samples,
+                                 util::Rng& rng) {
+  SelectivityReport report;
+  const auto& p = family.params();
+  const std::uint32_t lo = std::min(p.lo(), p.n);
+  const std::uint32_t hi = std::min(p.hi(), p.n);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const auto size = static_cast<std::uint32_t>(
+        rng.uniform_range(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    const auto subset = random_subset(p.n, size, rng);
+    ++report.subsets_checked;
+    const auto x = to_bitset(p.n, subset);
+    if (family.first_selecting_step(x) < 0) {
+      report.ok = false;
+      report.violation = SelectivityViolation{subset};
+      return report;
+    }
+  }
+  return report;
+}
+
+SelectivityReport verify_strong_exhaustive(const SelectiveFamily& family) {
+  SelectivityReport report;
+  const auto& p = family.params();
+  for (std::uint32_t size = 1; size <= p.hi() && size <= p.n && report.ok; ++size) {
+    for_each_subset(p.n, size, [&](const std::vector<Station>& subset) {
+      ++report.subsets_checked;
+      const auto x = to_bitset(p.n, subset);
+      // Every member must be isolated by some set.
+      for (Station target : subset) {
+        bool isolated = false;
+        for (std::size_t j = 0; j < family.length(); ++j) {
+          if (family.set(j).sole_intersection(x) == static_cast<std::int64_t>(target)) {
+            isolated = true;
+            break;
+          }
+        }
+        if (!isolated) {
+          report.ok = false;
+          report.violation = SelectivityViolation{subset};
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  return report;
+}
+
+}  // namespace wakeup::comb

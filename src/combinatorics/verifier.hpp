@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file verifier.hpp
+/// Machine checks of the selectivity property.
+///
+/// Exhaustive verification enumerates every X ⊆ [n] with |X| in
+/// [params.lo(), params.hi()] — exponential, intended for the small-n unit
+/// tests that certify the explicit builders.  Sampled verification draws
+/// random subsets and is used as a statistical check on the probabilistic
+/// builders at realistic sizes.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "combinatorics/selective_family.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::comb {
+
+/// A witness that selectivity failed: a subset no set isolates.
+struct SelectivityViolation {
+  std::vector<Station> subset;
+};
+
+struct SelectivityReport {
+  bool ok = true;
+  std::uint64_t subsets_checked = 0;
+  std::optional<SelectivityViolation> violation;  ///< first failure found
+};
+
+/// Checks every subset of size in [family.params().lo(), hi()].  Stops at
+/// the first violation.  Cost: sum over sizes of C(n, size) * scan cost.
+[[nodiscard]] SelectivityReport verify_exhaustive(const SelectiveFamily& family);
+
+/// Checks `samples` uniformly drawn subsets with sizes uniform in
+/// [lo, hi].  Stops at the first violation.
+[[nodiscard]] SelectivityReport verify_sampled(const SelectiveFamily& family,
+                                               std::uint64_t samples, util::Rng& rng);
+
+/// Strong selectivity: for every X with |X| <= k and *every* x ∈ X there is
+/// a set F with X ∩ F = {x}.  Strictly stronger than selectivity; the
+/// mod-prime and Kautz–Singleton builders guarantee it.  Exhaustive.
+[[nodiscard]] SelectivityReport verify_strong_exhaustive(const SelectiveFamily& family);
+
+/// Enumerates all size-`size` subsets of [n], invoking `fn` on each (as a
+/// sorted member vector).  `fn` returns false to abort enumeration.
+/// Exposed for tests and the greedy builder.
+void for_each_subset(std::uint32_t n, std::uint32_t size,
+                     const std::function<bool(const std::vector<Station>&)>& fn);
+
+/// Draws a uniformly random subset of [n] with exactly `size` members.
+[[nodiscard]] std::vector<Station> random_subset(std::uint32_t n, std::uint32_t size,
+                                                 util::Rng& rng);
+
+}  // namespace wakeup::comb

@@ -1,0 +1,110 @@
+#include "combinatorics/waking_search.hpp"
+
+#include <algorithm>
+
+#include "combinatorics/verifier.hpp"
+#include "util/math.hpp"
+
+namespace wakeup::comb {
+namespace {
+
+/// Deadline for isolating a contention set of size k: slack * the Theorem
+/// 5.3 bound (slack <= 0 makes every pattern fail, useful for testing).
+std::int64_t deadline(const WakingSearchConfig& config, std::uint32_t k) {
+  const double bound = util::scenario_c_bound(config.n, k == 0 ? 1 : k);
+  return static_cast<std::int64_t>(config.slack * bound);
+}
+
+/// Runs one pattern; true iff isolated within the deadline.
+bool pattern_ok(const LazyTransmissionMatrix& matrix, const std::vector<WakeEvent>& wakes,
+                std::int64_t max_rounds, std::int64_t* worst) {
+  const auto result = find_isolation_slot(matrix, wakes, max_rounds);
+  if (!result.isolated) return false;
+  *worst = std::max(*worst, result.rounds);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> certify_matrix(const LazyTransmissionMatrix& matrix,
+                                           const WakingSearchConfig& config,
+                                           std::uint64_t* patterns_checked) {
+  std::int64_t worst = 0;
+  std::uint64_t checked = 0;
+  const std::uint32_t n = config.n;
+
+  // Exhaustive part: every subset up to k_exhaustive, staggered by every
+  // combination of configured offsets (first station anchored at 0).
+  bool ok = true;
+  for (std::uint32_t k = 1; k <= config.k_exhaustive && k <= n && ok; ++k) {
+    const std::int64_t cap = deadline(config, k);
+    for_each_subset(n, k, [&](const std::vector<Station>& subset) {
+      // Offset assignments: station i gets offsets[(i * stride) % |offsets|]
+      // for a few strides — covers aligned and shifted wakes without the
+      // full |offsets|^k blowup.
+      for (std::size_t stride = 0; stride < config.offsets.size(); ++stride) {
+        std::vector<WakeEvent> wakes;
+        wakes.reserve(subset.size());
+        for (std::size_t i = 0; i < subset.size(); ++i) {
+          const std::int64_t off =
+              i == 0 ? 0 : config.offsets[(i * (stride + 1)) % config.offsets.size()];
+          wakes.push_back({subset[i], off});
+        }
+        ++checked;
+        if (!pattern_ok(matrix, wakes, cap, &worst)) {
+          ok = false;
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  if (!ok) {
+    if (patterns_checked) *patterns_checked += checked;
+    return std::nullopt;
+  }
+
+  // Randomized battery: uniform subsets and wake offsets per size.
+  util::Rng rng(util::hash_words({matrix.seed(), 0x43455254ULL /* "CERT" */}));
+  for (std::uint32_t k = 2; k <= config.k_random && k <= n; ++k) {
+    const std::int64_t cap = deadline(config, k);
+    for (std::uint32_t i = 0; i < config.random_patterns_per_k; ++i) {
+      const auto subset = random_subset(n, k, rng);
+      std::vector<WakeEvent> wakes;
+      wakes.reserve(subset.size());
+      for (std::size_t j = 0; j < subset.size(); ++j) {
+        wakes.push_back({subset[j], j == 0 ? 0 : static_cast<std::int64_t>(rng.uniform(32))});
+      }
+      ++checked;
+      if (!pattern_ok(matrix, wakes, cap, &worst)) {
+        if (patterns_checked) *patterns_checked += checked;
+        return std::nullopt;
+      }
+    }
+  }
+
+  if (patterns_checked) *patterns_checked += checked;
+  return worst;
+}
+
+WakingSearchResult find_certified_seed(const WakingSearchConfig& config,
+                                       std::uint64_t master_seed) {
+  WakingSearchResult result;
+  const auto params = MatrixParams::make(config.n, config.c);
+  for (std::uint32_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    ++result.attempts;
+    const std::uint64_t seed =
+        util::hash_words({master_seed, 0x534545444bULL /* "SEEDK" */, attempt});
+    const LazyTransmissionMatrix candidate(params, seed);
+    const auto worst = certify_matrix(candidate, config, &result.patterns_checked);
+    if (worst) {
+      result.found = true;
+      result.seed = seed;
+      result.worst_rounds = *worst;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace wakeup::comb

@@ -1,0 +1,54 @@
+#include "combinatorics/waking_verifier.hpp"
+
+#include <algorithm>
+
+namespace wakeup::comb {
+
+std::vector<Station> transmitters_at(const LazyTransmissionMatrix& matrix,
+                                     const std::vector<WakeEvent>& wakes, std::int64_t t) {
+  std::vector<Station> out;
+  const auto& p = matrix.params();
+  for (const WakeEvent& e : wakes) {
+    if (e.wake > t) continue;
+    const auto row = p.row_at(e.wake, t);
+    if (!row) continue;
+    if (matrix.contains(*row, static_cast<std::uint64_t>(t), e.station)) {
+      out.push_back(e.station);
+    }
+  }
+  return out;
+}
+
+IsolationResult find_isolation_slot(const LazyTransmissionMatrix& matrix,
+                                    const std::vector<WakeEvent>& wakes,
+                                    std::int64_t max_slots) {
+  IsolationResult result;
+  if (wakes.empty()) return result;
+  std::int64_t s = wakes.front().wake;
+  for (const WakeEvent& e : wakes) s = std::min(s, e.wake);
+
+  for (std::int64_t t = s; t < s + max_slots; ++t) {
+    const auto tx = transmitters_at(matrix, wakes, t);
+    if (tx.size() == 1) {
+      result.isolated = true;
+      result.slot = t;
+      result.winner = tx.front();
+      result.rounds = t - s;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> row_occupancy(const MatrixParams& params,
+                                         const std::vector<WakeEvent>& wakes, std::int64_t t) {
+  std::vector<std::uint32_t> counts(params.rows + 1, 0);
+  for (const WakeEvent& e : wakes) {
+    if (e.wake > t) continue;
+    const auto row = params.row_at(e.wake, t);
+    if (row) ++counts[*row];
+  }
+  return counts;
+}
+
+}  // namespace wakeup::comb

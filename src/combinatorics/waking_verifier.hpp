@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file waking_verifier.hpp
+/// Matrix-level check of the waking property (Definition 5.3): given wake
+/// times, find the first slot at which exactly one operative station's row
+/// membership fires.
+///
+/// This re-derives the Scenario C execution *directly from the matrix
+/// semantics* (µ, m_i row walk, ρ-discounted membership), independently of
+/// the protocol/simulator stack, so tests can cross-check the two paths
+/// against each other.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "combinatorics/transmission_matrix.hpp"
+
+namespace wakeup::comb {
+
+struct WakeEvent {
+  Station station = 0;
+  std::int64_t wake = 0;
+};
+
+struct IsolationResult {
+  bool isolated = false;
+  std::int64_t slot = -1;       ///< first slot with a unique transmitter
+  Station winner = 0;
+  std::int64_t rounds = -1;     ///< slot - s (the paper's cost measure)
+};
+
+/// Scans slots from s = min wake for at most `max_slots` slots.
+[[nodiscard]] IsolationResult find_isolation_slot(const LazyTransmissionMatrix& matrix,
+                                                  const std::vector<WakeEvent>& wakes,
+                                                  std::int64_t max_slots);
+
+/// The stations transmitting at slot t (matrix semantics).  Exposed for the
+/// structure benches (Figure 2 reproduction).
+[[nodiscard]] std::vector<Station> transmitters_at(const LazyTransmissionMatrix& matrix,
+                                                   const std::vector<WakeEvent>& wakes,
+                                                   std::int64_t t);
+
+/// |S_{i,t}| per row i (1-based index 0 unused): how many operative stations
+/// are conditioned on each row at slot t — the quantity the well-balancedness
+/// conditions S1/S2 (§5.2) constrain.
+[[nodiscard]] std::vector<std::uint32_t> row_occupancy(const MatrixParams& params,
+                                                       const std::vector<WakeEvent>& wakes,
+                                                       std::int64_t t);
+
+}  // namespace wakeup::comb

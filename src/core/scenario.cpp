@@ -1,0 +1,19 @@
+#include "core/scenario.hpp"
+
+#include "util/math.hpp"
+
+namespace wakeup::core {
+
+double theory_bound(const ProblemSpec& spec, std::uint32_t k_effective) noexcept {
+  const std::uint32_t k = spec.k.value_or(k_effective);
+  switch (spec.scenario()) {
+    case Scenario::kA_KnownStartTime:
+    case Scenario::kB_KnownK:
+      return util::scenario_ab_bound(spec.n, k);
+    case Scenario::kC_NoKnowledge:
+      return util::scenario_c_bound(spec.n, k_effective);
+  }
+  return 0.0;
+}
+
+}  // namespace wakeup::core

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The three knowledge scenarios of the paper and the problem description
+/// a user hands to the solver.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "mac/types.hpp"
+
+namespace wakeup::core {
+
+/// Which parameters every station knows a priori (paper §1).
+enum class Scenario : std::uint8_t {
+  kA_KnownStartTime,  ///< n and s known — `wakeup_with_s`
+  kB_KnownK,          ///< n and k known — `wakeup_with_k`
+  kC_NoKnowledge,     ///< only n known  — `wakeup(n)` via waking matrix
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Scenario sc) noexcept {
+  switch (sc) {
+    case Scenario::kA_KnownStartTime:
+      return "A (s known)";
+    case Scenario::kB_KnownK:
+      return "B (k known)";
+    case Scenario::kC_NoKnowledge:
+      return "C (no knowledge)";
+  }
+  return "?";
+}
+
+/// What is known about the instance.  `n` is always known (it bounds the ID
+/// space); `k` and `s` are optional knowledge that selects the scenario.
+struct ProblemSpec {
+  std::uint32_t n = 0;
+  std::optional<std::uint32_t> k;  ///< upper bound on awake stations, if known
+  std::optional<mac::Slot> s;      ///< first wake slot, if known
+
+  /// The strongest scenario the available knowledge permits: A if s is
+  /// known (regardless of k), else B if k is known, else C.
+  [[nodiscard]] Scenario scenario() const noexcept {
+    if (s.has_value()) return Scenario::kA_KnownStartTime;
+    if (k.has_value()) return Scenario::kB_KnownK;
+    return Scenario::kC_NoKnowledge;
+  }
+
+  /// Validates n >= 1, k in [1, n], s >= 0.
+  [[nodiscard]] bool valid() const noexcept {
+    if (n == 0) return false;
+    if (k && (*k == 0 || *k > n)) return false;
+    if (s && *s < 0) return false;
+    return true;
+  }
+};
+
+/// The worst-case bound the paper proves for the scenario's algorithm
+/// (rounds; for Scenario C the O(k log n log log n) form).  `k_effective`
+/// is the contention actually present (used when the spec leaves k
+/// unknown).
+[[nodiscard]] double theory_bound(const ProblemSpec& spec, std::uint32_t k_effective) noexcept;
+
+}  // namespace wakeup::core

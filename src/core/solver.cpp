@@ -1,0 +1,43 @@
+#include "core/solver.hpp"
+
+#include <stdexcept>
+
+#include "protocols/wakeup_matrix.hpp"
+#include "protocols/wakeup_with_k.hpp"
+#include "protocols/wakeup_with_s.hpp"
+
+namespace wakeup::core {
+
+proto::ProtocolPtr make_protocol(const ProblemSpec& spec, const SolverOptions& options) {
+  if (!spec.valid()) throw std::invalid_argument("make_protocol: invalid ProblemSpec");
+  switch (spec.scenario()) {
+    case Scenario::kA_KnownStartTime:
+      return proto::make_wakeup_with_s(spec.n, *spec.s, options.family_kind, options.seed,
+                                       options.family_c);
+    case Scenario::kB_KnownK:
+      return proto::make_wakeup_with_k(spec.n, *spec.k, options.family_kind, options.seed,
+                                       options.family_c);
+    case Scenario::kC_NoKnowledge:
+      return std::make_shared<proto::WakeupMatrixProtocol>(spec.n, options.matrix_c,
+                                                           options.seed);
+  }
+  throw std::logic_error("make_protocol: unreachable");
+}
+
+sim::SimResult resolve_contention(const ProblemSpec& spec, const mac::WakePattern& pattern,
+                                  const SolverOptions& options,
+                                  const sim::SimConfig& sim_config) {
+  if (pattern.n() != spec.n) {
+    throw std::invalid_argument("resolve_contention: pattern universe != spec.n");
+  }
+  if (spec.k && pattern.k() > *spec.k) {
+    throw std::invalid_argument("resolve_contention: more arrivals than the known bound k");
+  }
+  if (spec.s && !pattern.empty() && pattern.first_wake() != *spec.s) {
+    throw std::invalid_argument("resolve_contention: first wake differs from the known s");
+  }
+  const proto::ProtocolPtr protocol = make_protocol(spec, options);
+  return sim::run_wakeup(*protocol, pattern, sim_config);
+}
+
+}  // namespace wakeup::core

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file solver.hpp
+/// The library's front door: pick the paper's algorithm for the knowledge
+/// you have, and run it.
+///
+/// ```cpp
+/// wakeup::core::ProblemSpec spec{.n = 1024};
+/// spec.k = 16;                                   // Scenario B
+/// auto protocol = wakeup::core::make_protocol(spec, {});
+/// auto result = wakeup::core::resolve_contention(spec, pattern, {}, {});
+/// ```
+
+#include "combinatorics/builders.hpp"
+#include "core/scenario.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace wakeup::core {
+
+/// Tuning knobs for the constructed protocols.
+struct SolverOptions {
+  std::uint64_t seed = 1;  ///< drives family sampling / matrix instantiation
+  comb::FamilyKind family_kind = comb::FamilyKind::kRandomized;
+  double family_c = comb::kDefaultRandomFamilyC;  ///< randomized-family length constant
+  unsigned matrix_c = 2;                          ///< Scenario C pacing constant
+};
+
+/// Builds the paper's algorithm for spec.scenario():
+///   A -> wakeup_with_s, B -> wakeup_with_k, C -> wakeup_matrix.
+/// Throws std::invalid_argument if !spec.valid().
+[[nodiscard]] proto::ProtocolPtr make_protocol(const ProblemSpec& spec,
+                                               const SolverOptions& options);
+
+/// One-call convenience: builds the scenario protocol and simulates it
+/// against `pattern`.  The pattern must respect the spec (station ids < n,
+/// at most k arrivals when k is known, no arrival before s when s is
+/// known); violations throw std::invalid_argument.
+[[nodiscard]] sim::SimResult resolve_contention(const ProblemSpec& spec,
+                                                const mac::WakePattern& pattern,
+                                                const SolverOptions& options,
+                                                const sim::SimConfig& sim_config);
+
+}  // namespace wakeup::core

@@ -1,0 +1,22 @@
+#include "mac/channel.hpp"
+
+namespace wakeup::mac {
+
+SlotOutcome Channel::transmit(std::size_t transmitter_count) noexcept {
+  const SlotOutcome outcome = resolve_slot(transmitter_count);
+  ++slots_;
+  switch (outcome) {
+    case SlotOutcome::kSilence:
+      ++silences_;
+      break;
+    case SlotOutcome::kSuccess:
+      ++successes_;
+      break;
+    case SlotOutcome::kCollision:
+      ++collisions_;
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace wakeup::mac

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file channel.hpp
+/// Slot resolution semantics of the multiple access channel.
+///
+/// The channel is memoryless: the outcome of a slot is a pure function of
+/// how many stations transmit in it, and the feedback each station receives
+/// is a pure function of the outcome and the feedback model.  `Channel`
+/// additionally keeps running outcome counters for reporting.
+
+#include <cstddef>
+
+#include "mac/types.hpp"
+
+namespace wakeup::mac {
+
+/// Outcome from the number of simultaneous transmitters.
+[[nodiscard]] constexpr SlotOutcome resolve_slot(std::size_t transmitter_count) noexcept {
+  if (transmitter_count == 0) return SlotOutcome::kSilence;
+  if (transmitter_count == 1) return SlotOutcome::kSuccess;
+  return SlotOutcome::kCollision;
+}
+
+/// What a station hears, given the outcome and the feedback model.
+/// In the paper's model (kNone) silence and collision both map to
+/// kNothing — a station cannot tell them apart.
+[[nodiscard]] constexpr ChannelFeedback feedback_for(SlotOutcome outcome,
+                                                     FeedbackModel model) noexcept {
+  switch (outcome) {
+    case SlotOutcome::kSuccess:
+      return ChannelFeedback::kSuccess;
+    case SlotOutcome::kSilence:
+      return model == FeedbackModel::kCollisionDetection ? ChannelFeedback::kSilence
+                                                         : ChannelFeedback::kNothing;
+    case SlotOutcome::kCollision:
+      return model == FeedbackModel::kCollisionDetection ? ChannelFeedback::kCollision
+                                                         : ChannelFeedback::kNothing;
+  }
+  return ChannelFeedback::kNothing;
+}
+
+/// Stateful wrapper: resolves slots and accumulates outcome counts.
+class Channel {
+ public:
+  explicit Channel(FeedbackModel model = FeedbackModel::kNone) noexcept : model_(model) {}
+
+  [[nodiscard]] FeedbackModel model() const noexcept { return model_; }
+
+  /// Resolves one slot with `transmitter_count` transmitters and updates
+  /// counters.
+  SlotOutcome transmit(std::size_t transmitter_count) noexcept;
+
+  /// Feedback stations receive for the given outcome under this model.
+  [[nodiscard]] ChannelFeedback feedback(SlotOutcome outcome) const noexcept {
+    return feedback_for(outcome, model_);
+  }
+
+  [[nodiscard]] std::uint64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] std::uint64_t silences() const noexcept { return silences_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+  void reset_counters() noexcept { slots_ = silences_ = successes_ = collisions_ = 0; }
+
+ private:
+  FeedbackModel model_;
+  std::uint64_t slots_ = 0;
+  std::uint64_t silences_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace wakeup::mac

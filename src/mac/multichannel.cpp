@@ -1,0 +1,25 @@
+#include "mac/multichannel.hpp"
+
+#include "mac/channel.hpp"
+
+namespace wakeup::mac {
+
+MultiSlotResult resolve_multi_slot(std::uint32_t channels,
+                                   const std::vector<ChannelAction>& actions) {
+  MultiSlotResult result;
+  std::vector<std::uint32_t> counts(channels, 0);
+  for (const ChannelAction& a : actions) {
+    if (a.transmit && a.channel < channels) ++counts[a.channel];
+  }
+  result.outcomes.reserve(channels);
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    const SlotOutcome outcome = resolve_slot(counts[c]);
+    result.outcomes.push_back(outcome);
+    if (outcome == SlotOutcome::kSuccess && result.success_channel < 0) {
+      result.success_channel = static_cast<std::int32_t>(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace wakeup::mac

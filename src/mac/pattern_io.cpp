@@ -1,0 +1,55 @@
+#include "mac/pattern_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wakeup::mac {
+
+void write_pattern_csv(std::ostream& os, const WakePattern& pattern) {
+  os << "station,wake\n";
+  for (const Arrival& a : pattern.arrivals()) {
+    os << a.station << ',' << a.wake << '\n';
+  }
+}
+
+WakePattern read_pattern_csv(std::istream& is, std::uint32_t n) {
+  std::vector<Arrival> arrivals;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (line.find("station") != std::string::npos) continue;  // header
+    std::istringstream row(line);
+    std::string station_field, wake_field;
+    if (!std::getline(row, station_field, ',') || !std::getline(row, wake_field)) {
+      throw std::runtime_error("read_pattern_csv: line " + std::to_string(line_no) +
+                               ": expected 'station,wake'");
+    }
+    try {
+      const auto station = std::stoull(station_field);
+      const auto wake = std::stoll(wake_field);
+      arrivals.push_back({static_cast<StationId>(station), static_cast<Slot>(wake)});
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_pattern_csv: line " + std::to_string(line_no) +
+                               ": non-numeric field");
+    }
+  }
+  return WakePattern(n, std::move(arrivals));
+}
+
+void save_pattern_csv(const std::string& path, const WakePattern& pattern) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_pattern_csv: cannot open " + path);
+  write_pattern_csv(out, pattern);
+}
+
+WakePattern load_pattern_csv(const std::string& path, std::uint32_t n) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_pattern_csv: cannot open " + path);
+  return read_pattern_csv(in, n);
+}
+
+}  // namespace wakeup::mac

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file pattern_io.hpp
+/// CSV serialization of wake patterns: "station,wake" per line with an
+/// optional header.  Lets the CLI replay externally captured arrival
+/// traces and lets experiments pin the exact pattern a run used.
+
+#include <iosfwd>
+#include <string>
+
+#include "mac/wake_pattern.hpp"
+
+namespace wakeup::mac {
+
+/// Writes "station,wake" rows with a header line.
+void write_pattern_csv(std::ostream& os, const WakePattern& pattern);
+
+/// Parses a pattern for universe size n.  Accepts an optional
+/// "station,wake" header; skips blank lines and '#' comments.  Throws
+/// std::runtime_error with a line-numbered message on malformed rows and
+/// std::invalid_argument for semantic violations (duplicate station, id out
+/// of range) via WakePattern validation.
+[[nodiscard]] WakePattern read_pattern_csv(std::istream& is, std::uint32_t n);
+
+void save_pattern_csv(const std::string& path, const WakePattern& pattern);
+[[nodiscard]] WakePattern load_pattern_csv(const std::string& path, std::uint32_t n);
+
+}  // namespace wakeup::mac

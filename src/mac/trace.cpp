@@ -1,0 +1,42 @@
+#include "mac/trace.hpp"
+
+#include <ostream>
+
+namespace wakeup::mac {
+
+void ExecutionTrace::add(Slot slot, SlotOutcome outcome,
+                         const std::vector<StationId>& transmitters) {
+  SlotRecord rec;
+  rec.slot = slot;
+  rec.outcome = outcome;
+  rec.transmitter_count = static_cast<std::uint32_t>(transmitters.size());
+  if (record_transmitters_) {
+    const std::size_t keep = transmitters.size() < max_listed_ ? transmitters.size() : max_listed_;
+    rec.transmitters.assign(transmitters.begin(),
+                            transmitters.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  records_.push_back(std::move(rec));
+}
+
+void ExecutionTrace::print(std::ostream& os, std::size_t max_lines) const {
+  std::size_t lines = 0;
+  for (const SlotRecord& rec : records_) {
+    if (lines++ >= max_lines) {
+      os << "  ... (" << (records_.size() - max_lines) << " more slots)\n";
+      return;
+    }
+    os << "  slot " << rec.slot << ": " << to_string(rec.outcome);
+    if (rec.transmitter_count > 0) {
+      os << " (" << rec.transmitter_count << " tx";
+      if (!rec.transmitters.empty()) {
+        os << ":";
+        for (StationId u : rec.transmitters) os << ' ' << u;
+        if (rec.transmitters.size() < rec.transmitter_count) os << " ...";
+      }
+      os << ')';
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace wakeup::mac

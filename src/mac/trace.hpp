@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file trace.hpp
+/// Per-slot execution record of a channel run, for debugging, examples and
+/// the structure benches.
+
+#include <iosfwd>
+#include <vector>
+
+#include "mac/types.hpp"
+
+namespace wakeup::mac {
+
+struct SlotRecord {
+  Slot slot = 0;
+  SlotOutcome outcome = SlotOutcome::kSilence;
+  std::uint32_t transmitter_count = 0;
+  /// Transmitting stations; recorded only when detail recording is on
+  /// (capped to keep traces bounded).
+  std::vector<StationId> transmitters;
+};
+
+class ExecutionTrace {
+ public:
+  /// `record_transmitters`: keep per-slot transmitter lists (up to
+  /// `max_listed` per slot).
+  explicit ExecutionTrace(bool record_transmitters = false, std::size_t max_listed = 8)
+      : record_transmitters_(record_transmitters), max_listed_(max_listed) {}
+
+  void add(Slot slot, SlotOutcome outcome, const std::vector<StationId>& transmitters);
+
+  [[nodiscard]] const std::vector<SlotRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Human-readable timeline (one line per slot), e.g. for examples.
+  void print(std::ostream& os, std::size_t max_lines = 64) const;
+
+ private:
+  bool record_transmitters_;
+  std::size_t max_listed_;
+  std::vector<SlotRecord> records_;
+};
+
+}  // namespace wakeup::mac

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file types.hpp
+/// Core vocabulary of the multiple access channel model (paper §1).
+
+#include <cstdint>
+#include <string_view>
+
+namespace wakeup::mac {
+
+/// Station identifier, 0-based (the paper's [n] = {1..n} shifted by one).
+using StationId = std::uint32_t;
+
+/// Global time slot ticked by the shared clock.
+using Slot = std::int64_t;
+
+/// What happened on the channel in one slot.
+enum class SlotOutcome : std::uint8_t {
+  kSilence,    ///< no station transmitted
+  kSuccess,    ///< exactly one station transmitted — message delivered
+  kCollision,  ///< two or more transmitted — nothing delivered
+};
+
+/// How much the channel tells listening stations after a slot.
+enum class FeedbackModel : std::uint8_t {
+  /// The paper's model: no collision detection.  Stations hear a delivered
+  /// message on success; silence and collision are indistinguishable.
+  kNone,
+  /// Stations can additionally distinguish collision noise from silence
+  /// (used by the tree-splitting extension, not by the paper's protocols).
+  kCollisionDetection,
+};
+
+/// What an individual station hears after a slot, as limited by the model.
+enum class ChannelFeedback : std::uint8_t {
+  kNothing,    ///< no message, cause unknown (silence or collision, kNone model)
+  kSuccess,    ///< a message came through (every station hears it)
+  kSilence,    ///< provably nobody transmitted (kCollisionDetection only)
+  kCollision,  ///< provably >= 2 transmitted (kCollisionDetection only)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SlotOutcome o) noexcept {
+  switch (o) {
+    case SlotOutcome::kSilence:
+      return "silence";
+    case SlotOutcome::kSuccess:
+      return "success";
+    case SlotOutcome::kCollision:
+      return "collision";
+  }
+  return "?";
+}
+
+}  // namespace wakeup::mac

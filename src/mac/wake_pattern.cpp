@@ -1,0 +1,171 @@
+#include "mac/wake_pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/dynamic_bitset.hpp"
+
+namespace wakeup::mac {
+
+WakePattern::WakePattern(std::uint32_t n, std::vector<Arrival> arrivals)
+    : n_(n), arrivals_(std::move(arrivals)) {
+  util::DynamicBitset seen(n);
+  for (const Arrival& a : arrivals_) {
+    if (a.station >= n) throw std::invalid_argument("WakePattern: station id out of range");
+    if (a.wake < 0) throw std::invalid_argument("WakePattern: negative wake slot");
+    if (seen.test(a.station)) throw std::invalid_argument("WakePattern: duplicate station");
+    seen.set(a.station);
+  }
+  std::sort(arrivals_.begin(), arrivals_.end(), [](const Arrival& a, const Arrival& b) {
+    return a.wake != b.wake ? a.wake < b.wake : a.station < b.station;
+  });
+}
+
+namespace patterns {
+namespace {
+
+/// Floyd's uniform sampling of `k` distinct stations out of [n].
+std::vector<StationId> choose_stations(std::uint32_t n, std::uint32_t k, util::Rng& rng) {
+  if (k > n) k = n;
+  std::vector<StationId> out;
+  out.reserve(k);
+  util::DynamicBitset chosen(n);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<StationId>(rng.uniform(j + 1));
+    if (chosen.test(t)) {
+      chosen.set(j);
+      out.push_back(j);
+    } else {
+      chosen.set(t);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+/// Shifts all wakes so the earliest equals `s` (keeps relative offsets).
+void anchor_first_wake(std::vector<Arrival>& arrivals, Slot s) {
+  if (arrivals.empty()) return;
+  Slot min_wake = arrivals.front().wake;
+  for (const Arrival& a : arrivals) min_wake = std::min(min_wake, a.wake);
+  const Slot shift = s - min_wake;
+  for (Arrival& a : arrivals) a.wake += shift;
+}
+
+}  // namespace
+
+WakePattern simultaneous(std::uint32_t n, std::uint32_t k, Slot s, util::Rng& rng) {
+  std::vector<Arrival> arrivals;
+  for (StationId u : choose_stations(n, k, rng)) arrivals.push_back({u, s});
+  return WakePattern(n, std::move(arrivals));
+}
+
+WakePattern uniform_window(std::uint32_t n, std::uint32_t k, Slot s, Slot window,
+                           util::Rng& rng) {
+  if (window < 1) window = 1;
+  std::vector<Arrival> arrivals;
+  for (StationId u : choose_stations(n, k, rng)) {
+    arrivals.push_back({u, s + static_cast<Slot>(rng.uniform(static_cast<std::uint64_t>(window)))});
+  }
+  anchor_first_wake(arrivals, s);
+  return WakePattern(n, std::move(arrivals));
+}
+
+WakePattern batched(std::uint32_t n, std::uint32_t k, Slot s, std::uint32_t batches, Slot gap,
+                    util::Rng& rng) {
+  if (batches < 1) batches = 1;
+  std::vector<Arrival> arrivals;
+  const auto stations = choose_stations(n, k, rng);
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    const auto b = static_cast<Slot>(i % batches);
+    arrivals.push_back({stations[i], s + b * gap});
+  }
+  return WakePattern(n, std::move(arrivals));
+}
+
+WakePattern staggered(std::uint32_t n, std::uint32_t k, Slot s, Slot gap, util::Rng& rng) {
+  if (gap < 0) gap = 0;
+  std::vector<Arrival> arrivals;
+  const auto stations = choose_stations(n, k, rng);
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    arrivals.push_back({stations[i], s + static_cast<Slot>(i) * gap});
+  }
+  return WakePattern(n, std::move(arrivals));
+}
+
+WakePattern poisson(std::uint32_t n, std::uint32_t k, Slot s, double mean_gap, util::Rng& rng) {
+  if (mean_gap < 1.0) mean_gap = 1.0;
+  const double p = 1.0 / mean_gap;
+  std::vector<Arrival> arrivals;
+  Slot t = s;
+  for (StationId u : choose_stations(n, k, rng)) {
+    arrivals.push_back({u, t});
+    // Geometric(p) inter-arrival, at least 0 extra slots.
+    Slot gap = 0;
+    while (!rng.bernoulli(p)) ++gap;
+    t += gap;
+  }
+  return WakePattern(n, std::move(arrivals));
+}
+
+WakePattern exponential_spread(std::uint32_t n, std::uint32_t k, Slot s, util::Rng& rng) {
+  std::vector<Arrival> arrivals;
+  const auto stations = choose_stations(n, k, rng);
+  // Cap the doubling so wake times stay simulable (and arithmetic on them
+  // cannot overflow); past the cap, remaining stations arrive together.
+  const Slot cap = Slot{1} << 20;
+  Slot offset = 0;
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    arrivals.push_back({stations[i], s + offset});
+    offset = offset == 0 ? 1 : std::min(offset * 2, cap);
+  }
+  return WakePattern(n, std::move(arrivals));
+}
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kSimultaneous:
+      return "simultaneous";
+    case Kind::kUniform:
+      return "uniform";
+    case Kind::kBatched:
+      return "batched";
+    case Kind::kStaggered:
+      return "staggered";
+    case Kind::kPoisson:
+      return "poisson";
+    case Kind::kExponentialSpread:
+      return "exp_spread";
+  }
+  return "unknown";
+}
+
+WakePattern generate(Kind kind, std::uint32_t n, std::uint32_t k, Slot s, util::Rng& rng) {
+  switch (kind) {
+    case Kind::kSimultaneous:
+      return simultaneous(n, k, s, rng);
+    case Kind::kUniform:
+      return uniform_window(n, k, s, static_cast<Slot>(4) * static_cast<Slot>(k), rng);
+    case Kind::kBatched:
+      return batched(n, k, s, 4, static_cast<Slot>(2) * static_cast<Slot>(k), rng);
+    case Kind::kStaggered:
+      return staggered(n, k, s, 3, rng);
+    case Kind::kPoisson:
+      return poisson(n, k, s, 2.0, rng);
+    case Kind::kExponentialSpread:
+      return exponential_spread(n, k, s, rng);
+  }
+  return simultaneous(n, k, s, rng);
+}
+
+const std::vector<Kind>& all_kinds() {
+  static const std::vector<Kind> kinds = {
+      Kind::kSimultaneous, Kind::kUniform,  Kind::kBatched,
+      Kind::kStaggered,    Kind::kPoisson,  Kind::kExponentialSpread,
+  };
+  return kinds;
+}
+
+}  // namespace patterns
+}  // namespace wakeup::mac

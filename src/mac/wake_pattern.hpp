@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file wake_pattern.hpp
+/// Wake-up patterns: which stations join the channel, and when.
+///
+/// The problem statement quantifies worst-case over "all possible patterns
+/// of spontaneous wake up times".  The generators here cover the shapes the
+/// evaluation sweeps (simultaneous batch, uniform scatter, bursts, steady
+/// trickle, doubling-aligned adversarial spread); `sim/adversary.hpp` adds a
+/// search for empirically hard patterns.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mac/types.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::mac {
+
+struct Arrival {
+  StationId station = 0;
+  Slot wake = 0;
+
+  [[nodiscard]] bool operator==(const Arrival&) const = default;
+};
+
+/// A set of distinct stations with their wake slots.
+class WakePattern {
+ public:
+  WakePattern() = default;
+  /// Validates: stations distinct and < n, wakes >= 0. Sorts by wake time.
+  /// Throws std::invalid_argument on violation.
+  WakePattern(std::uint32_t n, std::vector<Arrival> arrivals);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t k() const noexcept { return arrivals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return arrivals_.empty(); }
+  /// Arrivals sorted by wake slot (ties by station id).
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const noexcept { return arrivals_; }
+  /// s — the first wake slot (0 if empty).
+  [[nodiscard]] Slot first_wake() const noexcept {
+    return arrivals_.empty() ? 0 : arrivals_.front().wake;
+  }
+  [[nodiscard]] Slot last_wake() const noexcept {
+    return arrivals_.empty() ? 0 : arrivals_.back().wake;
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<Arrival> arrivals_;
+};
+
+namespace patterns {
+
+/// `k` distinct random stations, all waking exactly at `s` (the synchronized
+/// setting of Komlós–Greenberg and of `select_among_the_first`).
+[[nodiscard]] WakePattern simultaneous(std::uint32_t n, std::uint32_t k, Slot s, util::Rng& rng);
+
+/// Wake slots i.i.d. uniform in [s, s + window); the earliest is shifted to
+/// exactly s so that the measured cost t - s is anchored.
+[[nodiscard]] WakePattern uniform_window(std::uint32_t n, std::uint32_t k, Slot s, Slot window,
+                                         util::Rng& rng);
+
+/// `batches` groups of roughly k/batches stations; batch b wakes at
+/// s + b*gap.  Models bursty arrivals (e.g. correlated higher-layer events).
+[[nodiscard]] WakePattern batched(std::uint32_t n, std::uint32_t k, Slot s, std::uint32_t batches,
+                                  Slot gap, util::Rng& rng);
+
+/// One station every `gap` slots (staggered trickle), starting at s.
+[[nodiscard]] WakePattern staggered(std::uint32_t n, std::uint32_t k, Slot s, Slot gap,
+                                    util::Rng& rng);
+
+/// Geometric inter-arrival times with the given mean gap (>= 1); the
+/// memoryless analogue of Poisson arrivals in slotted time.
+[[nodiscard]] WakePattern poisson(std::uint32_t n, std::uint32_t k, Slot s, double mean_gap,
+                                  util::Rng& rng);
+
+/// Exponentially spreading arrivals: station i wakes at s + 2^i - 1.
+/// Aligned with doubling schedules, this keeps re-injecting a newcomer just
+/// as a family finishes — empirically the hardest structured pattern.
+[[nodiscard]] WakePattern exponential_spread(std::uint32_t n, std::uint32_t k, Slot s,
+                                             util::Rng& rng);
+
+/// Named pattern selector for sweeps.
+enum class Kind {
+  kSimultaneous,
+  kUniform,
+  kBatched,
+  kStaggered,
+  kPoisson,
+  kExponentialSpread,
+};
+
+[[nodiscard]] std::string kind_name(Kind kind);
+
+/// Generates the pattern `kind` with representative default shape
+/// parameters (window = 4k, 4 batches with gap 2k, stagger gap 3,
+/// mean gap 2).
+[[nodiscard]] WakePattern generate(Kind kind, std::uint32_t n, std::uint32_t k, Slot s,
+                                   util::Rng& rng);
+
+/// All kinds, for sweep loops.
+[[nodiscard]] const std::vector<Kind>& all_kinds();
+
+}  // namespace patterns
+}  // namespace wakeup::mac

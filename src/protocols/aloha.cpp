@@ -1,0 +1,34 @@
+#include "protocols/aloha.hpp"
+
+#include "util/rng.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class AlohaRuntime final : public StationRuntime {
+ public:
+  AlohaRuntime(double p, util::Rng rng) : p_(p), rng_(rng) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    (void)t;
+    return rng_.bernoulli(p_);
+  }
+
+ private:
+  double p_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> SlottedAlohaProtocol::make_runtime(StationId u, Slot wake) const {
+  util::Rng rng(util::hash_words({seed_, 0x414c4f4841ULL /* "ALOHA" */, u,
+                                  static_cast<std::uint64_t>(wake)}));
+  return std::make_unique<AlohaRuntime>(p_, rng);
+}
+
+ProtocolPtr SlottedAlohaProtocol::for_k(std::uint32_t k, std::uint64_t seed) {
+  return std::make_shared<SlottedAlohaProtocol>(1.0 / static_cast<double>(k < 1 ? 1 : k), seed);
+}
+
+}  // namespace wakeup::proto

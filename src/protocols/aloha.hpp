@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file aloha.hpp
+/// Slotted ALOHA with a fixed transmission probability — the classic
+/// randomized baseline (Abramson [1]); needs k to pick p = 1/k well.
+
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+class SlottedAlohaProtocol final : public Protocol {
+ public:
+  /// Every awake station transmits each slot with probability `p`.
+  SlottedAlohaProtocol(double p, std::uint64_t seed)
+      : p_(p <= 0.0 ? 0.5 : (p > 1.0 ? 1.0 : p)), seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "slotted_aloha"; }
+  [[nodiscard]] Requirements requirements() const override {
+    Requirements r;
+    r.needs_k = true;  // p is tuned to the contention bound
+    r.randomized = true;
+    return r;
+  }
+  [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                             Slot wake) const override;
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+  /// The standard tuning p = 1/k.
+  [[nodiscard]] static ProtocolPtr for_k(std::uint32_t k, std::uint64_t seed);
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wakeup::proto

@@ -1,0 +1,57 @@
+#include "protocols/backoff.hpp"
+
+#include "util/rng.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class BackoffRuntime final : public StationRuntime {
+ public:
+  BackoffRuntime(Slot wake, std::uint32_t initial_window, unsigned max_window_log2,
+                 util::Rng rng)
+      : max_window_log2_(max_window_log2), rng_(rng) {
+    window_ = initial_window;
+    open_window(wake);
+  }
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    if (t >= window_end_) {
+      // A full window passed without hearing success: double and retry.
+      if (window_ < (std::uint64_t{1} << max_window_log2_)) window_ *= 2;
+      open_window(window_end_);
+    }
+    return t == pick_;
+  }
+
+  void feedback(Slot t, ChannelFeedback fb) override {
+    (void)t;
+    // In the paper's no-CD model a station only ever hears kSuccess or
+    // kNothing; success ends the wake-up run, so no state is needed here.
+    // (Under collision detection one could reset the window on silence;
+    // deliberately not done to stay within the paper's feedback model.)
+    (void)fb;
+  }
+
+ private:
+  void open_window(Slot start) {
+    window_end_ = start + static_cast<Slot>(window_);
+    pick_ = start + static_cast<Slot>(rng_.uniform(window_));
+  }
+
+  std::uint64_t window_;
+  unsigned max_window_log2_;
+  Slot window_end_ = 0;
+  Slot pick_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> BinaryBackoffProtocol::make_runtime(StationId u,
+                                                                    Slot wake) const {
+  util::Rng rng(util::hash_words({seed_, 0x424f4646ULL /* "BOFF" */, u,
+                                  static_cast<std::uint64_t>(wake)}));
+  return std::make_unique<BackoffRuntime>(wake, initial_window_, max_window_log2_, rng);
+}
+
+}  // namespace wakeup::proto

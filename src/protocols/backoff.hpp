@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file backoff.hpp
+/// Binary exponential backoff (BEB) — the Ethernet-style randomized
+/// baseline from the systems the paper's introduction motivates
+/// (Abramson's ALOHA [1], Ethernet [2]).
+///
+/// Each station repeatedly picks a uniform slot within its current window
+/// and transmits there; without collision detection the only usable signal
+/// is the *absence of a successful message*, so after every window that
+/// passes without hearing a success the window doubles (up to a cap).
+/// No knowledge of k or s is needed — a natural Scenario C comparator with
+/// no worst-case guarantee.
+
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+class BinaryBackoffProtocol final : public Protocol {
+ public:
+  /// `initial_window` is the first window size (clamped >= 1);
+  /// `max_window_log2` caps doubling at 2^cap slots.
+  BinaryBackoffProtocol(std::uint32_t initial_window, unsigned max_window_log2,
+                        std::uint64_t seed)
+      : initial_window_(initial_window < 1 ? 1 : initial_window),
+        max_window_log2_(max_window_log2 > 30 ? 30 : max_window_log2),
+        seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "binary_backoff"; }
+  [[nodiscard]] Requirements requirements() const override {
+    Requirements r;
+    r.randomized = true;
+    return r;
+  }
+  [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                             Slot wake) const override;
+
+  [[nodiscard]] std::uint32_t initial_window() const noexcept { return initial_window_; }
+
+ private:
+  std::uint32_t initial_window_;
+  unsigned max_window_log2_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wakeup::proto

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file interleaved.hpp
+/// Parity interleaving of two protocols on one channel (the "very easy
+/// operation in a scenario with global clock" of §3).
+///
+/// Even global slots t = 2v run component A at virtual slot v; odd slots
+/// t = 2v + 1 run component B at virtual slot v.  Component runtimes are
+/// created with the first virtual slot they will be queried at, preserving
+/// the StationRuntime contract on the virtual axis.
+///
+/// Note: components whose behaviour depends on *comparing* station wake
+/// times (e.g. `select_among_the_first`'s wake == s rule) must not be
+/// interleaved through this combinator, because two distinct real wake
+/// times can collapse onto one virtual slot; `wakeup_with_s` is therefore
+/// implemented monolithically.
+
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+class InterleavedProtocol final : public Protocol {
+ public:
+  InterleavedProtocol(ProtocolPtr even, ProtocolPtr odd, std::string label = {})
+      : even_(std::move(even)), odd_(std::move(odd)), label_(std::move(label)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return label_.empty() ? "interleave(" + even_->name() + "," + odd_->name() + ")" : label_;
+  }
+  [[nodiscard]] Requirements requirements() const override;
+  [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                             Slot wake) const override;
+
+  [[nodiscard]] const Protocol& even() const noexcept { return *even_; }
+  [[nodiscard]] const Protocol& odd() const noexcept { return *odd_; }
+
+ private:
+  ProtocolPtr even_;
+  ProtocolPtr odd_;
+  std::string label_;
+};
+
+}  // namespace wakeup::proto

@@ -1,0 +1,41 @@
+#include "protocols/local_doubling.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class LocalDoublingRuntime final : public StationRuntime {
+ public:
+  LocalDoublingRuntime(StationId u, Slot wake, comb::DoublingSchedulePtr schedule)
+      : u_(u), wake_(wake), schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    const Slot age = t - wake_;  // local clock: slots since this station woke
+    if (age < 0) return false;
+    return schedule_->transmits(u_, static_cast<std::uint64_t>(age));
+  }
+
+ private:
+  StationId u_;
+  Slot wake_;
+  comb::DoublingSchedulePtr schedule_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> LocalDoublingProtocol::make_runtime(StationId u,
+                                                                    Slot wake) const {
+  return std::make_unique<LocalDoublingRuntime>(u, wake, schedule_);
+}
+
+ProtocolPtr make_local_doubling(std::uint32_t n, std::uint32_t k_max, comb::FamilyKind kind,
+                                std::uint64_t seed, double family_c) {
+  comb::DoublingSchedule::Config config;
+  config.n = n;
+  config.k_max = k_max < 2 ? 2 : k_max;
+  config.kind = kind;
+  config.seed = seed;
+  config.c = family_c;
+  return std::make_shared<LocalDoublingProtocol>(comb::make_doubling_schedule(config));
+}
+
+}  // namespace wakeup::proto

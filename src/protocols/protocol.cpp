@@ -1,0 +1,7 @@
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+// Vtable anchors only; the interfaces are header-defined.
+
+}  // namespace wakeup::proto

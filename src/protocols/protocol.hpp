@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The protocol abstraction: a wake-up algorithm is a rule assigning every
+/// station a transmission schedule as a function of its ID and wake time.
+///
+/// A `Protocol` is an immutable description shared by all stations (and all
+/// simulation trials); `make_runtime` instantiates the per-station state.
+/// Deterministic oblivious protocols (everything in the paper) ignore
+/// feedback; the hook exists for the randomized/adaptive extensions.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mac/types.hpp"
+
+namespace wakeup::proto {
+
+using mac::ChannelFeedback;
+using mac::Slot;
+using mac::StationId;
+
+/// What a protocol needs from the environment — used by the Scenario
+/// factory (core) and asserted by the simulator setup in benches.
+struct Requirements {
+  bool needs_global_clock = true;   ///< all paper protocols use the global clock
+  bool needs_start_time = false;    ///< Scenario A: s known to every station
+  bool needs_k = false;             ///< Scenario B: upper bound k known
+  bool needs_collision_detection = false;  ///< beyond the paper's model
+  bool randomized = false;          ///< uses coin flips
+};
+
+/// Per-station protocol execution state.
+///
+/// Contract: the owner calls `transmits(t)` exactly once for every slot
+/// t >= the wake time passed to `make_runtime`, in strictly increasing
+/// order, and (if it delivers feedback at all) calls `feedback(t, ...)`
+/// after `transmits(t)` and before `transmits(t + 1)`.
+class StationRuntime {
+ public:
+  virtual ~StationRuntime() = default;
+
+  /// Does this station transmit in slot t?
+  [[nodiscard]] virtual bool transmits(Slot t) = 0;
+
+  /// What the station heard on the channel in slot t.
+  virtual void feedback(Slot t, ChannelFeedback fb) {
+    (void)t;
+    (void)fb;
+  }
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Stable identifier used in reports and the registry.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual Requirements requirements() const { return {}; }
+
+  /// Creates the execution state for station `u` woken at slot `wake`.
+  [[nodiscard]] virtual std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                                     Slot wake) const = 0;
+};
+
+/// Protocols are immutable and shared across stations and trials.
+using ProtocolPtr = std::shared_ptr<const Protocol>;
+
+}  // namespace wakeup::proto

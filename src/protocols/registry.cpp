@@ -1,0 +1,79 @@
+#include "protocols/registry.hpp"
+
+#include <stdexcept>
+
+#include "protocols/aloha.hpp"
+#include "protocols/backoff.hpp"
+#include "protocols/local_doubling.hpp"
+#include "protocols/round_robin.hpp"
+#include "protocols/rpd.hpp"
+#include "protocols/select_among_the_first.hpp"
+#include "protocols/tree_splitting.hpp"
+#include "protocols/wait_and_go.hpp"
+#include "protocols/wakeup_matrix.hpp"
+#include "protocols/wakeup_with_k.hpp"
+#include "protocols/wakeup_with_s.hpp"
+
+namespace wakeup::proto {
+
+ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec) {
+  if (spec.name == "round_robin") {
+    return std::make_shared<RoundRobinProtocol>(spec.n);
+  }
+  if (spec.name == "select_among_the_first") {
+    comb::DoublingSchedule::Config config;
+    config.n = spec.n;
+    config.k_max = spec.n;
+    config.kind = spec.family_kind;
+    config.seed = spec.seed;
+    config.c = spec.family_c;
+    return std::make_shared<SelectAmongTheFirstProtocol>(spec.s,
+                                                         comb::make_doubling_schedule(config));
+  }
+  if (spec.name == "wakeup_with_s") {
+    return make_wakeup_with_s(spec.n, spec.s, spec.family_kind, spec.seed, spec.family_c);
+  }
+  if (spec.name == "wait_and_go") {
+    return make_wait_and_go(spec.n, spec.k, spec.family_kind, spec.seed, spec.family_c);
+  }
+  if (spec.name == "wakeup_with_k") {
+    return make_wakeup_with_k(spec.n, spec.k, spec.family_kind, spec.seed, spec.family_c);
+  }
+  if (spec.name == "wakeup_matrix") {
+    return std::make_shared<WakeupMatrixProtocol>(spec.n, spec.matrix_c, spec.seed);
+  }
+  if (spec.name == "rpd_n") {
+    return RpdProtocol::for_n(spec.n, spec.seed);
+  }
+  if (spec.name == "rpd_k") {
+    return RpdProtocol::for_k(spec.k, spec.seed);
+  }
+  if (spec.name == "slotted_aloha") {
+    return SlottedAlohaProtocol::for_k(spec.k, spec.seed);
+  }
+  if (spec.name == "local_doubling") {
+    return make_local_doubling(spec.n, spec.k, spec.family_kind, spec.seed, spec.family_c);
+  }
+  if (spec.name == "tree_splitting") {
+    return std::make_shared<TreeSplittingProtocol>(spec.seed);
+  }
+  if (spec.name == "binary_backoff") {
+    return std::make_shared<BinaryBackoffProtocol>(/*initial_window=*/2,
+                                                   /*max_window_log2=*/20, spec.seed);
+  }
+  throw std::invalid_argument("unknown protocol: " + spec.name);
+}
+
+const std::vector<std::string>& protocol_names() {
+  static const std::vector<std::string> names = {
+      "round_robin",   "select_among_the_first",
+      "wakeup_with_s", "wait_and_go",
+      "wakeup_with_k", "wakeup_matrix",
+      "rpd_n",         "rpd_k",
+      "slotted_aloha", "local_doubling",
+      "tree_splitting", "binary_backoff",
+  };
+  return names;
+}
+
+}  // namespace wakeup::proto

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name-based protocol construction for benches, examples and sweeps.
+
+#include <string>
+#include <vector>
+
+#include "combinatorics/builders.hpp"
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+/// Everything any registered protocol might need.  Fields irrelevant to a
+/// given protocol are ignored.
+struct ProtocolSpec {
+  std::string name;                 ///< one of protocol_names()
+  std::uint32_t n = 0;              ///< universe size (always required)
+  std::uint32_t k = 2;              ///< contention bound (Scenario B knowledge)
+  Slot s = 0;                       ///< known start slot (Scenario A knowledge)
+  std::uint64_t seed = 1;           ///< randomized components and families
+  comb::FamilyKind family_kind = comb::FamilyKind::kRandomized;
+  double family_c = comb::kDefaultRandomFamilyC;
+  unsigned matrix_c = 2;            ///< Scenario C pacing constant
+};
+
+/// Builds the named protocol.  Throws std::invalid_argument for unknown
+/// names.  Registered names:
+///   round_robin, select_among_the_first, wakeup_with_s, wait_and_go,
+///   wakeup_with_k, wakeup_matrix, rpd_n, rpd_k, slotted_aloha,
+///   local_doubling, tree_splitting, binary_backoff
+[[nodiscard]] ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec);
+
+/// All registered names, in a stable order.
+[[nodiscard]] const std::vector<std::string>& protocol_names();
+
+}  // namespace wakeup::proto

@@ -1,0 +1,26 @@
+#include "protocols/round_robin.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class RoundRobinRuntime final : public StationRuntime {
+ public:
+  RoundRobinRuntime(StationId u, std::uint32_t n) : u_(u), n_(n) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    return static_cast<std::uint32_t>(t % static_cast<Slot>(n_)) == u_;
+  }
+
+ private:
+  StationId u_;
+  std::uint32_t n_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> RoundRobinProtocol::make_runtime(StationId u, Slot wake) const {
+  (void)wake;  // oblivious: the schedule depends only on the global clock
+  return std::make_unique<RoundRobinRuntime>(u, n_);
+}
+
+}  // namespace wakeup::proto

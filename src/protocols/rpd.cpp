@@ -1,0 +1,42 @@
+#include "protocols/rpd.hpp"
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class RpdRuntime final : public StationRuntime {
+ public:
+  RpdRuntime(unsigned ell, util::Rng rng) : ell_(ell), rng_(rng) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    const auto phase = static_cast<unsigned>(static_cast<std::uint64_t>(t) %
+                                             static_cast<std::uint64_t>(ell_));
+    return rng_.bernoulli_pow2(1 + phase);
+  }
+
+ private:
+  unsigned ell_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> RpdProtocol::make_runtime(StationId u, Slot wake) const {
+  // Private coin stream per (station, wake): independent across stations,
+  // reproducible across runs.
+  util::Rng rng(util::hash_words({seed_, 0x525044ULL /* "RPD" */, u,
+                                  static_cast<std::uint64_t>(wake)}));
+  return std::make_unique<RpdRuntime>(ell_, rng);
+}
+
+ProtocolPtr RpdProtocol::for_n(std::uint32_t n, std::uint64_t seed) {
+  return std::make_shared<RpdProtocol>(2 * util::log2n_clamped(n), seed, "rpd_n");
+}
+
+ProtocolPtr RpdProtocol::for_k(std::uint32_t k, std::uint64_t seed) {
+  return std::make_shared<RpdProtocol>(2 * util::log2n_clamped(k), seed, "rpd_k");
+}
+
+}  // namespace wakeup::proto

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file rpd.hpp
+/// Repeated Probability Decrease (Jurdziński–Stachowiak), as discussed in
+/// paper §6: with a global clock, every awake station transmits in round σ
+/// with probability 2^{-1-(σ mod ℓ)}.
+///
+/// ℓ = 2⌈log n⌉ gives O(log n) expected wake-up; when k is known,
+/// ℓ = 2⌈log k⌉ matches the Kushilevitz–Mansour Ω(log k) lower bound.
+
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+class RpdProtocol final : public Protocol {
+ public:
+  /// `ell` is the probability cycle length (clamped >= 2); `seed` drives
+  /// each station's private coins.
+  RpdProtocol(unsigned ell, std::uint64_t seed, std::string label = "rpd")
+      : ell_(ell < 2 ? 2 : ell), seed_(seed), label_(std::move(label)) {}
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] Requirements requirements() const override {
+    Requirements r;
+    r.randomized = true;
+    return r;
+  }
+  [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                             Slot wake) const override;
+
+  [[nodiscard]] unsigned ell() const noexcept { return ell_; }
+
+  /// ℓ = 2⌈log2 n⌉ (the n-parameterized variant).
+  [[nodiscard]] static ProtocolPtr for_n(std::uint32_t n, std::uint64_t seed);
+  /// ℓ = 2⌈log2 k⌉ (the k-parameterized variant, Scenario B knowledge).
+  [[nodiscard]] static ProtocolPtr for_k(std::uint32_t k, std::uint64_t seed);
+
+ private:
+  unsigned ell_;
+  std::uint64_t seed_;
+  std::string label_;
+};
+
+}  // namespace wakeup::proto

@@ -1,0 +1,58 @@
+#include "protocols/tree_splitting.hpp"
+
+#include "util/rng.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+/// Counter form of the splitting stack: a station transmits when its
+/// counter is 0.  On collision, transmitters flip a fair coin to stay at 0
+/// or step back to 1 while all waiting stations step back by one; on
+/// silence or success every waiting station steps forward.
+class TreeSplittingRuntime final : public StationRuntime {
+ public:
+  explicit TreeSplittingRuntime(util::Rng rng) : rng_(rng) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    (void)t;
+    sent_last_ = (counter_ == 0);
+    return sent_last_;
+  }
+
+  void feedback(Slot t, ChannelFeedback fb) override {
+    (void)t;
+    switch (fb) {
+      case ChannelFeedback::kCollision:
+        if (sent_last_) {
+          counter_ = rng_.bernoulli_pow2(1) ? 0 : 1;
+        } else {
+          ++counter_;
+        }
+        break;
+      case ChannelFeedback::kSilence:
+      case ChannelFeedback::kSuccess:
+        if (counter_ > 0) --counter_;
+        break;
+      case ChannelFeedback::kNothing:
+        // No usable feedback (the protocol is being run outside its model);
+        // degenerate to persistent transmission attempts.
+        break;
+    }
+  }
+
+ private:
+  util::Rng rng_;
+  std::uint64_t counter_ = 0;
+  bool sent_last_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> TreeSplittingProtocol::make_runtime(StationId u,
+                                                                    Slot wake) const {
+  util::Rng rng(util::hash_words({seed_, 0x54524545ULL /* "TREE" */, u,
+                                  static_cast<std::uint64_t>(wake)}));
+  return std::make_unique<TreeSplittingRuntime>(rng);
+}
+
+}  // namespace wakeup::proto

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file tree_splitting.hpp
+/// Capetanakis tree-splitting (extension beyond the paper's model).
+///
+/// The paper's related work contrasts the no-feedback model with the
+/// collision-detection model ([4], Greenberg–Winograd).  This adaptive
+/// protocol exercises that contrast: it REQUIRES ternary feedback
+/// (silence / success / collision) and resolves contention by recursively
+/// splitting colliding groups with private coin flips, using the standard
+/// counter implementation of the splitting stack (free-access variant:
+/// newcomers join the front of the stack on arrival).
+///
+/// Expected O(k) slots to resolve all k stations — used by the
+/// full-resolution extension bench as the adaptive comparator.
+
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+class TreeSplittingProtocol final : public Protocol {
+ public:
+  explicit TreeSplittingProtocol(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "tree_splitting"; }
+  [[nodiscard]] Requirements requirements() const override {
+    Requirements r;
+    r.needs_collision_detection = true;
+    r.randomized = true;
+    return r;
+  }
+  [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                             Slot wake) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace wakeup::proto

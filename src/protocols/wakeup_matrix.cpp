@@ -1,0 +1,47 @@
+#include "protocols/wakeup_matrix.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+/// Tracks the row scan incrementally (transmits() is called with strictly
+/// increasing t, so no per-slot row search is needed).  Equivalence with
+/// the declarative MatrixParams::row_at is asserted in tests.
+class WakeupMatrixRuntime final : public StationRuntime {
+ public:
+  WakeupMatrixRuntime(StationId u, Slot wake, const comb::LazyTransmissionMatrix& matrix)
+      : u_(u), matrix_(matrix) {
+    const auto& p = matrix_.params();
+    operative_ = p.mu(wake);
+    row_ = 1;
+    row_end_ = operative_ + static_cast<Slot>(p.m(1));
+  }
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    const auto& p = matrix_.params();
+    if (t < operative_) return false;  // waiting for the window boundary
+    while (t >= row_end_) {
+      if (row_ < p.rows) {
+        ++row_;
+      } else {
+        row_ = 1;  // wrap: restart the scan (§5.1 guarantee fires earlier)
+      }
+      row_end_ += static_cast<Slot>(p.m(row_));
+    }
+    return matrix_.contains(row_, static_cast<std::uint64_t>(t), u_);
+  }
+
+ private:
+  StationId u_;
+  const comb::LazyTransmissionMatrix& matrix_;
+  Slot operative_ = 0;
+  unsigned row_ = 1;
+  Slot row_end_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> WakeupMatrixProtocol::make_runtime(StationId u, Slot wake) const {
+  return std::make_unique<WakeupMatrixRuntime>(u, wake, matrix_);
+}
+
+}  // namespace wakeup::proto

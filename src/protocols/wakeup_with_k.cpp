@@ -1,0 +1,16 @@
+#include "protocols/wakeup_with_k.hpp"
+
+#include "protocols/interleaved.hpp"
+#include "protocols/round_robin.hpp"
+#include "protocols/wait_and_go.hpp"
+
+namespace wakeup::proto {
+
+ProtocolPtr make_wakeup_with_k(std::uint32_t n, std::uint32_t k, comb::FamilyKind kind,
+                               std::uint64_t seed, double family_c) {
+  auto rr = std::make_shared<RoundRobinProtocol>(n);
+  auto wag = make_wait_and_go(n, k, kind, seed, family_c);
+  return std::make_shared<InterleavedProtocol>(std::move(rr), std::move(wag), "wakeup_with_k");
+}
+
+}  // namespace wakeup::proto

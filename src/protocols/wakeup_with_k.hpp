@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file wakeup_with_k.hpp
+/// `wakeup_with_k` (paper §4): the Scenario B algorithm — round-robin
+/// interleaved with `wait_and_go`.  Θ(k log(n/k) + 1), optimal.
+
+#include "combinatorics/builders.hpp"
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+/// Builds interleave(round_robin(n), wait_and_go(n, k)).
+[[nodiscard]] ProtocolPtr make_wakeup_with_k(std::uint32_t n, std::uint32_t k,
+                                             comb::FamilyKind kind, std::uint64_t seed,
+                                             double family_c = comb::kDefaultRandomFamilyC);
+
+}  // namespace wakeup::proto

@@ -1,0 +1,51 @@
+#include "protocols/wakeup_with_s.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class WakeupWithSRuntime final : public StationRuntime {
+ public:
+  WakeupWithSRuntime(StationId u, Slot wake, Slot s, std::uint32_t n,
+                     comb::DoublingSchedulePtr schedule)
+      : u_(u), participates_satf_(wake == s), s_(s), n_(n), schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    const Slot d = t - s_;
+    if (d < 0) return false;
+    if (d % 2 == 0) {
+      // Round-robin half: every awake station takes its TDM turn.
+      const Slot v = d / 2;
+      return static_cast<std::uint32_t>(v % static_cast<Slot>(n_)) == u_;
+    }
+    // select_among_the_first half: only stations woken exactly at s.
+    if (!participates_satf_) return false;
+    const Slot v = (d - 1) / 2;
+    return schedule_->transmits(u_, static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  StationId u_;
+  bool participates_satf_;
+  Slot s_;
+  std::uint32_t n_;
+  comb::DoublingSchedulePtr schedule_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> WakeupWithSProtocol::make_runtime(StationId u, Slot wake) const {
+  return std::make_unique<WakeupWithSRuntime>(u, wake, s_, schedule_->config().n, schedule_);
+}
+
+ProtocolPtr make_wakeup_with_s(std::uint32_t n, Slot s, comb::FamilyKind kind,
+                               std::uint64_t seed, double family_c) {
+  comb::DoublingSchedule::Config config;
+  config.n = n;
+  config.k_max = n;  // s is known but k is not: concatenate families up to n
+  config.kind = kind;
+  config.seed = seed;
+  config.c = family_c;
+  return std::make_shared<WakeupWithSProtocol>(s, comb::make_doubling_schedule(config));
+}
+
+}  // namespace wakeup::proto

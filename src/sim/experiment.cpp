@@ -1,0 +1,67 @@
+#include "sim/experiment.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wakeup::sim {
+
+CellResult run_cell(const CellSpec& spec, util::ThreadPool* pool) {
+  struct TrialOut {
+    bool success = false;
+    double rounds = 0;
+    double collisions = 0;
+    double silences = 0;
+    bool completed = false;
+    double completion = 0;
+  };
+  std::vector<TrialOut> outs(spec.trials);
+
+  auto run_trial = [&](std::size_t i) {
+    const std::uint64_t seed =
+        util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
+    util::Rng rng(seed);
+    const mac::WakePattern pattern = spec.pattern(rng);
+    const proto::ProtocolPtr protocol = spec.protocol(seed);
+    const SimResult r = run_wakeup(*protocol, pattern, spec.sim);
+    TrialOut& out = outs[i];
+    out.success = r.success;
+    out.rounds = static_cast<double>(r.rounds);
+    out.collisions = static_cast<double>(r.collisions);
+    out.silences = static_cast<double>(r.silences);
+    out.completed = r.completed;
+    out.completion = static_cast<double>(r.completion_rounds);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, spec.trials, run_trial);
+  } else {
+    for (std::size_t i = 0; i < spec.trials; ++i) run_trial(i);
+  }
+
+  util::Sample rounds, collisions, silences, completion;
+  CellResult result;
+  result.trials = spec.trials;
+  for (const TrialOut& out : outs) {
+    if (!out.success) {
+      ++result.failures;
+      continue;
+    }
+    rounds.push(out.rounds);
+    collisions.push(out.collisions);
+    silences.push(out.silences);
+    if (out.completed) completion.push(out.completion);
+  }
+  result.rounds = util::Summary::of(rounds);
+  result.collisions = util::Summary::of(collisions);
+  result.silences = util::Summary::of(silences);
+  result.completion = util::Summary::of(completion);
+  return result;
+}
+
+double normalized_mean(const CellResult& result, double bound) {
+  if (bound <= 0.0 || result.rounds.count == 0) return 0.0;
+  return result.rounds.mean / bound;
+}
+
+}  // namespace wakeup::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file experiment.hpp
+/// The sweep harness: runs many independent trials of (protocol, pattern)
+/// cells, in parallel, with bitwise-deterministic results.
+///
+/// Determinism: trial i of a cell derives its seed as
+/// hash(base_seed, cell_tag, i); both the wake pattern and any protocol
+/// randomness (family sampling, matrix instantiation, private coins) flow
+/// from that seed, and per-trial outputs are written to slot i of a
+/// pre-sized vector — so mean/percentile aggregates do not depend on the
+/// thread count.
+
+#include <functional>
+#include <string>
+
+#include "mac/wake_pattern.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wakeup::sim {
+
+/// One sweep cell: how to build the protocol and the pattern for a trial.
+struct CellSpec {
+  /// Builds the protocol for a trial seed.  Deterministic protocols may
+  /// ignore the seed (and will be constructed once per trial regardless).
+  std::function<proto::ProtocolPtr(std::uint64_t seed)> protocol;
+  /// Builds the wake pattern from the trial's RNG stream.
+  std::function<mac::WakePattern(util::Rng& rng)> pattern;
+  SimConfig sim;
+  std::uint64_t trials = 32;
+  std::uint64_t base_seed = 1;
+  /// Distinguishes cells that share a base_seed (hashed into trial seeds).
+  std::uint64_t cell_tag = 0;
+};
+
+/// Aggregated outcome of a cell.
+struct CellResult {
+  util::Summary rounds;          ///< rounds to wake-up over successful trials
+  util::Summary collisions;
+  util::Summary silences;
+  util::Summary completion;      ///< full-resolution rounds (if enabled)
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;    ///< trials that exhausted the slot budget
+};
+
+/// Runs all trials of a cell.  `pool` may be null (inline execution).
+[[nodiscard]] CellResult run_cell(const CellSpec& spec, util::ThreadPool* pool);
+
+/// Convenience: mean rounds normalized by a theory bound, the headline
+/// statistic of the scaling tables.
+[[nodiscard]] double normalized_mean(const CellResult& result, double bound);
+
+}  // namespace wakeup::sim

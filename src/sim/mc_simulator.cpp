@@ -1,0 +1,74 @@
+#include "sim/mc_simulator.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace wakeup::sim {
+
+McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePattern& pattern,
+                          mac::Slot max_slots) {
+  McSimResult result;
+  if (pattern.empty()) return result;
+
+  struct Active {
+    mac::StationId id;
+    std::unique_ptr<proto::McStationRuntime> runtime;
+    mac::ChannelAction last_action;
+  };
+
+  const auto& arrivals = pattern.arrivals();
+  const mac::Slot s = pattern.first_wake();
+  result.s = s;
+  mac::Slot budget = max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+
+  std::vector<Active> active;
+  active.reserve(pattern.k());
+  std::size_t next_arrival = 0;
+  std::vector<mac::ChannelAction> actions;
+
+  for (mac::Slot t = s; t - s < budget; ++t) {
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake == t) {
+      const auto& a = arrivals[next_arrival];
+      active.push_back({a.station, protocol.make_runtime(a.station, a.wake), {}});
+      ++next_arrival;
+    }
+
+    actions.clear();
+    for (Active& st : active) {
+      st.last_action = st.runtime->act(t);
+      actions.push_back(st.last_action);
+    }
+
+    const auto slot = mac::resolve_multi_slot(protocol.channels(), actions);
+    for (std::uint32_t c = 0; c < protocol.channels(); ++c) {
+      if (slot.outcomes[c] == mac::SlotOutcome::kCollision) ++result.collisions;
+      if (slot.outcomes[c] == mac::SlotOutcome::kSuccess) ++result.successes;
+    }
+    // Stations hear the outcome of the channel they acted on (no-CD model).
+    for (Active& st : active) {
+      const auto outcome = slot.outcomes[st.last_action.channel];
+      st.runtime->feedback(t, mac::feedback_for(outcome, mac::FeedbackModel::kNone));
+    }
+
+    if (slot.any_success()) {
+      result.success = true;
+      result.success_slot = t;
+      result.rounds = t - s;
+      result.success_channel = slot.success_channel;
+      for (const Active& st : active) {
+        if (st.last_action.transmit &&
+            st.last_action.channel == static_cast<std::uint32_t>(slot.success_channel)) {
+          result.winner = st.id;
+          break;
+        }
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace wakeup::sim

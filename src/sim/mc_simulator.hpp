@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file mc_simulator.hpp
+/// Discrete-event execution on the C-channel network (extension; see
+/// mac/multichannel.hpp).  Wake-up completes at the first slot in which any
+/// channel carries a solo transmission.
+
+#include "mac/multichannel.hpp"
+#include "mac/wake_pattern.hpp"
+#include "protocols/multichannel.hpp"
+
+namespace wakeup::sim {
+
+struct McSimResult {
+  bool success = false;
+  mac::Slot s = 0;
+  mac::Slot success_slot = -1;
+  std::int64_t rounds = -1;
+  std::int32_t success_channel = -1;
+  mac::StationId winner = 0;
+  std::uint64_t collisions = 0;  ///< summed over channels
+  std::uint64_t successes = 0;   ///< channels with solo tx in the final slot
+};
+
+/// Runs `protocol` against `pattern`; `max_slots <= 0` selects the same
+/// auto budget as the single-channel simulator.
+[[nodiscard]] McSimResult run_mc_wakeup(const proto::McProtocol& protocol,
+                                        const mac::WakePattern& pattern,
+                                        mac::Slot max_slots = 0);
+
+}  // namespace wakeup::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file results_sink.hpp
+/// One-call reporting for bench binaries: every row goes to an aligned
+/// console table and, when a results directory is configured, to a CSV file
+/// of the same shape.
+///
+/// The directory defaults to "bench_results" under the working directory
+/// and can be overridden (or disabled with an empty string) via the
+/// WAKEUP_RESULTS_DIR environment variable.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace wakeup::sim {
+
+class ResultsSink {
+ public:
+  /// `table_id` names the CSV file (<results_dir>/<table_id>.csv).
+  ResultsSink(std::string table_id, std::vector<std::string> header);
+
+  ResultsSink& cell(const std::string& v);
+  ResultsSink& cell(const char* v) { return cell(std::string(v)); }
+  ResultsSink& cell(double v, int precision = 2);
+  ResultsSink& cell(std::uint64_t v);
+  ResultsSink& cell(std::int64_t v);
+  ResultsSink& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  ResultsSink& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+  void end_row();
+
+  /// Prints the table (banner + aligned rows) to stdout and reports where
+  /// the CSV was written, if anywhere.
+  void flush(const std::string& title);
+
+  /// Resolved results directory ("" when CSV output is disabled).
+  [[nodiscard]] static std::string results_dir();
+
+ private:
+  std::string table_id_;
+  util::ConsoleTable table_;
+  std::unique_ptr<util::CsvWriter> csv_;
+  std::string csv_path_;
+};
+
+}  // namespace wakeup::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event execution of a protocol against a wake pattern on the
+/// multiple access channel.
+///
+/// Slots tick from s (the first wake).  At each slot every awake station's
+/// runtime is asked whether it transmits; the channel resolves the slot and
+/// feedback is delivered.  The run ends at the first successful (solo)
+/// transmission — the wake-up event — or, in full-resolution mode
+/// (Komlós–Greenberg extension), when every awake station has transmitted
+/// successfully once.
+
+#include <optional>
+
+#include "mac/channel.hpp"
+#include "mac/trace.hpp"
+#include "mac/wake_pattern.hpp"
+#include "protocols/protocol.hpp"
+
+namespace wakeup::sim {
+
+struct SimConfig {
+  /// Hard slot budget counted from s; <= 0 selects an automatic generous
+  /// bound (a multiple of the Scenario C theory bound plus n).
+  mac::Slot max_slots = 0;
+  mac::FeedbackModel feedback = mac::FeedbackModel::kNone;
+  bool record_trace = false;
+  bool record_transmitters = false;  ///< include per-slot station lists in the trace
+  /// Extension: run until every awake station has had a solo transmission
+  /// (stations leave the channel after succeeding).
+  bool full_resolution = false;
+};
+
+struct SimResult {
+  bool success = false;        ///< wake-up achieved within the budget
+  mac::Slot s = 0;             ///< first wake slot
+  mac::Slot success_slot = -1; ///< first slot with a solo transmission
+  std::int64_t rounds = -1;    ///< success_slot - s (the paper's cost measure)
+  mac::StationId winner = 0;   ///< the isolated station
+  std::uint64_t silences = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t successes = 0; ///< > 1 only in full-resolution mode
+
+  /// Full-resolution extension: slot by which all stations succeeded and
+  /// rounds from s (-1 when not requested / not reached).
+  mac::Slot completion_slot = -1;
+  std::int64_t completion_rounds = -1;
+  bool completed = false;
+
+  std::optional<mac::ExecutionTrace> trace;
+};
+
+/// The automatic slot budget used when SimConfig::max_slots <= 0.
+[[nodiscard]] mac::Slot auto_slot_budget(std::uint32_t n, std::size_t k);
+
+/// Runs `protocol` against `pattern`.  Empty patterns yield a failed result
+/// with rounds -1.
+[[nodiscard]] SimResult run_wakeup(const proto::Protocol& protocol,
+                                   const mac::WakePattern& pattern, const SimConfig& config);
+
+}  // namespace wakeup::sim

@@ -1,0 +1,57 @@
+#include "util/dynamic_bitset.hpp"
+
+#include <bit>
+
+namespace wakeup::util {
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const noexcept {
+  std::size_t c = 0;
+  const std::size_t nwords = words_.size() < other.words_.size() ? words_.size() : other.words_.size();
+  for (std::size_t i = 0; i < nwords; ++i) {
+    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+std::int64_t DynamicBitset::sole_intersection(const DynamicBitset& other) const noexcept {
+  std::int64_t found = -1;
+  const std::size_t nwords = words_.size() < other.words_.size() ? words_.size() : other.words_.size();
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t w = words_[i] & other.words_[i];
+    while (w != 0) {
+      if (found >= 0) return -1;  // second common bit
+      const int b = std::countr_zero(w);
+      found = static_cast<std::int64_t>(i * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return found;
+}
+
+std::vector<std::uint32_t> DynamicBitset::to_indices() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(i * 64 + static_cast<std::size_t>(b)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace wakeup::util

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file dynamic_bitset.hpp
+/// Fixed-capacity bitset sized at runtime.
+///
+/// Transmission sets over the station universe [n] are stored as bitsets so
+/// that membership tests and |X ∩ F| computations (the heart of selectivity
+/// verification) are word-parallel.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wakeup::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  /// All-zero bitset with `size` addressable bits.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  void assign(std::size_t i, bool v) noexcept { v ? set(i) : reset(i); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True if any bit is set.
+  [[nodiscard]] bool any() const noexcept;
+
+  /// |this ∩ other| — requires equal size.
+  [[nodiscard]] std::size_t intersection_count(const DynamicBitset& other) const noexcept;
+
+  /// If |this ∩ other| == 1, returns the unique common index; otherwise -1.
+  /// This is exactly the "selected station" query of the selectivity property.
+  [[nodiscard]] std::int64_t sole_intersection(const DynamicBitset& other) const noexcept;
+
+  /// Indices of all set bits, in increasing order.
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wakeup::util

@@ -1,0 +1,23 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wakeup::util {
+
+double scenario_ab_bound(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k == 0) return 1.0;
+  if (k > n) k = n;
+  const double ratio = static_cast<double>(n) / static_cast<double>(k);
+  const double lg = std::max(1.0, std::log2(ratio));
+  return static_cast<double>(k) * lg + 1.0;
+}
+
+double scenario_c_bound(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k == 0) return 1.0;
+  const double lg = static_cast<double>(log2n_clamped(n));
+  const double lglg = static_cast<double>(loglog2n_clamped(n));
+  return static_cast<double>(k) * lg * lglg;
+}
+
+}  // namespace wakeup::util

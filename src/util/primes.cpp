@@ -1,0 +1,81 @@
+#include "util/primes.hpp"
+
+namespace wakeup::util {
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * static_cast<__uint128_t>(b)) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) noexcept {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// One Miller-Rabin round with witness a; returns true if x passes (maybe prime).
+bool mr_round(std::uint64_t x, std::uint64_t a, std::uint64_t d, unsigned r) noexcept {
+  std::uint64_t y = powmod(a, d, x);
+  if (y == 1 || y == x - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    y = mulmod(y, y, x);
+    if (y == x - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t x) noexcept {
+  if (x < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (x % p == 0) return x == p;
+  }
+  // x is odd and > 37 here.
+  std::uint64_t d = x - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is exact for all 64-bit integers (Sinclair 2011).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!mr_round(x, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) noexcept {
+  if (x <= 2) return 2;
+  if ((x & 1) == 0) ++x;
+  while (!is_prime(x)) x += 2;
+  return x;
+}
+
+std::vector<std::uint64_t> primes_in_range(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t p = next_prime(lo); p <= hi; p = next_prime(p + 1)) {
+    out.push_back(p);
+    if (p == hi) break;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> first_primes_from(std::uint64_t lo, std::size_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t p = next_prime(lo);
+  while (out.size() < count) {
+    out.push_back(p);
+    p = next_prime(p + 1);
+  }
+  return out;
+}
+
+}  // namespace wakeup::util

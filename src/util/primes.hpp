@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file primes.hpp
+/// Deterministic primality testing and prime enumeration.
+///
+/// Needed by the explicit selective-family constructions: the mod-prime
+/// splitter picks residues modulo a window of primes, and the
+/// Kautz–Singleton construction evaluates Reed–Solomon codes over GF(q) for
+/// prime q.
+
+#include <cstdint>
+#include <vector>
+
+namespace wakeup::util {
+
+/// Deterministic Miller–Rabin, exact for all 64-bit inputs
+/// (uses the standard 12-base witness set).
+[[nodiscard]] bool is_prime(std::uint64_t x) noexcept;
+
+/// Smallest prime >= x (x <= 2 yields 2).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t x) noexcept;
+
+/// All primes in [lo, hi] in increasing order.
+[[nodiscard]] std::vector<std::uint64_t> primes_in_range(std::uint64_t lo, std::uint64_t hi);
+
+/// The first `count` primes >= lo.
+[[nodiscard]] std::vector<std::uint64_t> first_primes_from(std::uint64_t lo, std::size_t count);
+
+}  // namespace wakeup::util

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All randomness in the library flows through this header so that every
+/// experiment is bitwise reproducible from a single 64-bit seed.  Two kinds
+/// of generators are provided:
+///
+///  * `mix64` / `hash_words` — *stateless* mixing functions used where a
+///    pseudo-random bit must be a pure function of its coordinates (e.g.
+///    lazy transmission-matrix membership, per-trial substream derivation).
+///  * `Rng` — a stateful xoshiro256** stream for sequential draws
+///    (wake-pattern generation, randomized protocols, family sampling).
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace wakeup::util {
+
+/// Advances a SplitMix64 state and returns the next output word.
+/// Used for seeding xoshiro and as the core of the stateless mixers.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless finalizer: bijective 64-bit mix (SplitMix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines two words into one pseudo-random word (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a + 0x9e3779b97f4a7c15ULL + (b ^ (a << 6) ^ (a >> 2)));
+}
+
+/// Hashes an arbitrary list of words into a single pseudo-random word.
+/// `hash_words({seed, tag, i, j})` is the canonical substream-derivation
+/// idiom used throughout the library.
+[[nodiscard]] constexpr std::uint64_t hash_words(std::initializer_list<std::uint64_t> words) noexcept {
+  std::uint64_t acc = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  for (std::uint64_t w : words) acc = hash_combine(acc, mix64(w));
+  return acc;
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 256-bit-state generator.
+class Xoshiro256ss {
+ public:
+  /// Seeds the four state words via SplitMix64 (never all-zero).
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept : s_{} {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64_next(sm);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> if needed).
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  constexpr result_type operator()() noexcept { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Convenience wrapper with the uniform/bernoulli draws the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed), seed_(seed) {}
+
+  /// The seed this stream was constructed from (for reporting).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return gen_.next(); }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Bernoulli trial with probability 2^-e (exact, bit-twiddled).
+  /// e >= 64 always fails; e == 0 always succeeds.
+  [[nodiscard]] bool bernoulli_pow2(unsigned e) noexcept {
+    if (e == 0) return true;
+    if (e >= 64) return false;
+    return (gen_.next() >> (64 - e)) == 0;
+  }
+
+  /// Geometric-ish draw: number of leading successful p=1/2 trials (capped).
+  [[nodiscard]] unsigned coin_run(unsigned cap) noexcept;
+
+  /// Derives an independent stream keyed by `tag` without perturbing this one.
+  [[nodiscard]] Rng split(std::uint64_t tag) const noexcept {
+    return Rng(hash_words({seed_, 0x53504c4954ULL /* "SPLIT" */, tag}));
+  }
+
+ private:
+  Xoshiro256ss gen_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wakeup::util

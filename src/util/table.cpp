@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace wakeup::util {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+ConsoleTable& ConsoleTable::cell(std::string v) {
+  current_.push_back(std::move(v));
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+ConsoleTable& ConsoleTable::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+ConsoleTable& ConsoleTable::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+void ConsoleTable::end_row() {
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << "  " << std::setw(static_cast<int>(width[c])) << v;
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace wakeup::util

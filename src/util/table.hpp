@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned console tables — every bench binary reports through this so the
+/// reproduced "paper tables" share one format.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wakeup::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Numeric convenience overloads format with fixed precision.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  ConsoleTable& cell(std::string v);
+  ConsoleTable& cell(const char* v) { return cell(std::string(v)); }
+  /// Fixed-precision double (default 2 decimal places).
+  ConsoleTable& cell(double v, int precision = 2);
+  ConsoleTable& cell(std::uint64_t v);
+  ConsoleTable& cell(std::int64_t v);
+  ConsoleTable& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  ConsoleTable& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+  void end_row();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Prints header, separator, and all rows.  Column widths auto-fit.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+};
+
+/// Prints a "== title ==" banner used between bench sections.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace wakeup::util

@@ -1,0 +1,88 @@
+#include "sim/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/local_doubling.hpp"
+#include "protocols/round_robin.hpp"
+#include "protocols/wakeup_matrix.hpp"
+#include "util/math.hpp"
+
+namespace ws = wakeup::sim;
+namespace wp = wakeup::proto;
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+TEST(SwapAdversary, ForcesTheoremBoundOnRoundRobin) {
+  for (std::uint32_t n : {16u, 64u}) {
+    for (std::uint32_t k : {1u, 2u, 4u, n / 2, n - 1}) {
+      wp::RoundRobinProtocol rr(n);
+      const auto result = ws::run_swap_adversary(rr, n, k);
+      EXPECT_FALSE(result.protocol_stalled) << "n=" << n << " k=" << k;
+      EXPECT_EQ(result.bound, static_cast<std::int64_t>(wu::theorem21_bound(n, k)));
+      EXPECT_GE(result.rounds_forced, result.bound) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SwapAdversary, RoundRobinIsExactlyTight) {
+  // RR selects a fresh X-member every slot whose owner is in X; the
+  // adversary swaps min(k, n-k) times, so rounds = min(k, n-k) + ... the
+  // game ends within n rounds regardless.
+  const std::uint32_t n = 32, k = 8;
+  wp::RoundRobinProtocol rr(n);
+  const auto result = ws::run_swap_adversary(rr, n, k);
+  EXPECT_EQ(result.swaps, std::min(k, n - k));
+  EXPECT_LE(result.rounds_forced, static_cast<std::int64_t>(n));
+}
+
+TEST(SwapAdversary, WorksOnSelectiveSchedules) {
+  const std::uint32_t n = 64, k = 8;
+  const auto protocol = wp::make_local_doubling(n, n, wc::FamilyKind::kRandomized, 3);
+  const auto result = ws::run_swap_adversary(*protocol, n, k);
+  EXPECT_FALSE(result.protocol_stalled);
+  EXPECT_GE(result.rounds_forced, result.bound);
+}
+
+TEST(SwapAdversary, WorksOnWakeupMatrix) {
+  const std::uint32_t n = 32, k = 4;
+  const wp::WakeupMatrixProtocol protocol(n, 2, 5);
+  const auto result = ws::run_swap_adversary(protocol, n, k);
+  EXPECT_FALSE(result.protocol_stalled);
+  EXPECT_GE(result.rounds_forced, result.bound);
+}
+
+TEST(SwapAdversary, DegenerateParameters) {
+  wp::RoundRobinProtocol rr(8);
+  EXPECT_EQ(ws::run_swap_adversary(rr, 8, 0).rounds_forced, 0);
+  EXPECT_EQ(ws::run_swap_adversary(rr, 8, 9).rounds_forced, 0);  // k > n rejected
+  // k == n: bound is 1; no swaps possible.
+  const auto result = ws::run_swap_adversary(rr, 8, 8);
+  EXPECT_EQ(result.bound, 1);
+  EXPECT_GE(result.rounds_forced, 1);
+}
+
+TEST(PatternSearch, FindsAtLeastAsHardAsStructured) {
+  const std::uint32_t n = 32, k = 4;
+  auto factory = [n](std::uint64_t seed) -> wp::ProtocolPtr {
+    return std::make_shared<wp::WakeupMatrixProtocol>(n, 2, seed % 3 + 1);
+  };
+  ws::SimConfig config;
+  const auto search = ws::search_worst_pattern(factory, n, k, /*restarts=*/3,
+                                               /*steps=*/10, /*seed=*/7, config);
+  EXPECT_GT(search.evaluations, 0u);
+  EXPECT_EQ(search.worst.k(), k);
+  EXPECT_TRUE(search.worst_result.success);
+  EXPECT_GE(search.worst_result.rounds, 0);
+}
+
+TEST(PatternSearch, DeterministicForSeed) {
+  const std::uint32_t n = 16, k = 3;
+  auto factory = [n](std::uint64_t) -> wp::ProtocolPtr {
+    return std::make_shared<wp::WakeupMatrixProtocol>(n, 2, 9);
+  };
+  ws::SimConfig config;
+  const auto a = ws::search_worst_pattern(factory, n, k, 2, 8, 11, config);
+  const auto b = ws::search_worst_pattern(factory, n, k, 2, 8, 11, config);
+  EXPECT_EQ(a.worst_result.rounds, b.worst_result.rounds);
+  EXPECT_EQ(a.worst.arrivals(), b.worst.arrivals());
+}

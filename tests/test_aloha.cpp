@@ -1,0 +1,48 @@
+#include "protocols/aloha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::run;
+
+TEST(Aloha, PClamping) {
+  EXPECT_DOUBLE_EQ(wp::SlottedAlohaProtocol(0.25, 1).p(), 0.25);
+  EXPECT_DOUBLE_EQ(wp::SlottedAlohaProtocol(-1.0, 1).p(), 0.5);  // invalid -> default
+  EXPECT_DOUBLE_EQ(wp::SlottedAlohaProtocol(2.0, 1).p(), 1.0);
+}
+
+TEST(Aloha, ForKUsesInverse) {
+  const auto p = wp::SlottedAlohaProtocol::for_k(8, 1);
+  EXPECT_DOUBLE_EQ(dynamic_cast<const wp::SlottedAlohaProtocol&>(*p).p(), 0.125);
+}
+
+TEST(Aloha, TransmissionFrequency) {
+  const wp::SlottedAlohaProtocol protocol(0.25, 3);
+  int hits = 0;
+  const int stations = 5000;
+  for (int u = 0; u < stations; ++u) {
+    auto rt = protocol.make_runtime(static_cast<wm::StationId>(u), 0);
+    hits += rt->transmits(0) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, stations / 4, stations / 20);
+}
+
+TEST(Aloha, ResolvesContention) {
+  wu::Rng rng(7);
+  const auto protocol = wp::SlottedAlohaProtocol::for_k(16, 5);
+  const auto pattern = wm::patterns::simultaneous(256, 16, 0, rng);
+  const auto result = run(*protocol, pattern);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(Aloha, RequirementsDeclareKAndRandom) {
+  const wp::SlottedAlohaProtocol protocol(0.5, 1);
+  EXPECT_TRUE(protocol.requirements().needs_k);
+  EXPECT_TRUE(protocol.requirements().randomized);
+  EXPECT_EQ(protocol.name(), "slotted_aloha");
+}

@@ -1,0 +1,71 @@
+#include "protocols/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(BinaryBackoff, ExactlyOneTransmissionPerWindow) {
+  const wp::BinaryBackoffProtocol protocol(4, 10, 7);
+  auto rt = protocol.make_runtime(3, 0);
+  // Windows: [0,4), [4,12), [12,28), ... — one pick per window.
+  int in_first = 0;
+  for (wm::Slot t = 0; t < 4; ++t) in_first += rt->transmits(t) ? 1 : 0;
+  EXPECT_EQ(in_first, 1);
+  int in_second = 0;
+  for (wm::Slot t = 4; t < 12; ++t) in_second += rt->transmits(t) ? 1 : 0;
+  EXPECT_EQ(in_second, 1);
+  int in_third = 0;
+  for (wm::Slot t = 12; t < 28; ++t) in_third += rt->transmits(t) ? 1 : 0;
+  EXPECT_EQ(in_third, 1);
+}
+
+TEST(BinaryBackoff, WindowCapRespected) {
+  // With cap 2^3 = 8, windows never exceed 8 slots: over any span of 16
+  // slots (two capped windows) the station transmits at least twice... more
+  // simply: over 80 slots past the growth phase, >= 80/8 - 1 transmissions.
+  const wp::BinaryBackoffProtocol protocol(2, 3, 11);
+  auto rt = protocol.make_runtime(0, 0);
+  int tx = 0;
+  for (wm::Slot t = 0; t < 200; ++t) tx += rt->transmits(t) ? 1 : 0;
+  EXPECT_GE(tx, 200 / 8 - 2);
+}
+
+TEST(BinaryBackoff, ResolvesContentionAcrossPatterns) {
+  wu::Rng rng(5);
+  const wp::BinaryBackoffProtocol protocol(2, 16, 3);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto pattern = wm::patterns::generate(kind, 256, 16, 0, rng);
+    const auto result = run(protocol, pattern);
+    EXPECT_TRUE(result.success) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(BinaryBackoff, RequirementsScenarioC) {
+  const wp::BinaryBackoffProtocol protocol(2, 16, 1);
+  EXPECT_FALSE(protocol.requirements().needs_k);
+  EXPECT_FALSE(protocol.requirements().needs_start_time);
+  EXPECT_TRUE(protocol.requirements().randomized);
+  EXPECT_EQ(protocol.name(), "binary_backoff");
+}
+
+TEST(BinaryBackoff, DeterministicPerSeed) {
+  const wp::BinaryBackoffProtocol a(2, 16, 42), b(2, 16, 42);
+  auto ra = a.make_runtime(5, 3);
+  auto rb = b.make_runtime(5, 3);
+  for (wm::Slot t = 3; t < 200; ++t) EXPECT_EQ(ra->transmits(t), rb->transmits(t));
+}
+
+TEST(BinaryBackoff, ParameterClamps) {
+  const wp::BinaryBackoffProtocol zero_window(0, 64, 1);
+  EXPECT_EQ(zero_window.initial_window(), 1u);
+  // Runs fine with clamped parameters.
+  const auto result = run(zero_window, make_pattern(16, {{3, 0}}));
+  EXPECT_TRUE(result.success);
+}

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace wu = wakeup::util;
+
+TEST(BootstrapCI, ContainsTrueMeanForTightSample) {
+  wu::Sample s;
+  for (int i = 0; i < 200; ++i) s.push(10.0 + (i % 5));  // mean 12
+  const auto ci = wu::BootstrapCI::of_mean(s, 0.95, 1000, 1);
+  EXPECT_NEAR(ci.mean, 12.0, 1e-9);
+  EXPECT_LE(ci.lo, 12.0);
+  EXPECT_GE(ci.hi, 12.0);
+  EXPECT_LT(ci.hi - ci.lo, 1.0);  // tight for low variance
+}
+
+TEST(BootstrapCI, WidensWithVariance) {
+  wu::Sample tight, wide;
+  for (int i = 0; i < 100; ++i) {
+    tight.push(50.0 + (i % 3));
+    wide.push(50.0 + 40.0 * ((i % 7) - 3));
+  }
+  const auto ci_tight = wu::BootstrapCI::of_mean(tight, 0.95, 1000, 2);
+  const auto ci_wide = wu::BootstrapCI::of_mean(wide, 0.95, 1000, 2);
+  EXPECT_LT(ci_tight.hi - ci_tight.lo, ci_wide.hi - ci_wide.lo);
+}
+
+TEST(BootstrapCI, DegenerateSamples) {
+  wu::Sample empty;
+  const auto ci_empty = wu::BootstrapCI::of_mean(empty, 0.95, 100, 1);
+  EXPECT_DOUBLE_EQ(ci_empty.lo, ci_empty.hi);
+  wu::Sample one;
+  one.push(5.0);
+  const auto ci_one = wu::BootstrapCI::of_mean(one, 0.95, 100, 1);
+  EXPECT_DOUBLE_EQ(ci_one.lo, 5.0);
+  EXPECT_DOUBLE_EQ(ci_one.hi, 5.0);
+}
+
+TEST(BootstrapCI, DeterministicForSeed) {
+  wu::Sample s;
+  for (int i = 0; i < 50; ++i) s.push(i);
+  const auto a = wu::BootstrapCI::of_mean(s, 0.95, 500, 9);
+  const auto b = wu::BootstrapCI::of_mean(s, 0.95, 500, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCI, LevelClamped) {
+  wu::Sample s;
+  for (int i = 0; i < 20; ++i) s.push(i);
+  const auto ci = wu::BootstrapCI::of_mean(s, 2.0, 200, 1);
+  EXPECT_LE(ci.level, 0.999);
+  const auto lo = wu::BootstrapCI::of_mean(s, 0.1, 200, 1);
+  EXPECT_GE(lo.level, 0.5);
+}
+
+TEST(BootstrapCI, NarrowsWithSampleSize) {
+  wu::Sample small_sample, big;
+  for (int i = 0; i < 10; ++i) small_sample.push((i * 13) % 20);
+  for (int i = 0; i < 1000; ++i) big.push((i * 13) % 20);
+  const auto ci_small = wu::BootstrapCI::of_mean(small_sample, 0.95, 800, 3);
+  const auto ci_big = wu::BootstrapCI::of_mean(big, 0.95, 800, 3);
+  EXPECT_LT(ci_big.hi - ci_big.lo, ci_small.hi - ci_small.lo);
+}

@@ -1,0 +1,224 @@
+#include "combinatorics/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "combinatorics/verifier.hpp"
+
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+// ---------------------------------------------------------------- bit splitter
+
+TEST(BitSplitter, ExhaustivelySelectiveSmall) {
+  for (std::uint32_t n : {2u, 3u, 5u, 8u, 16u, 33u}) {
+    const auto fam = wc::build_bit_splitter(n);
+    const auto report = wc::verify_exhaustive(fam);
+    EXPECT_TRUE(report.ok) << "n=" << n;
+  }
+}
+
+TEST(BitSplitter, SizeIsLogarithmic) {
+  const auto fam = wc::build_bit_splitter(1024);
+  EXPECT_EQ(fam.length(), 1u + 2u * 10u);  // universe + 2 sets per bit
+}
+
+TEST(BitSplitter, UniverseOne) {
+  const auto fam = wc::build_bit_splitter(1);
+  const auto report = wc::verify_exhaustive(fam);
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(BitSplitter, LargerNSampled) {
+  const auto fam = wc::build_bit_splitter(4096);
+  wu::Rng rng(3);
+  EXPECT_TRUE(wc::verify_sampled(fam, 2000, rng).ok);
+}
+
+// ---------------------------------------------------------------- mod prime
+
+TEST(ModPrime, StronglySelectiveExhaustiveSmall) {
+  for (std::uint32_t n : {6u, 10u, 16u}) {
+    for (std::uint32_t k : {2u, 3u}) {
+      const auto fam = wc::build_mod_prime(n, k);
+      EXPECT_TRUE(wc::verify_strong_exhaustive(fam).ok) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ModPrime, WeaklySelectiveMidSize) {
+  const auto fam = wc::build_mod_prime(64, 4);
+  EXPECT_TRUE(wc::verify_exhaustive(fam).ok);
+}
+
+TEST(ModPrime, SampledLarger) {
+  const auto fam = wc::build_mod_prime(512, 8);
+  wu::Rng rng(11);
+  EXPECT_TRUE(wc::verify_sampled(fam, 500, rng).ok);
+}
+
+TEST(ModPrime, KOneStillCoversSingletons) {
+  const auto fam = wc::build_mod_prime(10, 1);
+  EXPECT_TRUE(wc::verify_exhaustive(fam).ok);
+}
+
+// ---------------------------------------------------------------- Kautz-Singleton
+
+TEST(KautzSingleton, StronglySelectiveExhaustiveSmall) {
+  for (std::uint32_t n : {6u, 12u, 16u}) {
+    for (std::uint32_t k : {2u, 3u}) {
+      const auto fam = wc::build_kautz_singleton(n, k);
+      EXPECT_TRUE(wc::verify_strong_exhaustive(fam).ok) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(KautzSingleton, WeaklySelectiveMidSize) {
+  const auto fam = wc::build_kautz_singleton(100, 4);
+  EXPECT_TRUE(wc::verify_exhaustive(fam).ok);
+}
+
+TEST(KautzSingleton, SampledLarger) {
+  const auto fam = wc::build_kautz_singleton(2048, 8);
+  wu::Rng rng(13);
+  EXPECT_TRUE(wc::verify_sampled(fam, 500, rng).ok);
+}
+
+TEST(KautzSingleton, SizePolynomialInK) {
+  // q^2-ish: must stay well below the mod-prime construction for same params.
+  const auto ks = wc::build_kautz_singleton(4096, 8);
+  EXPECT_LT(ks.length(), 100000u);
+  EXPECT_GT(ks.length(), 0u);
+}
+
+// ---------------------------------------------------------------- greedy
+
+TEST(Greedy, ExhaustivelySelectiveSmall) {
+  for (std::uint32_t n : {6u, 10u, 12u}) {
+    for (std::uint32_t k : {2u, 3u, 4u}) {
+      const auto fam = wc::build_greedy(n, k, /*seed=*/77);
+      EXPECT_TRUE(wc::verify_exhaustive(fam).ok) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Greedy, DeterministicForSeed) {
+  const auto a = wc::build_greedy(10, 3, 5);
+  const auto b = wc::build_greedy(10, 3, 5);
+  ASSERT_EQ(a.length(), b.length());
+  for (std::size_t j = 0; j < a.length(); ++j) {
+    EXPECT_EQ(a.set(j).members(), b.set(j).members());
+  }
+}
+
+TEST(Greedy, ShorterThanRoundRobin) {
+  // Greedy should beat the trivial n-singleton family for small k.
+  const auto fam = wc::build_greedy(16, 2, 1);
+  EXPECT_LT(fam.length(), 16u);
+}
+
+// ---------------------------------------------------------------- randomized
+
+TEST(Randomized, SampledSelectiveAtRealisticSizes) {
+  wu::Rng rng(17);
+  for (std::uint32_t n : {256u, 1024u}) {
+    for (std::uint32_t k : {2u, 8u, 32u}) {
+      const auto fam = wc::build_randomized(n, k, wc::kDefaultRandomFamilyC, 42);
+      const auto report = wc::verify_sampled(fam, 400, rng);
+      EXPECT_TRUE(report.ok) << "n=" << n << " k=" << k << " (random family failed sampling; "
+                             << "seed-dependent but should be astronomically rare)";
+    }
+  }
+}
+
+TEST(Randomized, LengthShape) {
+  // length = ceil(c * k * max(1, log2(n/k)))
+  const auto fam = wc::build_randomized(1024, 16, 4.0, 1);
+  EXPECT_EQ(fam.length(), static_cast<std::size_t>(4 * 16 * 6));
+  const auto small = wc::build_randomized(16, 16, 4.0, 1);
+  EXPECT_EQ(small.length(), static_cast<std::size_t>(4 * 16 * 1));  // log factor clamped
+}
+
+TEST(Randomized, DeterministicForSeed) {
+  const auto a = wc::build_randomized(128, 8, 6.0, 99);
+  const auto b = wc::build_randomized(128, 8, 6.0, 99);
+  ASSERT_EQ(a.length(), b.length());
+  for (std::size_t j = 0; j < a.length(); ++j) {
+    EXPECT_EQ(a.set(j).members(), b.set(j).members());
+  }
+}
+
+TEST(Randomized, DifferentSeedsDiffer) {
+  const auto a = wc::build_randomized(128, 8, 6.0, 1);
+  const auto b = wc::build_randomized(128, 8, 6.0, 2);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.length() && !any_diff; ++j) {
+    any_diff = a.set(j).members() != b.set(j).members();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Randomized, MeanDensityNearOneOverK) {
+  const std::uint32_t n = 1024, k = 16;
+  const auto fam = wc::build_randomized(n, k, 6.0, 7);
+  double total = 0;
+  for (std::size_t j = 0; j < fam.length(); ++j) total += static_cast<double>(fam.set(j).size());
+  const double mean = total / static_cast<double>(fam.length());
+  EXPECT_NEAR(mean, static_cast<double>(n) / k, 0.15 * static_cast<double>(n) / k);
+}
+
+// ---------------------------------------------------------------- dispatch
+
+TEST(BuildFamily, DispatchMatchesOrigins) {
+  EXPECT_EQ(wc::build_family(wc::FamilyKind::kBitSplitter, 16, 2, 1).origin(), "bit_splitter");
+  EXPECT_EQ(wc::build_family(wc::FamilyKind::kModPrime, 16, 3, 1).origin(), "mod_prime");
+  EXPECT_EQ(wc::build_family(wc::FamilyKind::kKautzSingleton, 16, 3, 1).origin(),
+            "kautz_singleton");
+  EXPECT_EQ(wc::build_family(wc::FamilyKind::kGreedy, 10, 3, 1).origin(), "greedy");
+  EXPECT_EQ(wc::build_family(wc::FamilyKind::kRandomized, 64, 4, 1).origin(), "randomized");
+}
+
+TEST(BuildFamily, BitSplitterFallsBackForLargeK) {
+  // The splitter cannot handle k > 2; dispatch must remain correct.
+  const auto fam = wc::build_family(wc::FamilyKind::kBitSplitter, 64, 8, 1);
+  EXPECT_EQ(fam.origin(), "randomized");
+  EXPECT_EQ(fam.params().k, 8u);
+}
+
+TEST(BuildFamily, KindNames) {
+  EXPECT_EQ(wc::family_kind_name(wc::FamilyKind::kRandomized), "randomized");
+  EXPECT_EQ(wc::family_kind_name(wc::FamilyKind::kBitSplitter), "bit_splitter");
+  EXPECT_EQ(wc::family_kind_name(wc::FamilyKind::kModPrime), "mod_prime");
+  EXPECT_EQ(wc::family_kind_name(wc::FamilyKind::kKautzSingleton), "kautz_singleton");
+  EXPECT_EQ(wc::family_kind_name(wc::FamilyKind::kGreedy), "greedy");
+}
+
+// Parameterized cross-builder property: every proven builder passes
+// exhaustive verification on a grid of small (n, k).
+struct BuilderCase {
+  wc::FamilyKind kind;
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+class ProvenBuilderProperty : public ::testing::TestWithParam<BuilderCase> {};
+
+TEST_P(ProvenBuilderProperty, ExhaustivelySelective) {
+  const auto& p = GetParam();
+  const auto fam = wc::build_family(p.kind, p.n, p.k, /*seed=*/123);
+  EXPECT_TRUE(wc::verify_exhaustive(fam).ok)
+      << wc::family_kind_name(p.kind) << " n=" << p.n << " k=" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProvenBuilderProperty,
+    ::testing::Values(BuilderCase{wc::FamilyKind::kBitSplitter, 9, 2},
+                      BuilderCase{wc::FamilyKind::kBitSplitter, 17, 2},
+                      BuilderCase{wc::FamilyKind::kModPrime, 9, 2},
+                      BuilderCase{wc::FamilyKind::kModPrime, 12, 4},
+                      BuilderCase{wc::FamilyKind::kModPrime, 18, 3},
+                      BuilderCase{wc::FamilyKind::kKautzSingleton, 9, 2},
+                      BuilderCase{wc::FamilyKind::kKautzSingleton, 12, 4},
+                      BuilderCase{wc::FamilyKind::kKautzSingleton, 18, 3},
+                      BuilderCase{wc::FamilyKind::kGreedy, 9, 2},
+                      BuilderCase{wc::FamilyKind::kGreedy, 12, 4},
+                      BuilderCase{wc::FamilyKind::kGreedy, 11, 3}));

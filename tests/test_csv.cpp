@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wu = wakeup::util;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+}  // namespace
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(wu::csv_escape("hello"), "hello");
+  EXPECT_EQ(wu::csv_escape("123.5"), "123.5");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(wu::csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) { EXPECT_EQ(wu::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(wu::csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("basic.csv");
+  {
+    wu::CsvWriter w(path, {"n", "k", "rounds"});
+    w.cell(std::uint64_t{1024}).cell(std::uint64_t{8}).cell(42.5);
+    w.end_row();
+    w.cell(std::uint64_t{1024}).cell(std::uint64_t{16}).cell(88.0);
+    w.end_row();
+    EXPECT_EQ(w.rows(), 2u);
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "n,k,rounds\n1024,8,42.5\n1024,16,88\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EscapesHeaderAndCells) {
+  const std::string path = temp_path("escaped.csv");
+  {
+    wu::CsvWriter w(path, {"name,with,commas"});
+    w.cell("value \"quoted\"");
+    w.end_row();
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "\"name,with,commas\"\n\"value \"\"quoted\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, SignedAndIntCells) {
+  const std::string path = temp_path("ints.csv");
+  {
+    wu::CsvWriter w(path, {"a", "b", "c"});
+    w.cell(-5).cell(7u).cell(std::int64_t{-1000000});
+    w.end_row();
+  }
+  EXPECT_EQ(slurp(path), "a,b,c\n-5,7,-1000000\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(wu::CsvWriter("/nonexistent-dir-zzz/file.csv", {"h"}), std::runtime_error);
+}
+
+TEST(EnsureDirectory, CreatesNested) {
+  const std::string dir = temp_path("nested/a/b");
+  EXPECT_TRUE(wu::ensure_directory(dir));
+  std::ofstream probe(dir + "/probe.txt");
+  EXPECT_TRUE(probe.good());
+}

@@ -1,0 +1,129 @@
+#include "combinatorics/doubling_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wc = wakeup::comb;
+
+namespace {
+
+wc::DoublingSchedule::Config config_for(std::uint32_t n, std::uint32_t k_max) {
+  wc::DoublingSchedule::Config c;
+  c.n = n;
+  c.k_max = k_max;
+  c.kind = wc::FamilyKind::kRandomized;
+  c.seed = 7;
+  c.c = 4.0;
+  return c;
+}
+
+}  // namespace
+
+TEST(DoublingSchedule, FamilyLevels) {
+  const wc::DoublingSchedule sched(config_for(256, 16));
+  // k_max = 16 -> families for 2^1..2^4.
+  EXPECT_EQ(sched.family_count(), 4u);
+  EXPECT_EQ(sched.family(0).params().k, 2u);
+  EXPECT_EQ(sched.family(1).params().k, 4u);
+  EXPECT_EQ(sched.family(2).params().k, 8u);
+  EXPECT_EQ(sched.family(3).params().k, 16u);
+}
+
+TEST(DoublingSchedule, NonPowerOfTwoKmaxRoundsUp) {
+  const wc::DoublingSchedule sched(config_for(256, 9));
+  EXPECT_EQ(sched.family_count(), 4u);  // ceil(log2 9) = 4 -> up to k=16
+  EXPECT_EQ(sched.family(3).params().k, 16u);
+}
+
+TEST(DoublingSchedule, AtLeastOneFamily) {
+  const wc::DoublingSchedule sched(config_for(16, 1));
+  EXPECT_GE(sched.family_count(), 1u);
+}
+
+TEST(DoublingSchedule, FamilyKClampedToN) {
+  const wc::DoublingSchedule sched(config_for(8, 32));
+  for (std::size_t i = 0; i < sched.family_count(); ++i) {
+    EXPECT_LE(sched.family(i).params().k, 8u);
+  }
+}
+
+TEST(DoublingSchedule, PeriodIsSumOfLengths) {
+  const wc::DoublingSchedule sched(config_for(128, 8));
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sched.family_count(); ++i) total += sched.family(i).length();
+  EXPECT_EQ(sched.period(), total);
+}
+
+TEST(DoublingSchedule, StartsArePrefixSums) {
+  const wc::DoublingSchedule sched(config_for(128, 8));
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < sched.family_count(); ++i) {
+    EXPECT_EQ(sched.family_start(i), expected);
+    expected += sched.family(i).length();
+  }
+}
+
+TEST(DoublingSchedule, TransmitsMatchesUnderlyingFamilies) {
+  const wc::DoublingSchedule sched(config_for(64, 8));
+  for (std::uint64_t idx = 0; idx < sched.period(); ++idx) {
+    const auto pos = sched.position(idx);
+    const auto& fam = sched.family(pos.family_index);
+    for (wc::Station u = 0; u < 64; u += 7) {
+      EXPECT_EQ(sched.transmits(u, idx), fam.transmits(u, static_cast<std::size_t>(pos.step)));
+    }
+  }
+}
+
+TEST(DoublingSchedule, TransmitsWrapsModPeriod) {
+  const wc::DoublingSchedule sched(config_for(64, 4));
+  const std::uint64_t z = sched.period();
+  for (std::uint64_t idx = 0; idx < 50; ++idx) {
+    for (wc::Station u = 0; u < 64; u += 11) {
+      EXPECT_EQ(sched.transmits(u, idx), sched.transmits(u, idx + z));
+      EXPECT_EQ(sched.transmits(u, idx), sched.transmits(u, idx + 3 * z));
+    }
+  }
+}
+
+TEST(DoublingSchedule, IsFamilyStart) {
+  const wc::DoublingSchedule sched(config_for(64, 8));
+  std::size_t starts_seen = 0;
+  for (std::uint64_t idx = 0; idx < sched.period(); ++idx) {
+    if (sched.is_family_start(idx)) ++starts_seen;
+  }
+  EXPECT_EQ(starts_seen, sched.family_count());
+  EXPECT_TRUE(sched.is_family_start(0));
+  EXPECT_TRUE(sched.is_family_start(sched.period()));  // wraps
+}
+
+TEST(DoublingSchedule, NextFamilyStartProperties) {
+  const wc::DoublingSchedule sched(config_for(64, 8));
+  const std::uint64_t z = sched.period();
+  for (std::uint64_t t = 0; t < 2 * z; t += 13) {
+    const std::uint64_t sigma = sched.next_family_start(t);
+    EXPECT_GE(sigma, t);
+    EXPECT_TRUE(sched.is_family_start(sigma)) << "t=" << t;
+    // Minimality: no family start strictly between t and sigma.
+    for (std::uint64_t j = t; j < sigma; ++j) {
+      EXPECT_FALSE(sched.is_family_start(j)) << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+TEST(DoublingSchedule, NextFamilyStartAtStartIsIdentity) {
+  const wc::DoublingSchedule sched(config_for(64, 8));
+  for (std::size_t i = 0; i < sched.family_count(); ++i) {
+    const std::uint64_t start = sched.family_start(i);
+    EXPECT_EQ(sched.next_family_start(start), start);
+  }
+}
+
+TEST(DoublingSchedule, DeterministicForSeed) {
+  const wc::DoublingSchedule a(config_for(64, 8));
+  const wc::DoublingSchedule b(config_for(64, 8));
+  EXPECT_EQ(a.period(), b.period());
+  for (std::uint64_t idx = 0; idx < a.period(); idx += 5) {
+    for (wc::Station u = 0; u < 64; u += 9) {
+      EXPECT_EQ(a.transmits(u, idx), b.transmits(u, idx));
+    }
+  }
+}

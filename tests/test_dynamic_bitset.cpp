@@ -1,0 +1,105 @@
+#include "util/dynamic_bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wu = wakeup::util;
+
+TEST(DynamicBitset, StartsAllZero) {
+  wu::DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  wu::DynamicBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, AssignAndClear) {
+  wu::DynamicBitset b(10);
+  b.assign(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.assign(3, false);
+  EXPECT_FALSE(b.test(3));
+  b.set(1);
+  b.set(2);
+  b.clear_all();
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynamicBitset, IntersectionCount) {
+  wu::DynamicBitset a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i);
+  // multiples of 15 in [0,200): 0,15,...,195 -> 14
+  EXPECT_EQ(a.intersection_count(b), 14u);
+}
+
+TEST(DynamicBitset, SoleIntersection) {
+  wu::DynamicBitset a(128), x(128);
+  a.set(5);
+  a.set(70);
+  x.set(70);
+  x.set(100);
+  EXPECT_EQ(a.sole_intersection(x), 70);
+  x.set(5);  // now two common elements
+  EXPECT_EQ(a.sole_intersection(x), -1);
+}
+
+TEST(DynamicBitset, SoleIntersectionEmpty) {
+  wu::DynamicBitset a(64), x(64);
+  a.set(1);
+  x.set(2);
+  EXPECT_EQ(a.sole_intersection(x), -1);
+}
+
+TEST(DynamicBitset, SoleIntersectionAcrossWords) {
+  wu::DynamicBitset a(256), x(256);
+  a.set(200);
+  x.set(200);
+  EXPECT_EQ(a.sole_intersection(x), 200);
+}
+
+TEST(DynamicBitset, ToIndicesSorted) {
+  wu::DynamicBitset b(300);
+  b.set(250);
+  b.set(3);
+  b.set(64);
+  const auto idx = b.to_indices();
+  const std::vector<std::uint32_t> expected = {3, 64, 250};
+  EXPECT_EQ(idx, expected);
+}
+
+TEST(DynamicBitset, Equality) {
+  wu::DynamicBitset a(64), b(64), c(65);
+  a.set(7);
+  b.set(7);
+  EXPECT_TRUE(a == b);
+  b.set(8);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);  // different sizes
+}
+
+TEST(DynamicBitset, ExactWordBoundarySizes) {
+  for (std::size_t size : {1u, 63u, 64u, 65u, 127u, 128u}) {
+    wu::DynamicBitset b(size);
+    b.set(size - 1);
+    EXPECT_TRUE(b.test(size - 1));
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.to_indices().front(), size - 1);
+  }
+}

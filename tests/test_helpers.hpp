@@ -1,0 +1,39 @@
+#pragma once
+
+/// Shared helpers for protocol-level tests.
+
+#include <initializer_list>
+#include <vector>
+
+#include "mac/wake_pattern.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace wakeup::test {
+
+inline mac::WakePattern make_pattern(std::uint32_t n,
+                                     std::initializer_list<mac::Arrival> arrivals) {
+  return mac::WakePattern(n, std::vector<mac::Arrival>(arrivals));
+}
+
+/// Runs with an explicit slot budget (0 = auto) and no trace.
+inline sim::SimResult run(const proto::Protocol& protocol, const mac::WakePattern& pattern,
+                          mac::Slot max_slots = 0,
+                          mac::FeedbackModel fb = mac::FeedbackModel::kNone) {
+  sim::SimConfig config;
+  config.max_slots = max_slots;
+  config.feedback = fb;
+  return sim::run_wakeup(protocol, pattern, config);
+}
+
+/// Collects the transmission schedule of one runtime over [wake, wake+len).
+inline std::vector<bool> schedule_of(const proto::Protocol& protocol, mac::StationId u,
+                                     mac::Slot wake, mac::Slot len) {
+  auto rt = protocol.make_runtime(u, wake);
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(len));
+  for (mac::Slot t = wake; t < wake + len; ++t) out.push_back(rt->transmits(t));
+  return out;
+}
+
+}  // namespace wakeup::test

@@ -1,0 +1,144 @@
+#include "protocols/interleaved.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocols/round_robin.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+
+namespace {
+
+/// Records every (wake, slot) its runtimes see; transmits on every slot.
+class ProbeProtocol final : public wp::Protocol {
+ public:
+  struct Log {
+    std::vector<wm::Slot> wakes;
+    std::vector<wm::Slot> slots;
+    std::vector<wm::ChannelFeedback> feedback;
+  };
+
+  explicit ProbeProtocol(std::shared_ptr<Log> log) : log_(std::move(log)) {}
+
+  [[nodiscard]] std::string name() const override { return "probe"; }
+  [[nodiscard]] std::unique_ptr<wp::StationRuntime> make_runtime(wm::StationId,
+                                                                 wm::Slot wake) const override {
+    log_->wakes.push_back(wake);
+    class Runtime final : public wp::StationRuntime {
+     public:
+      explicit Runtime(std::shared_ptr<Log> log) : log_(std::move(log)) {}
+      bool transmits(wm::Slot t) override {
+        log_->slots.push_back(t);
+        return true;
+      }
+      void feedback(wm::Slot, wm::ChannelFeedback fb) override { log_->feedback.push_back(fb); }
+
+     private:
+      std::shared_ptr<Log> log_;
+    };
+    return std::make_unique<Runtime>(log_);
+  }
+
+ private:
+  std::shared_ptr<Log> log_;
+};
+
+}  // namespace
+
+TEST(Interleaved, RoutesEvenSlotsToFirstComponent) {
+  auto even_log = std::make_shared<ProbeProtocol::Log>();
+  auto odd_log = std::make_shared<ProbeProtocol::Log>();
+  wp::InterleavedProtocol inter(std::make_shared<ProbeProtocol>(even_log),
+                                std::make_shared<ProbeProtocol>(odd_log));
+  auto rt = inter.make_runtime(0, 0);
+  for (wm::Slot t = 0; t < 10; ++t) (void)rt->transmits(t);
+  // Even global slots 0,2,4,6,8 -> virtual 0,1,2,3,4.
+  const std::vector<wm::Slot> expected_even = {0, 1, 2, 3, 4};
+  const std::vector<wm::Slot> expected_odd = {0, 1, 2, 3, 4};
+  EXPECT_EQ(even_log->slots, expected_even);
+  EXPECT_EQ(odd_log->slots, expected_odd);
+}
+
+TEST(Interleaved, VirtualWakeMapping) {
+  auto even_log = std::make_shared<ProbeProtocol::Log>();
+  auto odd_log = std::make_shared<ProbeProtocol::Log>();
+  wp::InterleavedProtocol inter(std::make_shared<ProbeProtocol>(even_log),
+                                std::make_shared<ProbeProtocol>(odd_log));
+  // wake=5: first even slot >= 5 is 6 (virtual 3); first odd is 5 (virtual 2).
+  (void)inter.make_runtime(0, 5);
+  ASSERT_EQ(even_log->wakes.size(), 1u);
+  ASSERT_EQ(odd_log->wakes.size(), 1u);
+  EXPECT_EQ(even_log->wakes[0], 3);
+  EXPECT_EQ(odd_log->wakes[0], 2);
+  // wake=4: even slot 4 (virtual 2); odd slot 5 (virtual 2).
+  (void)inter.make_runtime(0, 4);
+  EXPECT_EQ(even_log->wakes[1], 2);
+  EXPECT_EQ(odd_log->wakes[1], 2);
+}
+
+TEST(Interleaved, VirtualSlotsNeverPrecedeVirtualWake) {
+  // The StationRuntime contract must hold on the virtual axis.
+  for (wm::Slot wake = 0; wake < 12; ++wake) {
+    auto even_log = std::make_shared<ProbeProtocol::Log>();
+    auto odd_log = std::make_shared<ProbeProtocol::Log>();
+    wp::InterleavedProtocol inter(std::make_shared<ProbeProtocol>(even_log),
+                                  std::make_shared<ProbeProtocol>(odd_log));
+    auto rt = inter.make_runtime(0, wake);
+    for (wm::Slot t = wake; t < wake + 20; ++t) (void)rt->transmits(t);
+    ASSERT_FALSE(even_log->slots.empty());
+    ASSERT_FALSE(odd_log->slots.empty());
+    EXPECT_GE(even_log->slots.front(), even_log->wakes[0]) << "wake=" << wake;
+    EXPECT_GE(odd_log->slots.front(), odd_log->wakes[0]) << "wake=" << wake;
+    // And virtual slots are strictly increasing by 1.
+    for (std::size_t i = 1; i < even_log->slots.size(); ++i) {
+      EXPECT_EQ(even_log->slots[i], even_log->slots[i - 1] + 1);
+    }
+  }
+}
+
+TEST(Interleaved, FeedbackRoutedToOwningComponent) {
+  auto even_log = std::make_shared<ProbeProtocol::Log>();
+  auto odd_log = std::make_shared<ProbeProtocol::Log>();
+  wp::InterleavedProtocol inter(std::make_shared<ProbeProtocol>(even_log),
+                                std::make_shared<ProbeProtocol>(odd_log));
+  auto rt = inter.make_runtime(0, 0);
+  (void)rt->transmits(0);
+  rt->feedback(0, wm::ChannelFeedback::kSuccess);
+  (void)rt->transmits(1);
+  rt->feedback(1, wm::ChannelFeedback::kNothing);
+  EXPECT_EQ(even_log->feedback.size(), 1u);
+  EXPECT_EQ(odd_log->feedback.size(), 1u);
+  EXPECT_EQ(even_log->feedback[0], wm::ChannelFeedback::kSuccess);
+  EXPECT_EQ(odd_log->feedback[0], wm::ChannelFeedback::kNothing);
+}
+
+TEST(Interleaved, RequirementsAreUnion) {
+  class NeedsK final : public wp::Protocol {
+   public:
+    [[nodiscard]] std::string name() const override { return "needs_k"; }
+    [[nodiscard]] wp::Requirements requirements() const override {
+      wp::Requirements r;
+      r.needs_k = true;
+      return r;
+    }
+    [[nodiscard]] std::unique_ptr<wp::StationRuntime> make_runtime(wm::StationId,
+                                                                   wm::Slot) const override {
+      return nullptr;
+    }
+  };
+  wp::InterleavedProtocol inter(std::make_shared<wp::RoundRobinProtocol>(4),
+                                std::make_shared<NeedsK>());
+  EXPECT_TRUE(inter.requirements().needs_k);
+  EXPECT_FALSE(inter.requirements().needs_start_time);
+}
+
+TEST(Interleaved, DefaultNameComposes) {
+  wp::InterleavedProtocol inter(std::make_shared<wp::RoundRobinProtocol>(4),
+                                std::make_shared<wp::RoundRobinProtocol>(4));
+  EXPECT_EQ(inter.name(), "interleave(round_robin,round_robin)");
+  wp::InterleavedProtocol labeled(std::make_shared<wp::RoundRobinProtocol>(4),
+                                  std::make_shared<wp::RoundRobinProtocol>(4), "custom");
+  EXPECT_EQ(labeled.name(), "custom");
+}

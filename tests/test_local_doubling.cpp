@@ -1,0 +1,61 @@
+#include "protocols/local_doubling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wc = wakeup::comb;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(LocalDoubling, UsesLocalAgeNotGlobalTime) {
+  const auto protocol = wp::make_local_doubling(64, 8, wc::FamilyKind::kRandomized, 3);
+  // Two stations with different wake times see the *same* schedule relative
+  // to their own clocks.
+  auto early = protocol->make_runtime(5, 0);
+  auto late = protocol->make_runtime(5, 13);
+  std::vector<bool> early_sched, late_sched;
+  for (wm::Slot t = 0; t < 100; ++t) early_sched.push_back(early->transmits(t));
+  for (wm::Slot t = 13; t < 113; ++t) late_sched.push_back(late->transmits(t));
+  EXPECT_EQ(early_sched, late_sched);
+}
+
+TEST(LocalDoubling, SimultaneousEqualsSynchronizedSetting) {
+  // With simultaneous arrivals this is exactly the Komlós–Greenberg
+  // synchronized schedule; it must select within the doubling bound.
+  const std::uint32_t n = 256;
+  wu::Rng rng(15);
+  for (std::uint32_t k : {2u, 8u, 32u}) {
+    const auto protocol = wp::make_local_doubling(n, k, wc::FamilyKind::kRandomized, 7);
+    const auto pattern = wm::patterns::simultaneous(n, k, 5, rng);
+    const auto result = run(*protocol, pattern);
+    ASSERT_TRUE(result.success) << "k=" << k;
+    EXPECT_LE(static_cast<double>(result.rounds), 8.0 * 6.0 * wu::scenario_ab_bound(n, k))
+        << "k=" << k;
+  }
+}
+
+TEST(LocalDoubling, StaggeredArrivalsEventuallyResolve) {
+  // Without global alignment the families of different stations shear
+  // against each other — it still resolves, just slower (this is the
+  // baseline the paper's Scenario C algorithm beats).
+  const std::uint32_t n = 128;
+  wu::Rng rng(17);
+  const auto protocol = wp::make_local_doubling(n, 16, wc::FamilyKind::kRandomized, 9);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto pattern = wm::patterns::generate(kind, n, 16, 0, rng);
+    const auto result = run(*protocol, pattern);
+    EXPECT_TRUE(result.success) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(LocalDoubling, DoesNotNeedGlobalClock) {
+  const auto protocol = wp::make_local_doubling(64, 8, wc::FamilyKind::kRandomized, 3);
+  EXPECT_FALSE(protocol->requirements().needs_global_clock);
+  EXPECT_EQ(protocol->name(), "local_doubling");
+}

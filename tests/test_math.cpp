@@ -1,0 +1,137 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wu = wakeup::util;
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(wu::floor_log2(0), 0u);
+  EXPECT_EQ(wu::floor_log2(1), 0u);
+  EXPECT_EQ(wu::floor_log2(2), 1u);
+  EXPECT_EQ(wu::floor_log2(3), 1u);
+  EXPECT_EQ(wu::floor_log2(4), 2u);
+  EXPECT_EQ(wu::floor_log2(1023), 9u);
+  EXPECT_EQ(wu::floor_log2(1024), 10u);
+  EXPECT_EQ(wu::floor_log2(1ULL << 63), 63u);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(wu::ceil_log2(0), 0u);
+  EXPECT_EQ(wu::ceil_log2(1), 0u);
+  EXPECT_EQ(wu::ceil_log2(2), 1u);
+  EXPECT_EQ(wu::ceil_log2(3), 2u);
+  EXPECT_EQ(wu::ceil_log2(4), 2u);
+  EXPECT_EQ(wu::ceil_log2(5), 3u);
+  EXPECT_EQ(wu::ceil_log2(1024), 10u);
+  EXPECT_EQ(wu::ceil_log2(1025), 11u);
+}
+
+TEST(Math, FloorCeilConsistency) {
+  for (std::uint64_t x = 1; x < 5000; ++x) {
+    const unsigned f = wu::floor_log2(x);
+    const unsigned c = wu::ceil_log2(x);
+    EXPECT_LE((1ULL << f), x);
+    EXPECT_LT(x, (2ULL << f));
+    EXPECT_GE((1ULL << c), x);
+    if (x > 1) {
+      EXPECT_LT((1ULL << (c - 1)), x);
+    }
+  }
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(wu::is_pow2(0));
+  EXPECT_TRUE(wu::is_pow2(1));
+  EXPECT_TRUE(wu::is_pow2(2));
+  EXPECT_FALSE(wu::is_pow2(3));
+  EXPECT_TRUE(wu::is_pow2(1ULL << 40));
+  EXPECT_FALSE(wu::is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(wu::next_pow2(0), 1u);
+  EXPECT_EQ(wu::next_pow2(1), 1u);
+  EXPECT_EQ(wu::next_pow2(2), 2u);
+  EXPECT_EQ(wu::next_pow2(3), 4u);
+  EXPECT_EQ(wu::next_pow2(1000), 1024u);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(wu::ceil_div(0, 4), 0u);
+  EXPECT_EQ(wu::ceil_div(1, 4), 1u);
+  EXPECT_EQ(wu::ceil_div(4, 4), 1u);
+  EXPECT_EQ(wu::ceil_div(5, 4), 2u);
+  EXPECT_EQ(wu::ceil_div(7, 1), 7u);
+  EXPECT_EQ(wu::ceil_div(7, 0), 0u);  // guarded
+}
+
+TEST(Math, Ipow) {
+  EXPECT_EQ(wu::ipow(2, 0), 1u);
+  EXPECT_EQ(wu::ipow(2, 10), 1024u);
+  EXPECT_EQ(wu::ipow(3, 4), 81u);
+  EXPECT_EQ(wu::ipow(10, 3), 1000u);
+}
+
+TEST(Math, Log2nClamped) {
+  EXPECT_EQ(wu::log2n_clamped(1), 1u);
+  EXPECT_EQ(wu::log2n_clamped(2), 1u);
+  EXPECT_EQ(wu::log2n_clamped(3), 2u);
+  EXPECT_EQ(wu::log2n_clamped(1024), 10u);
+}
+
+TEST(Math, LogLog2nClamped) {
+  EXPECT_EQ(wu::loglog2n_clamped(2), 1u);
+  EXPECT_EQ(wu::loglog2n_clamped(4), 1u);
+  EXPECT_EQ(wu::loglog2n_clamped(16), 2u);
+  EXPECT_EQ(wu::loglog2n_clamped(256), 3u);
+  EXPECT_EQ(wu::loglog2n_clamped(1024), 4u);   // ceil(log2(10)) = 4
+  EXPECT_EQ(wu::loglog2n_clamped(65536), 4u);  // ceil(log2(16)) = 4
+}
+
+TEST(Math, ScenarioAbBound) {
+  // k log2(n/k) + 1.
+  EXPECT_DOUBLE_EQ(wu::scenario_ab_bound(1024, 2), 2.0 * 9.0 + 1.0);
+  EXPECT_DOUBLE_EQ(wu::scenario_ab_bound(1024, 64), 64.0 * 4.0 + 1.0);
+  // log factor clamps at 1 for k near n (the "+k" term of the paper).
+  EXPECT_DOUBLE_EQ(wu::scenario_ab_bound(1024, 1024), 1024.0 + 1.0);
+  EXPECT_GE(wu::scenario_ab_bound(16, 16), 16.0);
+  // k = 0 degenerates gracefully.
+  EXPECT_DOUBLE_EQ(wu::scenario_ab_bound(16, 0), 1.0);
+}
+
+TEST(Math, ScenarioAbBoundMonotoneInK) {
+  // Non-decreasing in k (ties happen where the clamped log factor halves
+  // exactly as k doubles, e.g. k=256 vs k=512 at n=1024).
+  double prev = 0.0;
+  for (std::uint64_t k = 1; k <= 1024; k *= 2) {
+    const double b = wu::scenario_ab_bound(1024, k);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Math, ScenarioCBound) {
+  // k * log2 n * log2 log2 n with clamped logs.
+  EXPECT_DOUBLE_EQ(wu::scenario_c_bound(1024, 8), 8.0 * 10.0 * 4.0);
+  EXPECT_DOUBLE_EQ(wu::scenario_c_bound(16, 4), 4.0 * 4.0 * 2.0);
+  EXPECT_DOUBLE_EQ(wu::scenario_c_bound(2, 1), 1.0 * 1.0 * 1.0);
+}
+
+TEST(Math, Theorem21Bound) {
+  EXPECT_EQ(wu::theorem21_bound(100, 1), 1u);
+  EXPECT_EQ(wu::theorem21_bound(100, 10), 10u);
+  EXPECT_EQ(wu::theorem21_bound(100, 50), 50u);
+  EXPECT_EQ(wu::theorem21_bound(100, 51), 50u);  // n-k+1 = 50
+  EXPECT_EQ(wu::theorem21_bound(100, 100), 1u);
+  EXPECT_EQ(wu::theorem21_bound(100, 99), 2u);
+}
+
+TEST(Math, Theorem21SymmetryShape) {
+  // min{k, n-k+1} peaks near n/2.
+  const std::uint64_t n = 64;
+  std::uint64_t best = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) best = std::max(best, wu::theorem21_bound(n, k));
+  EXPECT_EQ(best, n / 2);
+}

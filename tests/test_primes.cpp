@@ -1,0 +1,80 @@
+#include "util/primes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wu = wakeup::util;
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(wu::is_prime(0));
+  EXPECT_FALSE(wu::is_prime(1));
+  EXPECT_TRUE(wu::is_prime(2));
+  EXPECT_TRUE(wu::is_prime(3));
+  EXPECT_FALSE(wu::is_prime(4));
+  EXPECT_TRUE(wu::is_prime(5));
+  EXPECT_FALSE(wu::is_prime(9));
+  EXPECT_TRUE(wu::is_prime(37));
+  EXPECT_FALSE(wu::is_prime(39));
+}
+
+TEST(Primes, AgreesWithTrialDivisionUpTo10000) {
+  auto trial = [](std::uint64_t x) {
+    if (x < 2) return false;
+    for (std::uint64_t d = 2; d * d <= x; ++d) {
+      if (x % d == 0) return false;
+    }
+    return true;
+  };
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    EXPECT_EQ(wu::is_prime(x), trial(x)) << "x=" << x;
+  }
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL, 6601ULL, 8911ULL}) {
+    EXPECT_FALSE(wu::is_prime(c)) << c;
+  }
+}
+
+TEST(Primes, LargeKnownPrimes) {
+  EXPECT_TRUE(wu::is_prime(2147483647ULL));          // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(wu::is_prime(1000000007ULL));
+  EXPECT_TRUE(wu::is_prime(1000000009ULL));
+  EXPECT_FALSE(wu::is_prime(1000000007ULL * 3));
+  EXPECT_TRUE(wu::is_prime(18446744073709551557ULL));  // largest 64-bit prime
+  EXPECT_FALSE(wu::is_prime(18446744073709551615ULL)); // 2^64 - 1 = 3*5*17*...
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(wu::next_prime(0), 2u);
+  EXPECT_EQ(wu::next_prime(2), 2u);
+  EXPECT_EQ(wu::next_prime(3), 3u);
+  EXPECT_EQ(wu::next_prime(4), 5u);
+  EXPECT_EQ(wu::next_prime(14), 17u);
+  EXPECT_EQ(wu::next_prime(90), 97u);
+}
+
+TEST(Primes, PrimesInRange) {
+  const auto ps = wu::primes_in_range(10, 30);
+  const std::vector<std::uint64_t> expected = {11, 13, 17, 19, 23, 29};
+  EXPECT_EQ(ps, expected);
+}
+
+TEST(Primes, PrimesInRangeInclusiveEnds) {
+  const auto ps = wu::primes_in_range(11, 29);
+  EXPECT_EQ(ps.front(), 11u);
+  EXPECT_EQ(ps.back(), 29u);
+}
+
+TEST(Primes, PrimesInRangeEmpty) {
+  EXPECT_TRUE(wu::primes_in_range(24, 28).empty());
+  EXPECT_TRUE(wu::primes_in_range(30, 20).empty());
+}
+
+TEST(Primes, FirstPrimesFrom) {
+  const auto ps = wu::first_primes_from(2, 8);
+  const std::vector<std::uint64_t> expected = {2, 3, 5, 7, 11, 13, 17, 19};
+  EXPECT_EQ(ps, expected);
+  const auto ps2 = wu::first_primes_from(100, 3);
+  const std::vector<std::uint64_t> expected2 = {101, 103, 107};
+  EXPECT_EQ(ps2, expected2);
+}

@@ -1,0 +1,142 @@
+/// Golden-model cross-check: an independent, deliberately naive
+/// re-implementation of the wake-up execution semantics, compared against
+/// sim::run_wakeup on a grid of protocols and patterns.  Any divergence in
+/// success slot / winner / outcome counters flags a simulator bug.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace ws = wakeup::sim;
+namespace wu = wakeup::util;
+
+namespace {
+
+struct ReferenceResult {
+  bool success = false;
+  wm::Slot success_slot = -1;
+  wm::StationId winner = 0;
+  std::uint64_t silences = 0;
+  std::uint64_t collisions = 0;
+};
+
+/// Naive semantics straight from the problem statement: one runtime per
+/// station created up-front, every awake station polled every slot, first
+/// slot with exactly one transmitter wins.  No lazy creation, no early
+/// datastructure tricks — different code shape from sim::run_wakeup.
+ReferenceResult reference_run(const wp::Protocol& protocol, const wm::WakePattern& pattern,
+                              wm::Slot budget, wm::FeedbackModel fb) {
+  ReferenceResult result;
+  if (pattern.empty()) return result;
+
+  std::map<wm::StationId, std::unique_ptr<wp::StationRuntime>> runtimes;
+  std::map<wm::StationId, wm::Slot> wakes;
+  wm::Slot s = pattern.arrivals().front().wake;
+  for (const auto& a : pattern.arrivals()) {
+    s = std::min(s, a.wake);
+    wakes[a.station] = a.wake;
+  }
+
+  for (wm::Slot t = s; t - s < budget; ++t) {
+    std::vector<wm::StationId> tx;
+    for (const auto& [station, wake] : wakes) {
+      if (wake > t) continue;
+      auto it = runtimes.find(station);
+      if (it == runtimes.end()) {
+        it = runtimes.emplace(station, protocol.make_runtime(station, wake)).first;
+      }
+      if (it->second->transmits(t)) tx.push_back(station);
+    }
+    const auto outcome = wm::resolve_slot(tx.size());
+    for (const auto& [station, wake] : wakes) {
+      if (wake <= t) runtimes.at(station)->feedback(t, wm::feedback_for(outcome, fb));
+    }
+    if (outcome == wm::SlotOutcome::kSuccess) {
+      result.success = true;
+      result.success_slot = t;
+      result.winner = tx.front();
+      return result;
+    }
+    if (outcome == wm::SlotOutcome::kSilence) ++result.silences;
+    if (outcome == wm::SlotOutcome::kCollision) ++result.collisions;
+  }
+  return result;
+}
+
+struct CrossCase {
+  std::string protocol;
+  wm::patterns::Kind pattern;
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+class SimulatorCrossCheck : public ::testing::TestWithParam<CrossCase> {};
+
+}  // namespace
+
+TEST_P(SimulatorCrossCheck, MatchesReferenceModel) {
+  const auto& p = GetParam();
+  wp::ProtocolSpec spec;
+  spec.name = p.protocol;
+  spec.n = p.n;
+  spec.k = p.k;
+  spec.s = 0;
+  spec.seed = 314;
+  const auto protocol = wp::make_protocol_by_name(spec);
+  const auto fb = protocol->requirements().needs_collision_detection
+                      ? wm::FeedbackModel::kCollisionDetection
+                      : wm::FeedbackModel::kNone;
+
+  wu::Rng rng(wu::hash_words({p.n, p.k, static_cast<std::uint64_t>(p.pattern)}));
+  const auto pattern = wm::patterns::generate(p.pattern, p.n, p.k, 0, rng);
+
+  const wm::Slot budget = ws::auto_slot_budget(p.n, p.k);
+  ws::SimConfig config;
+  config.max_slots = budget;
+  config.feedback = fb;
+  const auto fast = ws::run_wakeup(*protocol, pattern, config);
+  const auto reference = reference_run(*protocol, pattern, budget, fb);
+
+  ASSERT_EQ(fast.success, reference.success);
+  if (fast.success) {
+    EXPECT_EQ(fast.success_slot, reference.success_slot);
+    EXPECT_EQ(fast.winner, reference.winner);
+    EXPECT_EQ(fast.silences, reference.silences);
+    EXPECT_EQ(fast.collisions, reference.collisions);
+  }
+}
+
+namespace {
+
+std::vector<CrossCase> cross_cases() {
+  std::vector<CrossCase> cases;
+  for (const auto& protocol :
+       {"round_robin", "wakeup_with_s", "wakeup_with_k", "wakeup_matrix", "rpd_n",
+        "local_doubling", "binary_backoff", "tree_splitting"}) {
+    for (const auto kind :
+         {wm::patterns::Kind::kSimultaneous, wm::patterns::Kind::kStaggered,
+          wm::patterns::Kind::kPoisson}) {
+      cases.push_back({protocol, kind, 64, 8});
+    }
+  }
+  cases.push_back({"wakeup_matrix", wm::patterns::Kind::kUniform, 128, 32});
+  cases.push_back({"round_robin", wm::patterns::Kind::kUniform, 32, 32});
+  return cases;
+}
+
+std::string cross_name(const ::testing::TestParamInfo<CrossCase>& info) {
+  return info.param.protocol + "_" + wm::patterns::kind_name(info.param.pattern) + "_" +
+         std::to_string(info.index);
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Grid, SimulatorCrossCheck, ::testing::ValuesIn(cross_cases()),
+                         cross_name);

@@ -1,0 +1,70 @@
+#include "protocols/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::run;
+
+namespace {
+
+wp::ProtocolSpec spec_for(const std::string& name) {
+  wp::ProtocolSpec spec;
+  spec.name = name;
+  spec.n = 64;
+  spec.k = 8;
+  spec.s = 0;
+  spec.seed = 5;
+  return spec;
+}
+
+}  // namespace
+
+TEST(Registry, AllNamesConstruct) {
+  for (const auto& name : wp::protocol_names()) {
+    const auto protocol = wp::make_protocol_by_name(spec_for(name));
+    ASSERT_NE(protocol, nullptr) << name;
+    EXPECT_FALSE(protocol->name().empty()) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(wp::make_protocol_by_name(spec_for("not_a_protocol")), std::invalid_argument);
+}
+
+TEST(Registry, NamesRoundTrip) {
+  // Constructed protocol reports the registry name (interleaved composites
+  // use their label).
+  for (const auto& name : wp::protocol_names()) {
+    const auto protocol = wp::make_protocol_by_name(spec_for(name));
+    EXPECT_EQ(protocol->name(), name);
+  }
+}
+
+TEST(Registry, EveryDeterministicNoCdProtocolSolvesABasicInstance) {
+  wu::Rng rng(7);
+  const auto pattern = wm::patterns::simultaneous(64, 4, 0, rng);
+  for (const auto& name : wp::protocol_names()) {
+    const auto protocol = wp::make_protocol_by_name(spec_for(name));
+    const auto fb = protocol->requirements().needs_collision_detection
+                        ? wm::FeedbackModel::kCollisionDetection
+                        : wm::FeedbackModel::kNone;
+    const auto result = run(*protocol, pattern, 0, fb);
+    EXPECT_TRUE(result.success) << name;
+  }
+}
+
+TEST(Registry, RequirementFlagsMatchScenarios) {
+  EXPECT_TRUE(wp::make_protocol_by_name(spec_for("wakeup_with_s"))->requirements().needs_start_time);
+  EXPECT_TRUE(wp::make_protocol_by_name(spec_for("wakeup_with_k"))->requirements().needs_k);
+  const auto c = wp::make_protocol_by_name(spec_for("wakeup_matrix"));
+  EXPECT_FALSE(c->requirements().needs_start_time);
+  EXPECT_FALSE(c->requirements().needs_k);
+  EXPECT_TRUE(wp::make_protocol_by_name(spec_for("rpd_n"))->requirements().randomized);
+  EXPECT_TRUE(
+      wp::make_protocol_by_name(spec_for("tree_splitting"))->requirements().needs_collision_detection);
+}

@@ -1,0 +1,66 @@
+#include "sim/results_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ws = wakeup::sim;
+
+namespace {
+
+class ResultsSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/sink_test";
+    setenv("WAKEUP_RESULTS_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override { unsetenv("WAKEUP_RESULTS_DIR"); }
+
+  std::string dir_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+TEST_F(ResultsSinkTest, WritesCsvToConfiguredDirectory) {
+  {
+    ws::ResultsSink sink("unit_table", {"a", "b"});
+    sink.cell(std::uint64_t{1}).cell(2.5, 1);
+    sink.end_row();
+    sink.flush("unit test table");
+  }
+  const std::string content = slurp(dir_ + "/unit_table.csv");
+  EXPECT_EQ(content, "a,b\n1,2.5\n");
+}
+
+TEST_F(ResultsSinkTest, EnvOverrideRespected) {
+  EXPECT_EQ(ws::ResultsSink::results_dir(), dir_);
+}
+
+TEST_F(ResultsSinkTest, EmptyDirDisablesCsv) {
+  setenv("WAKEUP_RESULTS_DIR", "", 1);
+  ws::ResultsSink sink("should_not_exist", {"x"});
+  sink.cell(std::uint64_t{1});
+  sink.end_row();
+  sink.flush("no csv");  // must not crash
+  std::ifstream probe("should_not_exist.csv");
+  EXPECT_FALSE(probe.good());
+}
+
+TEST_F(ResultsSinkTest, MixedCellTypes) {
+  {
+    ws::ResultsSink sink("typed", {"s", "u", "i", "d"});
+    sink.cell("text").cell(7u).cell(-3).cell(1.25, 2);
+    sink.end_row();
+    sink.flush("typed");
+  }
+  EXPECT_EQ(slurp(dir_ + "/typed.csv"), "s,u,i,d\ntext,7,-3,1.25\n");
+}

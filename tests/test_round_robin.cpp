@@ -1,0 +1,90 @@
+#include "protocols/round_robin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(RoundRobin, TransmitsExactlyOnOwnSlots) {
+  wp::RoundRobinProtocol rr(8);
+  auto rt = rr.make_runtime(3, 0);
+  for (wm::Slot t = 0; t < 40; ++t) {
+    EXPECT_EQ(rt->transmits(t), t % 8 == 3) << "t=" << t;
+  }
+}
+
+TEST(RoundRobin, NeverCollides) {
+  // At any slot, exactly one station id matches t mod n — so with all n
+  // stations awake, every slot is a success.
+  wp::RoundRobinProtocol rr(6);
+  std::vector<std::unique_ptr<wp::StationRuntime>> rts;
+  for (wm::StationId u = 0; u < 6; ++u) rts.push_back(rr.make_runtime(u, 0));
+  for (wm::Slot t = 0; t < 30; ++t) {
+    int tx = 0;
+    for (auto& rt : rts) tx += rt->transmits(t) ? 1 : 0;
+    EXPECT_EQ(tx, 1);
+  }
+}
+
+TEST(RoundRobin, SimultaneousWithinNMinusKPlus1) {
+  // Paper §3: for simultaneous wake-up, at most n-k slots are wasted.
+  const std::uint32_t n = 64;
+  wp::RoundRobinProtocol rr(n);
+  wu::Rng rng(5);
+  for (std::uint32_t k : {1u, 4u, 16u, 63u, 64u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto pattern = wm::patterns::simultaneous(n, k, 3, rng);
+      const auto result = run(rr, pattern);
+      ASSERT_TRUE(result.success);
+      EXPECT_LE(result.rounds, static_cast<std::int64_t>(n - k + 1)) << "k=" << k;
+      EXPECT_EQ(result.collisions, 0u);  // RR never collides
+    }
+  }
+}
+
+TEST(RoundRobin, AnyPatternWithinNRounds) {
+  // Dynamic arrivals: the first awake station's turn comes within n slots.
+  const std::uint32_t n = 32;
+  wp::RoundRobinProtocol rr(n);
+  wu::Rng rng(6);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto pattern = wm::patterns::generate(kind, n, 8, 5, rng);
+    const auto result = run(rr, pattern);
+    ASSERT_TRUE(result.success) << wm::patterns::kind_name(kind);
+    EXPECT_LT(result.rounds, static_cast<std::int64_t>(n)) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(RoundRobin, WorstCaseSingleStation) {
+  // Station u waking just after its turn waits a full cycle.
+  const std::uint32_t n = 16;
+  wp::RoundRobinProtocol rr(n);
+  // Station 0's turns are t = 0, 16, 32... waking at 1 forces waiting to 16.
+  const auto result = run(rr, make_pattern(n, {{0, 1}}));
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.success_slot, 16);
+  EXPECT_EQ(result.rounds, 15);
+}
+
+TEST(RoundRobin, SingleStationUniverse) {
+  wp::RoundRobinProtocol rr(1);
+  const auto result = run(rr, make_pattern(1, {{0, 5}}));
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+TEST(RoundRobin, RequirementsAreMinimal) {
+  wp::RoundRobinProtocol rr(8);
+  const auto req = rr.requirements();
+  EXPECT_FALSE(req.needs_start_time);
+  EXPECT_FALSE(req.needs_k);
+  EXPECT_FALSE(req.randomized);
+  EXPECT_FALSE(req.needs_collision_detection);
+  EXPECT_EQ(rr.name(), "round_robin");
+}

@@ -1,0 +1,104 @@
+#include "protocols/rpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(Rpd, EllParameterization) {
+  const auto n_variant = wp::RpdProtocol::for_n(1024, 1);
+  const auto k_variant = wp::RpdProtocol::for_k(16, 1);
+  EXPECT_EQ(dynamic_cast<const wp::RpdProtocol&>(*n_variant).ell(), 20u);  // 2*log2(1024)
+  EXPECT_EQ(dynamic_cast<const wp::RpdProtocol&>(*k_variant).ell(), 8u);   // 2*log2(16)
+  EXPECT_EQ(n_variant->name(), "rpd_n");
+  EXPECT_EQ(k_variant->name(), "rpd_k");
+}
+
+TEST(Rpd, EllClampedAtTwo) {
+  const wp::RpdProtocol p(0, 1);
+  EXPECT_EQ(p.ell(), 2u);
+}
+
+TEST(Rpd, IsRandomized) {
+  const wp::RpdProtocol p(8, 1);
+  EXPECT_TRUE(p.requirements().randomized);
+  EXPECT_FALSE(p.requirements().needs_k);
+}
+
+TEST(Rpd, TransmissionFrequencyTracksPhase) {
+  // At global slot t the probability is 2^{-1-(t mod ell)}; estimate over
+  // many stations at phase 0 and the deepest phase.
+  const unsigned ell = 8;
+  const wp::RpdProtocol protocol(ell, 99);
+  const int stations = 20000;
+  int hits_phase0 = 0, hits_deep = 0;
+  for (int u = 0; u < stations; ++u) {
+    auto rt = protocol.make_runtime(static_cast<wm::StationId>(u), 0);
+    for (wm::Slot t = 0; t < static_cast<wm::Slot>(ell); ++t) {
+      const bool tx = rt->transmits(t);
+      if (t == 0) hits_phase0 += tx ? 1 : 0;
+      if (t == static_cast<wm::Slot>(ell - 1)) hits_deep += tx ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(hits_phase0, stations / 2, stations / 20);      // p = 1/2
+  EXPECT_NEAR(hits_deep, stations / 256, stations / 100 + 30);  // p = 2^-8
+}
+
+TEST(Rpd, WakeupSucceedsAcrossPatterns) {
+  const std::uint32_t n = 256;
+  wu::Rng rng(3);
+  const auto protocol = wp::RpdProtocol::for_n(n, 7);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto pattern = wm::patterns::generate(kind, n, 16, 0, rng);
+    const auto result = run(*protocol, pattern);
+    EXPECT_TRUE(result.success) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(Rpd, ExpectedRoundsLogarithmic) {
+  // Mean rounds for RPD(k) with k simultaneous stations should be a small
+  // multiple of log k (paper §6: O(log k) expected).
+  const std::uint32_t n = 1024;
+  wu::Rng rng(5);
+  for (std::uint32_t k : {4u, 16u, 64u}) {
+    const auto protocol = wp::RpdProtocol::for_k(k, 11);
+    double total = 0;
+    const int trials = 30;
+    for (int i = 0; i < trials; ++i) {
+      const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
+      const auto result = run(*protocol, pattern);
+      ASSERT_TRUE(result.success);
+      total += static_cast<double>(result.rounds);
+    }
+    const double mean = total / trials;
+    const double logk = std::max(1.0, std::log2(static_cast<double>(k)));
+    EXPECT_LT(mean, 20.0 * logk) << "k=" << k;
+  }
+}
+
+TEST(Rpd, StationsUseIndependentCoins) {
+  const wp::RpdProtocol protocol(8, 1);
+  auto a = protocol.make_runtime(1, 0);
+  auto b = protocol.make_runtime(2, 0);
+  int diffs = 0;
+  for (wm::Slot t = 0; t < 200; ++t) {
+    if (a->transmits(t) != b->transmits(t)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Rpd, DeterministicPerSeed) {
+  const wp::RpdProtocol pa(8, 42), pb(8, 42);
+  auto a = pa.make_runtime(1, 0);
+  auto b = pb.make_runtime(1, 0);
+  for (wm::Slot t = 0; t < 200; ++t) EXPECT_EQ(a->transmits(t), b->transmits(t));
+}

@@ -1,0 +1,88 @@
+#include "protocols/select_among_the_first.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wc = wakeup::comb;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+namespace {
+
+wp::ProtocolPtr make_satf(std::uint32_t n, wm::Slot s, std::uint64_t seed = 7) {
+  wc::DoublingSchedule::Config config;
+  config.n = n;
+  config.k_max = n;
+  config.kind = wc::FamilyKind::kRandomized;
+  config.seed = seed;
+  return std::make_shared<wp::SelectAmongTheFirstProtocol>(s,
+                                                           wc::make_doubling_schedule(config));
+}
+
+}  // namespace
+
+TEST(SelectAmongTheFirst, LateWakersStaySilentForever) {
+  const auto protocol = make_satf(32, /*s=*/10);
+  // Woken after s: never transmits.
+  auto rt = protocol->make_runtime(5, 11);
+  for (wm::Slot t = 11; t < 600; ++t) EXPECT_FALSE(rt->transmits(t));
+}
+
+TEST(SelectAmongTheFirst, ParticipantFollowsSchedule) {
+  const auto protocol = make_satf(32, /*s=*/10);
+  const auto* satf = dynamic_cast<const wp::SelectAmongTheFirstProtocol*>(protocol.get());
+  ASSERT_NE(satf, nullptr);
+  auto rt = protocol->make_runtime(5, 10);
+  for (wm::Slot t = 10; t < 200; ++t) {
+    EXPECT_EQ(rt->transmits(t),
+              satf->schedule().transmits(5, static_cast<std::uint64_t>(t - 10)));
+  }
+}
+
+TEST(SelectAmongTheFirst, SimultaneousGroupSelectsWithinBound) {
+  const std::uint32_t n = 256;
+  wu::Rng rng(9);
+  for (std::uint32_t k : {1u, 2u, 5u, 16u, 64u}) {
+    const auto protocol = make_satf(n, 0);
+    const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
+    const auto result = run(*protocol, pattern);
+    ASSERT_TRUE(result.success) << "k=" << k;
+    // O(k + k log(n/k)) with the c=6 randomized families; slack 8x covers
+    // the concatenation of smaller families plus constants.
+    EXPECT_LE(static_cast<double>(result.rounds), 8.0 * 6.0 * wu::scenario_ab_bound(n, k))
+        << "k=" << k;
+  }
+}
+
+TEST(SelectAmongTheFirst, OnlyFirstWayersCompete) {
+  // Two stations at s, many later: later ones must not disturb selection.
+  const std::uint32_t n = 64;
+  const auto protocol = make_satf(n, 0);
+  const auto result = run(*protocol,
+                          make_pattern(n, {{1, 0}, {2, 0}, {10, 1}, {11, 1}, {12, 2}, {13, 3}}));
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(result.winner == 1 || result.winner == 2);
+}
+
+TEST(SelectAmongTheFirst, RequiresStartTime) {
+  const auto protocol = make_satf(16, 0);
+  EXPECT_TRUE(protocol->requirements().needs_start_time);
+  EXPECT_FALSE(protocol->requirements().needs_k);
+  EXPECT_EQ(protocol->name(), "select_among_the_first");
+}
+
+TEST(SelectAmongTheFirst, WholeUniverseAtOnceStillSelects) {
+  // |X| = n: the deepest family must isolate. Needs the full concatenation.
+  const std::uint32_t n = 32;
+  const auto protocol = make_satf(n, 0);
+  std::vector<wm::Arrival> arrivals;
+  for (wm::StationId u = 0; u < n; ++u) arrivals.push_back({u, 0});
+  const auto result = run(*protocol, wm::WakePattern(n, std::move(arrivals)));
+  EXPECT_TRUE(result.success);
+}

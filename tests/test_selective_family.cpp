@@ -1,0 +1,62 @@
+#include "combinatorics/selective_family.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+namespace {
+
+wu::DynamicBitset subset_of(std::uint32_t n, std::initializer_list<wc::Station> members) {
+  wu::DynamicBitset b(n);
+  for (wc::Station u : members) b.set(u);
+  return b;
+}
+
+}  // namespace
+
+TEST(FamilyParams, SelectivityWindow) {
+  // (n,k)-selective covers |X| in [ceil(k/2), k].
+  EXPECT_EQ((wc::FamilyParams{10, 1}).lo(), 1u);
+  EXPECT_EQ((wc::FamilyParams{10, 2}).lo(), 1u);
+  EXPECT_EQ((wc::FamilyParams{10, 3}).lo(), 2u);
+  EXPECT_EQ((wc::FamilyParams{10, 4}).lo(), 2u);
+  EXPECT_EQ((wc::FamilyParams{10, 5}).lo(), 3u);
+  EXPECT_EQ((wc::FamilyParams{10, 8}).hi(), 8u);
+}
+
+TEST(SelectiveFamily, FirstSelectingStep) {
+  // F_0 = {0,1}, F_1 = {0}, F_2 = {1}
+  std::vector<wc::TransmissionSet> sets;
+  sets.emplace_back(4, std::vector<wc::Station>{0, 1});
+  sets.emplace_back(4, std::vector<wc::Station>{0});
+  sets.emplace_back(4, std::vector<wc::Station>{1});
+  wc::SelectiveFamily fam(wc::FamilyParams{4, 2}, std::move(sets), "manual");
+
+  EXPECT_EQ(fam.first_selecting_step(subset_of(4, {0})), 0);      // |{0} ∩ F_0| = 1
+  EXPECT_EQ(fam.first_selecting_step(subset_of(4, {0, 1})), 1);   // F_0 hits both, F_1 isolates 0
+  EXPECT_EQ(fam.first_selecting_step(subset_of(4, {2, 3})), -1);  // never selected
+}
+
+TEST(SelectiveFamily, FirstSelectingStepSingleton) {
+  std::vector<wc::TransmissionSet> sets;
+  sets.emplace_back(4, std::vector<wc::Station>{0, 1});
+  wc::SelectiveFamily fam(wc::FamilyParams{4, 2}, std::move(sets), "manual");
+  // |X ∩ F_0| = 1 for a singleton inside F_0.
+  EXPECT_EQ(fam.first_selecting_step(subset_of(4, {1})), 0);
+}
+
+TEST(SelectiveFamily, TransmitsDelegatesToSet) {
+  std::vector<wc::TransmissionSet> sets;
+  sets.emplace_back(4, std::vector<wc::Station>{2});
+  wc::SelectiveFamily fam(wc::FamilyParams{4, 2}, std::move(sets), "manual");
+  EXPECT_TRUE(fam.transmits(2, 0));
+  EXPECT_FALSE(fam.transmits(1, 0));
+}
+
+TEST(SelectiveFamily, OriginAndLength) {
+  wc::SelectiveFamily fam(wc::FamilyParams{4, 2}, {}, "tagged");
+  EXPECT_EQ(fam.origin(), "tagged");
+  EXPECT_TRUE(fam.empty());
+  EXPECT_EQ(fam.length(), 0u);
+}

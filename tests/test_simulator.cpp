@@ -1,0 +1,104 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/round_robin.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace ws = wakeup::sim;
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+
+TEST(Simulator, EmptyPatternFails) {
+  wp::RoundRobinProtocol rr(8);
+  const auto result = ws::run_wakeup(rr, wm::WakePattern(), {});
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.rounds, -1);
+}
+
+TEST(Simulator, ReportsFirstWakeAndRounds) {
+  wp::RoundRobinProtocol rr(8);
+  const auto result = ws::run_wakeup(rr, make_pattern(8, {{2, 11}}), {});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.s, 11);
+  EXPECT_EQ(result.success_slot, 18);  // next t ≡ 2 (mod 8) at or after 11
+  EXPECT_EQ(result.rounds, 7);
+  EXPECT_EQ(result.winner, 2u);
+}
+
+TEST(Simulator, CountersPartitionSlots) {
+  wp::RoundRobinProtocol rr(16);
+  wu::Rng rng(3);
+  const auto pattern = wm::patterns::uniform_window(16, 5, 0, 10, rng);
+  const auto result = ws::run_wakeup(rr, pattern, {});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.silences + result.collisions + result.successes,
+            static_cast<std::uint64_t>(result.rounds + 1));
+}
+
+TEST(Simulator, BudgetExhaustionReportsFailure) {
+  // Station 0 waking at 1 needs 15 rounds in RR(16); a budget of 5 fails.
+  wp::RoundRobinProtocol rr(16);
+  ws::SimConfig config;
+  config.max_slots = 5;
+  const auto result = ws::run_wakeup(rr, make_pattern(16, {{0, 1}}), config);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.rounds, -1);
+}
+
+TEST(Simulator, TraceRecordsEverySlot) {
+  wp::RoundRobinProtocol rr(4);
+  ws::SimConfig config;
+  config.record_trace = true;
+  config.record_transmitters = true;
+  const auto result = ws::run_wakeup(rr, make_pattern(4, {{3, 0}}), config);
+  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.trace.has_value());
+  EXPECT_EQ(result.trace->size(), static_cast<std::size_t>(result.rounds + 1));
+  // Final record is the success.
+  const auto& last = result.trace->records().back();
+  EXPECT_EQ(last.outcome, wm::SlotOutcome::kSuccess);
+  ASSERT_EQ(last.transmitters.size(), 1u);
+  EXPECT_EQ(last.transmitters[0], 3u);
+}
+
+TEST(Simulator, ArrivalsJoinMidRun) {
+  // Two stations with the same RR slot parity never... simpler: stations
+  // 1 and 2 in RR(4), waking at 0 and 100: success at slot 1 (station 1).
+  wp::RoundRobinProtocol rr(4);
+  const auto result = ws::run_wakeup(rr, make_pattern(4, {{1, 0}, {2, 100}}), {});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.success_slot, 1);
+  EXPECT_EQ(result.winner, 1u);
+}
+
+TEST(Simulator, FullResolutionAllStationsLeave) {
+  wp::RoundRobinProtocol rr(8);
+  ws::SimConfig config;
+  config.full_resolution = true;
+  const auto result = ws::run_wakeup(rr, make_pattern(8, {{1, 0}, {5, 0}, {7, 0}}), config);
+  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.successes, 3u);
+  // RR: stations 1, 5, 7 succeed at slots 1, 5, 7.
+  EXPECT_EQ(result.completion_slot, 7);
+  EXPECT_EQ(result.success_slot, 1);
+}
+
+TEST(Simulator, FullResolutionWaitsForLateArrivals) {
+  wp::RoundRobinProtocol rr(4);
+  ws::SimConfig config;
+  config.full_resolution = true;
+  const auto result = ws::run_wakeup(rr, make_pattern(4, {{1, 0}, {2, 9}}), config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.successes, 2u);
+  EXPECT_EQ(result.completion_slot, 10);  // station 2's first turn after 9
+}
+
+TEST(Simulator, AutoBudgetGenerous) {
+  EXPECT_GT(ws::auto_slot_budget(1024, 16), 1024);
+  EXPECT_GT(ws::auto_slot_budget(2, 1), 100);
+}

@@ -1,0 +1,111 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wco = wakeup::core;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+
+TEST(ProblemSpec, ScenarioInference) {
+  wco::ProblemSpec c{.n = 64, .k = std::nullopt, .s = std::nullopt};
+  EXPECT_EQ(c.scenario(), wco::Scenario::kC_NoKnowledge);
+  wco::ProblemSpec b{.n = 64, .k = 8, .s = std::nullopt};
+  EXPECT_EQ(b.scenario(), wco::Scenario::kB_KnownK);
+  wco::ProblemSpec a{.n = 64, .k = std::nullopt, .s = 0};
+  EXPECT_EQ(a.scenario(), wco::Scenario::kA_KnownStartTime);
+  // s wins when both are known (A is the stronger algorithm).
+  wco::ProblemSpec both{.n = 64, .k = 8, .s = 0};
+  EXPECT_EQ(both.scenario(), wco::Scenario::kA_KnownStartTime);
+}
+
+TEST(ProblemSpec, Validation) {
+  EXPECT_FALSE((wco::ProblemSpec{.n = 0}).valid());
+  EXPECT_TRUE((wco::ProblemSpec{.n = 1}).valid());
+  EXPECT_FALSE((wco::ProblemSpec{.n = 8, .k = 0}).valid());
+  EXPECT_FALSE((wco::ProblemSpec{.n = 8, .k = 9}).valid());
+  EXPECT_TRUE((wco::ProblemSpec{.n = 8, .k = 8}).valid());
+  EXPECT_FALSE((wco::ProblemSpec{.n = 8, .k = std::nullopt, .s = -1}).valid());
+}
+
+TEST(ScenarioNames, Distinct) {
+  EXPECT_NE(wco::to_string(wco::Scenario::kA_KnownStartTime),
+            wco::to_string(wco::Scenario::kB_KnownK));
+  EXPECT_NE(wco::to_string(wco::Scenario::kB_KnownK),
+            wco::to_string(wco::Scenario::kC_NoKnowledge));
+}
+
+TEST(TheoryBound, MatchesScenarioFormulae) {
+  wco::ProblemSpec b{.n = 1024, .k = 16};
+  EXPECT_DOUBLE_EQ(wco::theory_bound(b, 16), wu::scenario_ab_bound(1024, 16));
+  wco::ProblemSpec c{.n = 1024};
+  EXPECT_DOUBLE_EQ(wco::theory_bound(c, 16), wu::scenario_c_bound(1024, 16));
+  // Scenario A leaves k unknown: the bound uses the effective contention.
+  wco::ProblemSpec a{.n = 1024, .k = std::nullopt, .s = 0};
+  EXPECT_DOUBLE_EQ(wco::theory_bound(a, 8), wu::scenario_ab_bound(1024, 8));
+  // A known k takes precedence over the observed contention in A/B bounds.
+  wco::ProblemSpec bk{.n = 1024, .k = 32};
+  EXPECT_DOUBLE_EQ(wco::theory_bound(bk, 8), wu::scenario_ab_bound(1024, 32));
+}
+
+TEST(MakeProtocol, SelectsPaperAlgorithmPerScenario) {
+  wco::SolverOptions options;
+  EXPECT_EQ(wco::make_protocol({.n = 64, .k = std::nullopt, .s = 0}, options)->name(),
+            "wakeup_with_s");
+  EXPECT_EQ(wco::make_protocol({.n = 64, .k = 8}, options)->name(), "wakeup_with_k");
+  EXPECT_EQ(wco::make_protocol({.n = 64}, options)->name(), "wakeup_matrix");
+}
+
+TEST(MakeProtocol, InvalidSpecThrows) {
+  EXPECT_THROW(wco::make_protocol({.n = 0}, {}), std::invalid_argument);
+}
+
+TEST(ResolveContention, AllScenariosSolveTheSameInstance) {
+  wu::Rng rng(3);
+  const std::uint32_t n = 128;
+  const auto pattern = wm::patterns::staggered(n, 8, 0, 2, rng);
+  for (const auto& spec : {wco::ProblemSpec{.n = n, .k = std::nullopt, .s = 0},
+                           wco::ProblemSpec{.n = n, .k = 8},
+                           wco::ProblemSpec{.n = n}}) {
+    const auto result = wco::resolve_contention(spec, pattern, {}, {});
+    EXPECT_TRUE(result.success) << wco::to_string(spec.scenario());
+    EXPECT_GE(result.rounds, 0) << wco::to_string(spec.scenario());
+  }
+}
+
+TEST(ResolveContention, ValidatesPatternAgainstSpec) {
+  wu::Rng rng(5);
+  const auto pattern = wm::patterns::simultaneous(64, 8, 3, rng);
+  // Universe mismatch.
+  EXPECT_THROW(wco::resolve_contention({.n = 32}, pattern, {}, {}), std::invalid_argument);
+  // More arrivals than the declared k.
+  EXPECT_THROW(wco::resolve_contention({.n = 64, .k = 4}, pattern, {}, {}),
+               std::invalid_argument);
+  // Known s contradicts the pattern's first wake.
+  EXPECT_THROW(wco::resolve_contention({.n = 64, .k = std::nullopt, .s = 0}, pattern, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(ResolveContention, ScenarioAWithLateJoiners) {
+  const std::uint32_t n = 64;
+  wco::ProblemSpec spec{.n = n, .k = std::nullopt, .s = 5};
+  const auto pattern = make_pattern(n, {{10, 5}, {20, 6}, {30, 9}});
+  const auto result = wco::resolve_contention(spec, pattern, {}, {});
+  EXPECT_TRUE(result.success);
+}
+
+TEST(SolverOptions, SeedChangesScenarioCMatrix) {
+  const std::uint32_t n = 64;
+  const auto pattern = make_pattern(n, {{1, 0}, {2, 0}, {3, 0}, {60, 1}});
+  wco::SolverOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = wco::resolve_contention({.n = n}, pattern, a, {});
+  const auto rb = wco::resolve_contention({.n = n}, pattern, b, {});
+  ASSERT_TRUE(ra.success && rb.success);
+  EXPECT_TRUE(ra.success_slot != rb.success_slot || ra.winner != rb.winner);
+}

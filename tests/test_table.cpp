@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wu = wakeup::util;
+
+TEST(ConsoleTable, AlignsColumns) {
+  wu::ConsoleTable t({"name", "value"});
+  t.cell("a").cell(std::uint64_t{1}).end_row();
+  t.cell("longer_name").cell(std::uint64_t{123456}).end_row();
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header present, separator present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // All lines equally indented/ended: every data line ends with \n.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(ConsoleTable, FixedPrecisionDoubles) {
+  wu::ConsoleTable t({"x"});
+  t.cell(3.14159, 2).end_row();
+  t.cell(2.0, 4).end_row();
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_NE(os.str().find("2.0000"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowCount) {
+  wu::ConsoleTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.cell("x").end_row();
+  t.cell("y").end_row();
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(ConsoleTable, ShortRowsPadded) {
+  wu::ConsoleTable t({"a", "b", "c"});
+  t.cell("only_one").end_row();  // missing trailing cells must not crash
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only_one"), std::string::npos);
+}
+
+TEST(ConsoleTable, NegativeNumbers) {
+  wu::ConsoleTable t({"v"});
+  t.cell(std::int64_t{-42}).end_row();
+  t.cell(-1).end_row();
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("-42"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  wu::print_banner(os, "T1 lower bound");
+  EXPECT_NE(os.str().find("T1 lower bound"), std::string::npos);
+}

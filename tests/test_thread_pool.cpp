@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wu = wakeup::util;
+
+TEST(ThreadPool, InlineWhenZeroWorkers) {
+  wu::ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> out(100, 0);
+  pool.parallel_for(0, 100, [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, AllItemsExecutedOnce) {
+  wu::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, RangeSubsets) {
+  wu::ThreadPool pool(2);
+  std::vector<int> out(50, 0);
+  pool.parallel_for(10, 20, [&](std::size_t i) { out[i] = 1; });
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(out[i], (i >= 10 && i < 20) ? 1 : 0);
+}
+
+TEST(ThreadPool, EmptyRangeNoop) {
+  wu::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  pool.parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
+  // Determinism contract: per-index work writes to its own slot, so any
+  // worker count yields identical output.
+  auto run = [](std::size_t workers) {
+    wu::ThreadPool pool(workers);
+    std::vector<std::uint64_t> out(500);
+    pool.parallel_for(0, 500, [&](std::size_t i) { out[i] = i * i + 7; });
+    return out;
+  };
+  EXPECT_EQ(run(0), run(1));
+  EXPECT_EQ(run(0), run(4));
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  wu::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  wu::ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPool, SequentialCallsAccumulate) {
+  wu::ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(0, 100, [&](std::size_t i) { total.fetch_add(static_cast<long>(i)); });
+  }
+  EXPECT_EQ(total.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, DefaultWorkersPositive) { EXPECT_GE(wu::ThreadPool::default_workers(), 1u); }

@@ -1,0 +1,49 @@
+#include "mac/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wm = wakeup::mac;
+
+TEST(ExecutionTrace, RecordsOutcomes) {
+  wm::ExecutionTrace trace;
+  trace.add(0, wm::SlotOutcome::kSilence, {});
+  trace.add(1, wm::SlotOutcome::kCollision, {2, 3});
+  trace.add(2, wm::SlotOutcome::kSuccess, {2});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.records()[0].outcome, wm::SlotOutcome::kSilence);
+  EXPECT_EQ(trace.records()[1].transmitter_count, 2u);
+  EXPECT_EQ(trace.records()[2].transmitter_count, 1u);
+  // Transmitter lists disabled by default.
+  EXPECT_TRUE(trace.records()[1].transmitters.empty());
+}
+
+TEST(ExecutionTrace, RecordsTransmitterListsWhenEnabled) {
+  wm::ExecutionTrace trace(/*record_transmitters=*/true, /*max_listed=*/2);
+  trace.add(5, wm::SlotOutcome::kCollision, {7, 8, 9});
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.records()[0].transmitter_count, 3u);
+  EXPECT_EQ(trace.records()[0].transmitters.size(), 2u);  // capped
+  EXPECT_EQ(trace.records()[0].transmitters[0], 7u);
+}
+
+TEST(ExecutionTrace, PrintContainsSlotsAndOutcomes) {
+  wm::ExecutionTrace trace(true);
+  trace.add(0, wm::SlotOutcome::kCollision, {1, 2});
+  trace.add(1, wm::SlotOutcome::kSuccess, {1});
+  std::ostringstream os;
+  trace.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("slot 0"), std::string::npos);
+  EXPECT_NE(out.find("collision"), std::string::npos);
+  EXPECT_NE(out.find("success"), std::string::npos);
+}
+
+TEST(ExecutionTrace, PrintTruncates) {
+  wm::ExecutionTrace trace;
+  for (int i = 0; i < 100; ++i) trace.add(i, wm::SlotOutcome::kSilence, {});
+  std::ostringstream os;
+  trace.print(os, 10);
+  EXPECT_NE(os.str().find("more slots"), std::string::npos);
+}

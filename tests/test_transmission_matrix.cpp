@@ -1,0 +1,162 @@
+#include "combinatorics/transmission_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+TEST(MatrixParams, DerivedQuantities) {
+  const auto p = wc::MatrixParams::make(1024, 2);
+  EXPECT_EQ(p.n, 1024u);
+  EXPECT_EQ(p.rows, 10u);    // log2 1024
+  EXPECT_EQ(p.window, 4u);   // ceil(log2 10)
+  EXPECT_EQ(p.ell, 2ULL * 2 * 1024 * 10 * 4);
+}
+
+TEST(MatrixParams, SmallNClamps) {
+  const auto p = wc::MatrixParams::make(2, 1);
+  EXPECT_EQ(p.rows, 1u);
+  EXPECT_EQ(p.window, 1u);
+  EXPECT_GE(p.ell, 1u);
+}
+
+TEST(MatrixParams, RowScanLengths) {
+  const auto p = wc::MatrixParams::make(256, 2);
+  // m_i = c * 2^i * rows * window.
+  EXPECT_EQ(p.m(1), 2ULL * 2 * p.rows * p.window);
+  EXPECT_EQ(p.m(2), 2ULL * 4 * p.rows * p.window);
+  EXPECT_EQ(p.m(p.rows), 2ULL * 256 * p.rows * p.window);
+  // total = c * (2^{rows+1} - 2) * rows * window.
+  EXPECT_EQ(p.total_scan(), 2ULL * (512 - 2) * p.rows * p.window);
+}
+
+TEST(MatrixParams, RhoCyclesThroughWindow) {
+  const auto p = wc::MatrixParams::make(256, 2);  // window = 3
+  for (std::uint64_t j = 0; j < 32; ++j) {
+    EXPECT_EQ(p.rho(j), j % p.window);
+  }
+}
+
+TEST(MatrixParams, MuRoundsUpToWindowMultiple) {
+  const auto p = wc::MatrixParams::make(1024, 2);  // window = 4
+  EXPECT_EQ(p.mu(0), 0);
+  EXPECT_EQ(p.mu(1), 4);
+  EXPECT_EQ(p.mu(3), 4);
+  EXPECT_EQ(p.mu(4), 4);
+  EXPECT_EQ(p.mu(5), 8);
+  // µ(σ) - σ < window always.
+  for (std::int64_t sigma = 0; sigma < 100; ++sigma) {
+    EXPECT_GE(p.mu(sigma), sigma);
+    EXPECT_LT(p.mu(sigma) - sigma, static_cast<std::int64_t>(p.window));
+    EXPECT_EQ(p.mu(sigma) % static_cast<std::int64_t>(p.window), 0);
+  }
+}
+
+TEST(MatrixParams, RowAtWaitsUntilMu) {
+  const auto p = wc::MatrixParams::make(1024, 2);
+  const std::int64_t sigma = 5;  // mu = 8
+  EXPECT_FALSE(p.row_at(sigma, 5).has_value());
+  EXPECT_FALSE(p.row_at(sigma, 7).has_value());
+  ASSERT_TRUE(p.row_at(sigma, 8).has_value());
+  EXPECT_EQ(*p.row_at(sigma, 8), 1u);
+}
+
+TEST(MatrixParams, RowAtWalksRowsInOrder) {
+  const auto p = wc::MatrixParams::make(64, 1);
+  const std::int64_t sigma = 0;
+  std::int64_t t = p.mu(sigma);
+  for (unsigned i = 1; i <= p.rows; ++i) {
+    // First and last slot of row i.
+    EXPECT_EQ(*p.row_at(sigma, t), i);
+    t += static_cast<std::int64_t>(p.m(i));
+    EXPECT_EQ(*p.row_at(sigma, t - 1), i);
+  }
+}
+
+TEST(MatrixParams, RowAtWrapsAfterFullScan) {
+  const auto p = wc::MatrixParams::make(64, 1);
+  const std::int64_t total = static_cast<std::int64_t>(p.total_scan());
+  EXPECT_EQ(*p.row_at(0, total), 1u);      // restart at row 1
+  EXPECT_EQ(*p.row_at(0, 2 * total), 1u);
+}
+
+TEST(LazyMatrix, DeterministicAndSeedSensitive) {
+  const auto p = wc::MatrixParams::make(64, 1);
+  const wc::LazyTransmissionMatrix a(p, 42), b(p, 42), c(p, 43);
+  int diffs = 0;
+  for (unsigned row = 1; row <= p.rows; ++row) {
+    for (std::uint64_t col = 0; col < 64; ++col) {
+      for (wc::Station u = 0; u < 64; u += 5) {
+        EXPECT_EQ(a.contains(row, col, u), b.contains(row, col, u));
+        if (a.contains(row, col, u) != c.contains(row, col, u)) ++diffs;
+      }
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(LazyMatrix, ColumnsWrapModEll) {
+  const auto p = wc::MatrixParams::make(32, 1);
+  const wc::LazyTransmissionMatrix m(p, 9);
+  for (std::uint64_t col = 0; col < 40; ++col) {
+    for (wc::Station u = 0; u < 32; u += 3) {
+      EXPECT_EQ(m.contains(1, col, u), m.contains(1, col + p.ell, u));
+    }
+  }
+}
+
+TEST(LazyMatrix, MembershipFrequencyMatchesProbability) {
+  // Row i, column with rho(j)=r: Prob[u in M_{i,j}] = 2^{-(i+r)}.
+  const auto p = wc::MatrixParams::make(1024, 2);  // window 4, rows 10
+  const wc::LazyTransmissionMatrix m(p, 1234);
+  for (unsigned row : {1u, 2u, 3u}) {
+    for (unsigned r = 0; r < p.window; ++r) {
+      std::uint64_t hits = 0, total = 0;
+      // Sample across stations and aligned columns.
+      for (std::uint64_t col = r; col < 2000; col += p.window) {
+        for (wc::Station u = 0; u < 256; ++u) {
+          hits += m.contains(row, col, u) ? 1 : 0;
+          ++total;
+        }
+      }
+      const double expected = static_cast<double>(total) / std::pow(2.0, row + r);
+      EXPECT_NEAR(static_cast<double>(hits), expected, 6.0 * std::sqrt(expected) + 2.0)
+          << "row=" << row << " rho=" << r;
+    }
+  }
+}
+
+TEST(LazyMatrix, ProbabilityAccessor) {
+  const auto p = wc::MatrixParams::make(1024, 2);
+  const wc::LazyTransmissionMatrix m(p, 5);
+  EXPECT_DOUBLE_EQ(m.probability(1, 0), 0.5);         // rho(0)=0, e=1
+  EXPECT_DOUBLE_EQ(m.probability(1, 1), 0.25);        // rho(1)=1, e=2
+  EXPECT_DOUBLE_EQ(m.probability(2, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.probability(63, 1), 0.0);        // e >= 64 clamps to 0
+}
+
+TEST(DenseMatrix, MatchesLazy) {
+  const auto p = wc::MatrixParams::make(8, 1);  // rows=3, window=2, ell small
+  const wc::LazyTransmissionMatrix lazy(p, 77);
+  const auto dense = wc::DenseTransmissionMatrix::materialize(lazy);
+  for (unsigned row = 1; row <= p.rows; ++row) {
+    for (std::uint64_t col = 0; col < p.ell; ++col) {
+      for (wc::Station u = 0; u < p.n; ++u) {
+        EXPECT_EQ(dense.contains(row, col, u), lazy.contains(row, col, u))
+            << "row=" << row << " col=" << col << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(DenseMatrix, CellSetsAreConsistent) {
+  const auto p = wc::MatrixParams::make(8, 1);
+  const wc::LazyTransmissionMatrix lazy(p, 78);
+  const auto dense = wc::DenseTransmissionMatrix::materialize(lazy);
+  const auto& cell = dense.cell(1, 3);
+  for (wc::Station u : cell.members()) {
+    EXPECT_TRUE(lazy.contains(1, 3, u));
+  }
+}

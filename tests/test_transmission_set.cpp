@@ -1,0 +1,66 @@
+#include "combinatorics/transmission_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+TEST(TransmissionSet, FromMemberList) {
+  wc::TransmissionSet s(10, {7, 2, 5});
+  EXPECT_EQ(s.universe(), 10u);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(0));
+  const std::vector<wc::Station> expected = {2, 5, 7};
+  EXPECT_EQ(s.members(), expected);  // sorted
+}
+
+TEST(TransmissionSet, DuplicatesCollapsed) {
+  wc::TransmissionSet s(10, {3, 3, 3});
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(3));
+}
+
+TEST(TransmissionSet, EmptySet) {
+  wc::TransmissionSet s(10, {});
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(TransmissionSet, FromBitset) {
+  wu::DynamicBitset b(20);
+  b.set(0);
+  b.set(19);
+  wc::TransmissionSet s(std::move(b));
+  EXPECT_EQ(s.universe(), 20u);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(19));
+}
+
+TEST(TransmissionSet, UniverseSet) {
+  const auto s = wc::TransmissionSet::universe_set(5);
+  EXPECT_EQ(s.size(), 5u);
+  for (wc::Station u = 0; u < 5; ++u) EXPECT_TRUE(s.contains(u));
+}
+
+TEST(TransmissionSet, Singleton) {
+  const auto s = wc::TransmissionSet::singleton(8, 3);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(TransmissionSet, IntersectionQueries) {
+  wc::TransmissionSet f(16, {1, 4, 9});
+  wu::DynamicBitset x(16);
+  x.set(4);
+  x.set(12);
+  EXPECT_EQ(f.intersection_count(x), 1u);
+  EXPECT_EQ(f.sole_intersection(x), 4);
+  x.set(9);
+  EXPECT_EQ(f.intersection_count(x), 2u);
+  EXPECT_EQ(f.sole_intersection(x), -1);
+}

@@ -1,0 +1,61 @@
+#include "protocols/tree_splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(TreeSplitting, RequiresCollisionDetection) {
+  const wp::TreeSplittingProtocol protocol(1);
+  EXPECT_TRUE(protocol.requirements().needs_collision_detection);
+  EXPECT_TRUE(protocol.requirements().randomized);
+  EXPECT_EQ(protocol.name(), "tree_splitting");
+}
+
+TEST(TreeSplitting, ResolvesWithCollisionDetection) {
+  wu::Rng rng(3);
+  const wp::TreeSplittingProtocol protocol(7);
+  for (std::uint32_t k : {2u, 8u, 32u}) {
+    const auto pattern = wm::patterns::simultaneous(256, k, 0, rng);
+    const auto result = run(protocol, pattern, 0, wm::FeedbackModel::kCollisionDetection);
+    ASSERT_TRUE(result.success) << "k=" << k;
+    // Splitting resolves the first station in O(k) expected slots.
+    EXPECT_LT(result.rounds, static_cast<std::int64_t>(30 * k + 60)) << "k=" << k;
+  }
+}
+
+TEST(TreeSplitting, FullResolutionDeliversEveryStation) {
+  wu::Rng rng(9);
+  const wp::TreeSplittingProtocol protocol(11);
+  const std::uint32_t k = 12;
+  const auto pattern = wm::patterns::simultaneous(128, k, 0, rng);
+  wakeup::sim::SimConfig config;
+  config.feedback = wm::FeedbackModel::kCollisionDetection;
+  config.full_resolution = true;
+  const auto result = wakeup::sim::run_wakeup(protocol, pattern, config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.successes, k);
+  EXPECT_GE(result.completion_rounds, static_cast<std::int64_t>(k - 1));
+}
+
+TEST(TreeSplitting, LateArrivalsHandled) {
+  wu::Rng rng(5);
+  const wp::TreeSplittingProtocol protocol(13);
+  const auto pattern = wm::patterns::staggered(128, 10, 0, 2, rng);
+  const auto result = run(protocol, pattern, 0, wm::FeedbackModel::kCollisionDetection);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(TreeSplitting, SingleStationImmediate) {
+  const wp::TreeSplittingProtocol protocol(1);
+  const auto result =
+      run(protocol, make_pattern(64, {{7, 4}}), 0, wm::FeedbackModel::kCollisionDetection);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.rounds, 0);  // counter starts at 0: transmits at once, alone
+}

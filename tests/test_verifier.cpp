@@ -1,0 +1,139 @@
+#include "combinatorics/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+namespace {
+
+/// Round-robin family: n singletons — trivially (n,k)-selective for any k.
+wc::SelectiveFamily singleton_family(std::uint32_t n, std::uint32_t k) {
+  std::vector<wc::TransmissionSet> sets;
+  for (wc::Station u = 0; u < n; ++u) sets.push_back(wc::TransmissionSet::singleton(n, u));
+  return wc::SelectiveFamily(wc::FamilyParams{n, k}, std::move(sets), "singletons");
+}
+
+/// A family that is NOT selective: only the universe set (any |X| >= 2 fails).
+wc::SelectiveFamily universe_only_family(std::uint32_t n, std::uint32_t k) {
+  std::vector<wc::TransmissionSet> sets;
+  sets.push_back(wc::TransmissionSet::universe_set(n));
+  return wc::SelectiveFamily(wc::FamilyParams{n, k}, std::move(sets), "universe_only");
+}
+
+}  // namespace
+
+TEST(ForEachSubset, EnumeratesBinomialCount) {
+  std::uint64_t count = 0;
+  wc::for_each_subset(6, 3, [&](const std::vector<wc::Station>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 20u);  // C(6,3)
+}
+
+TEST(ForEachSubset, SubsetsAreSortedAndDistinct) {
+  std::set<std::vector<wc::Station>> seen;
+  wc::for_each_subset(7, 2, [&](const std::vector<wc::Station>& s) {
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_LT(s[0], s[1]);
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subset";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 21u);  // C(7,2)
+}
+
+TEST(ForEachSubset, EarlyAbort) {
+  std::uint64_t count = 0;
+  wc::for_each_subset(10, 2, [&](const std::vector<wc::Station>&) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ForEachSubset, DegenerateSizes) {
+  std::uint64_t count = 0;
+  auto counter = [&](const std::vector<wc::Station>&) {
+    ++count;
+    return true;
+  };
+  wc::for_each_subset(5, 0, counter);
+  EXPECT_EQ(count, 0u);
+  wc::for_each_subset(5, 6, counter);
+  EXPECT_EQ(count, 0u);
+  wc::for_each_subset(5, 5, counter);
+  EXPECT_EQ(count, 1u);  // the full set
+}
+
+TEST(RandomSubset, SizeAndDistinctness) {
+  wu::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = wc::random_subset(20, 7, rng);
+    EXPECT_EQ(s.size(), 7u);
+    std::set<wc::Station> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (wc::Station u : s) EXPECT_LT(u, 20u);
+  }
+}
+
+TEST(RandomSubset, FullUniverse) {
+  wu::Rng rng(5);
+  const auto s = wc::random_subset(5, 5, rng);
+  const std::vector<wc::Station> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(s, expected);
+}
+
+TEST(VerifyExhaustive, SingletonFamilyPasses) {
+  const auto fam = singleton_family(8, 4);
+  const auto report = wc::verify_exhaustive(fam);
+  EXPECT_TRUE(report.ok);
+  // sizes 2,3,4: C(8,2)+C(8,3)+C(8,4) = 28+56+70
+  EXPECT_EQ(report.subsets_checked, 154u);
+  EXPECT_FALSE(report.violation.has_value());
+}
+
+TEST(VerifyExhaustive, UniverseOnlyFamilyFails) {
+  const auto fam = universe_only_family(6, 4);
+  const auto report = wc::verify_exhaustive(fam);
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.violation.has_value());
+  EXPECT_GE(report.violation->subset.size(), 2u);
+}
+
+TEST(VerifySampled, SingletonFamilyPasses) {
+  const auto fam = singleton_family(50, 10);
+  wu::Rng rng(9);
+  const auto report = wc::verify_sampled(fam, 500, rng);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.subsets_checked, 500u);
+}
+
+TEST(VerifySampled, CatchesNonSelective) {
+  const auto fam = universe_only_family(50, 10);
+  wu::Rng rng(9);
+  const auto report = wc::verify_sampled(fam, 200, rng);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(VerifyStrongExhaustive, SingletonFamilyIsStronglySelective) {
+  const auto fam = singleton_family(7, 3);
+  const auto report = wc::verify_strong_exhaustive(fam);
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(VerifyStrongExhaustive, DetectsWeakOnlyFamily) {
+  // Universe set + singletons {0..n-2}: weakly selective (every pair
+  // {a, n-1} is isolated via {a}; every singleton via the universe set),
+  // but NOT strongly selective — no set isolates n-1 out of {a, n-1}.
+  const std::uint32_t n = 5;
+  std::vector<wc::TransmissionSet> sets;
+  sets.push_back(wc::TransmissionSet::universe_set(n));
+  for (wc::Station u = 0; u + 1 < n; ++u) sets.push_back(wc::TransmissionSet::singleton(n, u));
+  wc::SelectiveFamily fam(wc::FamilyParams{n, 2}, std::move(sets), "weak");
+
+  EXPECT_TRUE(wc::verify_exhaustive(fam).ok);            // weakly selective: ok
+  EXPECT_FALSE(wc::verify_strong_exhaustive(fam).ok);    // strongly: fails
+}

@@ -1,0 +1,134 @@
+#include "protocols/wait_and_go.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wc = wakeup::comb;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+namespace {
+
+std::shared_ptr<const wp::WaitAndGoProtocol> make_wag(std::uint32_t n, std::uint32_t k,
+                                                      std::uint64_t seed = 3) {
+  return std::static_pointer_cast<const wp::WaitAndGoProtocol>(
+      wp::make_wait_and_go(n, k, wc::FamilyKind::kRandomized, seed));
+}
+
+}  // namespace
+
+TEST(WaitAndGo, SilentUntilNextFamilyStart) {
+  const auto protocol = make_wag(64, 8);
+  const auto& sched = protocol->schedule();
+  for (wm::Slot wake : {0, 1, 5, 17, 101}) {
+    auto rt = protocol->make_runtime(7, wake);
+    const auto go =
+        static_cast<wm::Slot>(sched.next_family_start(static_cast<std::uint64_t>(wake)));
+    for (wm::Slot t = wake; t < go; ++t) {
+      EXPECT_FALSE(rt->transmits(t)) << "wake=" << wake << " t=" << t;
+    }
+    // From go onward, follows the cyclic schedule.
+    for (wm::Slot t = go; t < go + 50; ++t) {
+      EXPECT_EQ(rt->transmits(t), sched.transmits(7, static_cast<std::uint64_t>(t)))
+          << "wake=" << wake << " t=" << t;
+    }
+  }
+}
+
+TEST(WaitAndGo, WakeAtFamilyStartGoesImmediately) {
+  const auto protocol = make_wag(64, 8);
+  const auto& sched = protocol->schedule();
+  auto rt = protocol->make_runtime(9, 0);  // slot 0 is family 0's start
+  EXPECT_EQ(rt->transmits(0), sched.transmits(9, 0));
+}
+
+TEST(WaitAndGo, SimultaneousWithinBound) {
+  const std::uint32_t n = 256;
+  wu::Rng rng(21);
+  for (std::uint32_t k : {2u, 8u, 32u}) {
+    const auto protocol = make_wag(n, k);
+    const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
+    const auto result = run(*protocol, pattern);
+    ASSERT_TRUE(result.success) << "k=" << k;
+    // One full pass of the schedule suffices from a family start; waiting
+    // can add at most a period. 2 periods + slack.
+    EXPECT_LE(static_cast<std::uint64_t>(result.rounds), 2 * protocol->schedule().period() + 4)
+        << "k=" << k;
+  }
+}
+
+TEST(WaitAndGo, StaggeredArrivalsFreezeFamilies) {
+  // Key §4 invariant: stations joining mid-family wait, so each family's
+  // participant set is stable — success within two periods regardless of
+  // the arrival pattern (as long as arrivals fit within k).
+  const std::uint32_t n = 128, k = 8;
+  const auto protocol = make_wag(n, k, 31);
+  wu::Rng rng(31);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto pattern = wm::patterns::generate(kind, n, k, 0, rng);
+    const auto result = run(*protocol, pattern);
+    ASSERT_TRUE(result.success) << wm::patterns::kind_name(kind);
+    const auto envelope = static_cast<std::int64_t>(2 * protocol->schedule().period()) +
+                          pattern.last_wake() - pattern.first_wake() + 4;
+    EXPECT_LE(result.rounds, envelope) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(WaitAndGo, ScheduleDepthMatchesLogK) {
+  EXPECT_EQ(make_wag(256, 2)->schedule().family_count(), 1u);
+  EXPECT_EQ(make_wag(256, 8)->schedule().family_count(), 3u);
+  EXPECT_EQ(make_wag(256, 9)->schedule().family_count(), 4u);  // ceil(log2 9)
+  EXPECT_EQ(make_wag(256, 256)->schedule().family_count(), 8u);
+}
+
+TEST(WaitAndGo, RequiresK) {
+  const auto protocol = make_wag(64, 8);
+  EXPECT_TRUE(protocol->requirements().needs_k);
+  EXPECT_FALSE(protocol->requirements().needs_start_time);
+  EXPECT_EQ(protocol->name(), "wait_and_go");
+}
+
+TEST(WaitAndGo, FamilyParticipantSetFrozen) {
+  // The §4 correctness invariant: a station woken strictly after a family's
+  // first set has begun must not transmit during any set of that family
+  // instance — only from the next family boundary on.
+  const auto protocol = make_wag(64, 16, 41);
+  const auto& sched = protocol->schedule();
+  // Pick a wake time strictly inside family 1 of the first period.
+  const auto f1_start = static_cast<wm::Slot>(sched.family_start(1));
+  const auto f2_start = static_cast<wm::Slot>(sched.family_start(2));
+  ASSERT_GT(f2_start - f1_start, 2);
+  const wm::Slot wake = f1_start + 1;
+  for (wm::StationId u = 0; u < 64; u += 5) {
+    auto rt = protocol->make_runtime(u, wake);
+    for (wm::Slot t = wake; t < f2_start; ++t) {
+      EXPECT_FALSE(rt->transmits(t)) << "u=" << u << " transmitted inside the frozen family";
+    }
+  }
+}
+
+// Property: random arrival bursts with |X| <= k always resolve.
+class WaitAndGoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaitAndGoProperty, ResolvesWithinTwoPeriods) {
+  const std::uint64_t seed = GetParam();
+  wu::Rng rng(seed);
+  const std::uint32_t n = 64;
+  const std::uint32_t k = 8;
+  const auto actual = static_cast<std::uint32_t>(1 + rng.uniform(k));
+  const auto protocol = make_wag(n, k, seed);
+  const auto pattern =
+      wm::patterns::uniform_window(n, actual, 0, 4 * static_cast<wm::Slot>(actual), rng);
+  const auto result = run(*protocol, pattern);
+  ASSERT_TRUE(result.success) << "seed=" << seed;
+  EXPECT_LE(static_cast<std::uint64_t>(result.rounds),
+            2 * protocol->schedule().period() + static_cast<std::uint64_t>(pattern.last_wake()) + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaitAndGoProperty, ::testing::Range<std::uint64_t>(1, 16));

@@ -1,0 +1,137 @@
+#include "mac/wake_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+
+TEST(WakePattern, SortsByWakeThenId) {
+  wm::WakePattern p(10, {{3, 5}, {1, 2}, {2, 5}, {9, 0}});
+  ASSERT_EQ(p.k(), 4u);
+  EXPECT_EQ(p.arrivals()[0].station, 9u);
+  EXPECT_EQ(p.arrivals()[1].station, 1u);
+  EXPECT_EQ(p.arrivals()[2].station, 2u);  // tie at wake 5: lower id first
+  EXPECT_EQ(p.arrivals()[3].station, 3u);
+  EXPECT_EQ(p.first_wake(), 0);
+  EXPECT_EQ(p.last_wake(), 5);
+}
+
+TEST(WakePattern, RejectsDuplicateStation) {
+  EXPECT_THROW(wm::WakePattern(10, {{3, 0}, {3, 1}}), std::invalid_argument);
+}
+
+TEST(WakePattern, RejectsOutOfRangeStation) {
+  EXPECT_THROW(wm::WakePattern(10, {{10, 0}}), std::invalid_argument);
+}
+
+TEST(WakePattern, RejectsNegativeWake) {
+  EXPECT_THROW(wm::WakePattern(10, {{1, -1}}), std::invalid_argument);
+}
+
+TEST(WakePattern, EmptyPattern) {
+  wm::WakePattern p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.first_wake(), 0);
+}
+
+namespace {
+
+void expect_valid_shape(const wm::WakePattern& p, std::uint32_t n, std::uint32_t k,
+                        wm::Slot s) {
+  EXPECT_EQ(p.n(), n);
+  EXPECT_EQ(p.k(), k);
+  EXPECT_EQ(p.first_wake(), s);  // all generators anchor the first wake at s
+  std::set<wm::StationId> ids;
+  for (const auto& a : p.arrivals()) {
+    EXPECT_LT(a.station, n);
+    EXPECT_GE(a.wake, s);
+    ids.insert(a.station);
+  }
+  EXPECT_EQ(ids.size(), k);
+}
+
+}  // namespace
+
+TEST(Patterns, Simultaneous) {
+  wu::Rng rng(1);
+  const auto p = wm::patterns::simultaneous(100, 10, 7, rng);
+  expect_valid_shape(p, 100, 10, 7);
+  for (const auto& a : p.arrivals()) EXPECT_EQ(a.wake, 7);
+}
+
+TEST(Patterns, UniformWindowAnchorsFirstWake) {
+  wu::Rng rng(2);
+  const auto p = wm::patterns::uniform_window(100, 10, 5, 40, rng);
+  expect_valid_shape(p, 100, 10, 5);
+  for (const auto& a : p.arrivals()) EXPECT_LT(a.wake, 5 + 40);
+}
+
+TEST(Patterns, BatchedStructure) {
+  wu::Rng rng(3);
+  const auto p = wm::patterns::batched(100, 12, 0, 4, 10, rng);
+  expect_valid_shape(p, 100, 12, 0);
+  // All wakes land on batch boundaries 0, 10, 20, 30.
+  for (const auto& a : p.arrivals()) {
+    EXPECT_EQ(a.wake % 10, 0);
+    EXPECT_LE(a.wake, 30);
+  }
+}
+
+TEST(Patterns, StaggeredGaps) {
+  wu::Rng rng(4);
+  const auto p = wm::patterns::staggered(100, 5, 2, 3, rng);
+  expect_valid_shape(p, 100, 5, 2);
+  for (std::size_t i = 0; i < p.k(); ++i) {
+    EXPECT_EQ(p.arrivals()[i].wake, 2 + static_cast<wm::Slot>(i) * 3);
+  }
+}
+
+TEST(Patterns, PoissonMonotoneWakes) {
+  wu::Rng rng(5);
+  const auto p = wm::patterns::poisson(100, 20, 0, 2.0, rng);
+  expect_valid_shape(p, 100, 20, 0);
+  for (std::size_t i = 1; i < p.k(); ++i) {
+    EXPECT_GE(p.arrivals()[i].wake, p.arrivals()[i - 1].wake);
+  }
+}
+
+TEST(Patterns, ExponentialSpread) {
+  wu::Rng rng(6);
+  const auto p = wm::patterns::exponential_spread(100, 6, 1, rng);
+  expect_valid_shape(p, 100, 6, 1);
+  // Wakes at s + {0, 1, 2, 4, 8, 16}.
+  const std::vector<wm::Slot> expected = {1, 2, 3, 5, 9, 17};
+  for (std::size_t i = 0; i < p.k(); ++i) EXPECT_EQ(p.arrivals()[i].wake, expected[i]);
+}
+
+TEST(Patterns, KClampedToN) {
+  wu::Rng rng(7);
+  const auto p = wm::patterns::simultaneous(5, 50, 0, rng);
+  EXPECT_EQ(p.k(), 5u);
+}
+
+TEST(Patterns, GenerateCoversAllKinds) {
+  wu::Rng rng(8);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto p = wm::patterns::generate(kind, 64, 8, 3, rng);
+    EXPECT_EQ(p.k(), 8u) << wm::patterns::kind_name(kind);
+    EXPECT_EQ(p.first_wake(), 3) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(Patterns, KindNamesDistinct) {
+  std::set<std::string> names;
+  for (const auto kind : wm::patterns::all_kinds()) {
+    EXPECT_TRUE(names.insert(wm::patterns::kind_name(kind)).second);
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Patterns, DeterministicForSeed) {
+  wu::Rng a(9), b(9);
+  const auto pa = wm::patterns::uniform_window(100, 10, 0, 50, a);
+  const auto pb = wm::patterns::uniform_window(100, 10, 0, 50, b);
+  EXPECT_EQ(pa.arrivals(), pb.arrivals());
+}

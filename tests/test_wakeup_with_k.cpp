@@ -1,0 +1,91 @@
+#include "protocols/wakeup_with_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/interleaved.hpp"
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wc = wakeup::comb;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(WakeupWithK, NameAndRequirements) {
+  const auto protocol = wp::make_wakeup_with_k(64, 8, wc::FamilyKind::kRandomized, 1);
+  EXPECT_EQ(protocol->name(), "wakeup_with_k");
+  EXPECT_TRUE(protocol->requirements().needs_k);
+  EXPECT_FALSE(protocol->requirements().needs_start_time);
+  EXPECT_FALSE(protocol->requirements().randomized);
+}
+
+TEST(WakeupWithK, EvenSlotsAreRoundRobin) {
+  const std::uint32_t n = 16;
+  const auto protocol = wp::make_wakeup_with_k(n, 4, wc::FamilyKind::kRandomized, 1);
+  for (wm::StationId u : {0u, 5u, 15u}) {
+    auto rt = protocol->make_runtime(u, 0);
+    for (wm::Slot t = 0; t < 128; ++t) {
+      const bool tx = rt->transmits(t);
+      if (t % 2 == 0) {
+        EXPECT_EQ(tx, (t / 2) % n == static_cast<wm::Slot>(u)) << "u=" << u << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(WakeupWithK, BoundAcrossKAndPatterns) {
+  const std::uint32_t n = 256;
+  wu::Rng rng(23);
+  for (std::uint32_t k : {2u, 8u, 32u, 128u}) {
+    const auto protocol = wp::make_wakeup_with_k(n, k, wc::FamilyKind::kRandomized, 5);
+    for (const auto kind : wm::patterns::all_kinds()) {
+      const auto pattern = wm::patterns::generate(kind, n, k, 0, rng);
+      const auto result = run(*protocol, pattern);
+      ASSERT_TRUE(result.success) << "k=" << k << " " << wm::patterns::kind_name(kind);
+      // RR half caps everything at ~2n; spread patterns add their span.
+      const auto envelope = static_cast<std::int64_t>(2 * n) + 2 * pattern.last_wake() + 4;
+      EXPECT_LE(result.rounds, envelope) << "k=" << k << " " << wm::patterns::kind_name(kind);
+    }
+  }
+}
+
+TEST(WakeupWithK, HonestKSmallerThanBound) {
+  // Fewer actual arrivals than the known bound k is always legal.
+  const std::uint32_t n = 128;
+  const auto protocol = wp::make_wakeup_with_k(n, 32, wc::FamilyKind::kRandomized, 9);
+  const auto result = run(*protocol, make_pattern(n, {{4, 0}, {90, 7}}));
+  EXPECT_TRUE(result.success);
+}
+
+TEST(WakeupWithK, KEqualsN) {
+  const std::uint32_t n = 32;
+  const auto protocol = wp::make_wakeup_with_k(n, n, wc::FamilyKind::kRandomized, 9);
+  std::vector<wm::Arrival> arrivals;
+  for (wm::StationId u = 0; u < n; ++u) arrivals.push_back({u, 0});
+  const auto result = run(*protocol, wm::WakePattern(n, std::move(arrivals)));
+  ASSERT_TRUE(result.success);
+  EXPECT_LE(result.rounds, static_cast<std::int64_t>(2 * n + 2));
+}
+
+TEST(WakeupWithK, ScenarioBScalingShape) {
+  // Mean rounds normalized by k log(n/k) stays bounded as k grows
+  // (constant-factor check of the Θ(k log(n/k)) claim, small-scale).
+  const std::uint32_t n = 512;
+  wu::Rng rng(29);
+  for (std::uint32_t k : {4u, 16u, 64u}) {
+    const auto protocol = wp::make_wakeup_with_k(n, k, wc::FamilyKind::kRandomized, 11);
+    double total = 0;
+    const int trials = 8;
+    for (int i = 0; i < trials; ++i) {
+      const auto pattern = wm::patterns::staggered(n, k, 0, 3, rng);
+      const auto result = run(*protocol, pattern);
+      ASSERT_TRUE(result.success);
+      total += static_cast<double>(result.rounds);
+    }
+    const double norm = (total / trials) / wu::scenario_ab_bound(n, k);
+    EXPECT_LT(norm, 40.0) << "k=" << k;  // constant-bounded, generous slack
+  }
+}

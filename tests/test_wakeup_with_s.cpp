@@ -1,0 +1,114 @@
+#include "protocols/wakeup_with_s.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wp = wakeup::proto;
+namespace wc = wakeup::comb;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+using wakeup::test::make_pattern;
+using wakeup::test::run;
+
+TEST(WakeupWithS, EvenOffsetsAreRoundRobin) {
+  const auto protocol = wp::make_wakeup_with_s(16, /*s=*/4, wc::FamilyKind::kRandomized, 1);
+  // Station u transmits at t with (t-s) even iff (t-s)/2 ≡ u (mod n).
+  for (wm::StationId u : {0u, 7u, 15u}) {
+    auto rt = protocol->make_runtime(u, 4);
+    for (wm::Slot t = 4; t < 200; ++t) {
+      if ((t - 4) % 2 == 0) {
+        const wm::Slot v = (t - 4) / 2;
+        EXPECT_EQ(rt->transmits(t), v % 16 == static_cast<wm::Slot>(u)) << "u=" << u << " t=" << t;
+      } else {
+        (void)rt->transmits(t);  // advance odd half too (contract: every slot)
+      }
+    }
+  }
+}
+
+TEST(WakeupWithS, LateWakersOnlyRunRoundRobinHalf) {
+  const auto protocol = wp::make_wakeup_with_s(16, /*s=*/0, wc::FamilyKind::kRandomized, 1);
+  auto rt = protocol->make_runtime(3, /*wake=*/5);  // woke after s
+  for (wm::Slot t = 5; t < 300; ++t) {
+    const bool tx = rt->transmits(t);
+    if (t % 2 != 0) {
+      EXPECT_FALSE(tx) << "late waker transmitted in SATF half, t=" << t;
+    }
+  }
+}
+
+TEST(WakeupWithS, OptimalBoundAcrossK) {
+  const std::uint32_t n = 256;
+  wu::Rng rng(11);
+  for (std::uint32_t k : {1u, 2u, 8u, 32u, 128u, 256u}) {
+    const auto protocol = wp::make_wakeup_with_s(n, 0, wc::FamilyKind::kRandomized, 3);
+    const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
+    const auto result = run(*protocol, pattern);
+    ASSERT_TRUE(result.success) << "k=" << k;
+    // Interleaving doubles; min with RR's 2(n-k+1) caps the large-k end.
+    const double satf_bound = 2.0 * 8.0 * 6.0 * wu::scenario_ab_bound(n, k);
+    const double rr_bound = 2.0 * static_cast<double>(n - k + 1) + 2.0;
+    EXPECT_LE(static_cast<double>(result.rounds), std::max(2.0, std::min(satf_bound, rr_bound)))
+        << "k=" << k;
+  }
+}
+
+TEST(WakeupWithS, LargeKRoundRobinHalfWins) {
+  // k = n: RR half must succeed within ~2n slots even though the SATF half
+  // is drowning in collisions.
+  const std::uint32_t n = 64;
+  const auto protocol = wp::make_wakeup_with_s(n, 0, wc::FamilyKind::kRandomized, 5);
+  std::vector<wm::Arrival> arrivals;
+  for (wm::StationId u = 0; u < n; ++u) arrivals.push_back({u, 0});
+  const auto result = run(*protocol, wm::WakePattern(n, std::move(arrivals)));
+  ASSERT_TRUE(result.success);
+  EXPECT_LE(result.rounds, static_cast<std::int64_t>(2 * n + 2));
+}
+
+TEST(WakeupWithS, MixedArrivalsStillSucceed) {
+  const std::uint32_t n = 128;
+  wu::Rng rng(13);
+  for (const auto kind : wm::patterns::all_kinds()) {
+    const auto protocol = wp::make_wakeup_with_s(n, 2, wc::FamilyKind::kRandomized, 7);
+    const auto pattern = wm::patterns::generate(kind, n, 16, 2, rng);
+    const auto result = run(*protocol, pattern);
+    EXPECT_TRUE(result.success) << wm::patterns::kind_name(kind);
+  }
+}
+
+TEST(WakeupWithS, SingleStation) {
+  const auto protocol = wp::make_wakeup_with_s(32, 9, wc::FamilyKind::kRandomized, 1);
+  const auto result = run(*protocol, make_pattern(32, {{17, 9}}));
+  ASSERT_TRUE(result.success);
+  // Universe set opens the (n,2) family: first SATF slot fires alone, and
+  // the RR half may even beat it; either way wake-up is immediate-ish.
+  EXPECT_LE(result.rounds, 2 * 32);
+}
+
+TEST(WakeupWithS, RequirementsAndName) {
+  const auto protocol = wp::make_wakeup_with_s(16, 0, wc::FamilyKind::kRandomized, 1);
+  EXPECT_TRUE(protocol->requirements().needs_start_time);
+  EXPECT_FALSE(protocol->requirements().needs_k);
+  EXPECT_EQ(protocol->name(), "wakeup_with_s");
+}
+
+// Property: across seeds and small shapes, wakeup_with_s always succeeds
+// within the generous Scenario A envelope.
+class WakeupWithSProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WakeupWithSProperty, AlwaysWithinEnvelope) {
+  const std::uint64_t seed = GetParam();
+  wu::Rng rng(seed);
+  const std::uint32_t n = 64;
+  const auto k = static_cast<std::uint32_t>(1 + rng.uniform(n));
+  const auto protocol = wp::make_wakeup_with_s(n, 0, wc::FamilyKind::kRandomized, seed);
+  const auto pattern = wm::patterns::uniform_window(n, k, 0, 3 * static_cast<wm::Slot>(k), rng);
+  const auto result = run(*protocol, pattern);
+  ASSERT_TRUE(result.success) << "seed=" << seed << " k=" << k;
+  EXPECT_LE(result.rounds, static_cast<std::int64_t>(2 * n + 2)) << "RR half caps the cost";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WakeupWithSProperty, ::testing::Range<std::uint64_t>(1, 16));

@@ -1,0 +1,139 @@
+#include "combinatorics/waking_verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wc = wakeup::comb;
+namespace wu = wakeup::util;
+
+namespace {
+
+wc::LazyTransmissionMatrix matrix_for(std::uint32_t n, unsigned c, std::uint64_t seed) {
+  return wc::LazyTransmissionMatrix(wc::MatrixParams::make(n, c), seed);
+}
+
+}  // namespace
+
+TEST(WakingVerifier, EmptyPatternNotIsolated) {
+  const auto m = matrix_for(16, 2, 1);
+  const auto r = wc::find_isolation_slot(m, {}, 1000);
+  EXPECT_FALSE(r.isolated);
+  EXPECT_EQ(r.rounds, -1);
+}
+
+TEST(WakingVerifier, SingleStationIsolatesQuickly) {
+  const auto m = matrix_for(16, 2, 1);
+  const auto r = wc::find_isolation_slot(m, {{3, 0}}, 10000);
+  ASSERT_TRUE(r.isolated);
+  EXPECT_EQ(r.winner, 3u);
+  // A lone station is isolated at its first row-1 membership: expected wait
+  // 2^(1+rho) slots; give a generous cap.
+  EXPECT_LT(r.rounds, 200);
+}
+
+TEST(WakingVerifier, SimultaneousPairIsolates) {
+  const auto m = matrix_for(16, 2, 7);
+  const auto r = wc::find_isolation_slot(m, {{2, 0}, {9, 0}}, 100000);
+  ASSERT_TRUE(r.isolated);
+  EXPECT_TRUE(r.winner == 2 || r.winner == 9);
+  EXPECT_GE(r.slot, 0);
+  EXPECT_EQ(r.rounds, r.slot);
+}
+
+TEST(WakingVerifier, StaggeredGroupIsolatesWithinTheoryBoundTimesSlack) {
+  const std::uint32_t n = 64;
+  const auto m = matrix_for(n, 2, 11);
+  std::vector<wc::WakeEvent> wakes;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    wakes.push_back({static_cast<wc::Station>(i * 7), static_cast<std::int64_t>(i * 3 + 5)});
+  }
+  const auto r = wc::find_isolation_slot(m, wakes, 1 << 20);
+  ASSERT_TRUE(r.isolated);
+  const double bound = wu::scenario_c_bound(n, 8);
+  EXPECT_LT(static_cast<double>(r.rounds), 64.0 * bound);
+  // rounds measured from s = 5.
+  EXPECT_EQ(r.rounds, r.slot - 5);
+}
+
+TEST(WakingVerifier, TransmittersAtRespectsWaiting) {
+  const auto m = matrix_for(64, 2, 3);
+  const auto& p = m.params();
+  // Station woken at sigma with mu(sigma) > sigma transmits nothing before mu.
+  const std::int64_t sigma = 1;
+  ASSERT_GT(p.mu(sigma), sigma);
+  for (std::int64_t t = sigma; t < p.mu(sigma); ++t) {
+    EXPECT_TRUE(wc::transmitters_at(m, {{5, sigma}}, t).empty());
+  }
+}
+
+TEST(WakingVerifier, TransmittersAtIgnoresFutureWakers) {
+  const auto m = matrix_for(64, 2, 3);
+  // Station waking at 100 cannot transmit at t < 100.
+  for (std::int64_t t = 0; t < 100; t += 9) {
+    EXPECT_TRUE(wc::transmitters_at(m, {{5, 100}}, t).empty());
+  }
+}
+
+TEST(WakingVerifier, RowOccupancyPartitionsOperativeStations) {
+  const std::uint32_t n = 64;
+  const auto p = wc::MatrixParams::make(n, 2);
+  std::vector<wc::WakeEvent> wakes;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    wakes.push_back({static_cast<wc::Station>(i), static_cast<std::int64_t>(i * 11)});
+  }
+  for (std::int64_t t = 0; t < 500; t += 17) {
+    const auto occ = wc::row_occupancy(p, wakes, t);
+    ASSERT_EQ(occ.size(), p.rows + 1u);
+    std::uint32_t total = 0;
+    for (unsigned i = 1; i <= p.rows; ++i) total += occ[i];
+    // Total must equal the number of operative stations (t >= mu(wake)).
+    std::uint32_t operative = 0;
+    for (const auto& w : wakes) {
+      if (t >= p.mu(w.wake)) ++operative;
+    }
+    EXPECT_EQ(total, operative) << "t=" << t;
+  }
+}
+
+TEST(WakingVerifier, IsolationConsistentWithTransmittersAt) {
+  const auto m = matrix_for(32, 2, 21);
+  std::vector<wc::WakeEvent> wakes = {{1, 0}, {14, 2}, {27, 4}};
+  const auto r = wc::find_isolation_slot(m, wakes, 1 << 18);
+  ASSERT_TRUE(r.isolated);
+  const auto tx = wc::transmitters_at(m, wakes, r.slot);
+  ASSERT_EQ(tx.size(), 1u);
+  EXPECT_EQ(tx.front(), r.winner);
+  // No earlier slot had a unique transmitter.
+  for (std::int64_t t = 0; t < r.slot; ++t) {
+    EXPECT_NE(wc::transmitters_at(m, wakes, t).size(), 1u) << "t=" << t;
+  }
+}
+
+// Property sweep: random small patterns always isolate within a generous
+// multiple of the Theorem 5.3 bound.
+class WakingMatrixProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WakingMatrixProperty, RandomPatternsIsolate) {
+  const std::uint64_t seed = GetParam();
+  wu::Rng rng(seed);
+  const std::uint32_t n = 32;
+  const auto m = matrix_for(n, 2, seed * 977 + 1);
+  const auto k = static_cast<std::uint32_t>(1 + rng.uniform(8));
+  std::vector<wc::WakeEvent> wakes;
+  std::vector<bool> used(n, false);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    wc::Station u;
+    do {
+      u = static_cast<wc::Station>(rng.uniform(n));
+    } while (used[u]);
+    used[u] = true;
+    wakes.push_back({u, static_cast<std::int64_t>(rng.uniform(64))});
+  }
+  const auto r = wc::find_isolation_slot(m, wakes, 1 << 20);
+  ASSERT_TRUE(r.isolated) << "seed=" << seed << " k=" << k;
+  EXPECT_LT(static_cast<double>(r.rounds), 64.0 * wu::scenario_c_bound(n, k))
+      << "seed=" << seed << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WakingMatrixProperty, ::testing::Range<std::uint64_t>(1, 21));
