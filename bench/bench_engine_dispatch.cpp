@@ -1,0 +1,96 @@
+/// E — engine dispatch: simulated slots/sec of the slot-by-slot
+/// interpreter vs the word-parallel batch engine on the same runs.
+///
+/// The headline cell is round_robin at n = 4096 with a sparse pattern, the
+/// worst case for the interpreter (one virtual call per station per slot
+/// over ~n slots) and the best case for 64-slot words; the other cells
+/// show the win on the paper's Scenario A/B/C algorithms.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace wakeup;
+
+namespace {
+
+struct EngineCell {
+  std::string protocol;
+  std::uint32_t n;
+  std::uint32_t k;
+  /// Contended patterns (simultaneous, big k) produce the long runs where
+  /// throughput matters; staggered is the sparse/short-run regime.
+  mac::patterns::Kind pattern;
+};
+
+struct EngineStats {
+  double slots_per_sec = 0;
+  std::uint64_t slots = 0;
+};
+
+EngineStats measure(const proto::Protocol& protocol, sim::Engine engine, const EngineCell& cell,
+                    std::uint64_t trials) {
+  sim::SimConfig config;
+  config.engine = engine;
+  std::uint64_t slots = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    util::Rng rng(util::hash_words({0x454e47ULL /* "ENG" */, trial}));
+    const auto pattern = mac::patterns::generate(cell.pattern, cell.n, cell.k, /*s=*/0, rng);
+    const auto result = sim::run_wakeup(protocol, pattern, config);
+    // Slots actually resolved: up to and including the success slot, or the
+    // whole budget on failure.
+    slots += result.success
+                 ? static_cast<std::uint64_t>(result.rounds + 1)
+                 : static_cast<std::uint64_t>(sim::auto_slot_budget(cell.n, cell.k));
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  EngineStats stats;
+  stats.slots = slots;
+  stats.slots_per_sec = elapsed.count() > 0 ? static_cast<double>(slots) / elapsed.count() : 0;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using mac::patterns::Kind;
+  const std::vector<EngineCell> cells = {
+      // The acceptance cell: sparse arrivals, ~n-slot runs — >= 10x expected.
+      {"round_robin", 4096, 16, Kind::kStaggered},
+      {"round_robin", 512, 8, Kind::kStaggered},
+      // Contended cells: long runs, the regime the scaling tables sweep.
+      {"wakeup_with_k", 4096, 512, Kind::kSimultaneous},
+      {"wakeup_with_s", 4096, 512, Kind::kSimultaneous},
+      {"wakeup_matrix", 1024, 64, Kind::kSimultaneous},
+      // Short-run counterpoint: schedule-word cost is all overhead here.
+      {"wakeup_with_k", 1024, 16, Kind::kStaggered},
+  };
+  const std::uint64_t trials = 48;
+
+  std::printf("%-16s %6s %4s | %13s %13s %13s | %7s %7s\n", "protocol", "n", "k", "interp sl/s",
+              "batch sl/s", "auto sl/s", "batch x", "auto x");
+  for (const auto& cell : cells) {
+    proto::ProtocolSpec spec;
+    spec.name = cell.protocol;
+    spec.n = cell.n;
+    spec.k = cell.k;
+    spec.seed = 20130522;
+    const auto protocol = proto::make_protocol_by_name(spec);
+
+    const auto interp = measure(*protocol, sim::Engine::kInterpreter, cell, trials);
+    const auto batch = measure(*protocol, sim::Engine::kBatch, cell, trials);
+    const auto hybrid = measure(*protocol, sim::Engine::kAuto, cell, trials);
+    const double batch_x =
+        interp.slots_per_sec > 0 ? batch.slots_per_sec / interp.slots_per_sec : 0;
+    const double auto_x =
+        interp.slots_per_sec > 0 ? hybrid.slots_per_sec / interp.slots_per_sec : 0;
+    std::printf("%-16s %6u %4u | %13.3e %13.3e %13.3e | %6.1fx %6.1fx\n", cell.protocol.c_str(),
+                cell.n, cell.k, interp.slots_per_sec, batch.slots_per_sec, hybrid.slots_per_sec,
+                batch_x, auto_x);
+  }
+  return 0;
+}

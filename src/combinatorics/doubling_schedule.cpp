@@ -27,6 +27,22 @@ bool DoublingSchedule::transmits(Station u, std::uint64_t idx) const noexcept {
   return families_[pos.family_index].transmits(u, static_cast<std::size_t>(pos.step));
 }
 
+std::uint64_t DoublingSchedule::schedule_word(Station u, std::uint64_t from) const noexcept {
+  Position pos = position(from);
+  const SelectiveFamily* fam = &families_[pos.family_index];
+  auto step = static_cast<std::size_t>(pos.step);
+  std::uint64_t word = 0;
+  for (unsigned j = 0; j < 64; ++j) {
+    if (fam->transmits(u, step)) word |= std::uint64_t{1} << j;
+    if (++step == fam->length()) {
+      pos.family_index = pos.family_index + 1 == families_.size() ? 0 : pos.family_index + 1;
+      fam = &families_[pos.family_index];
+      step = 0;
+    }
+  }
+  return word;
+}
+
 DoublingSchedule::Position DoublingSchedule::position(std::uint64_t idx) const noexcept {
   const std::uint64_t off = idx % period_;
   // starts_ is sorted; find the last start <= off.

@@ -48,6 +48,13 @@ class DoublingSchedule {
   /// Does station u transmit at schedule index `idx` (taken mod period)?
   [[nodiscard]] bool transmits(Station u, std::uint64_t idx) const noexcept;
 
+  /// Packs 64 consecutive schedule bits of station u starting at index
+  /// `from` into one word: bit j = transmits(u, from + j).  Walks the
+  /// family list incrementally instead of re-running position()'s binary
+  /// search per step — the word-parallel building block of the oblivious
+  /// schedule_block implementations.
+  [[nodiscard]] std::uint64_t schedule_word(Station u, std::uint64_t from) const noexcept;
+
   /// Is `idx mod period` the first set of some family?
   [[nodiscard]] bool is_family_start(std::uint64_t idx) const noexcept;
 

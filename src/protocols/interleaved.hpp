@@ -19,10 +19,14 @@
 
 namespace wakeup::proto {
 
-class InterleavedProtocol final : public Protocol {
+class InterleavedProtocol final : public Protocol, public ObliviousSchedule {
  public:
   InterleavedProtocol(ProtocolPtr even, ProtocolPtr odd, std::string label = {})
-      : even_(std::move(even)), odd_(std::move(odd)), label_(std::move(label)) {}
+      : even_(std::move(even)),
+        odd_(std::move(odd)),
+        even_sched_(even_->oblivious_schedule()),
+        odd_sched_(odd_->oblivious_schedule()),
+        label_(std::move(label)) {}
 
   [[nodiscard]] std::string name() const override {
     return label_.empty() ? "interleave(" + even_->name() + "," + odd_->name() + ")" : label_;
@@ -31,12 +35,26 @@ class InterleavedProtocol final : public Protocol {
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
 
+  /// Oblivious exactly when both components are: the interleaving of two
+  /// pure schedules is itself a pure schedule on the global slot axis.
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override {
+    return (even_sched_ != nullptr && odd_sched_ != nullptr) ? this : nullptr;
+  }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override;
+  [[nodiscard]] bool words_are_cheap() const override {
+    return even_sched_ != nullptr && odd_sched_ != nullptr && even_sched_->words_are_cheap() &&
+           odd_sched_->words_are_cheap();
+  }
+
   [[nodiscard]] const Protocol& even() const noexcept { return *even_; }
   [[nodiscard]] const Protocol& odd() const noexcept { return *odd_; }
 
  private:
   ProtocolPtr even_;
   ProtocolPtr odd_;
+  const ObliviousSchedule* even_sched_;
+  const ObliviousSchedule* odd_sched_;
   std::string label_;
 };
 

@@ -32,6 +32,7 @@ class SingleChannelAdapter final : public McProtocol {
                                                                Slot wake) const override {
     return std::make_unique<AdapterRuntime>(inner_->make_runtime(u, wake));
   }
+  [[nodiscard]] const Protocol* single_channel() const override { return inner_.get(); }
 
  private:
   ProtocolPtr inner_;

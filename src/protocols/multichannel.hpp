@@ -41,6 +41,11 @@ class McProtocol {
   [[nodiscard]] virtual std::uint32_t channels() const = 0;
   [[nodiscard]] virtual std::unique_ptr<McStationRuntime> make_runtime(StationId u,
                                                                        Slot wake) const = 0;
+  /// Non-null when the protocol is a single-channel protocol embedded on
+  /// channel 0 (the adapter below): the multichannel simulator then routes
+  /// the run through `sim::run_wakeup`'s engine dispatch, so oblivious
+  /// baselines get the word-parallel fast path too.
+  [[nodiscard]] virtual const Protocol* single_channel() const { return nullptr; }
 };
 
 using McProtocolPtr = std::shared_ptr<const McProtocol>;

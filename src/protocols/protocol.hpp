@@ -9,6 +9,7 @@
 /// Deterministic oblivious protocols (everything in the paper) ignore
 /// feedback; the hook exists for the randomized/adaptive extensions.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -51,6 +52,33 @@ class StationRuntime {
   }
 };
 
+/// Capability interface of deterministic, feedback-free ("oblivious")
+/// protocols: the whole transmission schedule of a station is a pure
+/// function of (station, wake slot), so it can be emitted as packed 64-slot
+/// bit blocks and resolved word-parallel by `sim::run_wakeup`'s batch
+/// engine instead of one virtual call per slot per station.
+class ObliviousSchedule {
+ public:
+  virtual ~ObliviousSchedule() = default;
+
+  /// Writes `n_words` consecutive 64-slot blocks of station `u`'s schedule
+  /// starting at slot `from`: bit j of out_words[w] covers slot
+  /// from + 64*w + j and must equal what a fresh `make_runtime(u, wake)`
+  /// runtime would answer from `transmits` at that slot, for every covered
+  /// slot >= wake.  Bits covering slots earlier than `wake` are
+  /// unspecified — callers must mask them out (the StationRuntime contract
+  /// never queries those slots either).
+  virtual void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                              std::size_t n_words) const = 0;
+
+  /// Cost class of schedule_block, used by the auto dispatch to size its
+  /// interpreted warm-up window.  True means a word costs a handful of bit
+  /// operations (round_robin's strided bits) so batching is always worth
+  /// it; false (default) means words walk per-slot tables or hashes, and
+  /// very short runs are better interpreted.
+  [[nodiscard]] virtual bool words_are_cheap() const { return false; }
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -63,6 +91,12 @@ class Protocol {
   /// Creates the execution state for station `u` woken at slot `wake`.
   [[nodiscard]] virtual std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                                      Slot wake) const = 0;
+
+  /// Non-null iff the protocol is oblivious (deterministic and
+  /// feedback-free), in which case the returned schedule must agree with
+  /// `make_runtime` bit for bit.  Adaptive/randomized protocols keep the
+  /// default and run through the slot-by-slot interpreter.
+  [[nodiscard]] virtual const ObliviousSchedule* oblivious_schedule() const { return nullptr; }
 };
 
 /// Protocols are immutable and shared across stations and trials.

@@ -13,7 +13,7 @@
 
 namespace wakeup::proto {
 
-class RoundRobinProtocol final : public Protocol {
+class RoundRobinProtocol final : public Protocol, public ObliviousSchedule {
  public:
   explicit RoundRobinProtocol(std::uint32_t n) : n_(n == 0 ? 1 : n) {}
 
@@ -21,6 +21,10 @@ class RoundRobinProtocol final : public Protocol {
   [[nodiscard]] Requirements requirements() const override { return {}; }
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override;
+  [[nodiscard]] bool words_are_cheap() const override { return true; }
 
   [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
 

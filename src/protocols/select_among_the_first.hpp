@@ -15,7 +15,7 @@
 
 namespace wakeup::proto {
 
-class SelectAmongTheFirstProtocol final : public Protocol {
+class SelectAmongTheFirstProtocol final : public Protocol, public ObliviousSchedule {
  public:
   /// `schedule` must be the doubling concatenation built for universe n;
   /// `s` is the known first wake slot.
@@ -30,6 +30,9 @@ class SelectAmongTheFirstProtocol final : public Protocol {
   }
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override;
 
   [[nodiscard]] Slot s() const noexcept { return s_; }
   [[nodiscard]] const comb::DoublingSchedule& schedule() const noexcept { return *schedule_; }

@@ -16,7 +16,7 @@
 
 namespace wakeup::proto {
 
-class WaitAndGoProtocol final : public Protocol {
+class WaitAndGoProtocol final : public Protocol, public ObliviousSchedule {
  public:
   explicit WaitAndGoProtocol(comb::DoublingSchedulePtr schedule)
       : schedule_(std::move(schedule)) {}
@@ -29,6 +29,9 @@ class WaitAndGoProtocol final : public Protocol {
   }
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override;
 
   [[nodiscard]] const comb::DoublingSchedule& schedule() const noexcept { return *schedule_; }
 

@@ -44,4 +44,36 @@ std::unique_ptr<StationRuntime> WakeupMatrixProtocol::make_runtime(StationId u, 
   return std::make_unique<WakeupMatrixRuntime>(u, wake, matrix_);
 }
 
+void WakeupMatrixProtocol::schedule_block(StationId u, Slot wake, Slot from,
+                                          std::uint64_t* out_words, std::size_t n_words) const {
+  const auto& p = matrix_.params();
+  const Slot operative = p.mu(wake);
+  // Row state at the first queried slot: the runtime's scan walks rows
+  // 1..rows cyclically with durations m(i) starting at `operative`, so the
+  // state at any slot is recoverable by reducing the elapsed time modulo
+  // one full scan and replaying the prefix.
+  unsigned row = 1;
+  Slot row_end = operative + static_cast<Slot>(p.m(1));
+  const auto scan = static_cast<Slot>(p.total_scan());
+  Slot t = from;
+  if (t > operative && scan > 0) {
+    const Slot skipped = ((t - operative) / scan) * scan;
+    row_end += skipped;  // whole scans carry no row-state change
+  }
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint64_t word = 0;
+    for (unsigned j = 0; j < 64; ++j, ++t) {
+      if (t < operative) continue;  // waiting for the window boundary
+      while (t >= row_end) {
+        row = row < p.rows ? row + 1 : 1;  // wrap: restart the scan
+        row_end += static_cast<Slot>(p.m(row));
+      }
+      if (matrix_.contains(row, static_cast<std::uint64_t>(t), u)) {
+        word |= std::uint64_t{1} << j;
+      }
+    }
+    out_words[w] = word;
+  }
+}
+
 }  // namespace wakeup::proto

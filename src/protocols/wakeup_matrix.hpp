@@ -18,7 +18,7 @@
 
 namespace wakeup::proto {
 
-class WakeupMatrixProtocol final : public Protocol {
+class WakeupMatrixProtocol final : public Protocol, public ObliviousSchedule {
  public:
   /// `c` is the §5.1 constant (schedule pacing and matrix length); `seed`
   /// instantiates the random matrix.
@@ -32,6 +32,9 @@ class WakeupMatrixProtocol final : public Protocol {
   [[nodiscard]] Requirements requirements() const override { return {}; }  // knows only n
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override;
 
   [[nodiscard]] const comb::LazyTransmissionMatrix& matrix() const noexcept { return matrix_; }
 

@@ -19,7 +19,7 @@
 
 namespace wakeup::proto {
 
-class WakeupWithSProtocol final : public Protocol {
+class WakeupWithSProtocol final : public Protocol, public ObliviousSchedule {
  public:
   WakeupWithSProtocol(Slot s, comb::DoublingSchedulePtr schedule)
       : s_(s), schedule_(std::move(schedule)) {}
@@ -32,6 +32,9 @@ class WakeupWithSProtocol final : public Protocol {
   }
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override;
 
   [[nodiscard]] Slot s() const noexcept { return s_; }
   [[nodiscard]] const comb::DoublingSchedule& schedule() const noexcept { return *schedule_; }

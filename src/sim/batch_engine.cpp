@@ -1,0 +1,199 @@
+#include "sim/batch_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/interpreter.hpp"
+
+namespace wakeup::sim {
+
+bool batch_engine_supports(const proto::Protocol& protocol, const SimConfig& config) {
+  return protocol.oblivious_schedule() != nullptr && !config.record_trace;
+}
+
+namespace {
+
+/// Block-wise core.  `start` is the first slot to resolve (>= s; arrivals
+/// before it join immediately) and `carry` holds outcome counters already
+/// accumulated by a warm-up prefix [s, start) run elsewhere.
+SimResult run_batch_from(const proto::ObliviousSchedule& schedule,
+                         const mac::WakePattern& pattern, const SimConfig& config,
+                         mac::Slot start, const SimResult* carry) {
+  SimResult result;
+  if (pattern.empty()) return result;
+
+  struct Active {
+    mac::StationId id;
+    mac::Slot wake;
+    std::uint64_t word = 0;  ///< schedule bits for the current block
+    bool done = false;       ///< full-resolution: already delivered
+  };
+
+  const auto& arrivals = pattern.arrivals();  // sorted by wake
+  const mac::Slot s = pattern.first_wake();
+  result.s = s;
+
+  mac::Slot budget = config.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+  const mac::Slot end = s + budget;  // exclusive
+
+  std::vector<Active> active;
+  active.reserve(pattern.k());
+  std::size_t next_arrival = 0;
+  std::size_t remaining = pattern.k();
+  std::uint64_t silences = carry != nullptr ? carry->silences : 0;
+  std::uint64_t collisions = carry != nullptr ? carry->collisions : 0;
+  std::uint64_t successes = carry != nullptr ? carry->successes : 0;
+  bool halted = false;
+
+  for (mac::Slot b = start; b < end && !halted; b += 64) {
+    const mac::Slot block_end = std::min<mac::Slot>(b + 64, end);
+
+    // Admit every station that wakes inside this block; bits of its word
+    // before the wake slot are masked off below.
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < block_end) {
+      const auto& a = arrivals[next_arrival];
+      active.push_back(Active{a.station, a.wake});
+      ++next_arrival;
+    }
+
+    // One schedule word per live station, then the two-pass OR reduction:
+    // after the loop, `any` has a bit where >= 1 station transmits and
+    // `multi` where >= 2 do.
+    std::uint64_t any = 0;
+    std::uint64_t multi = 0;
+    for (Active& st : active) {
+      if (st.done) {
+        st.word = 0;
+        continue;
+      }
+      std::uint64_t w = 0;
+      schedule.schedule_block(st.id, st.wake, b, &w, 1);
+      if (st.wake > b) w &= ~std::uint64_t{0} << (st.wake - b);
+      st.word = w;
+      multi |= any & w;
+      any |= w;
+    }
+
+    const unsigned width = static_cast<unsigned>(block_end - b);
+    std::uint64_t pending =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+
+    while (pending != 0) {
+      const std::uint64_t succ = any & ~multi & pending;
+      if (succ == 0) {
+        silences += static_cast<std::uint64_t>(std::popcount(~any & pending));
+        collisions += static_cast<std::uint64_t>(std::popcount(multi & pending));
+        break;
+      }
+      // Count outcomes up to and including the first success slot, exactly
+      // like the interpreter which stops right after processing it.
+      const unsigned j = static_cast<unsigned>(std::countr_zero(succ));
+      const std::uint64_t upto =
+          j == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (j + 1)) - 1;
+      const std::uint64_t segment = pending & upto;
+      silences += static_cast<std::uint64_t>(std::popcount(~any & segment));
+      collisions += static_cast<std::uint64_t>(std::popcount(multi & segment));
+      ++successes;
+      pending &= ~upto;
+
+      const mac::Slot t = b + static_cast<mac::Slot>(j);
+      mac::StationId winner = 0;
+      for (const Active& st : active) {
+        if (!st.done && ((st.word >> j) & 1u) != 0) {
+          winner = st.id;
+          break;
+        }
+      }
+      if (!result.success) {
+        result.success = true;
+        result.success_slot = t;
+        result.rounds = t - s;
+        result.winner = winner;
+      }
+      if (!config.full_resolution) {
+        halted = true;
+        break;
+      }
+
+      // Full resolution: the winner leaves the channel; re-resolve the rest
+      // of the block without it.
+      for (Active& st : active) {
+        if (st.id == winner) st.done = true;
+      }
+      --remaining;
+      if (remaining == 0 && next_arrival == arrivals.size()) {
+        result.completed = true;
+        result.completion_slot = t;
+        result.completion_rounds = t - s;
+        halted = true;
+        break;
+      }
+      any = 0;
+      multi = 0;
+      for (const Active& st : active) {
+        if (st.done) continue;
+        multi |= any & st.word;
+        any |= st.word;
+      }
+    }
+  }
+
+  result.silences = silences;
+  result.collisions = collisions;
+  result.successes = successes;
+  return result;
+}
+
+}  // namespace
+
+SimResult run_wakeup_batch(const proto::Protocol& protocol, const mac::WakePattern& pattern,
+                           const SimConfig& config) {
+  const proto::ObliviousSchedule* schedule = protocol.oblivious_schedule();
+  if (!batch_engine_supports(protocol, config)) {
+    throw std::invalid_argument("batch engine requires an oblivious protocol and no trace");
+  }
+  return run_batch_from(*schedule, pattern, config, pattern.first_wake(), nullptr);
+}
+
+SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePattern& pattern,
+                            const SimConfig& config) {
+  const proto::ObliviousSchedule* schedule = protocol.oblivious_schedule();
+  if (!batch_engine_supports(protocol, config)) {
+    throw std::invalid_argument("batch engine requires an oblivious protocol and no trace");
+  }
+  if (pattern.empty()) return {};
+  // Full resolution drains successes across many blocks anyway; the warm-up
+  // bookkeeping (departed winners) is not worth carrying over.
+  if (config.full_resolution) {
+    return run_batch_from(*schedule, pattern, config, pattern.first_wake(), nullptr);
+  }
+
+  mac::Slot budget = config.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+
+  // Cheap-word schedules (strided bits) batch profitably from slot one.
+  if (schedule->words_are_cheap()) {
+    return run_batch_from(*schedule, pattern, config, pattern.first_wake(), nullptr);
+  }
+
+  // Expensive-word schedules get an interpreted warm-up block first: the
+  // paper's near-optimal protocols often resolve contention within a few
+  // slots, where a full 64-slot table- or hash-walking word per station
+  // would be pure waste.
+  constexpr mac::Slot kWarmupSlots = 64;
+  SimConfig warm_config = config;
+  warm_config.max_slots = std::min<mac::Slot>(kWarmupSlots, budget);
+  const SimResult warm = run_wakeup_interpreter(protocol, pattern, warm_config);
+  if (warm.success || budget <= kWarmupSlots) return warm;
+
+  // No success in the warm-up: continue word-parallel with carried counters.
+  SimConfig rest_config = config;
+  rest_config.max_slots = budget;  // pin the budget the warm-up was cut from
+  return run_batch_from(*schedule, pattern, rest_config, pattern.first_wake() + kWarmupSlots,
+                        &warm);
+}
+
+}  // namespace wakeup::sim

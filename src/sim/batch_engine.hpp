@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file batch_engine.hpp
+/// Word-parallel back-end of `run_wakeup` for oblivious protocols.
+///
+/// Advances 64 slots per step: each active station contributes one 64-bit
+/// schedule word per block (`proto::ObliviousSchedule::schedule_block`), and
+/// the channel is resolved for the whole block with two OR passes —
+/// `any` (some station transmits) and `multi` (two or more do) — so
+/// silence = ~any, collision = multi, success = any & ~multi, all located
+/// with count-limited ctz/popcount scans.  Produces bit-identical
+/// `SimResult`s to the slot-by-slot interpreter (asserted by
+/// tests/test_engine_equivalence.cpp); traces are not supported, the
+/// dispatcher falls back to the interpreter for those.
+
+#include "sim/simulator.hpp"
+
+namespace wakeup::sim {
+
+/// Can `run_wakeup_batch` execute this (protocol, config) pair?
+/// Requires an oblivious schedule and no trace recording.
+[[nodiscard]] bool batch_engine_supports(const proto::Protocol& protocol,
+                                         const SimConfig& config);
+
+/// Runs `protocol` against `pattern` 64 slots at a time.  Preconditions:
+/// `batch_engine_supports(protocol, config)`; throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] SimResult run_wakeup_batch(const proto::Protocol& protocol,
+                                         const mac::WakePattern& pattern,
+                                         const SimConfig& config);
+
+/// The Engine::kAuto fast path: interprets the first 64-slot block (runs
+/// that resolve quickly never pay for schedule words they do not need),
+/// then continues word-parallel.  Same preconditions and bit-identical
+/// results as run_wakeup_batch.
+[[nodiscard]] SimResult run_wakeup_hybrid(const proto::Protocol& protocol,
+                                          const mac::WakePattern& pattern,
+                                          const SimConfig& config);
+
+}  // namespace wakeup::sim

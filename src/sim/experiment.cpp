@@ -23,6 +23,8 @@ CellResult run_cell(const CellSpec& spec, util::ThreadPool* pool) {
     util::Rng rng(seed);
     const mac::WakePattern pattern = spec.pattern(rng);
     const proto::ProtocolPtr protocol = spec.protocol(seed);
+    // Dispatches per spec.sim.engine: oblivious protocols hit the batch
+    // engine, adaptive/randomized ones the interpreter.
     const SimResult r = run_wakeup(*protocol, pattern, spec.sim);
     TrialOut& out = outs[i];
     out.success = r.success;

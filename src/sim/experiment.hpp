@@ -29,6 +29,9 @@ struct CellSpec {
   std::function<proto::ProtocolPtr(std::uint64_t seed)> protocol;
   /// Builds the wake pattern from the trial's RNG stream.
   std::function<mac::WakePattern(util::Rng& rng)> pattern;
+  /// Per-trial simulator configuration.  `sim.engine` flows through
+  /// run_wakeup's dispatch, so sweeps over oblivious protocols run on the
+  /// word-parallel batch engine by default (Engine::kAuto).
   SimConfig sim;
   std::uint64_t trials = 32;
   std::uint64_t base_seed = 1;

@@ -1,0 +1,87 @@
+#include "sim/interpreter.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace wakeup::sim {
+
+SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
+                                 const mac::WakePattern& pattern, const SimConfig& config) {
+  SimResult result;
+  if (pattern.empty()) return result;
+
+  struct Active {
+    mac::StationId id;
+    std::unique_ptr<proto::StationRuntime> runtime;
+    bool done = false;  // full-resolution: already delivered its message
+  };
+
+  const auto& arrivals = pattern.arrivals();  // sorted by wake
+  const mac::Slot s = pattern.first_wake();
+  result.s = s;
+
+  mac::Slot budget = config.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+
+  mac::Channel channel(config.feedback);
+  if (config.record_trace) {
+    result.trace.emplace(config.record_transmitters);
+  }
+
+  std::vector<Active> active;
+  active.reserve(pattern.k());
+  std::size_t next_arrival = 0;
+  std::size_t remaining = pattern.k();  // stations that have not yet succeeded
+  std::vector<mac::StationId> transmitters;
+
+  for (mac::Slot t = s; t - s < budget; ++t) {
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake == t) {
+      const auto& a = arrivals[next_arrival];
+      active.push_back(Active{a.station, protocol.make_runtime(a.station, a.wake), false});
+      ++next_arrival;
+    }
+
+    transmitters.clear();
+    for (Active& st : active) {
+      if (st.done) continue;
+      if (st.runtime->transmits(t)) transmitters.push_back(st.id);
+    }
+
+    const mac::SlotOutcome outcome = channel.transmit(transmitters.size());
+    if (result.trace) result.trace->add(t, outcome, transmitters);
+
+    const mac::ChannelFeedback fb = channel.feedback(outcome);
+    for (Active& st : active) {
+      if (!st.done) st.runtime->feedback(t, fb);
+    }
+
+    if (outcome == mac::SlotOutcome::kSuccess) {
+      const mac::StationId winner = transmitters.front();
+      if (!result.success) {
+        result.success = true;
+        result.success_slot = t;
+        result.rounds = t - s;
+        result.winner = winner;
+      }
+      if (!config.full_resolution) break;
+      // Full resolution: the winner's message is delivered; it leaves.
+      for (Active& st : active) {
+        if (st.id == winner) st.done = true;
+      }
+      --remaining;
+      if (remaining == 0 && next_arrival == arrivals.size()) {
+        result.completed = true;
+        result.completion_slot = t;
+        result.completion_rounds = t - s;
+        break;
+      }
+    }
+  }
+
+  result.silences = channel.silences();
+  result.collisions = channel.collisions();
+  result.successes = channel.successes();
+  return result;
+}
+
+}  // namespace wakeup::sim

@@ -12,6 +12,25 @@ McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePatt
   McSimResult result;
   if (pattern.empty()) return result;
 
+  // Single-channel adapters route through run_wakeup's engine dispatch, so
+  // an oblivious baseline embedded on channel 0 gets the batch engine.
+  // Extra channels of the adapter stay idle and contribute nothing to the
+  // counters, so the mapping is exact.
+  if (const proto::Protocol* inner = protocol.single_channel()) {
+    SimConfig config;
+    config.max_slots = max_slots;
+    const SimResult sc = run_wakeup(*inner, pattern, config);
+    result.s = sc.s;
+    result.success = sc.success;
+    result.success_slot = sc.success_slot;
+    result.rounds = sc.rounds;
+    result.success_channel = sc.success ? 0 : -1;
+    result.winner = sc.winner;
+    result.collisions = sc.collisions;
+    result.successes = sc.successes;
+    return result;
+  }
+
   struct Active {
     mac::StationId id;
     std::unique_ptr<proto::McStationRuntime> runtime;

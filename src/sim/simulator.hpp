@@ -10,6 +10,11 @@
 /// transmission — the wake-up event — or, in full-resolution mode
 /// (Komlós–Greenberg extension), when every awake station has transmitted
 /// successfully once.
+///
+/// `run_wakeup` is a dispatching front-end over two back-ends with
+/// identical semantics: the universal slot-by-slot interpreter
+/// (sim/interpreter.hpp) and the word-parallel batch engine for oblivious
+/// protocols (sim/batch_engine.hpp), selected per SimConfig::engine.
 
 #include <optional>
 
@@ -20,11 +25,24 @@
 
 namespace wakeup::sim {
 
+/// Which back-end executes the run.
+enum class Engine : std::uint8_t {
+  /// Batch engine when the protocol is oblivious and no trace is recorded;
+  /// interpreter otherwise.  The default — sweeps get the fast path free.
+  kAuto,
+  /// Force the slot-by-slot interpreter (reference semantics, any protocol).
+  kInterpreter,
+  /// Force the word-parallel batch engine; throws std::invalid_argument if
+  /// the protocol is not oblivious or a trace is requested.
+  kBatch,
+};
+
 struct SimConfig {
   /// Hard slot budget counted from s; <= 0 selects an automatic generous
   /// bound (a multiple of the Scenario C theory bound plus n).
   mac::Slot max_slots = 0;
   mac::FeedbackModel feedback = mac::FeedbackModel::kNone;
+  Engine engine = Engine::kAuto;
   bool record_trace = false;
   bool record_transmitters = false;  ///< include per-slot station lists in the trace
   /// Extension: run until every awake station has had a solo transmission
@@ -54,8 +72,8 @@ struct SimResult {
 /// The automatic slot budget used when SimConfig::max_slots <= 0.
 [[nodiscard]] mac::Slot auto_slot_budget(std::uint32_t n, std::size_t k);
 
-/// Runs `protocol` against `pattern`.  Empty patterns yield a failed result
-/// with rounds -1.
+/// Runs `protocol` against `pattern`, dispatching to the engine selected by
+/// `config.engine`.  Empty patterns yield a failed result with rounds -1.
 [[nodiscard]] SimResult run_wakeup(const proto::Protocol& protocol,
                                    const mac::WakePattern& pattern, const SimConfig& config);
 

@@ -49,6 +49,20 @@ namespace wakeup::util {
   return r;
 }
 
+/// Spreads the low 32 bits of x to the even bit positions of a 64-bit word
+/// (interleave-with-zeros, the Morton-encode half).  Used to merge two
+/// 32-slot half-schedules into one 64-slot word when protocols interleave
+/// by slot parity.
+[[nodiscard]] constexpr std::uint64_t spread_even_bits32(std::uint64_t x) noexcept {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
 /// `log n` as the paper uses it: ceil(log2(n)) clamped to at least 1.
 /// (Rows of the transmission matrix are indexed 1..log n, so the value must
 /// be positive even for n <= 2.)

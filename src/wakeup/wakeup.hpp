@@ -54,7 +54,9 @@
 #include "protocols/wakeup_with_s.hpp"           // IWYU pragma: export
 
 #include "sim/adversary.hpp"     // IWYU pragma: export
+#include "sim/batch_engine.hpp"  // IWYU pragma: export
 #include "sim/experiment.hpp"    // IWYU pragma: export
+#include "sim/interpreter.hpp"   // IWYU pragma: export
 #include "sim/mc_simulator.hpp"  // IWYU pragma: export
 #include "sim/results_sink.hpp"  // IWYU pragma: export
 #include "sim/simulator.hpp"     // IWYU pragma: export

@@ -1,0 +1,164 @@
+/// Engine equivalence: every oblivious protocol in the registry must
+/// produce bit-identical SimResults through the slot-by-slot interpreter
+/// and the word-parallel batch engine, over randomized wake patterns with
+/// shared seeds — including the full-resolution extension.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocols/registry.hpp"
+#include "sim/batch_engine.hpp"
+#include "util/rng.hpp"
+#include "wakeup/wakeup.hpp"
+
+namespace wu = wakeup;
+
+namespace {
+
+void expect_identical(const wu::sim::SimResult& a, const wu::sim::SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.success, b.success) << label;
+  EXPECT_EQ(a.s, b.s) << label;
+  EXPECT_EQ(a.success_slot, b.success_slot) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.winner, b.winner) << label;
+  EXPECT_EQ(a.silences, b.silences) << label;
+  EXPECT_EQ(a.collisions, b.collisions) << label;
+  EXPECT_EQ(a.successes, b.successes) << label;
+  EXPECT_EQ(a.completion_slot, b.completion_slot) << label;
+  EXPECT_EQ(a.completion_rounds, b.completion_rounds) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+}
+
+/// Names of the registry protocols that expose an oblivious schedule
+/// (checked, not assumed — the test fails if the capability disappears).
+std::vector<std::string> oblivious_names() {
+  return {"round_robin", "select_among_the_first", "wakeup_with_s",
+          "wait_and_go", "wakeup_with_k",          "wakeup_matrix"};
+}
+
+struct Shape {
+  std::uint32_t n;
+  std::uint32_t k;
+  wu::mac::Slot s;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineEquivalence, BitIdenticalAcrossSeededTrials) {
+  const std::string name = GetParam();
+  const std::vector<Shape> shapes = {{17, 3, 0}, {64, 8, 5}, {200, 16, 7}};
+  const auto& kinds = wu::mac::patterns::all_kinds();
+
+  std::uint64_t trials = 0;
+  for (const Shape& shape : shapes) {
+    wu::proto::ProtocolSpec spec;
+    spec.name = name;
+    spec.n = shape.n;
+    spec.k = shape.k;
+    spec.s = shape.s;
+    spec.seed = 20130522;
+    const auto protocol = wu::proto::make_protocol_by_name(spec);
+    ASSERT_NE(protocol->oblivious_schedule(), nullptr) << name;
+
+    for (const auto kind : kinds) {
+      for (std::uint64_t trial = 0; trial < 8; ++trial) {
+        const std::uint64_t seed = wu::util::hash_words(
+            {0x45515549ULL /* "EQUI" */, shape.n, static_cast<std::uint64_t>(kind), trial});
+        wu::util::Rng rng_a(seed);
+        wu::util::Rng rng_b(seed);  // shared seed: identical patterns
+        const auto pattern_a =
+            wu::mac::patterns::generate(kind, shape.n, shape.k, shape.s, rng_a);
+        const auto pattern_b =
+            wu::mac::patterns::generate(kind, shape.n, shape.k, shape.s, rng_b);
+
+        wu::sim::SimConfig interp;
+        interp.engine = wu::sim::Engine::kInterpreter;
+        wu::sim::SimConfig batch;
+        batch.engine = wu::sim::Engine::kBatch;
+        wu::sim::SimConfig hybrid;  // kAuto: interpreted first block + batch
+        const std::string label = name + " n=" + std::to_string(shape.n) + " kind=" +
+                                  wu::mac::patterns::kind_name(kind) + " trial=" +
+                                  std::to_string(trial);
+        const auto reference = wu::sim::run_wakeup(*protocol, pattern_a, interp);
+        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern_b, batch), label);
+        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern_b, hybrid),
+                         label + " auto");
+
+        // Full-resolution extension: winners leave, engines must agree on
+        // the whole drain, not just the first success.
+        interp.full_resolution = true;
+        batch.full_resolution = true;
+        expect_identical(wu::sim::run_wakeup(*protocol, pattern_a, interp),
+                         wu::sim::run_wakeup(*protocol, pattern_b, batch),
+                         label + " full_resolution");
+        ++trials;
+      }
+    }
+  }
+  EXPECT_GE(trials, 100u) << "acceptance: >= 100 seeded trials per protocol";
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, EngineEquivalence,
+                         ::testing::ValuesIn(oblivious_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(EngineDispatch, AutoSelectsBatchForOblivious) {
+  wu::proto::ProtocolSpec spec;
+  spec.name = "round_robin";
+  spec.n = 64;
+  const auto protocol = wu::proto::make_protocol_by_name(spec);
+  wu::sim::SimConfig config;
+  EXPECT_TRUE(wu::sim::batch_engine_supports(*protocol, config));
+  config.record_trace = true;  // traces are interpreter-only
+  EXPECT_FALSE(wu::sim::batch_engine_supports(*protocol, config));
+}
+
+TEST(EngineDispatch, RandomizedProtocolsStayOnInterpreter) {
+  wu::proto::ProtocolSpec spec;
+  spec.name = "rpd_n";
+  spec.n = 64;
+  const auto protocol = wu::proto::make_protocol_by_name(spec);
+  EXPECT_EQ(protocol->oblivious_schedule(), nullptr);
+  wu::sim::SimConfig config;
+  EXPECT_FALSE(wu::sim::batch_engine_supports(*protocol, config));
+
+  // Forcing the batch engine on a non-oblivious protocol is an error.
+  config.engine = wu::sim::Engine::kBatch;
+  wu::util::Rng rng(1);
+  const auto pattern = wu::mac::patterns::staggered(64, 4, 0, 3, rng);
+  EXPECT_THROW((void)wu::sim::run_wakeup(*protocol, pattern, config), std::invalid_argument);
+}
+
+TEST(EngineDispatch, ScheduleBlocksMatchRuntimes) {
+  // Direct word-level check of every oblivious schedule against its own
+  // runtime, over a window crossing several 64-slot block boundaries.
+  for (const auto& name : oblivious_names()) {
+    wu::proto::ProtocolSpec spec;
+    spec.name = name;
+    spec.n = 37;  // deliberately not a power of two or multiple of 64
+    spec.k = 5;
+    spec.s = 3;
+    const auto protocol = wu::proto::make_protocol_by_name(spec);
+    const auto* schedule = protocol->oblivious_schedule();
+    ASSERT_NE(schedule, nullptr) << name;
+    for (const wu::mac::Slot wake : {wu::mac::Slot{3}, wu::mac::Slot{10}, wu::mac::Slot{129}}) {
+      // 45 >= n: out-of-universe stations must stay silent in both engines.
+      for (const wu::mac::StationId u : {0u, 1u, 17u, 36u, 45u}) {
+        auto runtime = protocol->make_runtime(u, wake);
+        const wu::mac::Slot from = (wake / 64) * 64;  // block containing wake
+        std::uint64_t words[4] = {0, 0, 0, 0};
+        schedule->schedule_block(u, wake, from, words, 4);
+        for (wu::mac::Slot t = wake; t < from + 256; ++t) {
+          const auto bit = static_cast<std::size_t>(t - from);
+          const bool batch_says = (words[bit / 64] >> (bit % 64)) & 1u;
+          ASSERT_EQ(batch_says, runtime->transmits(t))
+              << name << " u=" << u << " wake=" << wake << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
