@@ -1,0 +1,190 @@
+/// T9 — trial batching: per-trial protocol construction + schedule walks
+/// (the pre-batching run_cell contract) vs one cached cell
+/// (run_cell_batched: protocol once, schedule words memoized and shared
+/// read-only across the pool).
+///
+/// The legacy baseline rebuilds the protocol from the trial seed every
+/// trial — for the doubling-schedule protocols that means re-sampling
+/// whole selective-family concatenations per trial, which is exactly the
+/// cost trial batching deletes.  Baseline cost is measured on a few
+/// representative trials and extrapolated; the cached cell is timed in
+/// full.  Bit-identity of cached vs uncached per-trial SimResults is
+/// verified here on the small cells (and by tests/test_engine_equivalence
+/// on every protocol).
+///
+/// Acceptance (ISSUE 2): >= 3x cell throughput for cached oblivious
+/// protocols at n = 2^14, trials >= 256.  `round_robin` is listed for
+/// scale but is *not* cached (cheap strided words; run_cell_batched's cost
+/// model skips the memo), so it is excluded from the acceptance geomean.
+///
+/// Usage: bench_trial_batch [--quick]   (--quick drops the 2^17 cells and
+/// shrinks trial counts for CI-sized runs)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace wakeup;
+
+namespace {
+
+struct BatchCell {
+  std::string protocol;
+  std::uint32_t n;
+  std::uint32_t k;
+  std::uint64_t trials;
+  std::uint64_t baseline_reps;  ///< trials actually measured for the baseline
+  bool verify;                  ///< per-trial bit-identity check (small cells)
+  bool cached;                  ///< protocol takes the schedule-word memo
+  /// Simultaneous wake (long contended runs; the matrix protocol's regime)
+  /// vs a uniform scatter (the family protocols' Monte-Carlo setting).
+  bool simultaneous = false;
+  /// Cache window cap in slots (0 = CellSpec default); long-run cells need
+  /// the memo to cover tens of thousands of slots.
+  mac::Slot window = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+sim::CellSpec spec_for(const BatchCell& cell) {
+  const std::uint32_t n = cell.n;
+  const std::uint32_t k = cell.k;
+  auto pattern = cell.simultaneous
+                     ? std::function<mac::WakePattern(util::Rng&)>(
+                           [n, k](util::Rng& rng) {
+                             return mac::patterns::simultaneous(n, k, 0, rng);
+                           })
+                     : std::function<mac::WakePattern(util::Rng&)>([n, k](util::Rng& rng) {
+                         return mac::patterns::uniform_window(
+                             n, k, 0, static_cast<mac::Slot>(4) * k, rng);
+                       });
+  sim::CellSpec spec = bench::cell_for(cell.protocol, n, k, /*s=*/0, std::move(pattern),
+                                       cell.trials);
+  if (cell.window > 0) spec.cache.window = cell.window;
+  return spec;
+}
+
+/// The pre-batching contract: protocol rebuilt from the trial seed, every
+/// trial, engine dispatch per trial.  Returns seconds per trial.
+double measure_legacy_per_trial(const sim::CellSpec& spec, std::uint64_t reps) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    const std::uint64_t seed =
+        util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
+    util::Rng rng(seed);
+    const mac::WakePattern pattern = spec.pattern(rng);
+    const proto::ProtocolPtr protocol = spec.protocol(seed);
+    const sim::SimResult r = sim::run_wakeup(*protocol, pattern, spec.sim);
+    if (r.s != pattern.first_wake()) std::abort();  // keep the run un-elided
+  }
+  return seconds_since(start) / static_cast<double>(reps);
+}
+
+bool verify_bit_identical(sim::CellSpec spec) {
+  std::vector<sim::SimResult> uncached(spec.trials), cached(spec.trials);
+  spec.per_trial = [&](std::uint64_t i, const sim::SimResult& r) { uncached[i] = r; };
+  (void)sim::run_cell(spec, nullptr);
+  spec.per_trial = [&](std::uint64_t i, const sim::SimResult& r) { cached[i] = r; };
+  (void)sim::run_cell_batched(spec, &bench::pool());
+  for (std::uint64_t i = 0; i < spec.trials; ++i) {
+    const auto& a = uncached[i];
+    const auto& b = cached[i];
+    if (a.success != b.success || a.success_slot != b.success_slot ||
+        a.rounds != b.rounds || a.winner != b.winner || a.silences != b.silences ||
+        a.collisions != b.collisions || a.successes != b.successes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t t_small = quick ? 64 : 256;
+  const std::uint64_t t_mid = quick ? 64 : 256;
+
+  const mac::Slot kLongRunWindow = 1 << 17;
+  std::vector<BatchCell> cells = {
+      // n = 2^10: full verification set.
+      {"select_among_the_first", 1 << 10, 64, t_small, 4, true, true},
+      {"wakeup_with_s", 1 << 10, 64, t_small, 4, true, true},
+      {"wait_and_go", 1 << 10, 64, t_small, 4, true, true},
+      {"wakeup_with_k", 1 << 10, 64, t_small, 4, true, true},
+      {"wakeup_matrix", 1 << 10, 256, t_small, 4, true, true, true, kLongRunWindow},
+      {"round_robin", 1 << 10, 64, t_small, 8, true, false},
+      // n = 2^14: the acceptance row (trials >= 256).  Family builds at
+      // k_max = n cost seconds per instance, so the legacy baseline is
+      // extrapolated from 1-2 measured trials.
+      {"select_among_the_first", 1 << 14, 64, t_mid, 1, false, true},
+      {"wakeup_with_s", 1 << 14, 64, t_mid, 1, false, true},
+      {"wait_and_go", 1 << 14, 64, t_mid, 2, false, true},
+      {"wakeup_with_k", 1 << 14, 64, t_mid, 2, false, true},
+      {"wakeup_matrix", 1 << 14, 256, t_mid, 4, false, true, true, kLongRunWindow},
+      {"round_robin", 1 << 14, 64, t_mid, 8, false, false},
+  };
+  if (!quick) {
+    // n = 2^17: the >= 10^6-station direction.  Only k-bounded protocols —
+    // select_among_the_first / wakeup_with_s concatenate families up to
+    // k_max = n there, which is out of a bench's memory budget.
+    cells.push_back({"wait_and_go", 1 << 17, 32, 64, 2, false, true});
+    cells.push_back({"wakeup_with_k", 1 << 17, 32, 64, 2, false, true});
+    cells.push_back(
+        {"wakeup_matrix", 1 << 17, 512, 64, 2, false, true, true, kLongRunWindow});
+    cells.push_back({"round_robin", 1 << 17, 64, 64, 4, false, false});
+  }
+
+  std::printf("%-24s %8s %5s %7s | %12s %12s | %8s %7s\n", "protocol", "n", "k", "trials",
+              "legacy ms/tr", "cached ms/tr", "speedup", "verify");
+
+  double accept_log_sum = 0;
+  int accept_count = 0;
+  bool verify_ok = true;
+  for (const auto& cell : cells) {
+    const sim::CellSpec spec = spec_for(cell);
+    const double legacy = measure_legacy_per_trial(spec, cell.baseline_reps);
+
+    const auto start = std::chrono::steady_clock::now();
+    const sim::CellResult result = sim::run_cell_batched(spec, &bench::pool());
+    const double cached = seconds_since(start) / static_cast<double>(cell.trials);
+    if (result.trials != cell.trials) std::abort();
+
+    const double speedup = cached > 0 ? legacy / cached : 0;
+    std::string verdict = "-";
+    if (cell.verify) {
+      const bool ok = verify_bit_identical(spec);
+      verify_ok = verify_ok && ok;
+      verdict = ok ? "ok" : "MISMATCH";
+    }
+    if (cell.cached && cell.n == (1 << 14)) {
+      accept_log_sum += std::log(speedup);
+      ++accept_count;
+    }
+    std::printf("%-24s %8u %5u %7llu | %12.3f %12.3f | %7.1fx %7s\n", cell.protocol.c_str(),
+                cell.n, cell.k, static_cast<unsigned long long>(cell.trials), legacy * 1e3,
+                cached * 1e3, speedup, verdict.c_str());
+  }
+
+  bool accept_ok = true;
+  if (accept_count > 0) {
+    const double geomean = std::exp(accept_log_sum / accept_count);
+    accept_ok = geomean >= 3.0;
+    std::printf("\ncached-protocol geomean speedup at n=2^14: %.1fx (acceptance: >= 3x) %s\n",
+                geomean, accept_ok ? "PASS" : "FAIL");
+  }
+  std::printf("bit-identity: %s\n", verify_ok ? "PASS" : "FAIL");
+  // Non-zero exit on either failed acceptance or a bit mismatch, so CI's
+  // smoke step catches throughput regressions, not just wrong bits.
+  return verify_ok && accept_ok ? 0 : 1;
+}

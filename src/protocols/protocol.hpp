@@ -77,6 +77,38 @@ class ObliviousSchedule {
   /// it; false (default) means words walk per-slot tables or hashes, and
   /// very short runs are better interpreted.
   [[nodiscard]] virtual bool words_are_cheap() const { return false; }
+
+  // -- Trial-batching hints (consumed by sim::ScheduleCache) ------------
+  //
+  // Deterministic protocols' schedules are trial-invariant: across the
+  // Monte-Carlo trials of one sweep cell only the wake pattern changes.
+  // The three hints below let the cache share memoized schedule words
+  // across trials (and across stations woken at equivalent times) while
+  // staying bit-exact; every override must satisfy the stated contracts,
+  // which tests/test_schedule_cache.cpp checks per protocol.
+
+  /// Wake-equivalence key: whenever wake_key(w1) == wake_key(w2), calls
+  /// schedule_block(u, w1, from, ...) and schedule_block(u, w2, from, ...)
+  /// must emit identical words for every station u, start slot and word
+  /// count — including the bits covering slots before the wake, i.e. the
+  /// emission may depend on the wake only through this key.  The default
+  /// (the wake itself) is always sound; overriding it with a coarser class
+  /// (e.g. "participant or not", "next family boundary") lets one cached
+  /// entry serve many wake times.
+  [[nodiscard]] virtual std::uint64_t wake_key(Slot wake) const {
+    return static_cast<std::uint64_t>(wake);
+  }
+
+  /// Steady-state slot period P: if > 0 then for every station u and wake
+  /// w the schedule bit at slot t equals the bit at slot t + P for all
+  /// t >= steady_from(w).  0 (default) means aperiodic/unknown.  Enables
+  /// memoizing one period of words per station instead of a full horizon.
+  [[nodiscard]] virtual std::uint64_t period() const { return 0; }
+
+  /// First slot from which the period() guarantee holds for a station
+  /// woken at `wake`.  Must be invariant across wakes sharing a wake_key.
+  /// Only meaningful when period() > 0.
+  [[nodiscard]] virtual Slot steady_from(Slot wake) const { return wake; }
 };
 
 class Protocol {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/interpreter.hpp"
+#include "sim/schedule_cache.hpp"
 
 namespace wakeup::sim {
 
@@ -15,18 +16,45 @@ bool batch_engine_supports(const proto::Protocol& protocol, const SimConfig& con
 
 namespace {
 
+/// Word sources feed the block loop one 64-slot schedule word per station
+/// per block.  `arrival` is the station's index in pattern.arrivals(), so
+/// cached sources can pre-resolve one handle per arrival.
+struct DirectWords {
+  const proto::ObliviousSchedule& schedule;
+  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
+            std::uint64_t* out) const {
+    (void)arrival;
+    schedule.schedule_block(id, wake, from, out, 1);
+  }
+};
+
+struct CachedWords {
+  const proto::ObliviousSchedule& schedule;
+  std::vector<const ScheduleCache::Entry*> handles;  ///< per arrival index
+  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
+            std::uint64_t* out) const {
+    const ScheduleCache::Entry* entry = handles[arrival];
+    if (entry != nullptr && ScheduleCache::read(*entry, from, out)) return;
+    schedule.schedule_block(id, wake, from, out, 1);
+  }
+};
+
 /// Block-wise core.  `start` is the first slot to resolve (>= s; arrivals
 /// before it join immediately) and `carry` holds outcome counters already
-/// accumulated by a warm-up prefix [s, start) run elsewhere.
-SimResult run_batch_from(const proto::ObliviousSchedule& schedule,
-                         const mac::WakePattern& pattern, const SimConfig& config,
-                         mac::Slot start, const SimResult* carry) {
+/// accumulated by a warm-up prefix [s, start) run elsewhere.  Blocks are
+/// aligned to absolute 64-slot boundaries (slots below `start` are masked
+/// out of `pending`), so the words a run requests are position-stable and
+/// shareable across trials with different first-wake slots.
+template <class Words>
+SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
+                         const SimConfig& config, mac::Slot start, const SimResult* carry) {
   SimResult result;
   if (pattern.empty()) return result;
 
   struct Active {
     mac::StationId id;
     mac::Slot wake;
+    std::size_t arrival;     ///< index in pattern.arrivals()
     std::uint64_t word = 0;  ///< schedule bits for the current block
     bool done = false;       ///< full-resolution: already delivered
   };
@@ -48,14 +76,18 @@ SimResult run_batch_from(const proto::ObliviousSchedule& schedule,
   std::uint64_t successes = carry != nullptr ? carry->successes : 0;
   bool halted = false;
 
-  for (mac::Slot b = start; b < end && !halted; b += 64) {
+  // First block boundary at or below `start` (wakes are validated >= 0,
+  // so start >= 0 and plain division floors).
+  const mac::Slot first_block = start / 64 * 64;
+
+  for (mac::Slot b = first_block; b < end && !halted; b += 64) {
     const mac::Slot block_end = std::min<mac::Slot>(b + 64, end);
 
     // Admit every station that wakes inside this block; bits of its word
     // before the wake slot are masked off below.
     while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < block_end) {
       const auto& a = arrivals[next_arrival];
-      active.push_back(Active{a.station, a.wake});
+      active.push_back(Active{a.station, a.wake, next_arrival});
       ++next_arrival;
     }
 
@@ -70,7 +102,7 @@ SimResult run_batch_from(const proto::ObliviousSchedule& schedule,
         continue;
       }
       std::uint64_t w = 0;
-      schedule.schedule_block(st.id, st.wake, b, &w, 1);
+      words.word(st.arrival, st.id, st.wake, b, &w);
       if (st.wake > b) w &= ~std::uint64_t{0} << (st.wake - b);
       st.word = w;
       multi |= any & w;
@@ -80,6 +112,9 @@ SimResult run_batch_from(const proto::ObliviousSchedule& schedule,
     const unsigned width = static_cast<unsigned>(block_end - b);
     std::uint64_t pending =
         width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    // Slots below `start` belong to the warm-up prefix (or precede s);
+    // they carry no outcomes here.
+    if (start > b) pending &= ~std::uint64_t{0} << (start - b);
 
     while (pending != 0) {
       const std::uint64_t succ = any & ~multi & pending;
@@ -155,7 +190,22 @@ SimResult run_wakeup_batch(const proto::Protocol& protocol, const mac::WakePatte
   if (!batch_engine_supports(protocol, config)) {
     throw std::invalid_argument("batch engine requires an oblivious protocol and no trace");
   }
-  return run_batch_from(*schedule, pattern, config, pattern.first_wake(), nullptr);
+  return run_batch_from(DirectWords{*schedule}, pattern, config, pattern.first_wake(), nullptr);
+}
+
+SimResult run_wakeup_batch_cached(const proto::Protocol& protocol, const ScheduleCache& cache,
+                                  const mac::WakePattern& pattern, const SimConfig& config) {
+  const proto::ObliviousSchedule* schedule = protocol.oblivious_schedule();
+  if (!batch_engine_supports(protocol, config)) {
+    throw std::invalid_argument("batch engine requires an oblivious protocol and no trace");
+  }
+  CachedWords words{*schedule, {}};
+  const auto& arrivals = pattern.arrivals();
+  words.handles.reserve(arrivals.size());
+  for (const auto& a : arrivals) {
+    words.handles.push_back(cache.find(a.station, a.wake));
+  }
+  return run_batch_from(words, pattern, config, pattern.first_wake(), nullptr);
 }
 
 SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePattern& pattern,
@@ -168,7 +218,8 @@ SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePatt
   // Full resolution drains successes across many blocks anyway; the warm-up
   // bookkeeping (departed winners) is not worth carrying over.
   if (config.full_resolution) {
-    return run_batch_from(*schedule, pattern, config, pattern.first_wake(), nullptr);
+    return run_batch_from(DirectWords{*schedule}, pattern, config, pattern.first_wake(),
+                          nullptr);
   }
 
   mac::Slot budget = config.max_slots;
@@ -176,7 +227,8 @@ SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePatt
 
   // Cheap-word schedules (strided bits) batch profitably from slot one.
   if (schedule->words_are_cheap()) {
-    return run_batch_from(*schedule, pattern, config, pattern.first_wake(), nullptr);
+    return run_batch_from(DirectWords{*schedule}, pattern, config, pattern.first_wake(),
+                          nullptr);
   }
 
   // Expensive-word schedules get an interpreted warm-up block first: the
@@ -192,8 +244,8 @@ SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePatt
   // No success in the warm-up: continue word-parallel with carried counters.
   SimConfig rest_config = config;
   rest_config.max_slots = budget;  // pin the budget the warm-up was cut from
-  return run_batch_from(*schedule, pattern, rest_config, pattern.first_wake() + kWarmupSlots,
-                        &warm);
+  return run_batch_from(DirectWords{*schedule}, pattern, rest_config,
+                        pattern.first_wake() + kWarmupSlots, &warm);
 }
 
 }  // namespace wakeup::sim

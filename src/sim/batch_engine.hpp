@@ -17,6 +17,8 @@
 
 namespace wakeup::sim {
 
+class ScheduleCache;
+
 /// Can `run_wakeup_batch` execute this (protocol, config) pair?
 /// Requires an oblivious schedule and no trace recording.
 [[nodiscard]] bool batch_engine_supports(const proto::Protocol& protocol,
@@ -28,6 +30,17 @@ namespace wakeup::sim {
 [[nodiscard]] SimResult run_wakeup_batch(const proto::Protocol& protocol,
                                          const mac::WakePattern& pattern,
                                          const SimConfig& config);
+
+/// Trial-batched entry point: like run_wakeup_batch, but schedule words
+/// are served from a pre-populated ScheduleCache (sim/schedule_cache.hpp)
+/// with per-word fallback to schedule_block on a miss, so results are
+/// bit-identical to the uncached engines for any cache contents.  One
+/// cache handle is resolved per arrival up front; the cache itself is
+/// only read, making concurrent trials over one shared cache safe.
+[[nodiscard]] SimResult run_wakeup_batch_cached(const proto::Protocol& protocol,
+                                                const ScheduleCache& cache,
+                                                const mac::WakePattern& pattern,
+                                                const SimConfig& config);
 
 /// The Engine::kAuto fast path: interprets the first 64-slot block (runs
 /// that resolve quickly never pay for schedule words they do not need),

@@ -5,17 +5,25 @@
 /// cells, in parallel, with bitwise-deterministic results.
 ///
 /// Determinism: trial i of a cell derives its seed as
-/// hash(base_seed, cell_tag, i); both the wake pattern and any protocol
-/// randomness (family sampling, matrix instantiation, private coins) flow
-/// from that seed, and per-trial outputs are written to slot i of a
-/// pre-sized vector — so mean/percentile aggregates do not depend on the
-/// thread count.
+/// hash(base_seed, cell_tag, i); the wake pattern flows from that seed and
+/// per-trial outputs are written to slot i of a pre-sized vector — so
+/// mean/percentile aggregates do not depend on the thread count.
+///
+/// Seed contract (trial batching): the *cell-level* seed
+/// hash(base_seed, cell_tag) derives the protocol, which is constructed
+/// once per cell and shared by every trial — deterministic protocols
+/// (seeded families, matrices) are trial-invariant, which is what lets
+/// run_cell_batched memoize their schedule words across trials.  Only
+/// protocols declaring Requirements::randomized (private coins) are
+/// rebuilt per trial, from a stream derived from the trial seed; the wake
+/// pattern alone consumes the trial seed's Rng.
 
 #include <functional>
 #include <string>
 
 #include "mac/wake_pattern.hpp"
 #include "protocols/protocol.hpp"
+#include "sim/schedule_cache.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -24,8 +32,10 @@ namespace wakeup::sim {
 
 /// One sweep cell: how to build the protocol and the pattern for a trial.
 struct CellSpec {
-  /// Builds the protocol for a trial seed.  Deterministic protocols may
-  /// ignore the seed (and will be constructed once per trial regardless).
+  /// Builds the protocol for a seed.  Called once per cell with the
+  /// cell-level seed; additionally once per trial (with a per-trial
+  /// stream) only when the built protocol reports
+  /// requirements().randomized.
   std::function<proto::ProtocolPtr(std::uint64_t seed)> protocol;
   /// Builds the wake pattern from the trial's RNG stream.
   std::function<mac::WakePattern(util::Rng& rng)> pattern;
@@ -37,6 +47,15 @@ struct CellSpec {
   std::uint64_t base_seed = 1;
   /// Distinguishes cells that share a base_seed (hashed into trial seeds).
   std::uint64_t cell_tag = 0;
+  /// Knobs for run_cell_batched's shared schedule-word cache.  `window`
+  /// acts as an upper bound; the harness shrinks it to a multiple of the
+  /// trial lengths observed in a few uncached probe trials.
+  ScheduleCache::Config cache;
+  /// Optional per-trial sink, called as per_trial(i, result) from worker
+  /// threads (each trial index exactly once; the callee must tolerate
+  /// concurrent calls for distinct i).  Used by equivalence tests and
+  /// streaming result sinks.
+  std::function<void(std::uint64_t trial, const SimResult& result)> per_trial;
 };
 
 /// Aggregated outcome of a cell.
@@ -51,6 +70,16 @@ struct CellResult {
 
 /// Runs all trials of a cell.  `pool` may be null (inline execution).
 [[nodiscard]] CellResult run_cell(const CellSpec& spec, util::ThreadPool* pool);
+
+/// Trial-batched variant of run_cell with identical per-trial results:
+/// the protocol is constructed once, all trial patterns are generated
+/// up front, and (for oblivious protocols under the kAuto/kBatch engines)
+/// one read-only ScheduleCache feeds the batch engine memoized schedule
+/// words instead of per-trial schedule_block walks.  Falls back to the
+/// run_cell trial loop — still with the hoisted protocol — for randomized
+/// or non-oblivious protocols, trace recording, and the kInterpreter
+/// engine.
+[[nodiscard]] CellResult run_cell_batched(const CellSpec& spec, util::ThreadPool* pool);
 
 /// Convenience: mean rounds normalized by a theory bound, the headline
 /// statistic of the scaling tables.

@@ -14,8 +14,11 @@ McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePatt
 
   // Single-channel adapters route through run_wakeup's engine dispatch, so
   // an oblivious baseline embedded on channel 0 gets the batch engine.
-  // Extra channels of the adapter stay idle and contribute nothing to the
-  // counters, so the mapping is exact.
+  // Extra channels of the adapter stay idle and carry no transmissions, so
+  // collision/success counters map exactly; silences are reported for the
+  // embedded channel only (the adapter's unused channels are permanently
+  // silent by construction and charging them would just scale the count by
+  // the channel budget).
   if (const proto::Protocol* inner = protocol.single_channel()) {
     SimConfig config;
     config.max_slots = max_slots;
@@ -27,6 +30,7 @@ McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePatt
     result.success_channel = sc.success ? 0 : -1;
     result.winner = sc.winner;
     result.collisions = sc.collisions;
+    result.silences = sc.silences;
     result.successes = sc.successes;
     return result;
   }
@@ -64,6 +68,7 @@ McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePatt
     const auto slot = mac::resolve_multi_slot(protocol.channels(), actions);
     for (std::uint32_t c = 0; c < protocol.channels(); ++c) {
       if (slot.outcomes[c] == mac::SlotOutcome::kCollision) ++result.collisions;
+      if (slot.outcomes[c] == mac::SlotOutcome::kSilence) ++result.silences;
       if (slot.outcomes[c] == mac::SlotOutcome::kSuccess) ++result.successes;
     }
     // Stations hear the outcome of the channel they acted on (no-CD model).

@@ -18,8 +18,18 @@ struct McSimResult {
   std::int64_t rounds = -1;
   std::int32_t success_channel = -1;
   mac::StationId winner = 0;
-  std::uint64_t collisions = 0;  ///< summed over channels
-  std::uint64_t successes = 0;   ///< channels with solo tx in the final slot
+  std::uint64_t collisions = 0;  ///< collision slots summed over channels, whole run
+  /// Silent channel-slots over the whole run.  Native multichannel runs
+  /// sum across all channels; single-channel adapter runs report the
+  /// embedded channel only (the adapter's unused channels are silent by
+  /// construction — charging them would just scale the count by C).
+  std::uint64_t silences = 0;
+  /// Solo-transmission slots summed over channels across the whole run —
+  /// not just the final slot; several channels can carry solos in the slot
+  /// that completes wake-up, and (k = 1)-style runs can see solos on side
+  /// channels earlier.  The energy accounting of the multichannel
+  /// extension depends on these being full-run totals.
+  std::uint64_t successes = 0;
 };
 
 /// Runs `protocol` against `pattern`; `max_slots <= 0` selects the same

@@ -1,0 +1,162 @@
+#include "sim/schedule_cache.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace wakeup::sim {
+
+namespace {
+
+/// Rough per-entry bookkeeping overhead (hash node + Entry) charged against
+/// the byte budget alongside the word payload.
+constexpr std::size_t kEntryOverhead = sizeof(ScheduleCache::Entry) + 64;
+
+[[nodiscard]] mac::Slot align_up64(mac::Slot t) noexcept { return (t + 63) / 64 * 64; }
+
+}  // namespace
+
+std::size_t ScheduleCache::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(util::hash_words({k.station, k.wake_key}));
+}
+
+ScheduleCache::ScheduleCache(const proto::ObliviousSchedule& schedule, Config config)
+    : schedule_(schedule), config_(config) {}
+
+void ScheduleCache::ensure(mac::StationId u, mac::Slot wake) {
+  if (Entry* entry = plan(u, wake)) fill(*entry, u, wake);
+}
+
+std::size_t ScheduleCache::plan_members(
+    const std::vector<std::pair<mac::StationId, mac::Slot>>& members) {
+  std::size_t words = 0;
+  for (const auto& [u, wake] : members) {
+    if (Entry* entry = plan(u, wake)) {
+      pending_.push_back({entry, u, wake});
+      words += entry->head.size() + entry->wheel.size();
+    }
+  }
+  return words;
+}
+
+void ScheduleCache::fill_planned(util::ThreadPool* pool) {
+  // Planning mutated the map sequentially; the fill is embarrassingly
+  // parallel: entries of an unordered_map are pointer-stable across
+  // insertions, and fill() only touches the entry's own pre-sized vectors
+  // through the schedule's const interface.
+  if (pool == nullptr || pending_.size() < 2) {
+    for (const Planned& p : pending_) fill(*p.entry, p.station, p.wake);
+  } else {
+    pool->parallel_for(0, pending_.size(), [&](std::size_t i) {
+      fill(*pending_[i].entry, pending_[i].station, pending_[i].wake);
+    });
+  }
+  pending_.clear();
+}
+
+void ScheduleCache::populate(
+    const std::vector<std::pair<mac::StationId, mac::Slot>>& members,
+    util::ThreadPool* pool) {
+  (void)plan_members(members);
+  fill_planned(pool);
+}
+
+ScheduleCache::Entry* ScheduleCache::plan(mac::StationId u, mac::Slot wake) {
+  const Key key{u, schedule_.wake_key(wake)};
+  if (entries_.find(key) != entries_.end()) return nullptr;
+
+  const mac::Slot w0 = wake < 0 ? 0 : wake;
+  const std::int64_t head_start = w0 / 64;
+
+  // Plan the entry shape first so the byte budget is checked before any
+  // allocation: folded (pre-steady head + one period of bits) when the
+  // schedule advertises a foldable period, windowed prefix otherwise.
+  const std::uint64_t period = schedule_.period();
+  mac::Slot steady_base = 0;
+  std::size_t head_words = 0;
+  std::size_t wheel_words = 0;
+  bool fold = false;
+  // Folding pays when one period is cheaper than the horizon it replaces:
+  // skip it for periods beyond the fold cap or longer than the sweep can
+  // ever run (a windowed prefix is then at least as cheap).
+  const bool period_worth_folding =
+      period > 0 && period <= config_.max_fold_slots &&
+      (config_.horizon <= 0 || period <= static_cast<std::uint64_t>(config_.horizon));
+  if (period_worth_folding) {
+    mac::Slot steady = schedule_.steady_from(wake);
+    if (steady < 0) steady = 0;
+    steady_base = align_up64(steady);
+    const std::int64_t pre =
+        std::max<std::int64_t>(0, steady_base / 64 - head_start);
+    if (static_cast<std::uint64_t>(pre) * 64 <= config_.max_fold_slots) {
+      fold = true;
+      head_words = static_cast<std::size_t>(pre);
+      // One period of bits plus a 64-bit tail so any in-period word is a
+      // two-shift extraction; the tail bits equal the wrapped bits by the
+      // periodicity contract.
+      wheel_words = static_cast<std::size_t>(period / 64 + 2);
+    }
+  }
+  if (!fold) {
+    mac::Slot span = std::max<mac::Slot>(config_.window, 64);
+    if (config_.horizon > 0) {
+      const mac::Slot to_horizon = config_.horizon - head_start * 64;
+      span = std::clamp<mac::Slot>(to_horizon, 64, span);
+    }
+    head_words = static_cast<std::size_t>(align_up64(span) / 64);
+  }
+
+  const std::size_t entry_bytes = (head_words + wheel_words) * 8 + kEntryOverhead;
+  if (bytes_ + entry_bytes > config_.max_bytes) {
+    ++overflowed_;
+    return nullptr;
+  }
+
+  Entry entry;
+  entry.head_start = head_start;
+  entry.head.resize(head_words);
+  if (fold) {
+    entry.period = period;
+    entry.steady_base = steady_base;
+    entry.wheel.resize(wheel_words);
+    ++folded_;
+  }
+  bytes_ += entry_bytes;
+  return &entries_.emplace(key, std::move(entry)).first->second;
+}
+
+void ScheduleCache::fill(Entry& entry, mac::StationId u, mac::Slot wake) const {
+  if (!entry.head.empty()) {
+    schedule_.schedule_block(u, wake, entry.head_start * 64, entry.head.data(),
+                             entry.head.size());
+  }
+  if (!entry.wheel.empty()) {
+    schedule_.schedule_block(u, wake, entry.steady_base, entry.wheel.data(),
+                             entry.wheel.size());
+  }
+}
+
+const ScheduleCache::Entry* ScheduleCache::find(mac::StationId u, mac::Slot wake) const {
+  const auto it = entries_.find(Key{u, schedule_.wake_key(wake)});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ScheduleCache::read(const Entry& entry, mac::Slot from, std::uint64_t* out) {
+  if (from < 0 || (from & 63) != 0) return false;
+  if (entry.period > 0 && from >= entry.steady_base) {
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(from - entry.steady_base) % entry.period;
+    const std::size_t w = static_cast<std::size_t>(off / 64);
+    const unsigned shift = static_cast<unsigned>(off % 64);
+    std::uint64_t word = entry.wheel[w] >> shift;
+    if (shift != 0) word |= entry.wheel[w + 1] << (64 - shift);
+    *out = word;
+    return true;
+  }
+  const std::int64_t idx = from / 64 - entry.head_start;
+  if (idx < 0 || idx >= static_cast<std::int64_t>(entry.head.size())) return false;
+  *out = entry.head[static_cast<std::size_t>(idx)];
+  return true;
+}
+
+}  // namespace wakeup::sim

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "protocols/registry.hpp"
 #include "sim/batch_engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/schedule_cache.hpp"
 #include "util/rng.hpp"
 #include "wakeup/wakeup.hpp"
 
@@ -103,6 +106,186 @@ TEST_P(EngineEquivalence, BitIdenticalAcrossSeededTrials) {
 INSTANTIATE_TEST_SUITE_P(Registry, EngineEquivalence,
                          ::testing::ValuesIn(oblivious_names()),
                          [](const auto& info) { return info.param; });
+
+/// A deterministic "pulse" protocol for exact-slot boundary tests: station
+/// u transmits at precisely the absolute slots listed for it, nothing else.
+/// words_are_cheap() stays false so Engine::kAuto takes the interpreted
+/// warm-up block — the path whose carry/boundary logic is under test.
+class PulseProtocol final : public wu::proto::Protocol, public wu::proto::ObliviousSchedule {
+ public:
+  explicit PulseProtocol(std::vector<std::vector<wu::mac::Slot>> pulses)
+      : pulses_(std::move(pulses)) {}
+
+  [[nodiscard]] std::string name() const override { return "pulse"; }
+  [[nodiscard]] std::unique_ptr<wu::proto::StationRuntime> make_runtime(
+      wu::mac::StationId u, wu::mac::Slot wake) const override {
+    (void)wake;
+    class Runtime final : public wu::proto::StationRuntime {
+     public:
+      Runtime(const PulseProtocol& p, wu::mac::StationId u) : p_(p), u_(u) {}
+      [[nodiscard]] bool transmits(wu::mac::Slot t) override { return p_.pulse_at(u_, t); }
+
+     private:
+      const PulseProtocol& p_;
+      wu::mac::StationId u_;
+    };
+    return std::make_unique<Runtime>(*this, u);
+  }
+  [[nodiscard]] const wu::proto::ObliviousSchedule* oblivious_schedule() const override {
+    return this;
+  }
+  void schedule_block(wu::mac::StationId u, wu::mac::Slot wake, wu::mac::Slot from,
+                      std::uint64_t* out_words, std::size_t n_words) const override {
+    (void)wake;
+    for (std::size_t w = 0; w < n_words; ++w) out_words[w] = 0;
+    if (u >= pulses_.size()) return;
+    for (const wu::mac::Slot t : pulses_[u]) {
+      if (t < from || t >= from + static_cast<wu::mac::Slot>(64 * n_words)) continue;
+      const auto bit = static_cast<std::size_t>(t - from);
+      out_words[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+  }
+
+ private:
+  [[nodiscard]] bool pulse_at(wu::mac::StationId u, wu::mac::Slot t) const {
+    return u < pulses_.size() &&
+           std::find(pulses_[u].begin(), pulses_[u].end(), t) != pulses_[u].end();
+  }
+  std::vector<std::vector<wu::mac::Slot>> pulses_;
+};
+
+/// Hybrid warm-up boundaries: budgets straddling the 64-slot warm-up block
+/// and successes placed exactly at s+63 / s+64 must agree with the pure
+/// interpreter — including the silence/collision counters carried from the
+/// warm-up prefix into the batched continuation.
+TEST(HybridWarmup, BoundaryBudgetsAndSuccessSlotsMatchInterpreter) {
+  const wu::mac::Slot s = 5;
+  struct Case {
+    std::string label;
+    std::vector<std::vector<wu::mac::Slot>> pulses;  // absolute slots per station
+    std::size_t k;                                   // stations waking at s
+  };
+  const std::vector<Case> cases = {
+      // Success exactly at the last warm-up slot s+63.
+      {"success@s+63", {{s + 63}, {s + 10, s + 70}, {s + 10, s + 90}}, 3},
+      // Success exactly at the first batched slot s+64, with a warm-up
+      // collision (slot s+10) whose counters must carry over.
+      {"success@s+64", {{s + 64}, {s + 10, s + 70}, {s + 10, s + 90}}, 3},
+      // No success at all inside small budgets.
+      {"late", {{s + 200}, {s + 10, s + 201}, {s + 10, s + 202}}, 3},
+  };
+  for (const auto& c : cases) {
+    const PulseProtocol protocol(c.pulses);
+    std::vector<wu::mac::Arrival> arrivals;
+    for (std::size_t u = 0; u < c.k; ++u) {
+      arrivals.push_back({static_cast<wu::mac::StationId>(u), s});
+    }
+    const wu::mac::WakePattern pattern(16, arrivals);
+    for (const wu::mac::Slot budget : {1, 63, 64, 65, 80, 256}) {
+      wu::sim::SimConfig interp;
+      interp.engine = wu::sim::Engine::kInterpreter;
+      interp.max_slots = budget;
+      wu::sim::SimConfig batch = interp;
+      batch.engine = wu::sim::Engine::kBatch;
+      wu::sim::SimConfig hybrid = interp;
+      hybrid.engine = wu::sim::Engine::kAuto;
+      const std::string label = c.label + " budget=" + std::to_string(budget);
+      const auto reference = wu::sim::run_wakeup(protocol, pattern, interp);
+      expect_identical(reference, wu::sim::run_wakeup(protocol, pattern, batch),
+                       label + " batch");
+      expect_identical(reference, wu::sim::run_wakeup(protocol, pattern, hybrid),
+                       label + " auto");
+    }
+  }
+}
+
+/// The same boundary budgets on real registry protocols (expensive words,
+/// so kAuto interprets the first block): every engine agrees at budgets
+/// 1, 63, 64, 65.
+TEST(HybridWarmup, RegistryProtocolsAgreeAtBoundaryBudgets) {
+  for (const auto& name : oblivious_names()) {
+    wu::proto::ProtocolSpec spec;
+    spec.name = name;
+    spec.n = 64;
+    spec.k = 8;
+    spec.s = 3;
+    spec.seed = 20130522;
+    const auto protocol = wu::proto::make_protocol_by_name(spec);
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+      wu::util::Rng rng(wu::util::hash_words({0x57524dULL /* "WRM" */, trial}));
+      const auto pattern = wu::mac::patterns::uniform_window(64, 8, 3, 32, rng);
+      for (const wu::mac::Slot budget : {1, 63, 64, 65}) {
+        wu::sim::SimConfig interp;
+        interp.engine = wu::sim::Engine::kInterpreter;
+        interp.max_slots = budget;
+        wu::sim::SimConfig batch = interp;
+        batch.engine = wu::sim::Engine::kBatch;
+        wu::sim::SimConfig hybrid = interp;
+        hybrid.engine = wu::sim::Engine::kAuto;
+        const std::string label =
+            name + " trial=" + std::to_string(trial) + " budget=" + std::to_string(budget);
+        const auto reference = wu::sim::run_wakeup(*protocol, pattern, interp);
+        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern, batch),
+                         label + " batch");
+        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern, hybrid),
+                         label + " auto");
+      }
+    }
+  }
+}
+
+/// Trial batching: run_cell (uncached dispatch) and run_cell_batched
+/// (shared protocol + read-only ScheduleCache) must produce bit-identical
+/// SimResults for every trial, across all six oblivious protocols — the
+/// acceptance bar for serving memoized schedule words.
+TEST(TrialBatching, CachedAndUncachedTrialsBitIdentical) {
+  for (const auto& name : oblivious_names()) {
+    for (const bool full_resolution : {false, true}) {
+      wu::sim::CellSpec spec;
+      spec.protocol = [name](std::uint64_t seed) {
+        wu::proto::ProtocolSpec p;
+        p.name = name;
+        p.n = 96;
+        p.k = 8;
+        p.s = 3;
+        p.seed = seed;
+        return wu::proto::make_protocol_by_name(p);
+      };
+      spec.pattern = [](wu::util::Rng& rng) {
+        return wu::mac::patterns::uniform_window(96, 8, 3, 48, rng);
+      };
+      spec.trials = 24;
+      spec.base_seed = 20130522;
+      spec.sim.full_resolution = full_resolution;
+      // Tiny window cap: forces reads past the cached prefix, so the
+      // fallback path is exercised too.  `force` bypasses the population
+      // cost gate — this test is about bit-identity of the cached path,
+      // not about when caching pays.
+      spec.cache.window = 256;
+      spec.cache.force = true;
+
+      std::vector<wu::sim::SimResult> uncached(spec.trials);
+      spec.per_trial = [&](std::uint64_t i, const wu::sim::SimResult& r) { uncached[i] = r; };
+      const auto plain = wu::sim::run_cell(spec, nullptr);
+
+      std::vector<wu::sim::SimResult> cached(spec.trials);
+      spec.per_trial = [&](std::uint64_t i, const wu::sim::SimResult& r) { cached[i] = r; };
+      wu::util::ThreadPool pool(3);
+      const auto batched = wu::sim::run_cell_batched(spec, &pool);
+
+      for (std::uint64_t i = 0; i < spec.trials; ++i) {
+        expect_identical(uncached[i], cached[i],
+                         name + (full_resolution ? " full" : "") + " trial " +
+                             std::to_string(i));
+      }
+      EXPECT_EQ(plain.failures, batched.failures) << name;
+      EXPECT_EQ(plain.rounds.count, batched.rounds.count) << name;
+      EXPECT_DOUBLE_EQ(plain.rounds.mean, batched.rounds.mean) << name;
+      EXPECT_DOUBLE_EQ(plain.silences.mean, batched.silences.mean) << name;
+      EXPECT_DOUBLE_EQ(plain.collisions.mean, batched.collisions.mean) << name;
+    }
+  }
+}
 
 TEST(EngineDispatch, AutoSelectsBatchForOblivious) {
   wu::proto::ProtocolSpec spec;

@@ -63,6 +63,82 @@ TEST(Experiment, FailuresCounted) {
   EXPECT_GT(result.failures, 0u);
 }
 
+TEST(Experiment, DeterministicProtocolConstructedOncePerCell) {
+  // The trial-batch seed contract: the cell-level seed derives the
+  // protocol, so the factory runs exactly once however many trials run.
+  std::size_t constructions = 0;
+  ws::CellSpec spec;
+  spec.protocol = [&constructions](std::uint64_t) -> wp::ProtocolPtr {
+    ++constructions;
+    return std::make_shared<wp::RoundRobinProtocol>(32);
+  };
+  spec.pattern = [](wu::Rng& rng) { return wm::patterns::simultaneous(32, 4, 0, rng); };
+  spec.trials = 16;
+  const auto result = ws::run_cell(spec, nullptr);
+  EXPECT_EQ(result.trials, 16u);
+  EXPECT_EQ(constructions, 1u);
+}
+
+TEST(Experiment, CellSeedIsTrialIndependent) {
+  // The seed handed to the factory must not depend on any trial: two cells
+  // differing only in trial count get the same protocol seed.
+  std::vector<std::uint64_t> seeds;
+  auto run_with_trials = [&](std::uint64_t trials) {
+    ws::CellSpec spec;
+    spec.protocol = [&seeds](std::uint64_t seed) -> wp::ProtocolPtr {
+      seeds.push_back(seed);
+      return std::make_shared<wp::RoundRobinProtocol>(32);
+    };
+    spec.pattern = [](wu::Rng& rng) { return wm::patterns::simultaneous(32, 4, 0, rng); };
+    spec.trials = trials;
+    (void)ws::run_cell(spec, nullptr);
+  };
+  run_with_trials(4);
+  run_with_trials(12);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], seeds[1]);
+}
+
+TEST(Experiment, PerTrialSinkSeesEveryTrialOnce) {
+  auto spec = basic_cell(64, 8, 20);
+  std::vector<int> seen(20, 0);
+  std::vector<ws::SimResult> results(20);
+  spec.per_trial = [&](std::uint64_t i, const ws::SimResult& r) {
+    ++seen[i];
+    results[i] = r;
+  };
+  const auto agg = ws::run_cell(spec, nullptr);
+  for (int c : seen) EXPECT_EQ(c, 1);
+  std::uint64_t successes = 0;
+  for (const auto& r : results) successes += r.success ? 1 : 0;
+  EXPECT_EQ(successes, agg.trials - agg.failures);
+}
+
+TEST(Experiment, BatchedCellMatchesAggregates) {
+  const auto plain = ws::run_cell(basic_cell(64, 8, 32), nullptr);
+  wu::ThreadPool pool(2);
+  const auto batched = ws::run_cell_batched(basic_cell(64, 8, 32), &pool);
+  EXPECT_EQ(plain.trials, batched.trials);
+  EXPECT_EQ(plain.failures, batched.failures);
+  EXPECT_DOUBLE_EQ(plain.rounds.mean, batched.rounds.mean);
+  EXPECT_DOUBLE_EQ(plain.rounds.median, batched.rounds.median);
+  EXPECT_DOUBLE_EQ(plain.collisions.mean, batched.collisions.mean);
+  EXPECT_DOUBLE_EQ(plain.silences.mean, batched.silences.mean);
+}
+
+TEST(Experiment, BatchedCellFallsBackForRandomizedProtocols) {
+  ws::CellSpec spec;
+  spec.protocol = [](std::uint64_t seed) -> wp::ProtocolPtr {
+    return wp::RpdProtocol::for_n(64, seed);
+  };
+  spec.pattern = [](wu::Rng& rng) { return wm::patterns::simultaneous(64, 8, 0, rng); };
+  spec.trials = 24;
+  const auto plain = ws::run_cell(spec, nullptr);
+  const auto batched = ws::run_cell_batched(spec, nullptr);
+  EXPECT_EQ(plain.failures, batched.failures);
+  EXPECT_DOUBLE_EQ(plain.rounds.mean, batched.rounds.mean);
+}
+
 TEST(Experiment, RandomizedProtocolSeedsVaryPerTrial) {
   ws::CellSpec spec;
   spec.protocol = [](std::uint64_t seed) -> wp::ProtocolPtr {

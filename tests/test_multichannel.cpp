@@ -131,6 +131,58 @@ TEST(RandomChannelRpd, Resolves) {
   }
 }
 
+TEST(McSimulator, CountsSilencePerChannel) {
+  // One awake station, no collisions ever: every channel-slot is either
+  // silent or the one solo, so the counters must satisfy the conservation
+  // law channels * (rounds + 1) = silences + successes.
+  const std::uint32_t n = 64;
+  for (std::uint32_t channels : {2u, 4u}) {
+    const auto protocol = wp::make_striped_round_robin(n, channels);
+    const wm::WakePattern pattern(n, {{n - 1, 0}});
+    const auto result = ws::run_mc_wakeup(*protocol, pattern);
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.collisions, 0u);
+    EXPECT_EQ(result.silences + result.successes,
+              static_cast<std::uint64_t>(channels) *
+                  static_cast<std::uint64_t>(result.rounds + 1))
+        << "C=" << channels;
+    EXPECT_GT(result.silences, 0u);
+  }
+}
+
+TEST(McSimulator, FastPathReportsSilences) {
+  // Single-channel adapter: silences must equal the embedded run's count
+  // (round_robin station 5 in [0,8): slots 0-4 silent, success at 5), not
+  // be dropped on the adapter fast path.
+  const std::uint32_t n = 8;
+  auto inner = std::make_shared<wp::RoundRobinProtocol>(n);
+  const auto mc = wp::make_single_channel_adapter(inner, 3);
+  const wm::WakePattern pattern(n, {{5, 0}});
+  const auto result = ws::run_mc_wakeup(*mc, pattern);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.rounds, 5);
+  EXPECT_EQ(result.silences, 5u);
+  EXPECT_EQ(result.collisions, 0u);
+  EXPECT_EQ(result.successes, 1u);
+}
+
+TEST(McSimulator, SuccessesAreFullRunChannelTotals) {
+  // Striped RR over 2 channels: stations 0 and 1 both own cycle slot 0 on
+  // different channels, so the completing slot carries TWO solos —
+  // `successes` totals solo channel-slots over the whole run (here the run
+  // is one slot long), not "the" winning channel alone.
+  const auto protocol = wp::make_striped_round_robin(4, 2);
+  const wm::WakePattern pattern(4, {{0, 0}, {1, 0}});
+  const auto result = ws::run_mc_wakeup(*protocol, pattern);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.rounds, 0);
+  EXPECT_EQ(result.successes, 2u);
+  EXPECT_EQ(result.silences, 0u);
+  EXPECT_EQ(result.collisions, 0u);
+  // The reported winning channel is the lowest solo channel.
+  EXPECT_EQ(result.success_channel, 0);
+}
+
 TEST(McSimulator, EmptyPattern) {
   const auto protocol = wp::make_striped_round_robin(8, 2);
   const auto result = ws::run_mc_wakeup(*protocol, wm::WakePattern());

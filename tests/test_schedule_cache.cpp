@@ -1,0 +1,188 @@
+/// ScheduleCache and the ObliviousSchedule trial-batching hints.
+///
+/// Three layers of contracts, each checked against the live registry
+/// protocols so a drifting override fails loudly:
+///  1. wake_key — equal keys emit identical schedule_block words;
+///  2. period/steady_from — the schedule bit at t equals the bit at t + P
+///     for every t past the steady point;
+///  3. cache reads — folded and windowed entries reproduce schedule_block
+///     bit for bit, across period wrap-arounds and block boundaries.
+
+#include "sim/schedule_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocols/registry.hpp"
+#include "protocols/round_robin.hpp"
+#include "util/rng.hpp"
+#include "wakeup/wakeup.hpp"
+
+namespace wu = wakeup;
+
+namespace {
+
+const std::vector<std::string>& oblivious_names() {
+  static const std::vector<std::string> names = {
+      "round_robin", "select_among_the_first", "wakeup_with_s",
+      "wait_and_go", "wakeup_with_k",          "wakeup_matrix"};
+  return names;
+}
+
+wu::proto::ProtocolPtr make(const std::string& name, std::uint32_t n, std::uint32_t k,
+                            wu::mac::Slot s) {
+  wu::proto::ProtocolSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.k = k;
+  spec.s = s;
+  spec.seed = 77;
+  return wu::proto::make_protocol_by_name(spec);
+}
+
+}  // namespace
+
+TEST(TrialBatchingHints, EqualWakeKeysEmitIdenticalWords) {
+  // n = 37: not a power of two, so periods are not word-aligned.
+  for (const auto& name : oblivious_names()) {
+    const auto protocol = make(name, 37, 5, 3);
+    const auto* schedule = protocol->oblivious_schedule();
+    ASSERT_NE(schedule, nullptr) << name;
+    const std::vector<wu::mac::Slot> wakes = {3, 4, 7, 10, 64, 65, 127, 200};
+    for (const wu::mac::StationId u : {0u, 17u, 36u}) {
+      for (const wu::mac::Slot w1 : wakes) {
+        for (const wu::mac::Slot w2 : wakes) {
+          if (schedule->wake_key(w1) != schedule->wake_key(w2)) continue;
+          std::uint64_t a[6];
+          std::uint64_t b[6];
+          schedule->schedule_block(u, w1, 0, a, 6);
+          schedule->schedule_block(u, w2, 0, b, 6);
+          for (int w = 0; w < 6; ++w) {
+            ASSERT_EQ(a[w], b[w]) << name << " u=" << u << " wakes " << w1 << "/" << w2
+                                  << " word " << w;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TrialBatchingHints, PeriodHoldsPastSteadyFrom) {
+  // n = 9 keeps even wakeup_matrix's lcm(total_scan, ell) period walkable,
+  // so every protocol's period contract is checked on at least one shape.
+  struct Shape {
+    std::uint32_t n;
+    std::uint32_t k;
+    wu::mac::Slot s;
+  };
+  std::size_t checked = 0;
+  for (const Shape& shape : {Shape{37, 5, 3}, Shape{9, 3, 1}}) {
+  for (const auto& name : oblivious_names()) {
+    const auto protocol = make(name, shape.n, shape.k, shape.s);
+    const auto* schedule = protocol->oblivious_schedule();
+    ASSERT_NE(schedule, nullptr) << name;
+    const std::uint64_t period = schedule->period();
+    if (period == 0 || period > 100000) continue;  // unknown or too big to walk
+    ++checked;
+    for (const wu::mac::Slot wake : {wu::mac::Slot{3}, wu::mac::Slot{40}}) {
+      const wu::mac::Slot steady = schedule->steady_from(wake);
+      for (const wu::mac::StationId u : {0u, 3u, shape.n - 1}) {
+        // Two aligned windows exactly one period apart, entirely steady.
+        const wu::mac::Slot from = (steady + 63) / 64 * 64;
+        std::vector<std::uint64_t> now(4), later(4);
+        schedule->schedule_block(u, wake, from, now.data(), 4);
+        schedule->schedule_block(u, wake, from + static_cast<wu::mac::Slot>(period),
+                                 later.data(), 4);
+        // Compare bit-by-bit: the shifted window is not word-aligned when
+        // the period is not a multiple of 64, so extract per slot.
+        for (int bit = 0; bit < 256; ++bit) {
+          const bool b1 = (now[bit / 64] >> (bit % 64)) & 1u;
+          const bool b2 = (later[bit / 64] >> (bit % 64)) & 1u;
+          ASSERT_EQ(b1, b2) << name << " u=" << u << " wake=" << wake << " t="
+                            << from + bit << " period=" << period;
+        }
+      }
+    }
+  }
+  }
+  // At least wakeup_matrix at n = 9 plus the doubling protocols at n = 37
+  // must have walkable periods; a regression to period() == 0 everywhere
+  // would silently skip the whole test.
+  EXPECT_GE(checked, 6u);
+}
+
+TEST(ScheduleCache, ReadsMatchScheduleBlockAcrossWraps) {
+  for (const auto& name : oblivious_names()) {
+    const auto protocol = make(name, 37, 5, 3);
+    const auto* schedule = protocol->oblivious_schedule();
+    ASSERT_NE(schedule, nullptr) << name;
+
+    wu::sim::ScheduleCache::Config config;
+    config.window = 1 << 12;
+    config.horizon = 1 << 14;
+    wu::sim::ScheduleCache cache(*schedule, config);
+
+    const std::vector<std::pair<wu::mac::StationId, wu::mac::Slot>> members = {
+        {0, 3}, {17, 3}, {36, 10}, {5, 129}, {17, 129}};
+    for (const auto& [u, wake] : members) cache.ensure(u, wake);
+    EXPECT_GT(cache.entries(), 0u) << name;
+    EXPECT_GT(cache.bytes(), 0u) << name;
+
+    for (const auto& [u, wake] : members) {
+      const auto* entry = cache.find(u, wake);
+      ASSERT_NE(entry, nullptr) << name;
+      // Walk far enough to wrap small periods many times and to cross the
+      // windowed prefix (reads past it must report a miss, not lie).
+      for (wu::mac::Slot from = 0; from < (1 << 13); from += 64) {
+        std::uint64_t got = 0;
+        if (!wu::sim::ScheduleCache::read(*entry, from, &got)) continue;
+        std::uint64_t want = 0;
+        schedule->schedule_block(u, wake, from, &want, 1);
+        ASSERT_EQ(got, want) << name << " u=" << u << " wake=" << wake << " from=" << from;
+      }
+    }
+  }
+}
+
+TEST(ScheduleCache, FoldedEntryCoversArbitraryHorizon) {
+  // round_robin advertises period n; a folded entry must answer far past
+  // any window without re-walking the schedule.
+  const wu::proto::RoundRobinProtocol protocol(37);
+  wu::sim::ScheduleCache::Config config;
+  config.window = 64;  // tiny window: only the fold can cover these reads
+  wu::sim::ScheduleCache cache(protocol, config);
+  cache.ensure(11, 0);
+  ASSERT_EQ(cache.folded_entries(), 1u);
+  const auto* entry = cache.find(11, 5);  // same wake class (key ignores wake)
+  ASSERT_NE(entry, nullptr);
+  for (const wu::mac::Slot from : {0L, 64L, 6400L, 123456L * 64L}) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(wu::sim::ScheduleCache::read(*entry, from, &got)) << from;
+    std::uint64_t want = 0;
+    protocol.schedule_block(11, 0, from, &want, 1);
+    EXPECT_EQ(got, want) << "from=" << from;
+  }
+}
+
+TEST(ScheduleCache, UnalignedOrUncachedReadsMiss) {
+  const wu::proto::RoundRobinProtocol protocol(8);
+  wu::sim::ScheduleCache cache(protocol, {});
+  cache.ensure(1, 0);
+  const auto* entry = cache.find(1, 0);
+  ASSERT_NE(entry, nullptr);
+  std::uint64_t word = 0;
+  EXPECT_FALSE(wu::sim::ScheduleCache::read(*entry, 7, &word));  // unaligned
+  EXPECT_EQ(cache.find(2, 0), nullptr);  // never ensured
+}
+
+TEST(ScheduleCache, ByteBudgetStopsInsertionNotCorrectness) {
+  const wu::proto::RoundRobinProtocol protocol(4096);
+  wu::sim::ScheduleCache::Config config;
+  config.max_bytes = 2048;  // room for a couple of 4096-bit wheels at most
+  wu::sim::ScheduleCache cache(protocol, config);
+  for (wu::mac::StationId u = 0; u < 64; ++u) cache.ensure(u, 0);
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+  EXPECT_GT(cache.overflowed(), 0u);
+  EXPECT_LT(cache.entries(), 64u);
+}
