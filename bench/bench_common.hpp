@@ -14,14 +14,14 @@ inline util::ThreadPool& pool() {
   return instance;
 }
 
-/// Builds a CellSpec for a registry protocol at (n, k, s) with the given
-/// pattern generator. Trials default to a bench-friendly count.
-inline sim::CellSpec cell_for(const std::string& protocol_name, std::uint32_t n,
-                              std::uint32_t k, mac::Slot s,
-                              std::function<mac::WakePattern(util::Rng&)> pattern,
-                              std::uint64_t trials = 24, std::uint64_t base_seed = 20130522) {
-  sim::CellSpec cell;
-  cell.protocol = [protocol_name, n, k, s](std::uint64_t seed) {
+/// Builds a sweep-cell RunSpec for a registry protocol at (n, k, s) with
+/// the given pattern generator. Trials default to a bench-friendly count.
+inline sim::RunSpec cell_for(const std::string& protocol_name, std::uint32_t n,
+                             std::uint32_t k, mac::Slot s,
+                             std::function<mac::WakePattern(util::Rng&)> pattern,
+                             std::uint64_t trials = 24, std::uint64_t base_seed = 20130522) {
+  sim::RunSpec cell;
+  cell.make_protocol = [protocol_name, n, k, s](std::uint64_t seed) {
     proto::ProtocolSpec spec;
     spec.name = protocol_name;
     spec.n = n;
@@ -30,7 +30,7 @@ inline sim::CellSpec cell_for(const std::string& protocol_name, std::uint32_t n,
     spec.seed = seed;
     return proto::make_protocol_by_name(spec);
   };
-  cell.pattern = std::move(pattern);
+  cell.make_pattern = std::move(pattern);
   cell.trials = trials;
   cell.base_seed = base_seed;
   cell.cell_tag = util::hash_words({n, k, static_cast<std::uint64_t>(s)});

@@ -40,7 +40,7 @@ EngineStats measure(const proto::Protocol& protocol, sim::Engine engine, const E
   for (std::uint64_t trial = 0; trial < trials; ++trial) {
     util::Rng rng(util::hash_words({0x454e47ULL /* "ENG" */, trial}));
     const auto pattern = mac::patterns::generate(cell.pattern, cell.n, cell.k, /*s=*/0, rng);
-    const auto result = sim::run_wakeup(protocol, pattern, config);
+    const auto result = sim::Run({.protocol = &protocol, .pattern = &pattern, .sim = config}).sim;
     // Slots actually resolved: up to and including the success slot, or the
     // whole budget on failure.
     slots += result.success

@@ -89,7 +89,7 @@ void BM_SimulateScenarioC(benchmark::State& state) {
   const auto pattern = mac::patterns::staggered(n, k, 0, 3, rng);
   std::int64_t total_slots = 0;
   for (auto _ : state) {
-    const auto result = sim::run_wakeup(protocol, pattern, {});
+    const auto result = sim::Run({.protocol = &protocol, .pattern = &pattern}).sim;
     total_slots += result.rounds + 1;
     benchmark::DoNotOptimize(result.success);
   }
@@ -105,7 +105,7 @@ void BM_SimulateRoundRobinFullHouse(benchmark::State& state) {
   for (mac::StationId u = 0; u < n; ++u) arrivals.push_back({u, 0});
   const mac::WakePattern pattern(n, std::move(arrivals));
   for (auto _ : state) {
-    const auto result = sim::run_wakeup(protocol, pattern, {});
+    const auto result = sim::Run({.protocol = &protocol, .pattern = &pattern}).sim;
     benchmark::DoNotOptimize(result.success);
   }
 }

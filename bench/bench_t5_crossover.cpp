@@ -26,14 +26,14 @@ int main() {
     auto pattern_gen = [k](util::Rng& rng) {
       return mac::patterns::simultaneous(n, k, 0, rng);
     };
-    const auto rr = sim::run_cell(bench::cell_for("round_robin", n, k, 0, pattern_gen, 12),
-                                  &bench::pool());
-    const auto satf = sim::run_cell(
-        bench::cell_for("select_among_the_first", n, k, 0, pattern_gen, 12), &bench::pool());
-    const auto ws = sim::run_cell(bench::cell_for("wakeup_with_s", n, k, 0, pattern_gen, 12),
-                                  &bench::pool());
-    const auto wk = sim::run_cell(bench::cell_for("wakeup_with_k", n, k, 0, pattern_gen, 12),
-                                  &bench::pool());
+    const auto rr = sim::Run(bench::cell_for("round_robin", n, k, 0, pattern_gen, 12),
+                                  &bench::pool()).cell;
+    const auto satf = sim::Run(
+        bench::cell_for("select_among_the_first", n, k, 0, pattern_gen, 12), &bench::pool()).cell;
+    const auto ws = sim::Run(bench::cell_for("wakeup_with_s", n, k, 0, pattern_gen, 12),
+                                  &bench::pool()).cell;
+    const auto wk = sim::Run(bench::cell_for("wakeup_with_k", n, k, 0, pattern_gen, 12),
+                                  &bench::pool()).cell;
     sink.cell(std::uint64_t{k})
         .cell(rr.rounds.mean, 1)
         .cell(satf.rounds.mean, 1)

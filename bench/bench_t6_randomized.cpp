@@ -24,14 +24,14 @@ int main() {
       auto pattern_gen = [n, k](util::Rng& rng) {
         return mac::patterns::simultaneous(n, k, 0, rng);
       };
-      const auto rpdn = sim::run_cell(bench::cell_for("rpd_n", n, k, 0, pattern_gen, 48),
-                                      &bench::pool());
-      const auto rpdk = sim::run_cell(bench::cell_for("rpd_k", n, k, 0, pattern_gen, 48),
-                                      &bench::pool());
-      const auto aloha = sim::run_cell(bench::cell_for("slotted_aloha", n, k, 0, pattern_gen, 48),
-                                       &bench::pool());
-      const auto backoff = sim::run_cell(
-          bench::cell_for("binary_backoff", n, k, 0, pattern_gen, 48), &bench::pool());
+      const auto rpdn = sim::Run(bench::cell_for("rpd_n", n, k, 0, pattern_gen, 48),
+                                      &bench::pool()).cell;
+      const auto rpdk = sim::Run(bench::cell_for("rpd_k", n, k, 0, pattern_gen, 48),
+                                      &bench::pool()).cell;
+      const auto aloha = sim::Run(bench::cell_for("slotted_aloha", n, k, 0, pattern_gen, 48),
+                                       &bench::pool()).cell;
+      const auto backoff = sim::Run(
+          bench::cell_for("binary_backoff", n, k, 0, pattern_gen, 48), &bench::pool()).cell;
       const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
       const double logk = std::max(1.0, std::log2(static_cast<double>(k)));
       sink.cell(std::uint64_t{n})

@@ -53,12 +53,12 @@ int main() {
   for (std::uint32_t k : {16u, 64u, 128u, 256u}) {
     for (const auto& pattern_case : cases) {
       auto gen = [&pattern_case, k](util::Rng& rng) { return pattern_case.gen(rng, k); };
-      const auto matrix = sim::run_cell(bench::cell_for("wakeup_matrix", n, k, 0, gen, 12),
-                                        &bench::pool());
-      const auto local = sim::run_cell(bench::cell_for("local_doubling", n, k, 0, gen, 12),
-                                       &bench::pool());
+      const auto matrix = sim::Run(bench::cell_for("wakeup_matrix", n, k, 0, gen, 12),
+                                        &bench::pool()).cell;
+      const auto local = sim::Run(bench::cell_for("local_doubling", n, k, 0, gen, 12),
+                                       &bench::pool()).cell;
       const auto rpd =
-          sim::run_cell(bench::cell_for("rpd_n", n, k, 0, gen, 12), &bench::pool());
+          sim::Run(bench::cell_for("rpd_n", n, k, 0, gen, 12), &bench::pool()).cell;
       sink.cell(std::uint64_t{n})
           .cell(std::uint64_t{k})
           .cell(pattern_case.label)

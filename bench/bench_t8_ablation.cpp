@@ -20,13 +20,13 @@ using namespace wakeup;
 
 namespace {
 
-sim::CellSpec matrix_cell(std::uint32_t n, std::uint32_t k, unsigned c,
+sim::RunSpec matrix_cell(std::uint32_t n, std::uint32_t k, unsigned c,
                           mac::patterns::Kind kind) {
-  sim::CellSpec cell;
-  cell.protocol = [n, c](std::uint64_t seed) -> proto::ProtocolPtr {
+  sim::RunSpec cell;
+  cell.make_protocol = [n, c](std::uint64_t seed) -> proto::ProtocolPtr {
     return std::make_shared<proto::WakeupMatrixProtocol>(n, c, seed);
   };
-  cell.pattern = [n, k, kind](util::Rng& rng) {
+  cell.make_pattern = [n, k, kind](util::Rng& rng) {
     return mac::patterns::generate(kind, n, k, 0, rng);
   };
   cell.trials = 16;
@@ -48,8 +48,8 @@ int main() {
     for (unsigned c : {1u, 2u, 4u}) {
       for (std::uint32_t k : {64u, 128u, 256u}) {
         const auto result =
-            sim::run_cell(matrix_cell(n, k, c, mac::patterns::Kind::kSimultaneous),
-                          &bench::pool());
+            sim::Run(matrix_cell(n, k, c, mac::patterns::Kind::kSimultaneous),
+                          &bench::pool()).cell;
         const double bound = util::scenario_c_bound(n, k);
         sink.cell(std::uint64_t{c})
             .cell(std::uint64_t{k})
@@ -68,7 +68,7 @@ int main() {
     sim::ResultsSink sink("t8_ablation_patterns", {"pattern", "k", "mean", "p95", "max"});
     for (const auto kind : mac::patterns::all_kinds()) {
       for (std::uint32_t k : {8u, 32u}) {
-        const auto result = sim::run_cell(matrix_cell(n, k, 2, kind), &bench::pool());
+        const auto result = sim::Run(matrix_cell(n, k, 2, kind), &bench::pool()).cell;
         sink.cell(std::string(mac::patterns::kind_name(kind)))
             .cell(std::uint64_t{k})
             .cell(result.rounds.mean, 1)

@@ -1,6 +1,6 @@
 /// T9 — trial batching: per-trial protocol construction + schedule walks
-/// (the pre-batching run_cell contract) vs one cached cell
-/// (run_cell_batched: protocol once, schedule words memoized and shared
+/// (the pre-batching per-trial contract) vs one cached cell (sim::Run with
+/// TrialBatching::kAuto: protocol once, schedule words memoized and shared
 /// read-only across the pool).
 ///
 /// The legacy baseline rebuilds the protocol from the trial seed every
@@ -14,7 +14,7 @@
 ///
 /// Acceptance (ISSUE 2): >= 3x cell throughput for cached oblivious
 /// protocols at n = 2^14, trials >= 256.  `round_robin` is listed for
-/// scale but is *not* cached (cheap strided words; run_cell_batched's cost
+/// scale but is *not* cached (cheap strided words; the batched cell's cost
 /// model skips the memo), so it is excluded from the acceptance geomean.
 ///
 /// Usage: bench_trial_batch [--quick]   (--quick drops the 2^17 cells and
@@ -44,7 +44,7 @@ struct BatchCell {
   /// Simultaneous wake (long contended runs; the matrix protocol's regime)
   /// vs a uniform scatter (the family protocols' Monte-Carlo setting).
   bool simultaneous = false;
-  /// Cache window cap in slots (0 = CellSpec default); long-run cells need
+  /// Cache window cap in slots (0 = RunSpec default); long-run cells need
   /// the memo to cover tens of thousands of slots.
   mac::Slot window = 0;
 };
@@ -53,7 +53,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-sim::CellSpec spec_for(const BatchCell& cell) {
+sim::RunSpec spec_for(const BatchCell& cell) {
   const std::uint32_t n = cell.n;
   const std::uint32_t k = cell.k;
   auto pattern = cell.simultaneous
@@ -65,7 +65,7 @@ sim::CellSpec spec_for(const BatchCell& cell) {
                          return mac::patterns::uniform_window(
                              n, k, 0, static_cast<mac::Slot>(4) * k, rng);
                        });
-  sim::CellSpec spec = bench::cell_for(cell.protocol, n, k, /*s=*/0, std::move(pattern),
+  sim::RunSpec spec = bench::cell_for(cell.protocol, n, k, /*s=*/0, std::move(pattern),
                                        cell.trials);
   if (cell.window > 0) spec.cache.window = cell.window;
   return spec;
@@ -73,26 +73,28 @@ sim::CellSpec spec_for(const BatchCell& cell) {
 
 /// The pre-batching contract: protocol rebuilt from the trial seed, every
 /// trial, engine dispatch per trial.  Returns seconds per trial.
-double measure_legacy_per_trial(const sim::CellSpec& spec, std::uint64_t reps) {
+double measure_legacy_per_trial(const sim::RunSpec& spec, std::uint64_t reps) {
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < reps; ++i) {
     const std::uint64_t seed =
         util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
     util::Rng rng(seed);
-    const mac::WakePattern pattern = spec.pattern(rng);
-    const proto::ProtocolPtr protocol = spec.protocol(seed);
-    const sim::SimResult r = sim::run_wakeup(*protocol, pattern, spec.sim);
+    const mac::WakePattern pattern = spec.make_pattern(rng);
+    const proto::ProtocolPtr protocol = spec.make_protocol(seed);
+    const sim::SimResult r = sim::dispatch_wakeup(*protocol, pattern, spec.sim);
     if (r.s != pattern.first_wake()) std::abort();  // keep the run un-elided
   }
   return seconds_since(start) / static_cast<double>(reps);
 }
 
-bool verify_bit_identical(sim::CellSpec spec) {
+bool verify_bit_identical(sim::RunSpec spec) {
   std::vector<sim::SimResult> uncached(spec.trials), cached(spec.trials);
   spec.per_trial = [&](std::uint64_t i, const sim::SimResult& r) { uncached[i] = r; };
-  (void)sim::run_cell(spec, nullptr);
+  spec.batching = sim::TrialBatching::kOff;
+  (void)sim::Run(spec, nullptr);
   spec.per_trial = [&](std::uint64_t i, const sim::SimResult& r) { cached[i] = r; };
-  (void)sim::run_cell_batched(spec, &bench::pool());
+  spec.batching = sim::TrialBatching::kAuto;
+  (void)sim::Run(spec, &bench::pool());
   for (std::uint64_t i = 0; i < spec.trials; ++i) {
     const auto& a = uncached[i];
     const auto& b = cached[i];
@@ -152,11 +154,11 @@ int main(int argc, char** argv) {
   int accept_count = 0;
   bool verify_ok = true;
   for (const auto& cell : cells) {
-    const sim::CellSpec spec = spec_for(cell);
+    const sim::RunSpec spec = spec_for(cell);
     const double legacy = measure_legacy_per_trial(spec, cell.baseline_reps);
 
     const auto start = std::chrono::steady_clock::now();
-    const sim::CellResult result = sim::run_cell_batched(spec, &bench::pool());
+    const sim::CellResult result = sim::Run(spec, &bench::pool()).cell;
     const double cached = seconds_since(start) / static_cast<double>(cell.trials);
     if (result.trials != cell.trials) std::abort();
 

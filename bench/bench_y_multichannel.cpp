@@ -25,7 +25,7 @@ double mean_rounds(const proto::McProtocol& protocol, std::uint32_t n, std::uint
   for (std::uint64_t i = 0; i < trials; ++i) {
     util::Rng rng(util::hash_words({base_seed, 0x4d43ULL /* "MC" */, i}));
     const auto pattern = mac::patterns::simultaneous(n, k, 0, rng);
-    const auto result = sim::run_mc_wakeup(protocol, pattern);
+    const auto result = sim::Run({.mc_protocol = &protocol, .pattern = &pattern}).mc;
     if (result.success) {
       total += static_cast<double>(result.rounds);
       ++ok;

@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
     };
 
     // Typical: mean over uniform patterns.
-    sim::CellSpec cell;
-    cell.protocol = factory;
-    cell.pattern = [&, k](util::Rng& rng) {
+    sim::RunSpec cell;
+    cell.make_protocol = factory;
+    cell.make_pattern = [&, k](util::Rng& rng) {
       return mac::patterns::uniform_window(n, k, 0, 4 * static_cast<mac::Slot>(k), rng);
     };
     cell.trials = 16;
     cell.base_seed = 5;
-    const auto typical = sim::run_cell(cell, nullptr);
+    const auto typical = sim::Run(cell, nullptr).cell;
 
     const auto worst =
         sim::search_worst_pattern(factory, n, k, /*restarts=*/6, /*steps=*/40, /*seed=*/11, {});

@@ -24,8 +24,8 @@ int main() {
   for (const std::string name :
        {"wakeup_with_s", "wakeup_with_k", "wakeup_matrix", "rpd_n", "slotted_aloha",
         "round_robin"}) {
-    sim::CellSpec cell;
-    cell.protocol = [&, name](std::uint64_t seed) {
+    sim::RunSpec cell;
+    cell.make_protocol = [&, name](std::uint64_t seed) {
       proto::ProtocolSpec spec;
       spec.name = name;
       spec.n = n;
@@ -34,13 +34,13 @@ int main() {
       spec.seed = seed;
       return proto::make_protocol_by_name(spec);
     };
-    cell.pattern = [&](util::Rng& rng) {
+    cell.make_pattern = [&](util::Rng& rng) {
       // Burst of 4 sub-bursts, 8 slots apart: most hosts at s, echoes after.
       return mac::patterns::batched(n, k, /*s=*/0, /*batches=*/4, /*gap=*/8, rng);
     };
     cell.trials = trials;
     cell.base_seed = 777;
-    const auto result = sim::run_cell(cell, &pool);
+    const auto result = sim::Run(cell, &pool).cell;
     table.cell(name)
         .cell(result.rounds.mean, 1)
         .cell(result.rounds.p95, 1)

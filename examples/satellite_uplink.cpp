@@ -27,8 +27,8 @@ int main() {
 
   for (std::uint32_t k : {2u, 8u, 32u, 128u, 512u}) {
     auto cell_for = [&](const std::string& name) {
-      sim::CellSpec cell;
-      cell.protocol = [&, name](std::uint64_t seed) {
+      sim::RunSpec cell;
+      cell.make_protocol = [&, name](std::uint64_t seed) {
         proto::ProtocolSpec spec;
         spec.name = name;
         spec.n = n;
@@ -37,14 +37,14 @@ int main() {
         spec.seed = seed;
         return proto::make_protocol_by_name(spec);
       };
-      cell.pattern = [&, k](util::Rng& rng) {
+      cell.make_pattern = [&, k](util::Rng& rng) {
         // Everyone reacts to the same beacon: simultaneous at s.
         return mac::patterns::simultaneous(n, k, beacon, rng);
       };
       cell.trials = trials;
       cell.base_seed = 99;
       cell.cell_tag = k;
-      return sim::run_cell(cell, &pool);
+      return sim::Run(cell, &pool).cell;
     };
 
     const auto with_s = cell_for("wakeup_with_s");

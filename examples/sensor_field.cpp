@@ -26,20 +26,20 @@ int main() {
       {"k (awake)", "mean rounds", "bound k·logn·loglogn", "mean/bound", "p95/bound"});
 
   for (std::uint32_t k : {8u, 32u, 64u, 128u, 256u, 512u}) {
-    sim::CellSpec cell;
-    cell.protocol = [&](std::uint64_t seed) {
+    sim::RunSpec cell;
+    cell.make_protocol = [&](std::uint64_t seed) {
       core::SolverOptions options;
       options.seed = seed;
       return core::make_protocol(core::ProblemSpec{.n = n}, options);  // Scenario C
     };
-    cell.pattern = [&, k](util::Rng& rng) {
+    cell.make_pattern = [&, k](util::Rng& rng) {
       // All detections land within a 4-slot window of the event.
       return mac::patterns::uniform_window(n, k, /*s=*/0, /*window=*/4, rng);
     };
     cell.trials = trials;
     cell.base_seed = 4242;
     cell.cell_tag = k;
-    const auto result = sim::run_cell(cell, &pool);
+    const auto result = sim::Run(cell, &pool).cell;
 
     const double bound = util::scenario_c_bound(n, k);
     table.cell(std::uint64_t{k})

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "protocols/wakeup_matrix.hpp"
+#include "sim/run.hpp"
 #include "protocols/wakeup_with_k.hpp"
 #include "protocols/wakeup_with_s.hpp"
 
@@ -37,7 +38,7 @@ sim::SimResult resolve_contention(const ProblemSpec& spec, const mac::WakePatter
     throw std::invalid_argument("resolve_contention: first wake differs from the known s");
   }
   const proto::ProtocolPtr protocol = make_protocol(spec, options);
-  return sim::run_wakeup(*protocol, pattern, sim_config);
+  return sim::Run({.protocol = protocol.get(), .pattern = &pattern, .sim = sim_config}).sim;
 }
 
 }  // namespace wakeup::core

@@ -21,10 +21,39 @@ class AdapterRuntime final : public McStationRuntime {
   std::unique_ptr<StationRuntime> inner_;
 };
 
+/// Lifts an inner single-channel oblivious schedule onto lane 0 of a
+/// C-lane schedule: words and trial-batching hints forward unchanged, only
+/// the lane geometry widens.
+class AdapterSchedule final : public ObliviousSchedule {
+ public:
+  AdapterSchedule(const ObliviousSchedule* inner, std::uint32_t channels)
+      : inner_(inner), channels_(channels) {}
+
+  [[nodiscard]] std::uint32_t schedule_channels() const override { return channels_; }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override {
+    inner_->schedule_block(u, wake, from, out_words, n_words);
+  }
+  [[nodiscard]] bool words_are_cheap() const override { return inner_->words_are_cheap(); }
+  [[nodiscard]] std::uint64_t wake_key(Slot wake) const override {
+    return inner_->wake_key(wake);
+  }
+  [[nodiscard]] std::uint64_t period() const override { return inner_->period(); }
+  [[nodiscard]] Slot steady_from(Slot wake) const override { return inner_->steady_from(wake); }
+
+ private:
+  const ObliviousSchedule* inner_;
+  std::uint32_t channels_;
+};
+
 class SingleChannelAdapter final : public McProtocol {
  public:
   SingleChannelAdapter(ProtocolPtr inner, std::uint32_t channels)
-      : inner_(std::move(inner)), channels_(channels < 1 ? 1 : channels) {}
+      : inner_(std::move(inner)), channels_(channels < 1 ? 1 : channels) {
+    if (const ObliviousSchedule* schedule = inner_->oblivious_schedule()) {
+      schedule_ = std::make_unique<AdapterSchedule>(schedule, channels_);
+    }
+  }
 
   [[nodiscard]] std::string name() const override { return "mc_adapter(" + inner_->name() + ")"; }
   [[nodiscard]] std::uint32_t channels() const override { return channels_; }
@@ -33,10 +62,17 @@ class SingleChannelAdapter final : public McProtocol {
     return std::make_unique<AdapterRuntime>(inner_->make_runtime(u, wake));
   }
   [[nodiscard]] const Protocol* single_channel() const override { return inner_.get(); }
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override {
+    return schedule_.get();
+  }
+  [[nodiscard]] bool randomized() const override {
+    return inner_->requirements().randomized;
+  }
 
  private:
   ProtocolPtr inner_;
   std::uint32_t channels_;
+  std::unique_ptr<AdapterSchedule> schedule_;
 };
 
 // ------------------------------------------------------- striped round-robin
@@ -57,19 +93,59 @@ class StripedRrRuntime final : public McStationRuntime {
   std::uint32_t cycle_;
 };
 
-class StripedRoundRobin final : public McProtocol {
+class StripedRoundRobin final : public McProtocol, public ObliviousSchedule {
  public:
   StripedRoundRobin(std::uint32_t n, std::uint32_t channels)
       : n_(n < 1 ? 1 : n),
         channels_(channels < 1 ? 1 : channels),
-        cycle_(static_cast<std::uint32_t>(util::ceil_div(n_, channels_))) {}
+        cycle_(static_cast<std::uint32_t>(util::ceil_div(n_, channels_))) {
+    if (cycle_ < 1) cycle_ = 1;
+  }
 
   [[nodiscard]] std::string name() const override { return "mc_striped_rr"; }
   [[nodiscard]] std::uint32_t channels() const override { return channels_; }
   [[nodiscard]] std::unique_ptr<McStationRuntime> make_runtime(StationId u,
                                                                Slot wake) const override {
     (void)wake;
-    return std::make_unique<StripedRrRuntime>(u, channels_, cycle_ < 1 ? 1 : cycle_);
+    return std::make_unique<StripedRrRuntime>(u, channels_, cycle_);
+  }
+
+  // Oblivious capability: station u owns channel u % C and cycle slot
+  // u / C — TDM striped across lanes, a pure function of the global clock.
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  [[nodiscard]] std::uint32_t schedule_channels() const override { return channels_; }
+  [[nodiscard]] std::uint32_t channel_lane(StationId u, Slot wake) const override {
+    (void)wake;
+    return u % channels_;
+  }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override {
+    (void)wake;  // the stripe depends only on the global clock
+    const auto turn = static_cast<Slot>(u / channels_);
+    const auto cycle = static_cast<Slot>(cycle_);
+    if (turn >= cycle) {  // out-of-universe station: its turn never comes
+      for (std::size_t w = 0; w < n_words; ++w) out_words[w] = 0;
+      return;
+    }
+    for (std::size_t w = 0; w < n_words; ++w) {
+      const Slot t0 = from + static_cast<Slot>(64 * w);
+      Slot j = (turn - t0) % cycle;
+      if (j < 0) j += cycle;
+      std::uint64_t word = 0;
+      for (; j < 64; j += cycle) word |= std::uint64_t{1} << j;
+      out_words[w] = word;
+    }
+  }
+  [[nodiscard]] bool words_are_cheap() const override { return true; }
+  /// One wake class (the stripe ignores the wake), period = one cycle.
+  [[nodiscard]] std::uint64_t wake_key(Slot wake) const override {
+    (void)wake;
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t period() const override { return cycle_; }
+  [[nodiscard]] Slot steady_from(Slot wake) const override {
+    (void)wake;
+    return 0;
   }
 
  private:
@@ -101,7 +177,7 @@ class GroupWagRuntime final : public McStationRuntime {
   std::uint64_t go_ = 0;
 };
 
-class GroupWaitAndGo final : public McProtocol {
+class GroupWaitAndGo final : public McProtocol, public ObliviousSchedule {
  public:
   GroupWaitAndGo(std::uint32_t n, std::uint32_t k, std::uint32_t channels,
                  comb::FamilyKind kind, std::uint64_t seed)
@@ -117,21 +193,99 @@ class GroupWaitAndGo final : public McProtocol {
       config.seed = util::hash_words({seed, 0x4d43574147ULL /* "MCWAG" */, c});
       schedules_.push_back(comb::make_doubling_schedule(config));
     }
+    // Family *sizes* are usually seed-independent (the seed only picks set
+    // membership), in which case every group shares one boundary/period
+    // structure and the trial-batching hints can be exact.  When a builder
+    // does vary sizes by seed, fall back to the always-sound defaults.
+    uniform_structure_ = true;
+    for (std::uint32_t c = 1; c < channels_ && uniform_structure_; ++c) {
+      if (schedules_[c]->period() != schedules_[0]->period() ||
+          schedules_[c]->family_count() != schedules_[0]->family_count()) {
+        uniform_structure_ = false;
+        break;
+      }
+      for (std::size_t i = 0; i < schedules_[0]->family_count(); ++i) {
+        if (schedules_[c]->family_start(i) != schedules_[0]->family_start(i)) {
+          uniform_structure_ = false;
+          break;
+        }
+      }
+    }
   }
 
   [[nodiscard]] std::string name() const override { return "mc_group_wag"; }
   [[nodiscard]] std::uint32_t channels() const override { return channels_; }
   [[nodiscard]] std::unique_ptr<McStationRuntime> make_runtime(StationId u,
                                                                Slot wake) const override {
-    const auto group = static_cast<std::uint32_t>(
-        util::hash_words({seed_, 0x47525055ULL /* "GRPU" */, u}) % channels_);
+    const std::uint32_t group = group_of(u);
     return std::make_unique<GroupWagRuntime>(u, wake, group, schedules_[group]);
   }
 
+  // Oblivious capability: station u is pinned to channel h(u) and runs its
+  // group's doubling schedule there, frozen until the next family boundary
+  // — the wait_and_go rule per lane.
+  [[nodiscard]] const ObliviousSchedule* oblivious_schedule() const override { return this; }
+  [[nodiscard]] std::uint32_t schedule_channels() const override { return channels_; }
+  [[nodiscard]] std::uint32_t channel_lane(StationId u, Slot wake) const override {
+    (void)wake;
+    return group_of(u);
+  }
+  void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
+                      std::size_t n_words) const override {
+    const comb::DoublingSchedule& schedule = *schedules_[group_of(u)];
+    const auto j0 = static_cast<std::uint64_t>(wake < 0 ? 0 : wake);
+    const std::uint64_t go = schedule.next_family_start(j0);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      const Slot t0 = from + static_cast<Slot>(64 * w);
+      if (t0 < 0) {  // negative slots never transmit; per-bit boundary path
+        std::uint64_t word = 0;
+        for (unsigned j = 0; j < 64; ++j) {
+          const Slot t = t0 + static_cast<Slot>(j);
+          if (t < 0 || static_cast<std::uint64_t>(t) < go) continue;
+          if (schedule.transmits(u, static_cast<std::uint64_t>(t))) {
+            word |= std::uint64_t{1} << j;
+          }
+        }
+        out_words[w] = word;
+        continue;
+      }
+      const auto ut0 = static_cast<std::uint64_t>(t0);
+      if (ut0 + 64 <= go) {  // still waiting for a family boundary
+        out_words[w] = 0;
+        continue;
+      }
+      std::uint64_t word = schedule.schedule_word(u, ut0);
+      if (ut0 < go) word &= ~std::uint64_t{0} << (go - ut0);
+      out_words[w] = word;
+    }
+  }
+  /// With a shared boundary structure the emission depends on the wake
+  /// only through the (common) next family start; otherwise every wake is
+  /// its own class (the sound default).
+  [[nodiscard]] std::uint64_t wake_key(Slot wake) const override {
+    const auto j = static_cast<std::uint64_t>(wake < 0 ? 0 : wake);
+    if (!uniform_structure_) return j;
+    return schedules_[0]->next_family_start(j);
+  }
+  [[nodiscard]] std::uint64_t period() const override {
+    return uniform_structure_ ? schedules_[0]->period() : 0;
+  }
+  [[nodiscard]] Slot steady_from(Slot wake) const override {
+    const auto j = static_cast<std::uint64_t>(wake < 0 ? 0 : wake);
+    if (!uniform_structure_) return wake < 0 ? 0 : wake;
+    return static_cast<Slot>(schedules_[0]->next_family_start(j));
+  }
+
  private:
+  [[nodiscard]] std::uint32_t group_of(StationId u) const {
+    return static_cast<std::uint32_t>(
+        util::hash_words({seed_, 0x47525055ULL /* "GRPU" */, u}) % channels_);
+  }
+
   std::uint32_t channels_;
   std::uint64_t seed_;
   std::vector<comb::DoublingSchedulePtr> schedules_;
+  bool uniform_structure_ = false;
 };
 
 // ---------------------------------------------------- random-channel RPD
@@ -163,6 +317,7 @@ class RandomChannelRpd final : public McProtocol {
 
   [[nodiscard]] std::string name() const override { return "mc_random_rpd"; }
   [[nodiscard]] std::uint32_t channels() const override { return channels_; }
+  [[nodiscard]] bool randomized() const override { return true; }
   [[nodiscard]] std::unique_ptr<McStationRuntime> make_runtime(StationId u,
                                                                Slot wake) const override {
     util::Rng rng(util::hash_words({seed_, 0x4d435250ULL /* "MCRP" */, u,

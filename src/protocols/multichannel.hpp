@@ -42,10 +42,23 @@ class McProtocol {
   [[nodiscard]] virtual std::unique_ptr<McStationRuntime> make_runtime(StationId u,
                                                                        Slot wake) const = 0;
   /// Non-null when the protocol is a single-channel protocol embedded on
-  /// channel 0 (the adapter below): the multichannel simulator then routes
-  /// the run through `sim::run_wakeup`'s engine dispatch, so oblivious
+  /// channel 0 (the adapter below): the multichannel dispatch then routes
+  /// the run through the single-channel engine stack, so oblivious
   /// baselines get the word-parallel fast path too.
   [[nodiscard]] virtual const Protocol* single_channel() const { return nullptr; }
+  /// Non-null iff the protocol is oblivious: deterministic, feedback-free,
+  /// and every station pinned to one lane (`ObliviousSchedule::
+  /// channel_lane`), with `schedule_channels() == channels()`.  The
+  /// returned schedule must agree with `make_runtime` action for action;
+  /// the C-channel batch engine (sim/mc_batch_engine.hpp) then resolves
+  /// runs 64 slots per lane at a time instead of one `resolve_multi_slot`
+  /// per slot.
+  [[nodiscard]] virtual const ObliviousSchedule* oblivious_schedule() const { return nullptr; }
+  /// True for coin-flipping protocols (random-channel RPD): the sweep
+  /// harness rebuilds them per trial from a per-trial stream instead of
+  /// hoisting one instance per cell (same seed contract as
+  /// proto::Requirements::randomized on the single-channel side).
+  [[nodiscard]] virtual bool randomized() const { return false; }
 };
 
 using McProtocolPtr = std::shared_ptr<const McProtocol>;

@@ -55,19 +55,47 @@ class StationRuntime {
 /// Capability interface of deterministic, feedback-free ("oblivious")
 /// protocols: the whole transmission schedule of a station is a pure
 /// function of (station, wake slot), so it can be emitted as packed 64-slot
-/// bit blocks and resolved word-parallel by `sim::run_wakeup`'s batch
-/// engine instead of one virtual call per slot per station.
+/// bit blocks and resolved word-parallel by the batch engines behind
+/// `sim::Run` instead of one virtual call per slot per station.
+///
+/// The capability is channel-aware: a schedule spans `schedule_channels()`
+/// channel lanes and pins every station to the single lane
+/// `channel_lane(u, wake)` for its whole run.  Single-channel protocols are
+/// the C = 1 specialization (the defaults — one lane, everyone on lane 0),
+/// so the six paper protocols implement exactly the same interface as the
+/// multichannel strategies and both feed the same word-parallel engines.
 class ObliviousSchedule {
  public:
   virtual ~ObliviousSchedule() = default;
 
+  // -- Channel lanes ----------------------------------------------------
+
+  /// Number of channel lanes the schedule spans.  1 (default) is the
+  /// paper's single multiple access channel; C > 1 is the multi-channel
+  /// extension (mac/multichannel.hpp), where each slot resolves per lane.
+  [[nodiscard]] virtual std::uint32_t schedule_channels() const { return 1; }
+
+  /// The fixed channel lane station `u` acts on (transmits and listens)
+  /// for its entire run.  Must be < schedule_channels(), constant over
+  /// slots, and — like schedule_block — may depend on the wake only
+  /// through wake_key.  Oblivious *multichannel* protocols whose stations
+  /// hop lanes mid-run do not fit this capability and stay on the slot
+  /// interpreter.
+  [[nodiscard]] virtual std::uint32_t channel_lane(StationId u, Slot wake) const {
+    (void)u;
+    (void)wake;
+    return 0;
+  }
+
   /// Writes `n_words` consecutive 64-slot blocks of station `u`'s schedule
   /// starting at slot `from`: bit j of out_words[w] covers slot
   /// from + 64*w + j and must equal what a fresh `make_runtime(u, wake)`
-  /// runtime would answer from `transmits` at that slot, for every covered
-  /// slot >= wake.  Bits covering slots earlier than `wake` are
-  /// unspecified — callers must mask them out (the StationRuntime contract
-  /// never queries those slots either).
+  /// runtime would answer from `transmits` at that slot (for multichannel
+  /// protocols: the `transmit` flag of `act`, which always targets
+  /// `channel_lane(u, wake)`), for every covered slot >= wake.  Bits
+  /// covering slots earlier than `wake` are unspecified — callers must
+  /// mask them out (the StationRuntime contract never queries those slots
+  /// either).
   virtual void schedule_block(StationId u, Slot wake, Slot from, std::uint64_t* out_words,
                               std::size_t n_words) const = 0;
 

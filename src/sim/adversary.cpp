@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/run.hpp"
 #include "util/dynamic_bitset.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -70,7 +71,7 @@ PatternSearchResult search_worst_pattern(
   auto evaluate = [&](const mac::WakePattern& pattern,
                       std::uint64_t trial_seed) -> SimResult {
     const proto::ProtocolPtr protocol = factory(trial_seed);
-    return run_wakeup(*protocol, pattern, config);
+    return Run({.protocol = protocol.get(), .pattern = &pattern, .sim = config}).sim;
   };
 
   for (std::uint32_t r = 0; r < restarts; ++r) {

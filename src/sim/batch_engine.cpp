@@ -7,6 +7,7 @@
 
 #include "sim/interpreter.hpp"
 #include "sim/schedule_cache.hpp"
+#include "sim/word_source.hpp"
 
 namespace wakeup::sim {
 
@@ -16,28 +17,8 @@ bool batch_engine_supports(const proto::Protocol& protocol, const SimConfig& con
 
 namespace {
 
-/// Word sources feed the block loop one 64-slot schedule word per station
-/// per block.  `arrival` is the station's index in pattern.arrivals(), so
-/// cached sources can pre-resolve one handle per arrival.
-struct DirectWords {
-  const proto::ObliviousSchedule& schedule;
-  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
-            std::uint64_t* out) const {
-    (void)arrival;
-    schedule.schedule_block(id, wake, from, out, 1);
-  }
-};
-
-struct CachedWords {
-  const proto::ObliviousSchedule& schedule;
-  std::vector<const ScheduleCache::Entry*> handles;  ///< per arrival index
-  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
-            std::uint64_t* out) const {
-    const ScheduleCache::Entry* entry = handles[arrival];
-    if (entry != nullptr && ScheduleCache::read(*entry, from, out)) return;
-    schedule.schedule_block(id, wake, from, out, 1);
-  }
-};
+using detail::CachedWords;
+using detail::DirectWords;
 
 /// Block-wise core.  `start` is the first slot to resolve (>= s; arrivals
 /// before it join immediately) and `carry` holds outcome counters already
@@ -199,12 +180,7 @@ SimResult run_wakeup_batch_cached(const proto::Protocol& protocol, const Schedul
   if (!batch_engine_supports(protocol, config)) {
     throw std::invalid_argument("batch engine requires an oblivious protocol and no trace");
   }
-  CachedWords words{*schedule, {}};
-  const auto& arrivals = pattern.arrivals();
-  words.handles.reserve(arrivals.size());
-  for (const auto& a : arrivals) {
-    words.handles.push_back(cache.find(a.station, a.wake));
-  }
+  const CachedWords words = detail::make_cached_words(*schedule, cache, pattern);
   return run_batch_from(words, pattern, config, pattern.first_wake(), nullptr);
 }
 
@@ -225,27 +201,30 @@ SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePatt
   mac::Slot budget = config.max_slots;
   if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
 
-  // Cheap-word schedules (strided bits) batch profitably from slot one.
-  if (schedule->words_are_cheap()) {
+  // Warm-up length: an explicit SimConfig::warmup_slots wins (the sweep
+  // harness sizes it from measured schedule-word cost); otherwise the
+  // static hint — cheap-word schedules (strided bits) batch profitably
+  // from slot one, expensive ones get one interpreted block, since the
+  // paper's near-optimal protocols often resolve contention within a few
+  // slots, where a full 64-slot table- or hash-walking word per station
+  // would be pure waste.
+  mac::Slot warmup = config.warmup_slots;
+  if (warmup < 0) warmup = schedule->words_are_cheap() ? 0 : 64;
+  if (warmup == 0) {
     return run_batch_from(DirectWords{*schedule}, pattern, config, pattern.first_wake(),
                           nullptr);
   }
 
-  // Expensive-word schedules get an interpreted warm-up block first: the
-  // paper's near-optimal protocols often resolve contention within a few
-  // slots, where a full 64-slot table- or hash-walking word per station
-  // would be pure waste.
-  constexpr mac::Slot kWarmupSlots = 64;
   SimConfig warm_config = config;
-  warm_config.max_slots = std::min<mac::Slot>(kWarmupSlots, budget);
+  warm_config.max_slots = std::min<mac::Slot>(warmup, budget);
   const SimResult warm = run_wakeup_interpreter(protocol, pattern, warm_config);
-  if (warm.success || budget <= kWarmupSlots) return warm;
+  if (warm.success || budget <= warmup) return warm;
 
   // No success in the warm-up: continue word-parallel with carried counters.
   SimConfig rest_config = config;
   rest_config.max_slots = budget;  // pin the budget the warm-up was cut from
   return run_batch_from(DirectWords{*schedule}, pattern, rest_config,
-                        pattern.first_wake() + kWarmupSlots, &warm);
+                        pattern.first_wake() + warmup, &warm);
 }
 
 }  // namespace wakeup::sim

@@ -42,10 +42,12 @@ class ScheduleCache;
                                                 const mac::WakePattern& pattern,
                                                 const SimConfig& config);
 
-/// The Engine::kAuto fast path: interprets the first 64-slot block (runs
-/// that resolve quickly never pay for schedule words they do not need),
-/// then continues word-parallel.  Same preconditions and bit-identical
-/// results as run_wakeup_batch.
+/// The Engine::kAuto fast path: interprets a warm-up prefix (runs that
+/// resolve quickly never pay for schedule words they do not need), then
+/// continues word-parallel.  The prefix length comes from
+/// SimConfig::warmup_slots, defaulting to one 64-slot block for
+/// expensive-word schedules and zero for cheap ones.  Same preconditions
+/// and bit-identical results as run_wakeup_batch, for every prefix length.
 [[nodiscard]] SimResult run_wakeup_hybrid(const proto::Protocol& protocol,
                                           const mac::WakePattern& pattern,
                                           const SimConfig& config);

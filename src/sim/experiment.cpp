@@ -1,208 +1,41 @@
 #include "sim/experiment.hpp"
 
-#include <algorithm>
-#include <vector>
+#ifdef WAKEUP_DEPRECATED_API
 
-#include "sim/batch_engine.hpp"
-#include "util/rng.hpp"
+// Definitions of the deprecated wrappers themselves — silence the
+// self-referential deprecation warnings.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 namespace wakeup::sim {
 
 namespace {
 
-struct TrialOut {
-  bool success = false;
-  double rounds = 0;
-  double collisions = 0;
-  double silences = 0;
-  bool completed = false;
-  double completion = 0;
-};
-
-std::uint64_t trial_seed(const CellSpec& spec, std::uint64_t i) {
-  return util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
-}
-
-/// Cell-level seed: deterministic protocols are built once per cell from
-/// this, so every trial shares one instance (and one schedule).
-std::uint64_t cell_protocol_seed(const CellSpec& spec) {
-  return util::hash_words({spec.base_seed, 0x50524f544fULL /* "PROTO" */, spec.cell_tag});
-}
-
-/// Per-trial protocol stream for randomized protocols: derived from the
-/// trial seed but distinct from the wake pattern's Rng stream, so the
-/// pattern alone consumes the trial seed.
-std::uint64_t trial_protocol_seed(std::uint64_t seed) {
-  return util::hash_words({seed, 0x50524fULL /* "PRO" */});
-}
-
-void record(const CellSpec& spec, std::vector<TrialOut>& outs, std::uint64_t i,
-            const SimResult& r) {
-  TrialOut& out = outs[i];
-  out.success = r.success;
-  out.rounds = static_cast<double>(r.rounds);
-  out.collisions = static_cast<double>(r.collisions);
-  out.silences = static_cast<double>(r.silences);
-  out.completed = r.completed;
-  out.completion = static_cast<double>(r.completion_rounds);
-  if (spec.per_trial) spec.per_trial(i, r);
-}
-
-CellResult aggregate(const CellSpec& spec, const std::vector<TrialOut>& outs) {
-  util::Sample rounds, collisions, silences, completion;
-  CellResult result;
-  result.trials = spec.trials;
-  for (const TrialOut& out : outs) {
-    if (!out.success) {
-      ++result.failures;
-      continue;
-    }
-    rounds.push(out.rounds);
-    collisions.push(out.collisions);
-    silences.push(out.silences);
-    if (out.completed) completion.push(out.completion);
-  }
-  result.rounds = util::Summary::of(rounds);
-  result.collisions = util::Summary::of(collisions);
-  result.silences = util::Summary::of(silences);
-  result.completion = util::Summary::of(completion);
-  return result;
-}
-
-void for_each_trial(std::uint64_t trials, util::ThreadPool* pool,
-                    const std::function<void(std::size_t)>& body) {
-  if (pool != nullptr) {
-    pool->parallel_for(0, trials, body);
-  } else {
-    for (std::size_t i = 0; i < trials; ++i) body(i);
-  }
+RunSpec to_run_spec(const CellSpec& spec, TrialBatching batching) {
+  RunSpec run;
+  run.make_protocol = spec.protocol;
+  run.make_pattern = spec.pattern;
+  run.sim = spec.sim;
+  run.trials = spec.trials;
+  run.base_seed = spec.base_seed;
+  run.cell_tag = spec.cell_tag;
+  run.cache = spec.cache;
+  run.per_trial = spec.per_trial;
+  run.batching = batching;
+  return run;
 }
 
 }  // namespace
 
 CellResult run_cell(const CellSpec& spec, util::ThreadPool* pool) {
-  std::vector<TrialOut> outs(spec.trials);
-  const proto::ProtocolPtr shared = spec.protocol(cell_protocol_seed(spec));
-  const bool randomized = shared->requirements().randomized;
-
-  for_each_trial(spec.trials, pool, [&](std::size_t i) {
-    const std::uint64_t seed = trial_seed(spec, i);
-    util::Rng rng(seed);
-    const mac::WakePattern pattern = spec.pattern(rng);
-    const proto::ProtocolPtr protocol =
-        randomized ? spec.protocol(trial_protocol_seed(seed)) : shared;
-    // Dispatches per spec.sim.engine: oblivious protocols hit the batch
-    // engine, adaptive/randomized ones the interpreter.
-    record(spec, outs, i, run_wakeup(*protocol, pattern, spec.sim));
-  });
-
-  return aggregate(spec, outs);
+  return Run(to_run_spec(spec, TrialBatching::kOff), pool).cell;
 }
 
 CellResult run_cell_batched(const CellSpec& spec, util::ThreadPool* pool) {
-  const proto::ProtocolPtr protocol = spec.protocol(cell_protocol_seed(spec));
-  // Randomized protocols differ per trial; there is no shared schedule to
-  // memoize.  run_cell applies the same seed contract.
-  if (protocol->requirements().randomized) return run_cell(spec, pool);
-
-  std::vector<TrialOut> outs(spec.trials);
-
-  // Patterns up front: they are cheap relative to simulation, and the
-  // cache needs the full (station, wake) census before going read-only.
-  std::vector<mac::WakePattern> patterns;
-  patterns.reserve(spec.trials);
-  for (std::uint64_t i = 0; i < spec.trials; ++i) {
-    util::Rng rng(trial_seed(spec, i));
-    patterns.push_back(spec.pattern(rng));
-  }
-
-  const proto::ObliviousSchedule* schedule = protocol->oblivious_schedule();
-  // Same cost model as the kAuto dispatch: cheap-word schedules (strided
-  // bits) recompute faster than a memo can be populated, so they run the
-  // plain hoisted trial loop; the cache earns its keep on table-, family-
-  // and hash-walking schedules.  `force` overrides this exclusion too, so
-  // tests can drive the cached path for every oblivious protocol.
-  const bool cacheable = schedule != nullptr &&
-                         (!schedule->words_are_cheap() || spec.cache.force) &&
-                         !spec.sim.record_trace && spec.sim.engine != Engine::kInterpreter;
-  if (!cacheable) {
-    for_each_trial(spec.trials, pool, [&](std::size_t i) {
-      record(spec, outs, i, run_wakeup(*protocol, patterns[i], spec.sim));
-    });
-    return aggregate(spec, outs);
-  }
-
-  // A few uncached probe trials size the cache window from observed trial
-  // lengths instead of the (deliberately generous) failure budget; their
-  // results are kept — cached and uncached runs are bit-identical.
-  const std::uint64_t probes = std::min<std::uint64_t>(spec.trials, 4);
-  mac::Slot observed = 0;
-  double run_slots_sum = 0;
-  mac::Slot horizon = 0;
-  for (std::uint64_t i = 0; i < spec.trials; ++i) {
-    const mac::WakePattern& p = patterns[i];
-    if (p.empty()) continue;
-    mac::Slot budget = spec.sim.max_slots;
-    if (budget <= 0) budget = auto_slot_budget(p.n(), p.k());
-    horizon = std::max<mac::Slot>(horizon, p.first_wake() + budget);
-  }
-  for (std::uint64_t i = 0; i < probes; ++i) {
-    const SimResult r = run_wakeup(*protocol, patterns[i], spec.sim);
-    record(spec, outs, i, r);
-    // Slots the trial actually walked, from its own first wake: to
-    // completion (full resolution), to the first success, or the whole
-    // budget when the stop condition was never reached.
-    mac::Slot budget = spec.sim.max_slots;
-    if (budget <= 0) budget = auto_slot_budget(patterns[i].n(), patterns[i].k());
-    mac::Slot run_slots;
-    if (spec.sim.full_resolution) {
-      run_slots = r.completed ? r.completion_rounds + 1 : budget;
-    } else {
-      run_slots = r.success ? r.rounds + 1 : budget;
-    }
-    observed = std::max<mac::Slot>(observed, run_slots);
-    run_slots_sum += static_cast<double>(run_slots);
-  }
-
-  ScheduleCache::Config cache_config = spec.cache;
-  cache_config.horizon = horizon;
-  cache_config.window =
-      std::clamp<mac::Slot>(2 * observed, 256, std::max<mac::Slot>(spec.cache.window, 256));
-  ScheduleCache cache(*schedule, cache_config);
-  std::vector<std::pair<mac::StationId, mac::Slot>> members;
-  for (const mac::WakePattern& p : patterns) {
-    for (const mac::Arrival& a : p.arrivals()) members.emplace_back(a.station, a.wake);
-  }
-  const std::size_t planned_words = cache.plan_members(members);
-
-  // Population cost gate: filling the memo walks planned_words * 64
-  // schedule slots once; running uncached walks roughly one word per
-  // station per live block, per trial.  When the trials themselves are the
-  // cheaper walk (low cross-trial reuse — huge universes, scattered wake
-  // classes, short runs), skip the fill and run the hoisted trial loop.
-  const double mean_run = probes > 0 ? run_slots_sum / static_cast<double>(probes) : 0;
-  const double direct_words =
-      static_cast<double>(members.size()) * mean_run / 64.0;
-  if (!spec.cache.force && static_cast<double>(planned_words) > direct_words) {
-    for_each_trial(spec.trials - probes, pool, [&](std::size_t j) {
-      const std::size_t i = j + probes;
-      record(spec, outs, i, run_wakeup(*protocol, patterns[i], spec.sim));
-    });
-    return aggregate(spec, outs);
-  }
-  cache.fill_planned(pool);
-
-  for_each_trial(spec.trials - probes, pool, [&](std::size_t j) {
-    const std::size_t i = j + probes;
-    record(spec, outs, i, run_wakeup_batch_cached(*protocol, cache, patterns[i], spec.sim));
-  });
-
-  return aggregate(spec, outs);
-}
-
-double normalized_mean(const CellResult& result, double bound) {
-  if (bound <= 0.0 || result.rounds.count == 0) return 0.0;
-  return result.rounds.mean / bound;
+  return Run(to_run_spec(spec, TrialBatching::kAuto), pool).cell;
 }
 
 }  // namespace wakeup::sim
+
+#endif  // WAKEUP_DEPRECATED_API

@@ -1,36 +1,26 @@
 #pragma once
 
 /// \file experiment.hpp
-/// The sweep harness: runs many independent trials of (protocol, pattern)
-/// cells, in parallel, with bitwise-deterministic results.
+/// Deprecated pre-facade sweep harness.  `sim::Run` (sim/run.hpp) replaced
+/// the `run_cell` / `run_cell_batched` entry points; they survive one PR
+/// as thin wrappers behind the WAKEUP_DEPRECATED_API build option, with
+/// unchanged semantics and bit-identical per-trial streams.
 ///
-/// Determinism: trial i of a cell derives its seed as
-/// hash(base_seed, cell_tag, i); the wake pattern flows from that seed and
-/// per-trial outputs are written to slot i of a pre-sized vector — so
-/// mean/percentile aggregates do not depend on the thread count.
-///
-/// Seed contract (trial batching): the *cell-level* seed
-/// hash(base_seed, cell_tag) derives the protocol, which is constructed
-/// once per cell and shared by every trial — deterministic protocols
-/// (seeded families, matrices) are trial-invariant, which is what lets
-/// run_cell_batched memoize their schedule words across trials.  Only
-/// protocols declaring Requirements::randomized (private coins) are
-/// rebuilt per trial, from a stream derived from the trial seed; the wake
-/// pattern alone consumes the trial seed's Rng.
+/// Migration: a CellSpec maps field for field onto RunSpec —
+/// `protocol` -> `make_protocol`, `pattern` -> `make_pattern`, everything
+/// else keeps its name — and `run_cell(spec, pool)` becomes
+/// `Run(spec', pool).cell` with `.batching = TrialBatching::kOff`
+/// (`run_cell_batched` is the kAuto default).  See README "Unified
+/// simulation API".
 
-#include <functional>
-#include <string>
+#include "sim/run.hpp"
 
-#include "mac/wake_pattern.hpp"
-#include "protocols/protocol.hpp"
-#include "sim/schedule_cache.hpp"
-#include "sim/simulator.hpp"
-#include "util/stats.hpp"
-#include "util/thread_pool.hpp"
+#ifdef WAKEUP_DEPRECATED_API
 
 namespace wakeup::sim {
 
 /// One sweep cell: how to build the protocol and the pattern for a trial.
+/// Deprecated alongside run_cell / run_cell_batched — use sim::RunSpec.
 struct CellSpec {
   /// Builds the protocol for a seed.  Called once per cell with the
   /// cell-level seed; additionally once per trial (with a per-trial
@@ -39,50 +29,26 @@ struct CellSpec {
   std::function<proto::ProtocolPtr(std::uint64_t seed)> protocol;
   /// Builds the wake pattern from the trial's RNG stream.
   std::function<mac::WakePattern(util::Rng& rng)> pattern;
-  /// Per-trial simulator configuration.  `sim.engine` flows through
-  /// run_wakeup's dispatch, so sweeps over oblivious protocols run on the
-  /// word-parallel batch engine by default (Engine::kAuto).
+  /// Per-trial simulator configuration.
   SimConfig sim;
   std::uint64_t trials = 32;
   std::uint64_t base_seed = 1;
   /// Distinguishes cells that share a base_seed (hashed into trial seeds).
   std::uint64_t cell_tag = 0;
-  /// Knobs for run_cell_batched's shared schedule-word cache.  `window`
-  /// acts as an upper bound; the harness shrinks it to a multiple of the
-  /// trial lengths observed in a few uncached probe trials.
+  /// Knobs for run_cell_batched's shared schedule-word cache.
   ScheduleCache::Config cache;
-  /// Optional per-trial sink, called as per_trial(i, result) from worker
-  /// threads (each trial index exactly once; the callee must tolerate
-  /// concurrent calls for distinct i).  Used by equivalence tests and
-  /// streaming result sinks.
+  /// Optional per-trial sink (same contract as RunSpec::per_trial).
   std::function<void(std::uint64_t trial, const SimResult& result)> per_trial;
 };
 
-/// Aggregated outcome of a cell.
-struct CellResult {
-  util::Summary rounds;          ///< rounds to wake-up over successful trials
-  util::Summary collisions;
-  util::Summary silences;
-  util::Summary completion;      ///< full-resolution rounds (if enabled)
-  std::uint64_t trials = 0;
-  std::uint64_t failures = 0;    ///< trials that exhausted the slot budget
-};
-
 /// Runs all trials of a cell.  `pool` may be null (inline execution).
-[[nodiscard]] CellResult run_cell(const CellSpec& spec, util::ThreadPool* pool);
+[[deprecated("use sim::Run with TrialBatching::kOff (sim/run.hpp)")]] [[nodiscard]] CellResult
+run_cell(const CellSpec& spec, util::ThreadPool* pool);
 
-/// Trial-batched variant of run_cell with identical per-trial results:
-/// the protocol is constructed once, all trial patterns are generated
-/// up front, and (for oblivious protocols under the kAuto/kBatch engines)
-/// one read-only ScheduleCache feeds the batch engine memoized schedule
-/// words instead of per-trial schedule_block walks.  Falls back to the
-/// run_cell trial loop — still with the hoisted protocol — for randomized
-/// or non-oblivious protocols, trace recording, and the kInterpreter
-/// engine.
-[[nodiscard]] CellResult run_cell_batched(const CellSpec& spec, util::ThreadPool* pool);
-
-/// Convenience: mean rounds normalized by a theory bound, the headline
-/// statistic of the scaling tables.
-[[nodiscard]] double normalized_mean(const CellResult& result, double bound);
+/// Trial-batched variant of run_cell with identical per-trial results.
+[[deprecated("use sim::Run (sim/run.hpp)")]] [[nodiscard]] CellResult run_cell_batched(
+    const CellSpec& spec, util::ThreadPool* pool);
 
 }  // namespace wakeup::sim
+
+#endif  // WAKEUP_DEPRECATED_API

@@ -1,0 +1,159 @@
+#include "sim/mc_batch_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/schedule_cache.hpp"
+#include "sim/word_source.hpp"
+
+namespace wakeup::sim {
+
+bool mc_batch_supports(const proto::McProtocol& protocol) {
+  const proto::ObliviousSchedule* schedule = protocol.oblivious_schedule();
+  return schedule != nullptr && schedule->schedule_channels() == protocol.channels();
+}
+
+namespace {
+
+/// Block-wise C-lane core.  Mirrors the single-channel run_batch_from
+/// (sim/batch_engine.cpp) with per-lane (any, multi) reductions; the
+/// multichannel model has no full-resolution drain, so a block either
+/// finds the first success slot (over all lanes) or accumulates a full
+/// block of per-lane silence/collision counts.
+template <class Words>
+McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule& schedule,
+                              std::uint32_t channels, const mac::WakePattern& pattern,
+                              mac::Slot max_slots) {
+  McSimResult result;
+  if (pattern.empty()) return result;
+
+  struct Active {
+    mac::StationId id;
+    mac::Slot wake;
+    std::size_t arrival;   ///< index in pattern.arrivals()
+    std::uint32_t lane;    ///< fixed channel (ObliviousSchedule::channel_lane)
+    std::uint64_t word = 0;
+  };
+
+  const auto& arrivals = pattern.arrivals();  // sorted by wake
+  const mac::Slot s = pattern.first_wake();
+  result.s = s;
+
+  mac::Slot budget = max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+  const mac::Slot end = s + budget;  // exclusive
+
+  std::vector<Active> active;
+  active.reserve(pattern.k());
+  std::size_t next_arrival = 0;
+  std::vector<std::uint64_t> any(channels);
+  std::vector<std::uint64_t> multi(channels);
+
+  // Blocks aligned to absolute 64-slot boundaries, like the single-channel
+  // engine: words are position-stable and shareable across trials.
+  const mac::Slot first_block = s / 64 * 64;
+
+  for (mac::Slot b = first_block; b < end; b += 64) {
+    const mac::Slot block_end = std::min<mac::Slot>(b + 64, end);
+
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < block_end) {
+      const auto& a = arrivals[next_arrival];
+      const std::uint32_t lane = schedule.channel_lane(a.station, a.wake);
+      if (lane >= channels) {
+        throw std::invalid_argument("mc batch engine: channel_lane out of range");
+      }
+      active.push_back(Active{a.station, a.wake, next_arrival, lane});
+      ++next_arrival;
+    }
+
+    std::fill(any.begin(), any.end(), 0);
+    std::fill(multi.begin(), multi.end(), 0);
+    for (Active& st : active) {
+      std::uint64_t w = 0;
+      words.word(st.arrival, st.id, st.wake, b, &w);
+      if (st.wake > b) w &= ~std::uint64_t{0} << (st.wake - b);
+      st.word = w;
+      multi[st.lane] |= any[st.lane] & w;
+      any[st.lane] |= w;
+    }
+
+    const unsigned width = static_cast<unsigned>(block_end - b);
+    std::uint64_t pending =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    if (s > b) pending &= ~std::uint64_t{0} << (s - b);  // slots before s
+
+    // First success slot over all lanes inside this block, if any.
+    std::uint64_t success_union = 0;
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      success_union |= any[c] & ~multi[c];
+    }
+    success_union &= pending;
+
+    if (success_union == 0) {
+      for (std::uint32_t c = 0; c < channels; ++c) {
+        result.silences += static_cast<std::uint64_t>(std::popcount(~any[c] & pending));
+        result.collisions += static_cast<std::uint64_t>(std::popcount(multi[c] & pending));
+      }
+      continue;
+    }
+
+    // Count outcomes up to and including the success slot, exactly like
+    // the slot loop, which stops right after processing it; several lanes
+    // can carry solos in that final slot.
+    const unsigned j = static_cast<unsigned>(std::countr_zero(success_union));
+    const std::uint64_t upto =
+        j == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (j + 1)) - 1;
+    const std::uint64_t segment = pending & upto;
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      const std::uint64_t solo = any[c] & ~multi[c];
+      result.silences += static_cast<std::uint64_t>(std::popcount(~any[c] & segment));
+      result.collisions += static_cast<std::uint64_t>(std::popcount(multi[c] & segment));
+      result.successes += static_cast<std::uint64_t>(std::popcount(solo & segment));
+      if (result.success_channel < 0 && ((solo >> j) & 1u) != 0) {
+        result.success_channel = static_cast<std::int32_t>(c);
+      }
+    }
+
+    const mac::Slot t = b + static_cast<mac::Slot>(j);
+    result.success = true;
+    result.success_slot = t;
+    result.rounds = t - s;
+    for (const Active& st : active) {
+      if (st.lane == static_cast<std::uint32_t>(result.success_channel) &&
+          ((st.word >> j) & 1u) != 0) {
+        result.winner = st.id;
+        break;
+      }
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace
+
+McSimResult run_mc_batch(const proto::McProtocol& protocol, const mac::WakePattern& pattern,
+                         mac::Slot max_slots) {
+  if (!mc_batch_supports(protocol)) {
+    throw std::invalid_argument(
+        "mc batch engine requires an oblivious schedule spanning all channels");
+  }
+  const proto::ObliviousSchedule& schedule = *protocol.oblivious_schedule();
+  return run_mc_batch_from(detail::DirectWords{schedule}, schedule, protocol.channels(),
+                           pattern, max_slots);
+}
+
+McSimResult run_mc_batch_cached(const proto::McProtocol& protocol, const ScheduleCache& cache,
+                                const mac::WakePattern& pattern, mac::Slot max_slots) {
+  if (!mc_batch_supports(protocol)) {
+    throw std::invalid_argument(
+        "mc batch engine requires an oblivious schedule spanning all channels");
+  }
+  const proto::ObliviousSchedule& schedule = *protocol.oblivious_schedule();
+  const detail::CachedWords words = detail::make_cached_words(schedule, cache, pattern);
+  return run_mc_batch_from(words, schedule, protocol.channels(), pattern, max_slots);
+}
+
+}  // namespace wakeup::sim

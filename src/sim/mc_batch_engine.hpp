@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file mc_batch_engine.hpp
+/// Word-parallel back-end for oblivious C-channel protocols
+/// (proto::McProtocol::oblivious_schedule).
+///
+/// The same 64-slot block scheme as the single-channel batch engine
+/// (sim/batch_engine.hpp), with one (any, multi) OR-reduction pair per
+/// channel lane: every station's schedule word is OR-folded into its fixed
+/// lane (`proto::ObliviousSchedule::channel_lane`), per-lane
+/// silence = ~any, collision = multi, success = any & ~multi, and the
+/// first success slot over all lanes is located with one ctz over the
+/// union — replacing the per-slot `mac::resolve_multi_slot` loop.
+/// Single-channel protocols are simply the C = 1 case of the same
+/// capability; they keep their dedicated engine, which additionally
+/// supports the full-resolution drain.
+///
+/// Produces bit-identical `McSimResult`s to the slot-by-slot multichannel
+/// interpreter (asserted by tests/test_mc_engine_equivalence.cpp).
+
+#include "sim/mc_simulator.hpp"
+#include "sim/simulator.hpp"
+
+namespace wakeup::sim {
+
+class ScheduleCache;
+
+/// Can the C-channel batch engine execute this protocol?  Requires an
+/// oblivious schedule spanning exactly protocol.channels() lanes.
+[[nodiscard]] bool mc_batch_supports(const proto::McProtocol& protocol);
+
+/// Runs `protocol` against `pattern` 64 slots at a time, all lanes per
+/// block.  Precondition: `mc_batch_supports(protocol)`; throws
+/// std::invalid_argument otherwise.  `max_slots <= 0` selects the auto
+/// budget.
+[[nodiscard]] McSimResult run_mc_batch(const proto::McProtocol& protocol,
+                                       const mac::WakePattern& pattern,
+                                       mac::Slot max_slots = 0);
+
+/// Trial-batched variant: schedule words are served from a pre-populated
+/// read-only ScheduleCache (sim/schedule_cache.hpp) with per-word fallback
+/// to schedule_block, so results are bit-identical to the uncached engine
+/// for any cache contents.  Same preconditions as run_mc_batch.
+[[nodiscard]] McSimResult run_mc_batch_cached(const proto::McProtocol& protocol,
+                                              const ScheduleCache& cache,
+                                              const mac::WakePattern& pattern,
+                                              mac::Slot max_slots = 0);
+
+}  // namespace wakeup::sim

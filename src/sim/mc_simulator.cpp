@@ -1,39 +1,17 @@
 #include "sim/mc_simulator.hpp"
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
-#include "sim/simulator.hpp"
+#include "sim/mc_batch_engine.hpp"
 
 namespace wakeup::sim {
 
-McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePattern& pattern,
-                          mac::Slot max_slots) {
+McSimResult run_mc_interpreter(const proto::McProtocol& protocol,
+                               const mac::WakePattern& pattern, mac::Slot max_slots) {
   McSimResult result;
   if (pattern.empty()) return result;
-
-  // Single-channel adapters route through run_wakeup's engine dispatch, so
-  // an oblivious baseline embedded on channel 0 gets the batch engine.
-  // Extra channels of the adapter stay idle and carry no transmissions, so
-  // collision/success counters map exactly; silences are reported for the
-  // embedded channel only (the adapter's unused channels are permanently
-  // silent by construction and charging them would just scale the count by
-  // the channel budget).
-  if (const proto::Protocol* inner = protocol.single_channel()) {
-    SimConfig config;
-    config.max_slots = max_slots;
-    const SimResult sc = run_wakeup(*inner, pattern, config);
-    result.s = sc.s;
-    result.success = sc.success;
-    result.success_slot = sc.success_slot;
-    result.rounds = sc.rounds;
-    result.success_channel = sc.success ? 0 : -1;
-    result.winner = sc.winner;
-    result.collisions = sc.collisions;
-    result.silences = sc.silences;
-    result.successes = sc.successes;
-    return result;
-  }
 
   struct Active {
     mac::StationId id;
@@ -94,5 +72,73 @@ McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePatt
   }
   return result;
 }
+
+namespace {
+
+/// Adapter fast path: a single-channel protocol embedded on channel 0 runs
+/// through the single-channel engine stack (so oblivious baselines get the
+/// word-parallel engines), and the C - 1 permanently silent side channels
+/// are charged afterwards — one silence per channel per processed slot,
+/// exactly what the slot loop would have counted.
+McSimResult run_adapter_fast_path(const proto::McProtocol& protocol,
+                                  const proto::Protocol& inner,
+                                  const mac::WakePattern& pattern, const SimConfig& config) {
+  McSimResult result;
+  if (pattern.empty()) return result;
+
+  // The whole config forwards (warmup_slots included); the fields the mc
+  // model cannot serve were already rejected by dispatch_mc_wakeup.
+  const SimResult sc = dispatch_wakeup(inner, pattern, config);
+  result.s = sc.s;
+  result.success = sc.success;
+  result.success_slot = sc.success_slot;
+  result.rounds = sc.rounds;
+  result.success_channel = sc.success ? 0 : -1;
+  result.winner = sc.winner;
+  result.collisions = sc.collisions;
+  result.successes = sc.successes;
+
+  mac::Slot budget = config.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+  const mac::Slot processed = sc.success ? sc.rounds + 1 : budget;
+  result.silences = sc.silences + static_cast<std::uint64_t>(protocol.channels() - 1) *
+                                      static_cast<std::uint64_t>(processed);
+  return result;
+}
+
+}  // namespace
+
+McSimResult dispatch_mc_wakeup(const proto::McProtocol& protocol,
+                               const mac::WakePattern& pattern, const SimConfig& config) {
+  if (config.record_trace || config.full_resolution ||
+      config.feedback != mac::FeedbackModel::kNone) {
+    throw std::invalid_argument(
+        "multichannel runs support neither traces, full resolution, nor CD feedback");
+  }
+  switch (config.engine) {
+    case Engine::kInterpreter:
+      return run_mc_interpreter(protocol, pattern, config.max_slots);
+    case Engine::kBatch:
+      return run_mc_batch(protocol, pattern, config.max_slots);  // throws if unsupported
+    case Engine::kAuto:
+      break;
+  }
+  if (const proto::Protocol* inner = protocol.single_channel()) {
+    return run_adapter_fast_path(protocol, *inner, pattern, config);
+  }
+  if (mc_batch_supports(protocol)) {
+    return run_mc_batch(protocol, pattern, config.max_slots);
+  }
+  return run_mc_interpreter(protocol, pattern, config.max_slots);
+}
+
+#ifdef WAKEUP_DEPRECATED_API
+McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePattern& pattern,
+                          mac::Slot max_slots) {
+  SimConfig config;
+  config.max_slots = max_slots;
+  return dispatch_mc_wakeup(protocol, pattern, config);
+}
+#endif
 
 }  // namespace wakeup::sim

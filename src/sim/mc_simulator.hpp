@@ -4,10 +4,18 @@
 /// Discrete-event execution on the C-channel network (extension; see
 /// mac/multichannel.hpp).  Wake-up completes at the first slot in which any
 /// channel carries a solo transmission.
+///
+/// `dispatch_mc_wakeup` is the engine-selection layer under the `sim::Run`
+/// facade (sim/run.hpp), mirroring the single-channel `dispatch_wakeup`:
+/// it routes between the slot-by-slot multichannel interpreter
+/// (`run_mc_interpreter`, universal) and the C-lane word-parallel batch
+/// engine (sim/mc_batch_engine.hpp) for protocols exposing the channel-
+/// aware `proto::ObliviousSchedule` capability, per SimConfig::engine.
 
 #include "mac/multichannel.hpp"
 #include "mac/wake_pattern.hpp"
 #include "protocols/multichannel.hpp"
+#include "sim/simulator.hpp"
 
 namespace wakeup::sim {
 
@@ -19,10 +27,12 @@ struct McSimResult {
   std::int32_t success_channel = -1;
   mac::StationId winner = 0;
   std::uint64_t collisions = 0;  ///< collision slots summed over channels, whole run
-  /// Silent channel-slots over the whole run.  Native multichannel runs
-  /// sum across all channels; single-channel adapter runs report the
-  /// embedded channel only (the adapter's unused channels are silent by
-  /// construction — charging them would just scale the count by C).
+  /// Silent channel-slots summed over ALL C channels for the whole run —
+  /// uniformly, including single-channel adapter runs (whose unused
+  /// channels are silent by construction and charged like everyone
+  /// else's).  The energy accounting of the multichannel extension needs
+  /// one convention across strategies, and per-engine equivalence is
+  /// checked counter for counter.
   std::uint64_t silences = 0;
   /// Solo-transmission slots summed over channels across the whole run —
   /// not just the final slot; several channels can carry solos in the slot
@@ -32,10 +42,33 @@ struct McSimResult {
   std::uint64_t successes = 0;
 };
 
-/// Runs `protocol` against `pattern`; `max_slots <= 0` selects the same
-/// auto budget as the single-channel simulator.
-[[nodiscard]] McSimResult run_mc_wakeup(const proto::McProtocol& protocol,
-                                        const mac::WakePattern& pattern,
-                                        mac::Slot max_slots = 0);
+/// Reference slot-by-slot engine: one `act` per awake station per slot,
+/// `mac::resolve_multi_slot` per slot, feedback from the acted-on channel.
+/// Works for every McProtocol (including adapters, run generically).
+/// `max_slots <= 0` selects the same auto budget as the single-channel
+/// simulator.
+[[nodiscard]] McSimResult run_mc_interpreter(const proto::McProtocol& protocol,
+                                             const mac::WakePattern& pattern,
+                                             mac::Slot max_slots = 0);
+
+/// Engine-selection layer: runs `protocol` against `pattern` on the engine
+/// selected by `config.engine` (kAuto routes adapters through the
+/// single-channel engine stack and capability-bearing strategies through
+/// the C-lane batch engine).  Only `config.max_slots` and `config.engine`
+/// apply to the multichannel model; traces, collision-detection feedback
+/// and full resolution throw std::invalid_argument.  Most callers want the
+/// `sim::Run` facade (sim/run.hpp) instead.
+[[nodiscard]] McSimResult dispatch_mc_wakeup(const proto::McProtocol& protocol,
+                                             const mac::WakePattern& pattern,
+                                             const SimConfig& config);
+
+#ifdef WAKEUP_DEPRECATED_API
+/// Deprecated pre-facade entry point; exactly `Run({.mc_protocol =
+/// &protocol, .pattern = &pattern, .sim = {.max_slots = max_slots}}).mc`.
+/// Kept for one PR behind the WAKEUP_DEPRECATED_API build option.
+[[deprecated("use sim::Run (sim/run.hpp)")]] [[nodiscard]] McSimResult run_mc_wakeup(
+    const proto::McProtocol& protocol, const mac::WakePattern& pattern,
+    mac::Slot max_slots = 0);
+#endif
 
 }  // namespace wakeup::sim

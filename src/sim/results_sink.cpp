@@ -62,4 +62,57 @@ void ResultsSink::flush(const std::string& title) {
   std::cout.flush();
 }
 
+// ------------------------------------------------------- TrialCsvSink --
+
+namespace {
+const std::vector<std::string> kTrialHeader = {
+    "trial",  "success", "s",        "success_slot", "rounds",
+    "winner", "channel", "silences", "collisions",   "successes"};
+}  // namespace
+
+TrialCsvSink::TrialCsvSink(const std::string& path) : path_(path), csv_(path, kTrialHeader) {}
+
+void TrialCsvSink::write(std::uint64_t trial, const SimResult& result) {
+  const std::scoped_lock lock(mutex_);
+  csv_.cell(trial)
+      .cell(std::uint64_t{result.success ? 1u : 0u})
+      .cell(static_cast<std::int64_t>(result.s))
+      .cell(static_cast<std::int64_t>(result.success_slot))
+      .cell(result.rounds)
+      .cell(std::uint64_t{result.winner})
+      .cell(std::int64_t{-1})
+      .cell(result.silences)
+      .cell(result.collisions)
+      .cell(result.successes);
+  csv_.end_row();
+}
+
+void TrialCsvSink::write(std::uint64_t trial, const McSimResult& result) {
+  const std::scoped_lock lock(mutex_);
+  csv_.cell(trial)
+      .cell(std::uint64_t{result.success ? 1u : 0u})
+      .cell(static_cast<std::int64_t>(result.s))
+      .cell(static_cast<std::int64_t>(result.success_slot))
+      .cell(result.rounds)
+      .cell(std::uint64_t{result.winner})
+      .cell(std::int64_t{result.success_channel})
+      .cell(result.silences)
+      .cell(result.collisions)
+      .cell(result.successes);
+  csv_.end_row();
+}
+
+std::function<void(std::uint64_t, const SimResult&)> TrialCsvSink::recorder() {
+  return [this](std::uint64_t trial, const SimResult& result) { write(trial, result); };
+}
+
+std::function<void(std::uint64_t, const McSimResult&)> TrialCsvSink::mc_recorder() {
+  return [this](std::uint64_t trial, const McSimResult& result) { write(trial, result); };
+}
+
+std::size_t TrialCsvSink::rows() const {
+  const std::scoped_lock lock(mutex_);
+  return csv_.rows();
+}
+
 }  // namespace wakeup::sim

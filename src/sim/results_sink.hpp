@@ -8,11 +8,21 @@
 /// The directory defaults to "bench_results" under the working directory
 /// and can be overridden (or disabled with an empty string) via the
 /// WAKEUP_RESULTS_DIR environment variable.
+///
+/// `TrialCsvSink` is the streaming counterpart for Monte-Carlo sweeps: one
+/// CSV row per trial, written as trials complete, nothing accumulated in
+/// memory — the per-trial hook of `sim::RunSpec` feeds it directly, which
+/// is what lets sweeps scale past n = 10^6 stations without holding every
+/// per-trial result.
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sim/mc_simulator.hpp"
+#include "sim/simulator.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +54,38 @@ class ResultsSink {
   util::ConsoleTable table_;
   std::unique_ptr<util::CsvWriter> csv_;
   std::string csv_path_;
+};
+
+/// Streaming per-trial CSV: row per trial, no in-memory accumulation.
+///
+/// Columns: trial,success,s,success_slot,rounds,winner,channel,silences,
+/// collisions,successes — `channel` is the winning channel of a C-channel
+/// run and -1 for single-channel runs.  Writes are serialized by a mutex
+/// (the RunSpec per-trial contract delivers distinct trials concurrently),
+/// so rows appear in completion order; the trial column identifies them.
+///
+/// Plug into a sweep either through `RunSpec::trial_csv` or by composing
+/// `recorder()` / `mc_recorder()` into the per-trial callbacks.
+class TrialCsvSink {
+ public:
+  /// Opens `path` and writes the header.  Throws std::runtime_error when
+  /// the file cannot be opened.
+  explicit TrialCsvSink(const std::string& path);
+
+  void write(std::uint64_t trial, const SimResult& result);
+  void write(std::uint64_t trial, const McSimResult& result);
+
+  /// Adapters matching RunSpec::per_trial / RunSpec::per_trial_mc.
+  [[nodiscard]] std::function<void(std::uint64_t, const SimResult&)> recorder();
+  [[nodiscard]] std::function<void(std::uint64_t, const McSimResult&)> mc_recorder();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t rows() const;
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  util::CsvWriter csv_;
 };
 
 }  // namespace wakeup::sim

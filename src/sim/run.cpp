@@ -1,0 +1,482 @@
+#include "sim/run.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/batch_engine.hpp"
+#include "sim/mc_batch_engine.hpp"
+#include "sim/results_sink.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::sim {
+
+namespace {
+
+/// Uncached probe trials per batched cell: they size the cache window,
+/// the cost gate, and the adaptive warm-up from observed behavior.
+constexpr std::uint64_t kProbeTrials = 4;
+
+struct TrialOut {
+  bool success = false;
+  double rounds = 0;
+  double collisions = 0;
+  double silences = 0;
+  bool completed = false;
+  double completion = 0;
+};
+
+// Seed derivations — the pre-facade harness contract, bit for bit: the
+// deprecated run_cell wrappers must reproduce their historical streams.
+std::uint64_t trial_seed(const RunSpec& spec, std::uint64_t i) {
+  return util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
+}
+
+/// Cell-level seed: deterministic protocols are built once per cell from
+/// this, so every trial shares one instance (and one schedule).
+std::uint64_t cell_protocol_seed(const RunSpec& spec) {
+  return util::hash_words({spec.base_seed, 0x50524f544fULL /* "PROTO" */, spec.cell_tag});
+}
+
+/// Per-trial protocol stream for randomized protocols: derived from the
+/// trial seed but distinct from the wake pattern's Rng stream, so the
+/// pattern alone consumes the trial seed.
+std::uint64_t trial_protocol_seed(std::uint64_t seed) {
+  return util::hash_words({seed, 0x50524fULL /* "PRO" */});
+}
+
+void record_sc(const RunSpec& spec, RunOutcome& out, std::vector<TrialOut>& outs,
+               std::uint64_t i, const SimResult& r) {
+  TrialOut& t = outs[i];
+  t.success = r.success;
+  t.rounds = static_cast<double>(r.rounds);
+  t.collisions = static_cast<double>(r.collisions);
+  t.silences = static_cast<double>(r.silences);
+  t.completed = r.completed;
+  t.completion = static_cast<double>(r.completion_rounds);
+  if (spec.trials == 1) out.sim = r;
+  if (spec.per_trial) spec.per_trial(i, r);
+  if (spec.trial_csv != nullptr) spec.trial_csv->write(i, r);
+}
+
+void record_mc(const RunSpec& spec, RunOutcome& out, std::vector<TrialOut>& outs,
+               std::uint64_t i, const McSimResult& r) {
+  TrialOut& t = outs[i];
+  t.success = r.success;
+  t.rounds = static_cast<double>(r.rounds);
+  t.collisions = static_cast<double>(r.collisions);
+  t.silences = static_cast<double>(r.silences);
+  if (spec.trials == 1) out.mc = r;
+  if (spec.per_trial_mc) spec.per_trial_mc(i, r);
+  if (spec.trial_csv != nullptr) spec.trial_csv->write(i, r);
+}
+
+CellResult aggregate(const RunSpec& spec, const std::vector<TrialOut>& outs) {
+  util::Sample rounds, collisions, silences, completion;
+  CellResult result;
+  result.trials = spec.trials;
+  for (const TrialOut& out : outs) {
+    if (!out.success) {
+      ++result.failures;
+      continue;
+    }
+    rounds.push(out.rounds);
+    collisions.push(out.collisions);
+    silences.push(out.silences);
+    if (out.completed) completion.push(out.completion);
+  }
+  result.rounds = util::Summary::of(rounds);
+  result.collisions = util::Summary::of(collisions);
+  result.silences = util::Summary::of(silences);
+  result.completion = util::Summary::of(completion);
+  return result;
+}
+
+void for_each_trial(std::uint64_t trials, util::ThreadPool* pool,
+                    const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(0, trials, body);
+  } else {
+    for (std::size_t i = 0; i < trials; ++i) body(i);
+  }
+}
+
+/// Slots a finished trial actually walked, from its own first wake: to
+/// completion (full resolution), to the first success, or the whole budget
+/// when the stop condition was never reached.
+mac::Slot walked_slots(const SimConfig& sim, const mac::WakePattern& pattern, bool success,
+                       std::int64_t success_rounds, bool completed,
+                       std::int64_t completion_rounds) {
+  mac::Slot budget = sim.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+  if (sim.full_resolution) return completed ? completion_rounds + 1 : budget;
+  return success ? success_rounds + 1 : budget;
+}
+
+/// Adaptive warm-up: measure the schedule's word cost and the protocol's
+/// interpreted slot cost on a sample of `sample`'s arrivals, then pick the
+/// kAuto interpreted prefix (a small menu of block multiples) minimizing
+/// the modeled cost of a `mean_run`-slot trial — interpreted slots pay
+/// per slot, everything beyond the prefix pays one schedule word per
+/// (partial) 64-slot block.  Replaces the static words_are_cheap() hint
+/// wherever probe trials are available; results are bit-identical for any
+/// prefix, only the cost profile moves.
+mac::Slot calibrated_warmup(const proto::Protocol& protocol,
+                            const proto::ObliviousSchedule& schedule,
+                            const mac::WakePattern& sample, double mean_run) {
+  if (sample.empty() || mean_run <= 0) return -1;
+  const auto& arrivals = sample.arrivals();
+  const std::size_t stations = std::min<std::size_t>(arrivals.size(), 16);
+  using clock = std::chrono::steady_clock;
+  const auto ns_between = [](clock::time_point a, clock::time_point b) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+
+  constexpr std::size_t kWordsPerStation = 8;
+  std::uint64_t sink = 0;
+  const auto w0 = clock::now();
+  for (std::size_t a = 0; a < stations; ++a) {
+    std::uint64_t words[kWordsPerStation] = {};
+    const mac::Slot from = arrivals[a].wake / 64 * 64;
+    schedule.schedule_block(arrivals[a].station, arrivals[a].wake, from, words,
+                            kWordsPerStation);
+    for (const std::uint64_t w : words) sink ^= w;
+  }
+  const double word_ns =
+      ns_between(w0, clock::now()) / static_cast<double>(stations * kWordsPerStation);
+
+  constexpr mac::Slot kProbeSlots = 256;
+  const auto i0 = clock::now();
+  for (std::size_t a = 0; a < stations; ++a) {
+    auto runtime = protocol.make_runtime(arrivals[a].station, arrivals[a].wake);
+    for (mac::Slot t = arrivals[a].wake; t < arrivals[a].wake + kProbeSlots; ++t) {
+      sink += runtime->transmits(t) ? 1 : 0;
+    }
+  }
+  const double interp_ns = ns_between(i0, clock::now()) /
+                           static_cast<double>(stations * static_cast<std::size_t>(kProbeSlots));
+  if (sink == 0x5a5a5a5a5a5a5a5aULL) return -1;  // keep the measured work alive
+
+  mac::Slot best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const mac::Slot w : {mac::Slot{0}, mac::Slot{64}, mac::Slot{128}, mac::Slot{256}}) {
+    const double interp_cost = std::min(mean_run, static_cast<double>(w)) * interp_ns;
+    const double blocks = std::ceil(std::max(0.0, mean_run - static_cast<double>(w)) / 64.0);
+    const double cost = interp_cost + blocks * word_ns;
+    if (cost < best_cost) {  // strict: ties keep the shorter prefix
+      best = w;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void validate(const RunSpec& spec) {
+  const bool multichannel =
+      spec.mc_protocol != nullptr || static_cast<bool>(spec.make_mc_protocol);
+  const int protocol_sources = (spec.protocol != nullptr ? 1 : 0) +
+                               (spec.mc_protocol != nullptr ? 1 : 0) +
+                               (spec.make_protocol ? 1 : 0) + (spec.make_mc_protocol ? 1 : 0);
+  if (protocol_sources != 1) {
+    throw std::invalid_argument(
+        "RunSpec: exactly one of protocol / mc_protocol / make_protocol / make_mc_protocol");
+  }
+  const int pattern_sources =
+      (spec.pattern != nullptr ? 1 : 0) + (spec.make_pattern ? 1 : 0);
+  if (pattern_sources != 1) {
+    throw std::invalid_argument("RunSpec: exactly one of pattern / make_pattern");
+  }
+  // A sink of the wrong channel model would compile and run but never
+  // fire — reject it instead of silently dropping every trial.
+  if (multichannel && spec.per_trial) {
+    throw std::invalid_argument("RunSpec: multichannel runs report through per_trial_mc");
+  }
+  if (!multichannel && spec.per_trial_mc) {
+    throw std::invalid_argument("RunSpec: single-channel runs report through per_trial");
+  }
+}
+
+// ------------------------------------------- shared sweep-cell plumbing --
+
+/// Per-trial patterns of a cell: pre-generated from the trial streams when
+/// a builder is given (the cache census needs them all up front), one
+/// shared fixed pattern otherwise.
+class CellPatterns {
+ public:
+  explicit CellPatterns(const RunSpec& spec) : spec_(spec) {
+    if (spec.make_pattern) {
+      generated_.reserve(spec.trials);
+      for (std::uint64_t i = 0; i < spec.trials; ++i) {
+        util::Rng rng(trial_seed(spec, i));
+        generated_.push_back(spec.make_pattern(rng));
+      }
+    }
+  }
+  const mac::WakePattern& operator[](std::uint64_t i) const {
+    return spec_.make_pattern ? generated_[i] : *spec_.pattern;
+  }
+
+ private:
+  const RunSpec& spec_;
+  std::vector<mac::WakePattern> generated_;
+};
+
+struct ProbeStats {
+  std::uint64_t probes = 0;
+  mac::Slot observed = 0;  ///< longest probe trial, in walked slots
+  mac::Slot horizon = 0;   ///< exclusive slot bound any trial may reach
+  double mean_run = 0;     ///< mean walked slots over the probes
+};
+
+/// Runs the first few trials uncached to observe real trial lengths
+/// (their results are kept — engines are bit-identical).  `run_probe(i)`
+/// executes and records trial i, returning its walked slots.
+template <class RunProbe>
+ProbeStats run_probe_trials(const RunSpec& spec, const CellPatterns& patterns,
+                            std::uint64_t probe_cap, RunProbe&& run_probe) {
+  ProbeStats stats;
+  stats.probes = std::min<std::uint64_t>(spec.trials, probe_cap);
+  for (std::uint64_t i = 0; i < spec.trials; ++i) {
+    const mac::WakePattern& p = patterns[i];
+    if (p.empty()) continue;
+    mac::Slot budget = spec.sim.max_slots;
+    if (budget <= 0) budget = auto_slot_budget(p.n(), p.k());
+    stats.horizon = std::max<mac::Slot>(stats.horizon, p.first_wake() + budget);
+  }
+  double run_slots_sum = 0;
+  for (std::uint64_t i = 0; i < stats.probes; ++i) {
+    const mac::Slot run_slots = run_probe(i);
+    stats.observed = std::max<mac::Slot>(stats.observed, run_slots);
+    run_slots_sum += static_cast<double>(run_slots);
+  }
+  if (stats.probes > 0) stats.mean_run = run_slots_sum / static_cast<double>(stats.probes);
+  return stats;
+}
+
+/// Cache sizing from the probes: window shrunk to a multiple of observed
+/// trial lengths instead of the (deliberately generous) failure budget.
+ScheduleCache::Config sized_cache_config(const RunSpec& spec, bool force,
+                                         const ProbeStats& stats) {
+  ScheduleCache::Config config = spec.cache;
+  config.force = force;
+  config.horizon = stats.horizon;
+  config.window = std::clamp<mac::Slot>(2 * stats.observed, 256,
+                                        std::max<mac::Slot>(spec.cache.window, 256));
+  return config;
+}
+
+/// Probe count for a batched cell.  kForce promises the memo is always
+/// populated AND served, so forced cells cap the probes below the trial
+/// count (down to zero for a 1-trial cell) — every left-over trial reads
+/// the cache.  Unforced cells just probe the first few.
+std::uint64_t probe_cap_for(const RunSpec& spec, bool force) {
+  if (!force) return kProbeTrials;
+  if (spec.trials == 0) return 0;
+  return std::min<std::uint64_t>(kProbeTrials, spec.trials - 1);
+}
+
+/// Census + shape planning + the population cost gate: filling the memo
+/// walks planned_words * 64 schedule slots once; running uncached walks
+/// roughly one word per station per live block, per trial.  Returns true
+/// when the trials themselves are the cheaper walk (low cross-trial reuse
+/// — huge universes, scattered wake classes, short runs) and the fill
+/// should be skipped.
+bool plan_census_gate_declines(ScheduleCache& cache, const RunSpec& spec,
+                               const CellPatterns& patterns, bool force,
+                               const ProbeStats& stats) {
+  std::vector<std::pair<mac::StationId, mac::Slot>> members;
+  for (std::uint64_t i = 0; i < spec.trials; ++i) {
+    for (const mac::Arrival& a : patterns[i].arrivals()) {
+      members.emplace_back(a.station, a.wake);
+    }
+  }
+  const std::size_t planned_words = cache.plan_members(members);
+  const double direct_words = static_cast<double>(members.size()) * stats.mean_run / 64.0;
+  return !force && static_cast<double>(planned_words) > direct_words;
+}
+
+// ------------------------------------------------------ single channel --
+
+void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
+  proto::ProtocolPtr owned;
+  const proto::Protocol* protocol = spec.protocol;
+  if (protocol == nullptr) {
+    owned = spec.make_protocol(cell_protocol_seed(spec));
+    protocol = owned.get();
+  }
+  // Randomized protocols differ per trial (private coins) — but only a
+  // seeded builder can rebuild them; a fixed instance is shared as-is.
+  const bool randomized =
+      protocol->requirements().randomized && static_cast<bool>(spec.make_protocol);
+
+  std::vector<TrialOut> outs(spec.trials);
+  const proto::ObliviousSchedule* schedule = protocol->oblivious_schedule();
+  const bool force = spec.batching == TrialBatching::kForce || spec.cache.force;
+  // Same cost model as the kAuto dispatch: cheap-word schedules (strided
+  // bits) recompute faster than a memo can be populated; the cache earns
+  // its keep on table-, family- and hash-walking schedules.  Cells with no
+  // trials beyond the probes (single runs especially) have nothing to
+  // serve from a memo — planning one would be pure overhead.
+  const bool cacheable = spec.batching != TrialBatching::kOff && !randomized &&
+                         (spec.trials > kProbeTrials || force) && schedule != nullptr &&
+                         (!schedule->words_are_cheap() || force) &&
+                         !spec.sim.record_trace && spec.sim.engine != Engine::kInterpreter;
+
+  if (!cacheable) {
+    // Plain per-trial loop (protocol hoisted per the seed contract).
+    for_each_trial(spec.trials, pool, [&](std::size_t i) {
+      const std::uint64_t seed = trial_seed(spec, i);
+      util::Rng rng(seed);
+      mac::WakePattern generated;
+      if (spec.make_pattern) generated = spec.make_pattern(rng);
+      const mac::WakePattern& pattern = spec.make_pattern ? generated : *spec.pattern;
+      const proto::ProtocolPtr rebuilt =
+          randomized ? spec.make_protocol(trial_protocol_seed(seed)) : nullptr;
+      record_sc(spec, out, outs, i,
+                dispatch_wakeup(rebuilt ? *rebuilt : *protocol, pattern, spec.sim));
+    });
+    out.cell = aggregate(spec, outs);
+    return;
+  }
+
+  // Patterns up front: they are cheap relative to simulation, and the
+  // cache needs the full (station, wake) census before going read-only.
+  const CellPatterns patterns(spec);
+  const ProbeStats stats = run_probe_trials(spec, patterns, probe_cap_for(spec, force),
+                                            [&](std::uint64_t i) {
+    const SimResult r = dispatch_wakeup(*protocol, patterns[i], spec.sim);
+    record_sc(spec, out, outs, i, r);
+    return walked_slots(spec.sim, patterns[i], r.success, r.rounds, r.completed,
+                        r.completion_rounds);
+  });
+
+  ScheduleCache cache(*schedule, sized_cache_config(spec, force, stats));
+  if (plan_census_gate_declines(cache, spec, patterns, force, stats)) {
+    // Gate declined the memo: run the trial loop, with the kAuto warm-up
+    // prefix re-sized from the probes' measured schedule-word cost.
+    SimConfig rest = spec.sim;
+    if (rest.engine == Engine::kAuto && rest.warmup_slots < 0 && !rest.full_resolution) {
+      rest.warmup_slots = calibrated_warmup(*protocol, *schedule, patterns[0], stats.mean_run);
+    }
+    for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
+      const std::size_t i = j + stats.probes;
+      record_sc(spec, out, outs, i, dispatch_wakeup(*protocol, patterns[i], rest));
+    });
+    out.cell = aggregate(spec, outs);
+    return;
+  }
+  cache.fill_planned(pool);
+
+  for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
+    const std::size_t i = j + stats.probes;
+    record_sc(spec, out, outs, i,
+              run_wakeup_batch_cached(*protocol, cache, patterns[i], spec.sim));
+  });
+  out.cell = aggregate(spec, outs);
+}
+
+// ----------------------------------------------------------- C channels --
+
+void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
+  proto::McProtocolPtr owned;
+  const proto::McProtocol* protocol = spec.mc_protocol;
+  if (protocol == nullptr) {
+    owned = spec.make_mc_protocol(cell_protocol_seed(spec));
+    protocol = owned.get();
+  }
+  if (spec.sim.record_trace || spec.sim.full_resolution ||
+      spec.sim.feedback != mac::FeedbackModel::kNone) {
+    throw std::invalid_argument(
+        "multichannel runs support neither traces, full resolution, nor CD feedback");
+  }
+  const bool randomized = protocol->randomized() && static_cast<bool>(spec.make_mc_protocol);
+
+  std::vector<TrialOut> outs(spec.trials);
+  const proto::ObliviousSchedule* schedule = protocol->oblivious_schedule();
+  const bool force = spec.batching == TrialBatching::kForce || spec.cache.force;
+  // Adapters already ride the single-channel engine stack through the
+  // dispatch fast path; the C-lane memo is for native strategies.
+  const bool cacheable = spec.batching != TrialBatching::kOff && !randomized &&
+                         (spec.trials > kProbeTrials || force) &&
+                         protocol->single_channel() == nullptr &&
+                         mc_batch_supports(*protocol) &&
+                         (!schedule->words_are_cheap() || force) &&
+                         spec.sim.engine != Engine::kInterpreter;
+
+  if (!cacheable) {
+    for_each_trial(spec.trials, pool, [&](std::size_t i) {
+      const std::uint64_t seed = trial_seed(spec, i);
+      util::Rng rng(seed);
+      mac::WakePattern generated;
+      if (spec.make_pattern) generated = spec.make_pattern(rng);
+      const mac::WakePattern& pattern = spec.make_pattern ? generated : *spec.pattern;
+      const proto::McProtocolPtr rebuilt =
+          randomized ? spec.make_mc_protocol(trial_protocol_seed(seed)) : nullptr;
+      record_mc(spec, out, outs, i,
+                dispatch_mc_wakeup(rebuilt ? *rebuilt : *protocol, pattern, spec.sim));
+    });
+    out.cell = aggregate(spec, outs);
+    return;
+  }
+
+  const CellPatterns patterns(spec);
+  const ProbeStats stats = run_probe_trials(spec, patterns, probe_cap_for(spec, force),
+                                            [&](std::uint64_t i) {
+    const McSimResult r = dispatch_mc_wakeup(*protocol, patterns[i], spec.sim);
+    record_mc(spec, out, outs, i, r);
+    return walked_slots(spec.sim, patterns[i], r.success, r.rounds, false, -1);
+  });
+
+  ScheduleCache cache(*schedule, sized_cache_config(spec, force, stats));
+  if (plan_census_gate_declines(cache, spec, patterns, force, stats)) {
+    SimConfig rest = spec.sim;
+    // The C-channel model has no interpreted warm-up hybrid, so kAuto's
+    // probe-informed counterpart lives here: when trials end well inside
+    // the first block, one expensive schedule word per station costs more
+    // than interpreting the few live slots — run the rest on the slot
+    // loop (the engines are bit-identical, only the cost profile moves).
+    if (rest.engine == Engine::kAuto && stats.mean_run < 32) {
+      rest.engine = Engine::kInterpreter;
+    }
+    for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
+      const std::size_t i = j + stats.probes;
+      record_mc(spec, out, outs, i, dispatch_mc_wakeup(*protocol, patterns[i], rest));
+    });
+    out.cell = aggregate(spec, outs);
+    return;
+  }
+  cache.fill_planned(pool);
+
+  for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
+    const std::size_t i = j + stats.probes;
+    record_mc(spec, out, outs, i,
+              run_mc_batch_cached(*protocol, cache, patterns[i], spec.sim.max_slots));
+  });
+  out.cell = aggregate(spec, outs);
+}
+
+}  // namespace
+
+RunOutcome Run(const RunSpec& spec, util::ThreadPool* pool) {
+  validate(spec);
+  RunOutcome out;
+  out.multichannel = spec.mc_protocol != nullptr || static_cast<bool>(spec.make_mc_protocol);
+  if (out.multichannel) {
+    run_mc(spec, pool, out);
+  } else {
+    run_sc(spec, pool, out);
+  }
+  return out;
+}
+
+double normalized_mean(const CellResult& result, double bound) {
+  if (bound <= 0.0 || result.rounds.count == 0) return 0.0;
+  return result.rounds.mean / bound;
+}
+
+}  // namespace wakeup::sim

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file run.hpp
+/// `sim::Run` — the one entry point of the simulation stack.
+///
+/// A RunSpec names a protocol (single- or C-channel, fixed instance or
+/// seeded cell builder), a wake pattern (fixed or per-trial builder), an
+/// engine selection, a trial count, and optional per-trial sinks; `Run`
+/// executes it: one call covers a single traced run, a Monte-Carlo sweep
+/// cell with memoized schedule words, and everything in between, for both
+/// channel models.  It replaces the four pre-facade entry points
+/// (`run_wakeup`, `run_mc_wakeup`, `run_cell`, `run_cell_batched`), which
+/// survive one PR as deprecated wrappers behind WAKEUP_DEPRECATED_API.
+///
+/// ```cpp
+/// // Single run, single channel:
+/// auto r = sim::Run({.protocol = &rr, .pattern = &pattern}).sim;
+/// // Single run, C channels, forced slot interpreter:
+/// auto m = sim::Run({.mc_protocol = &striped, .pattern = &pattern,
+///                    .sim = {.engine = sim::Engine::kInterpret}}).mc;
+/// // Trial-batched sweep cell (protocol hoisted, schedule words memoized):
+/// auto c = sim::Run({.make_protocol = factory, .make_pattern = gen,
+///                    .trials = 256, .base_seed = 1}, &pool).cell;
+/// ```
+///
+/// Seed contract (unchanged from the pre-facade harness): trial i derives
+/// its seed as hash(base_seed, "TR", cell_tag, i) and the wake pattern
+/// flows from that seed; deterministic protocols are built once per cell
+/// from hash(base_seed, "PROTO", cell_tag) and shared by every trial;
+/// randomized protocols are rebuilt per trial from a stream derived from
+/// the trial seed.  Per-trial outputs land in slot i regardless of thread
+/// count, so aggregates are bitwise thread-count-independent.
+
+#include <cstdint>
+#include <functional>
+
+#include "mac/wake_pattern.hpp"
+#include "protocols/multichannel.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/mc_simulator.hpp"
+#include "sim/schedule_cache.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wakeup::sim {
+
+class TrialCsvSink;
+
+/// Trial-batching policy for multi-trial cells.
+enum class TrialBatching : std::uint8_t {
+  /// Hoist the protocol, probe a few trials, memoize schedule words when
+  /// the population cost gate says the memo pays, and size the kAuto
+  /// warm-up prefix from the probes' measured schedule-word cost.  The
+  /// default.
+  kAuto,
+  /// Plain per-trial loop (protocol still hoisted per the seed contract).
+  kOff,
+  /// Like kAuto but the memo is always populated and served — equivalent
+  /// to ScheduleCache::Config::force.  For tests and benches.
+  kForce,
+};
+
+/// Aggregated outcome of a cell (single runs are 1-trial cells).
+struct CellResult {
+  util::Summary rounds;      ///< rounds to wake-up over successful trials
+  util::Summary collisions;
+  util::Summary silences;
+  util::Summary completion;  ///< full-resolution rounds (if enabled)
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;  ///< trials that exhausted the slot budget
+};
+
+/// What to run.  Exactly one of {protocol, mc_protocol, make_protocol,
+/// make_mc_protocol} selects the protocol and the channel model; exactly
+/// one of {pattern, make_pattern} selects the wake pattern.  Fixed
+/// instances/patterns are borrowed, not owned — they must outlive the
+/// `Run` call.
+struct RunSpec {
+  /// Fixed single-channel protocol instance.
+  const proto::Protocol* protocol = nullptr;
+  /// Fixed C-channel protocol instance.
+  const proto::McProtocol* mc_protocol = nullptr;
+  /// Seeded single-channel cell builder (see the seed contract above).
+  std::function<proto::ProtocolPtr(std::uint64_t seed)> make_protocol;
+  /// Seeded C-channel cell builder.
+  std::function<proto::McProtocolPtr(std::uint64_t seed)> make_mc_protocol;
+
+  /// Fixed wake pattern, reused by every trial.
+  const mac::WakePattern* pattern = nullptr;
+  /// Per-trial pattern builder, drawing from the trial's RNG stream.
+  std::function<mac::WakePattern(util::Rng& rng)> make_pattern;
+
+  /// Engine selection, slot budget, trace/full-resolution flags.  The
+  /// engine flows through `dispatch_wakeup` / `dispatch_mc_wakeup`, so
+  /// oblivious protocols (either channel model) batch word-parallel by
+  /// default.
+  SimConfig sim;
+
+  std::uint64_t trials = 1;
+  std::uint64_t base_seed = 1;
+  /// Distinguishes cells that share a base_seed (hashed into trial seeds).
+  std::uint64_t cell_tag = 0;
+
+  TrialBatching batching = TrialBatching::kAuto;
+  /// Knobs for the shared schedule-word cache.  `window` acts as an upper
+  /// bound; the harness shrinks it to a multiple of the trial lengths
+  /// observed in a few uncached probe trials.
+  ScheduleCache::Config cache;
+
+  /// Optional per-trial sinks, called as sink(i, result) from worker
+  /// threads (each trial index exactly once; the callee must tolerate
+  /// concurrent calls for distinct i).  `per_trial` fires for
+  /// single-channel runs, `per_trial_mc` for C-channel runs.
+  std::function<void(std::uint64_t trial, const SimResult& result)> per_trial;
+  std::function<void(std::uint64_t trial, const McSimResult& result)> per_trial_mc;
+  /// Optional streaming CSV sink (sim/results_sink.hpp): one row per
+  /// trial, written as trials complete, nothing accumulated in memory.
+  TrialCsvSink* trial_csv = nullptr;
+};
+
+/// Everything a Run produces.  `cell` aggregates all trials; for 1-trial
+/// specs the matching per-run result (`sim` or `mc`, per the channel
+/// model) is filled too.
+struct RunOutcome {
+  bool multichannel = false;  ///< which of sim/mc is meaningful
+  SimResult sim;              ///< trials == 1, single-channel
+  McSimResult mc;             ///< trials == 1, C-channel
+  CellResult cell;
+};
+
+/// Executes `spec`.  `pool` may be null (inline execution).  Throws
+/// std::invalid_argument on ambiguous or incomplete specs (see RunSpec)
+/// and on engine/feature combinations the chosen model cannot serve.
+[[nodiscard]] RunOutcome Run(const RunSpec& spec, util::ThreadPool* pool = nullptr);
+
+/// Convenience: mean rounds normalized by a theory bound, the headline
+/// statistic of the scaling tables.
+[[nodiscard]] double normalized_mean(const CellResult& result, double bound);
+
+}  // namespace wakeup::sim

@@ -19,8 +19,8 @@ mac::Slot auto_slot_budget(std::uint32_t n, std::size_t k) {
   return static_cast<mac::Slot>(budget) + 16 * static_cast<mac::Slot>(n) + 1024;
 }
 
-SimResult run_wakeup(const proto::Protocol& protocol, const mac::WakePattern& pattern,
-                     const SimConfig& config) {
+SimResult dispatch_wakeup(const proto::Protocol& protocol, const mac::WakePattern& pattern,
+                          const SimConfig& config) {
   switch (config.engine) {
     case Engine::kInterpreter:
       return run_wakeup_interpreter(protocol, pattern, config);
@@ -33,5 +33,12 @@ SimResult run_wakeup(const proto::Protocol& protocol, const mac::WakePattern& pa
              ? run_wakeup_hybrid(protocol, pattern, config)
              : run_wakeup_interpreter(protocol, pattern, config);
 }
+
+#ifdef WAKEUP_DEPRECATED_API
+SimResult run_wakeup(const proto::Protocol& protocol, const mac::WakePattern& pattern,
+                     const SimConfig& config) {
+  return dispatch_wakeup(protocol, pattern, config);
+}
+#endif
 
 }  // namespace wakeup::sim

@@ -11,10 +11,11 @@
 /// (Komlós–Greenberg extension), when every awake station has transmitted
 /// successfully once.
 ///
-/// `run_wakeup` is a dispatching front-end over two back-ends with
-/// identical semantics: the universal slot-by-slot interpreter
-/// (sim/interpreter.hpp) and the word-parallel batch engine for oblivious
-/// protocols (sim/batch_engine.hpp), selected per SimConfig::engine.
+/// `dispatch_wakeup` is the engine-selection layer under the `sim::Run`
+/// facade (sim/run.hpp): it routes a single-channel run to one of two
+/// back-ends with identical semantics — the universal slot-by-slot
+/// interpreter (sim/interpreter.hpp) or the word-parallel batch engine for
+/// oblivious protocols (sim/batch_engine.hpp) — per SimConfig::engine.
 
 #include <optional>
 
@@ -35,6 +36,8 @@ enum class Engine : std::uint8_t {
   /// Force the word-parallel batch engine; throws std::invalid_argument if
   /// the protocol is not oblivious or a trace is requested.
   kBatch,
+  /// RunSpec-facade spelling of kInterpreter.
+  kInterpret = kInterpreter,
 };
 
 struct SimConfig {
@@ -48,6 +51,14 @@ struct SimConfig {
   /// Extension: run until every awake station has had a solo transmission
   /// (stations leave the channel after succeeding).
   bool full_resolution = false;
+  /// Engine::kAuto only: slots interpreted before switching word-parallel
+  /// (ignored under full_resolution, where the drain batches throughout).
+  /// < 0 (default) sizes the prefix from the static `words_are_cheap()`
+  /// hint — 0 for cheap words, one 64-slot block otherwise; the sweep
+  /// harness overrides this per cell from the probe trials' measured
+  /// schedule-word cost (adaptive warm-up, sim/run.cpp).  Results are
+  /// bit-identical for every value; only the cost profile moves.
+  mac::Slot warmup_slots = -1;
 };
 
 struct SimResult {
@@ -72,9 +83,20 @@ struct SimResult {
 /// The automatic slot budget used when SimConfig::max_slots <= 0.
 [[nodiscard]] mac::Slot auto_slot_budget(std::uint32_t n, std::size_t k);
 
-/// Runs `protocol` against `pattern`, dispatching to the engine selected by
-/// `config.engine`.  Empty patterns yield a failed result with rounds -1.
-[[nodiscard]] SimResult run_wakeup(const proto::Protocol& protocol,
-                                   const mac::WakePattern& pattern, const SimConfig& config);
+/// Engine-selection layer: runs `protocol` against `pattern` on the engine
+/// selected by `config.engine`.  Empty patterns yield a failed result with
+/// rounds -1.  Most callers want the `sim::Run` facade (sim/run.hpp)
+/// instead; this is the layer the facade and the engines share.
+[[nodiscard]] SimResult dispatch_wakeup(const proto::Protocol& protocol,
+                                        const mac::WakePattern& pattern,
+                                        const SimConfig& config);
+
+#ifdef WAKEUP_DEPRECATED_API
+/// Deprecated pre-facade entry point; exactly `Run({.protocol = &protocol,
+/// .pattern = &pattern, .sim = config}).sim`.  Kept for one PR behind the
+/// WAKEUP_DEPRECATED_API build option.
+[[deprecated("use sim::Run (sim/run.hpp)")]] [[nodiscard]] SimResult run_wakeup(
+    const proto::Protocol& protocol, const mac::WakePattern& pattern, const SimConfig& config);
+#endif
 
 }  // namespace wakeup::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file word_source.hpp
+/// Schedule-word sources shared by the single-channel batch engine
+/// (sim/batch_engine.cpp) and the C-channel batch engine
+/// (sim/mc_batch_engine.cpp).  A source feeds the block loops one 64-slot
+/// schedule word per station per block; `arrival` is the station's index in
+/// pattern.arrivals(), so cached sources can pre-resolve one handle per
+/// arrival and stay lock-free during the run.
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/protocol.hpp"
+#include "sim/schedule_cache.hpp"
+
+namespace wakeup::sim::detail {
+
+/// Uncached: every word comes straight from schedule_block.
+struct DirectWords {
+  const proto::ObliviousSchedule& schedule;
+  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
+            std::uint64_t* out) const {
+    (void)arrival;
+    schedule.schedule_block(id, wake, from, out, 1);
+  }
+};
+
+/// Trial-batched: words come from a read-only ScheduleCache with per-word
+/// fallback to schedule_block, so any miss is a slowdown, never a wrong
+/// bit.
+struct CachedWords {
+  const proto::ObliviousSchedule& schedule;
+  std::vector<const ScheduleCache::Entry*> handles;  ///< per arrival index
+  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
+            std::uint64_t* out) const {
+    const ScheduleCache::Entry* entry = handles[arrival];
+    if (entry != nullptr && ScheduleCache::read(*entry, from, out)) return;
+    schedule.schedule_block(id, wake, from, out, 1);
+  }
+};
+
+/// Resolves one cache handle per arrival of `pattern` for a CachedWords
+/// source over `cache`.
+[[nodiscard]] inline CachedWords make_cached_words(const proto::ObliviousSchedule& schedule,
+                                                   const ScheduleCache& cache,
+                                                   const mac::WakePattern& pattern) {
+  CachedWords words{schedule, {}};
+  const auto& arrivals = pattern.arrivals();
+  words.handles.reserve(arrivals.size());
+  for (const auto& a : arrivals) {
+    words.handles.push_back(cache.find(a.station, a.wake));
+  }
+  return words;
+}
+
+}  // namespace wakeup::sim::detail

@@ -53,13 +53,15 @@
 #include "protocols/wakeup_with_k.hpp"           // IWYU pragma: export
 #include "protocols/wakeup_with_s.hpp"           // IWYU pragma: export
 
-#include "sim/adversary.hpp"     // IWYU pragma: export
-#include "sim/batch_engine.hpp"  // IWYU pragma: export
-#include "sim/experiment.hpp"    // IWYU pragma: export
-#include "sim/interpreter.hpp"   // IWYU pragma: export
-#include "sim/mc_simulator.hpp"  // IWYU pragma: export
-#include "sim/results_sink.hpp"  // IWYU pragma: export
-#include "sim/simulator.hpp"     // IWYU pragma: export
+#include "sim/adversary.hpp"       // IWYU pragma: export
+#include "sim/batch_engine.hpp"    // IWYU pragma: export
+#include "sim/experiment.hpp"      // IWYU pragma: export
+#include "sim/interpreter.hpp"     // IWYU pragma: export
+#include "sim/mc_batch_engine.hpp" // IWYU pragma: export
+#include "sim/mc_simulator.hpp"    // IWYU pragma: export
+#include "sim/results_sink.hpp"    // IWYU pragma: export
+#include "sim/run.hpp"             // IWYU pragma: export
+#include "sim/simulator.hpp"       // IWYU pragma: export
 
 #include "util/math.hpp"   // IWYU pragma: export
 #include "util/rng.hpp"    // IWYU pragma: export

@@ -10,7 +10,7 @@
 
 #include "protocols/registry.hpp"
 #include "sim/batch_engine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/run.hpp"
 #include "sim/schedule_cache.hpp"
 #include "util/rng.hpp"
 #include "wakeup/wakeup.hpp"
@@ -32,6 +32,13 @@ void expect_identical(const wu::sim::SimResult& a, const wu::sim::SimResult& b,
   EXPECT_EQ(a.completion_slot, b.completion_slot) << label;
   EXPECT_EQ(a.completion_rounds, b.completion_rounds) << label;
   EXPECT_EQ(a.completed, b.completed) << label;
+}
+
+
+wu::sim::SimResult run_one(const wu::proto::Protocol& protocol,
+                           const wu::mac::WakePattern& pattern,
+                           const wu::sim::SimConfig& config) {
+  return wu::sim::Run({.protocol = &protocol, .pattern = &pattern, .sim = config}).sim;
 }
 
 /// Names of the registry protocols that expose an oblivious schedule
@@ -84,17 +91,17 @@ TEST_P(EngineEquivalence, BitIdenticalAcrossSeededTrials) {
         const std::string label = name + " n=" + std::to_string(shape.n) + " kind=" +
                                   wu::mac::patterns::kind_name(kind) + " trial=" +
                                   std::to_string(trial);
-        const auto reference = wu::sim::run_wakeup(*protocol, pattern_a, interp);
-        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern_b, batch), label);
-        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern_b, hybrid),
+        const auto reference = run_one(*protocol, pattern_a, interp);
+        expect_identical(reference, run_one(*protocol, pattern_b, batch), label);
+        expect_identical(reference, run_one(*protocol, pattern_b, hybrid),
                          label + " auto");
 
         // Full-resolution extension: winners leave, engines must agree on
         // the whole drain, not just the first success.
         interp.full_resolution = true;
         batch.full_resolution = true;
-        expect_identical(wu::sim::run_wakeup(*protocol, pattern_a, interp),
-                         wu::sim::run_wakeup(*protocol, pattern_b, batch),
+        expect_identical(run_one(*protocol, pattern_a, interp),
+                         run_one(*protocol, pattern_b, batch),
                          label + " full_resolution");
         ++trials;
       }
@@ -190,10 +197,10 @@ TEST(HybridWarmup, BoundaryBudgetsAndSuccessSlotsMatchInterpreter) {
       wu::sim::SimConfig hybrid = interp;
       hybrid.engine = wu::sim::Engine::kAuto;
       const std::string label = c.label + " budget=" + std::to_string(budget);
-      const auto reference = wu::sim::run_wakeup(protocol, pattern, interp);
-      expect_identical(reference, wu::sim::run_wakeup(protocol, pattern, batch),
+      const auto reference = run_one(protocol, pattern, interp);
+      expect_identical(reference, run_one(protocol, pattern, batch),
                        label + " batch");
-      expect_identical(reference, wu::sim::run_wakeup(protocol, pattern, hybrid),
+      expect_identical(reference, run_one(protocol, pattern, hybrid),
                        label + " auto");
     }
   }
@@ -224,25 +231,25 @@ TEST(HybridWarmup, RegistryProtocolsAgreeAtBoundaryBudgets) {
         hybrid.engine = wu::sim::Engine::kAuto;
         const std::string label =
             name + " trial=" + std::to_string(trial) + " budget=" + std::to_string(budget);
-        const auto reference = wu::sim::run_wakeup(*protocol, pattern, interp);
-        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern, batch),
+        const auto reference = run_one(*protocol, pattern, interp);
+        expect_identical(reference, run_one(*protocol, pattern, batch),
                          label + " batch");
-        expect_identical(reference, wu::sim::run_wakeup(*protocol, pattern, hybrid),
+        expect_identical(reference, run_one(*protocol, pattern, hybrid),
                          label + " auto");
       }
     }
   }
 }
 
-/// Trial batching: run_cell (uncached dispatch) and run_cell_batched
-/// (shared protocol + read-only ScheduleCache) must produce bit-identical
-/// SimResults for every trial, across all six oblivious protocols — the
-/// acceptance bar for serving memoized schedule words.
+/// Trial batching: the plain per-trial loop (TrialBatching::kOff) and the
+/// batched cell (shared protocol + read-only ScheduleCache) must produce
+/// bit-identical SimResults for every trial, across all six oblivious
+/// protocols — the acceptance bar for serving memoized schedule words.
 TEST(TrialBatching, CachedAndUncachedTrialsBitIdentical) {
   for (const auto& name : oblivious_names()) {
     for (const bool full_resolution : {false, true}) {
-      wu::sim::CellSpec spec;
-      spec.protocol = [name](std::uint64_t seed) {
+      wu::sim::RunSpec spec;
+      spec.make_protocol = [name](std::uint64_t seed) {
         wu::proto::ProtocolSpec p;
         p.name = name;
         p.n = 96;
@@ -251,7 +258,7 @@ TEST(TrialBatching, CachedAndUncachedTrialsBitIdentical) {
         p.seed = seed;
         return wu::proto::make_protocol_by_name(p);
       };
-      spec.pattern = [](wu::util::Rng& rng) {
+      spec.make_pattern = [](wu::util::Rng& rng) {
         return wu::mac::patterns::uniform_window(96, 8, 3, 48, rng);
       };
       spec.trials = 24;
@@ -266,12 +273,14 @@ TEST(TrialBatching, CachedAndUncachedTrialsBitIdentical) {
 
       std::vector<wu::sim::SimResult> uncached(spec.trials);
       spec.per_trial = [&](std::uint64_t i, const wu::sim::SimResult& r) { uncached[i] = r; };
-      const auto plain = wu::sim::run_cell(spec, nullptr);
+      auto plain_spec = spec;
+      plain_spec.batching = wu::sim::TrialBatching::kOff;
+      const auto plain = wu::sim::Run(plain_spec, nullptr).cell;
 
       std::vector<wu::sim::SimResult> cached(spec.trials);
       spec.per_trial = [&](std::uint64_t i, const wu::sim::SimResult& r) { cached[i] = r; };
       wu::util::ThreadPool pool(3);
-      const auto batched = wu::sim::run_cell_batched(spec, &pool);
+      const auto batched = wu::sim::Run(spec, &pool).cell;
 
       for (std::uint64_t i = 0; i < spec.trials; ++i) {
         expect_identical(uncached[i], cached[i],
@@ -311,7 +320,7 @@ TEST(EngineDispatch, RandomizedProtocolsStayOnInterpreter) {
   config.engine = wu::sim::Engine::kBatch;
   wu::util::Rng rng(1);
   const auto pattern = wu::mac::patterns::staggered(64, 4, 0, 3, rng);
-  EXPECT_THROW((void)wu::sim::run_wakeup(*protocol, pattern, config), std::invalid_argument);
+  EXPECT_THROW((void)run_one(*protocol, pattern, config), std::invalid_argument);
 }
 
 TEST(EngineDispatch, ScheduleBlocksMatchRuntimes) {

@@ -1,9 +1,26 @@
+/// Legacy sweep-harness API (CellSpec / run_cell / run_cell_batched).
+/// These entry points are deprecated wrappers over sim::Run, kept for one
+/// PR behind WAKEUP_DEPRECATED_API — this suite pins their semantics (and
+/// the seed contract) until they are removed.  The facade itself is
+/// covered by tests/test_run_facade.cpp.
+
 #include "sim/experiment.hpp"
 
 #include <gtest/gtest.h>
 
+#include "protocols/multichannel.hpp"
 #include "protocols/round_robin.hpp"
 #include "protocols/rpd.hpp"
+
+#ifndef WAKEUP_DEPRECATED_API
+
+TEST(LegacyApi, DisabledInThisBuild) { SUCCEED(); }
+
+#else
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 namespace ws = wakeup::sim;
 namespace wp = wakeup::proto;
@@ -161,3 +178,50 @@ TEST(Experiment, NormalizedMean) {
   ws::CellResult empty;
   EXPECT_DOUBLE_EQ(ws::normalized_mean(empty, 10.0), 0.0);
 }
+
+TEST(LegacyApi, SingleRunWrappersMatchFacade) {
+  const auto rr = std::make_shared<wp::RoundRobinProtocol>(16);
+  const wm::WakePattern pattern(16, {{5, 3}});
+  const auto legacy = ws::run_wakeup(*rr, pattern, {});
+  const auto modern = ws::Run({.protocol = rr.get(), .pattern = &pattern}).sim;
+  EXPECT_EQ(legacy.success_slot, modern.success_slot);
+  EXPECT_EQ(legacy.silences, modern.silences);
+
+  const auto mc = wp::make_single_channel_adapter(rr, 4);
+  const auto mc_legacy = ws::run_mc_wakeup(*mc, pattern);
+  const auto mc_modern = ws::Run({.mc_protocol = mc.get(), .pattern = &pattern}).mc;
+  EXPECT_EQ(mc_legacy.success_slot, mc_modern.success_slot);
+  EXPECT_EQ(mc_legacy.silences, mc_modern.silences);
+  EXPECT_EQ(mc_legacy.success_channel, mc_modern.success_channel);
+}
+
+TEST(Experiment, WrappersMatchFacadeBitForBit) {
+  // The deprecated wrappers must be exactly sim::Run with the matching
+  // batching mode — same per-trial results, same aggregates.
+  auto cell = basic_cell(64, 8, 24);
+  std::vector<ws::SimResult> legacy(24);
+  cell.per_trial = [&](std::uint64_t i, const ws::SimResult& r) { legacy[i] = r; };
+  const auto legacy_agg = ws::run_cell(cell, nullptr);
+
+  ws::RunSpec spec;
+  spec.make_protocol = cell.protocol;
+  spec.make_pattern = cell.pattern;
+  spec.trials = cell.trials;
+  spec.base_seed = cell.base_seed;
+  spec.batching = ws::TrialBatching::kOff;
+  std::vector<ws::SimResult> modern(24);
+  spec.per_trial = [&](std::uint64_t i, const ws::SimResult& r) { modern[i] = r; };
+  const auto modern_agg = ws::Run(spec, nullptr).cell;
+
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(legacy[i].success, modern[i].success) << i;
+    EXPECT_EQ(legacy[i].rounds, modern[i].rounds) << i;
+    EXPECT_EQ(legacy[i].winner, modern[i].winner) << i;
+    EXPECT_EQ(legacy[i].silences, modern[i].silences) << i;
+    EXPECT_EQ(legacy[i].collisions, modern[i].collisions) << i;
+  }
+  EXPECT_EQ(legacy_agg.failures, modern_agg.failures);
+  EXPECT_DOUBLE_EQ(legacy_agg.rounds.mean, modern_agg.rounds.mean);
+}
+
+#endif  // WAKEUP_DEPRECATED_API

@@ -7,7 +7,7 @@
 
 #include "mac/wake_pattern.hpp"
 #include "protocols/protocol.hpp"
-#include "sim/simulator.hpp"
+#include "sim/run.hpp"
 
 namespace wakeup::test {
 
@@ -23,7 +23,7 @@ inline sim::SimResult run(const proto::Protocol& protocol, const mac::WakePatter
   sim::SimConfig config;
   config.max_slots = max_slots;
   config.feedback = fb;
-  return sim::run_wakeup(protocol, pattern, config);
+  return sim::Run({.protocol = &protocol, .pattern = &pattern, .sim = config}).sim;
 }
 
 /// Collects the transmission schedule of one runtime over [wake, wake+len).

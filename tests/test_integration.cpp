@@ -6,7 +6,7 @@
 
 #include "core/solver.hpp"
 #include "protocols/registry.hpp"
-#include "sim/experiment.hpp"
+#include "sim/run.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 
@@ -43,7 +43,7 @@ TEST_P(EndToEnd, WakesUpWithinEnvelope) {
   config.feedback = protocol->requirements().needs_collision_detection
                         ? wm::FeedbackModel::kCollisionDetection
                         : wm::FeedbackModel::kNone;
-  const auto result = ws::run_wakeup(*protocol, pattern, config);
+  const auto result = ws::Run({.protocol = protocol.get(), .pattern = &pattern, .sim = config}).sim;
   ASSERT_TRUE(result.success) << p.protocol << " / " << wm::patterns::kind_name(p.pattern);
   EXPECT_GE(result.rounds, 0);
   // Auto budget is 64x the Scenario C bound; landing within it is already a
@@ -93,8 +93,8 @@ TEST(PaperOrdering, ScenarioAlgorithmsBeatGenerousBoundsOnAverage) {
   wu::ThreadPool pool(2);
 
   auto run_mean = [&](const std::string& name) {
-    ws::CellSpec cell;
-    cell.protocol = [&, name](std::uint64_t seed) {
+    ws::RunSpec cell;
+    cell.make_protocol = [&, name](std::uint64_t seed) {
       wp::ProtocolSpec spec;
       spec.name = name;
       spec.n = n;
@@ -103,12 +103,12 @@ TEST(PaperOrdering, ScenarioAlgorithmsBeatGenerousBoundsOnAverage) {
       spec.seed = seed;
       return wp::make_protocol_by_name(spec);
     };
-    cell.pattern = [&](wu::Rng& rng) {
+    cell.make_pattern = [&](wu::Rng& rng) {
       return wm::patterns::uniform_window(n, k, 0, 2 * k, rng);
     };
     cell.trials = 16;
     cell.base_seed = 99;
-    const auto result = ws::run_cell(cell, &pool);
+    const auto result = ws::Run(cell, &pool).cell;
     EXPECT_EQ(result.failures, 0u) << name;
     return result.rounds.mean;
   };
@@ -132,8 +132,8 @@ TEST(PaperOrdering, KnowledgeHelps) {
   auto mean_for = [&](const std::string& name) {
     double sum = 0;
     for (std::uint64_t tag = 0; tag < 4; ++tag) {
-      ws::CellSpec cell;
-      cell.protocol = [&, name](std::uint64_t seed) {
+      ws::RunSpec cell;
+      cell.make_protocol = [&, name](std::uint64_t seed) {
         wp::ProtocolSpec spec;
         spec.name = name;
         spec.n = n;
@@ -142,11 +142,11 @@ TEST(PaperOrdering, KnowledgeHelps) {
         spec.seed = seed;
         return wp::make_protocol_by_name(spec);
       };
-      cell.pattern = [&](wu::Rng& rng) { return wm::patterns::simultaneous(n, k, 0, rng); };
+      cell.make_pattern = [&](wu::Rng& rng) { return wm::patterns::simultaneous(n, k, 0, rng); };
       cell.trials = 12;
       cell.base_seed = 7;
       cell.cell_tag = tag;
-      sum += ws::run_cell(cell, &pool).rounds.mean;
+      sum += ws::Run(cell, &pool).cell.rounds.mean;
     }
     return sum / 4.0;
   };
@@ -165,7 +165,7 @@ TEST(PaperOrdering, RoundRobinWinsAtFullContention) {
   rr_spec.name = "round_robin";
   rr_spec.n = n;
   const auto rr = wp::make_protocol_by_name(rr_spec);
-  const auto rr_result = ws::run_wakeup(*rr, pattern, {});
+  const auto rr_result = ws::Run({.protocol = rr.get(), .pattern = &pattern}).sim;
   ASSERT_TRUE(rr_result.success);
   EXPECT_LE(rr_result.rounds, static_cast<std::int64_t>(n));
 }
@@ -183,7 +183,7 @@ TEST(FullResolution, SelectiveScheduleDeliversAllK) {
   const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
   ws::SimConfig config;
   config.full_resolution = true;
-  const auto result = ws::run_wakeup(*protocol, pattern, config);
+  const auto result = ws::Run({.protocol = protocol.get(), .pattern = &pattern, .sim = config}).sim;
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.successes, k);
 }

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/simulator.hpp"
+#include "sim/run.hpp"
 
 #include "protocols/round_robin.hpp"
 #include "protocols/wait_and_go.hpp"
@@ -13,6 +13,18 @@ namespace wp = wakeup::proto;
 namespace wm = wakeup::mac;
 namespace ws = wakeup::sim;
 namespace wu = wakeup::util;
+
+
+namespace {
+
+ws::McSimResult run_mc(const wp::McProtocol& protocol, const wm::WakePattern& pattern,
+                       wm::Slot max_slots = 0) {
+  return ws::Run({.mc_protocol = &protocol, .pattern = &pattern,
+                  .sim = {.max_slots = max_slots}})
+      .mc;
+}
+
+}  // namespace
 
 TEST(MultiSlot, ResolvesPerChannel) {
   // Stations: tx on ch0, tx on ch0, tx on ch1, listen ch2.
@@ -48,7 +60,7 @@ TEST(StripedRoundRobin, CompletesWithinCeilNOverC) {
     const auto protocol = wp::make_striped_round_robin(n, channels);
     for (std::uint32_t k : {1u, 8u, 64u}) {
       const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
-      const auto result = ws::run_mc_wakeup(*protocol, pattern);
+      const auto result = run_mc(*protocol, pattern);
       ASSERT_TRUE(result.success) << "C=" << channels << " k=" << k;
       EXPECT_LE(result.rounds, static_cast<wm::Slot>(wu::ceil_div(n, channels)))
           << "C=" << channels << " k=" << k;
@@ -64,7 +76,7 @@ TEST(StripedRoundRobin, SpeedupIsRoughlyLinearInChannels) {
     const auto protocol = wp::make_striped_round_robin(n, channels);
     // Station n-1 has the last turn in every striping.
     const wm::WakePattern pattern(n, {{n - 1, 0}});
-    const auto result = ws::run_mc_wakeup(*protocol, pattern);
+    const auto result = run_mc(*protocol, pattern);
     ASSERT_TRUE(result.success);
     EXPECT_LT(result.rounds, prev);
     prev = result.rounds;
@@ -77,8 +89,8 @@ TEST(Adapter, MatchesSingleChannelSemantics) {
   const auto mc = wp::make_single_channel_adapter(inner, 4);
   EXPECT_EQ(mc->channels(), 4u);
   const wm::WakePattern pattern(n, {{3, 5}});
-  const auto mc_result = ws::run_mc_wakeup(*mc, pattern);
-  const auto sc_result = ws::run_wakeup(*inner, pattern, {});
+  const auto mc_result = run_mc(*mc, pattern);
+  const auto sc_result = ws::Run({.protocol = inner.get(), .pattern = &pattern}).sim;
   ASSERT_TRUE(mc_result.success && sc_result.success);
   EXPECT_EQ(mc_result.success_slot, sc_result.success_slot);
   EXPECT_EQ(mc_result.winner, sc_result.winner);
@@ -94,7 +106,7 @@ TEST(GroupWaitAndGo, ResolvesAndUsesMultipleChannels) {
   bool saw_nonzero_channel = false;
   for (int trial = 0; trial < 10; ++trial) {
     const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
-    const auto result = ws::run_mc_wakeup(*protocol, pattern);
+    const auto result = run_mc(*protocol, pattern);
     ASSERT_TRUE(result.success) << "trial " << trial;
     saw_nonzero_channel = saw_nonzero_channel || result.success_channel > 0;
   }
@@ -111,8 +123,8 @@ TEST(GroupWaitAndGo, FasterThanSingleChannelOnAverage) {
   const int trials = 12;
   for (int trial = 0; trial < trials; ++trial) {
     const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
-    const auto mc_result = ws::run_mc_wakeup(*mc, pattern);
-    const auto sc_result = ws::run_mc_wakeup(*sc, pattern);
+    const auto mc_result = run_mc(*mc, pattern);
+    const auto sc_result = run_mc(*sc, pattern);
     ASSERT_TRUE(mc_result.success && sc_result.success);
     mc_total += static_cast<double>(mc_result.rounds);
     sc_total += static_cast<double>(sc_result.rounds);
@@ -126,7 +138,7 @@ TEST(RandomChannelRpd, Resolves) {
   const auto protocol = wp::make_random_channel_rpd(n, 4, 5);
   for (std::uint32_t k : {2u, 16u, 64u}) {
     const auto pattern = wm::patterns::simultaneous(n, k, 0, rng);
-    const auto result = ws::run_mc_wakeup(*protocol, pattern);
+    const auto result = run_mc(*protocol, pattern);
     EXPECT_TRUE(result.success) << "k=" << k;
   }
 }
@@ -139,7 +151,7 @@ TEST(McSimulator, CountsSilencePerChannel) {
   for (std::uint32_t channels : {2u, 4u}) {
     const auto protocol = wp::make_striped_round_robin(n, channels);
     const wm::WakePattern pattern(n, {{n - 1, 0}});
-    const auto result = ws::run_mc_wakeup(*protocol, pattern);
+    const auto result = run_mc(*protocol, pattern);
     ASSERT_TRUE(result.success);
     EXPECT_EQ(result.collisions, 0u);
     EXPECT_EQ(result.silences + result.successes,
@@ -151,19 +163,24 @@ TEST(McSimulator, CountsSilencePerChannel) {
 }
 
 TEST(McSimulator, FastPathReportsSilences) {
-  // Single-channel adapter: silences must equal the embedded run's count
-  // (round_robin station 5 in [0,8): slots 0-4 silent, success at 5), not
-  // be dropped on the adapter fast path.
+  // Single-channel adapter: round_robin station 5 in [0,8) gives slots 0-4
+  // silent on channel 0 and a success at 5, while the two side channels
+  // are silent in all 6 processed slots — the adapter fast path must
+  // charge them exactly like the slot loop does: 5 + 2 * 6 = 17.
   const std::uint32_t n = 8;
   auto inner = std::make_shared<wp::RoundRobinProtocol>(n);
   const auto mc = wp::make_single_channel_adapter(inner, 3);
   const wm::WakePattern pattern(n, {{5, 0}});
-  const auto result = ws::run_mc_wakeup(*mc, pattern);
+  const auto result = run_mc(*mc, pattern);
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.rounds, 5);
-  EXPECT_EQ(result.silences, 5u);
+  EXPECT_EQ(result.silences, 17u);
   EXPECT_EQ(result.collisions, 0u);
   EXPECT_EQ(result.successes, 1u);
+  // The conservation law now holds uniformly across strategies:
+  // channels * (rounds + 1) = silences + successes + collisions.
+  EXPECT_EQ(result.silences + result.successes + result.collisions,
+            3u * static_cast<std::uint64_t>(result.rounds + 1));
 }
 
 TEST(McSimulator, SuccessesAreFullRunChannelTotals) {
@@ -173,7 +190,7 @@ TEST(McSimulator, SuccessesAreFullRunChannelTotals) {
   // is one slot long), not "the" winning channel alone.
   const auto protocol = wp::make_striped_round_robin(4, 2);
   const wm::WakePattern pattern(4, {{0, 0}, {1, 0}});
-  const auto result = ws::run_mc_wakeup(*protocol, pattern);
+  const auto result = run_mc(*protocol, pattern);
   ASSERT_TRUE(result.success);
   ASSERT_EQ(result.rounds, 0);
   EXPECT_EQ(result.successes, 2u);
@@ -185,13 +202,13 @@ TEST(McSimulator, SuccessesAreFullRunChannelTotals) {
 
 TEST(McSimulator, EmptyPattern) {
   const auto protocol = wp::make_striped_round_robin(8, 2);
-  const auto result = ws::run_mc_wakeup(*protocol, wm::WakePattern());
+  const auto result = run_mc(*protocol, wm::WakePattern());
   EXPECT_FALSE(result.success);
 }
 
 TEST(McSimulator, BudgetExhaustion) {
   const auto protocol = wp::make_striped_round_robin(64, 1);
   const wm::WakePattern pattern(64, {{63, 1}});  // needs a near-full cycle
-  const auto result = ws::run_mc_wakeup(*protocol, pattern, /*max_slots=*/3);
+  const auto result = run_mc(*protocol, pattern, /*max_slots=*/3);
   EXPECT_FALSE(result.success);
 }

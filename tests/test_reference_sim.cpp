@@ -1,6 +1,6 @@
 /// Golden-model cross-check: an independent, deliberately naive
 /// re-implementation of the wake-up execution semantics, compared against
-/// sim::run_wakeup on a grid of protocols and patterns.  Any divergence in
+/// the sim::Run engine stack on a grid of protocols and patterns.  Any divergence in
 /// success slot / winner / outcome counters flags a simulator bug.
 
 #include <gtest/gtest.h>
@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "protocols/registry.hpp"
-#include "sim/simulator.hpp"
+#include "sim/run.hpp"
 #include "util/rng.hpp"
 
 namespace wp = wakeup::proto;
@@ -30,7 +30,7 @@ struct ReferenceResult {
 /// Naive semantics straight from the problem statement: one runtime per
 /// station created up-front, every awake station polled every slot, first
 /// slot with exactly one transmitter wins.  No lazy creation, no early
-/// datastructure tricks — different code shape from sim::run_wakeup.
+/// datastructure tricks — different code shape from the engine stack.
 ReferenceResult reference_run(const wp::Protocol& protocol, const wm::WakePattern& pattern,
                               wm::Slot budget, wm::FeedbackModel fb) {
   ReferenceResult result;
@@ -101,7 +101,7 @@ TEST_P(SimulatorCrossCheck, MatchesReferenceModel) {
   ws::SimConfig config;
   config.max_slots = budget;
   config.feedback = fb;
-  const auto fast = ws::run_wakeup(*protocol, pattern, config);
+  const auto fast = ws::Run({.protocol = protocol.get(), .pattern = &pattern, .sim = config}).sim;
   const auto reference = reference_run(*protocol, pattern, budget, fb);
 
   ASSERT_EQ(fast.success, reference.success);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "protocols/round_robin.hpp"
+#include "sim/run.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
 
@@ -12,16 +13,25 @@ namespace wm = wakeup::mac;
 namespace wu = wakeup::util;
 using wakeup::test::make_pattern;
 
+namespace {
+
+ws::SimResult run_one(const wp::Protocol& protocol, const wm::WakePattern& pattern,
+                      const ws::SimConfig& config = {}) {
+  return ws::Run({.protocol = &protocol, .pattern = &pattern, .sim = config}).sim;
+}
+
+}  // namespace
+
 TEST(Simulator, EmptyPatternFails) {
   wp::RoundRobinProtocol rr(8);
-  const auto result = ws::run_wakeup(rr, wm::WakePattern(), {});
+  const auto result = run_one(rr, wm::WakePattern(), {});
   EXPECT_FALSE(result.success);
   EXPECT_EQ(result.rounds, -1);
 }
 
 TEST(Simulator, ReportsFirstWakeAndRounds) {
   wp::RoundRobinProtocol rr(8);
-  const auto result = ws::run_wakeup(rr, make_pattern(8, {{2, 11}}), {});
+  const auto result = run_one(rr, make_pattern(8, {{2, 11}}), {});
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.s, 11);
   EXPECT_EQ(result.success_slot, 18);  // next t ≡ 2 (mod 8) at or after 11
@@ -33,7 +43,7 @@ TEST(Simulator, CountersPartitionSlots) {
   wp::RoundRobinProtocol rr(16);
   wu::Rng rng(3);
   const auto pattern = wm::patterns::uniform_window(16, 5, 0, 10, rng);
-  const auto result = ws::run_wakeup(rr, pattern, {});
+  const auto result = run_one(rr, pattern, {});
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.silences + result.collisions + result.successes,
             static_cast<std::uint64_t>(result.rounds + 1));
@@ -44,7 +54,7 @@ TEST(Simulator, BudgetExhaustionReportsFailure) {
   wp::RoundRobinProtocol rr(16);
   ws::SimConfig config;
   config.max_slots = 5;
-  const auto result = ws::run_wakeup(rr, make_pattern(16, {{0, 1}}), config);
+  const auto result = run_one(rr, make_pattern(16, {{0, 1}}), config);
   EXPECT_FALSE(result.success);
   EXPECT_EQ(result.rounds, -1);
 }
@@ -54,7 +64,7 @@ TEST(Simulator, TraceRecordsEverySlot) {
   ws::SimConfig config;
   config.record_trace = true;
   config.record_transmitters = true;
-  const auto result = ws::run_wakeup(rr, make_pattern(4, {{3, 0}}), config);
+  const auto result = run_one(rr, make_pattern(4, {{3, 0}}), config);
   ASSERT_TRUE(result.success);
   ASSERT_TRUE(result.trace.has_value());
   EXPECT_EQ(result.trace->size(), static_cast<std::size_t>(result.rounds + 1));
@@ -69,7 +79,7 @@ TEST(Simulator, ArrivalsJoinMidRun) {
   // Two stations with the same RR slot parity never... simpler: stations
   // 1 and 2 in RR(4), waking at 0 and 100: success at slot 1 (station 1).
   wp::RoundRobinProtocol rr(4);
-  const auto result = ws::run_wakeup(rr, make_pattern(4, {{1, 0}, {2, 100}}), {});
+  const auto result = run_one(rr, make_pattern(4, {{1, 0}, {2, 100}}), {});
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.success_slot, 1);
   EXPECT_EQ(result.winner, 1u);
@@ -79,7 +89,7 @@ TEST(Simulator, FullResolutionAllStationsLeave) {
   wp::RoundRobinProtocol rr(8);
   ws::SimConfig config;
   config.full_resolution = true;
-  const auto result = ws::run_wakeup(rr, make_pattern(8, {{1, 0}, {5, 0}, {7, 0}}), config);
+  const auto result = run_one(rr, make_pattern(8, {{1, 0}, {5, 0}, {7, 0}}), config);
   ASSERT_TRUE(result.success);
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.successes, 3u);
@@ -92,7 +102,7 @@ TEST(Simulator, FullResolutionWaitsForLateArrivals) {
   wp::RoundRobinProtocol rr(4);
   ws::SimConfig config;
   config.full_resolution = true;
-  const auto result = ws::run_wakeup(rr, make_pattern(4, {{1, 0}, {2, 9}}), config);
+  const auto result = run_one(rr, make_pattern(4, {{1, 0}, {2, 9}}), config);
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.successes, 2u);
   EXPECT_EQ(result.completion_slot, 10);  // station 2's first turn after 9

@@ -38,7 +38,8 @@ TEST(TreeSplitting, FullResolutionDeliversEveryStation) {
   wakeup::sim::SimConfig config;
   config.feedback = wm::FeedbackModel::kCollisionDetection;
   config.full_resolution = true;
-  const auto result = wakeup::sim::run_wakeup(protocol, pattern, config);
+  const auto result =
+      wakeup::sim::Run({.protocol = &protocol, .pattern = &pattern, .sim = config}).sim;
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.successes, k);
   EXPECT_GE(result.completion_rounds, static_cast<std::int64_t>(k - 1));

@@ -5,6 +5,9 @@
 ///   wakeup_cli run  --protocol=wakeup_matrix --n=1024 --k=16
 ///                   [--pattern=staggered|simultaneous|uniform|batched|poisson|exp_spread]
 ///                   [--s=0] [--seed=1] [--trials=1] [--trace] [--cd]
+///                   [--engine=auto|interpret|batch]
+///                   [--channels=4] [--mc=adapter|striped_rr|group_wag|random_rpd]
+///                   [--per-trial-csv=trials.csv]
 ///                   [--pattern-file=arrivals.csv] [--save-pattern=out.csv]
 ///   wakeup_cli adversary --protocol=round_robin --n=128 --k=16 [--seed=1]
 ///   wakeup_cli certify --n=16 [--c=2] [--seed=1]          # waking-matrix seed search
@@ -47,6 +50,11 @@ run options:
   --trace                print the slot-by-slot timeline (single trial)
   --cd                   collision-detection feedback (for tree_splitting)
   --max-slots=<int>      slot budget (default: auto)
+  --engine=<sel>         auto|interpret|batch (default auto)
+  --channels=<int>       C-channel network (default 1 = the paper's model)
+  --mc=<strategy>        adapter|striped_rr|group_wag|random_rpd
+                         (default adapter: --protocol embedded on channel 0)
+  --per-trial-csv=<csv>  stream one result row per trial (no accumulation)
 )";
 }
 
@@ -72,11 +80,45 @@ proto::ProtocolPtr build_protocol(const util::Args& args, std::uint64_t seed) {
   return proto::make_protocol_by_name(spec);
 }
 
+sim::Engine parse_engine(const std::string& label) {
+  if (label == "auto") return sim::Engine::kAuto;
+  if (label == "interpret") return sim::Engine::kInterpret;
+  if (label == "batch") return sim::Engine::kBatch;
+  throw std::invalid_argument("unknown engine: " + label);
+}
+
+proto::McProtocolPtr build_mc_protocol(const util::Args& args, std::uint32_t channels,
+                                       std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 1024));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 8));
+  const std::string strategy = args.get("mc", "adapter");
+  if (strategy == "adapter") {
+    return proto::make_single_channel_adapter(build_protocol(args, seed), channels);
+  }
+  if (strategy == "striped_rr") return proto::make_striped_round_robin(n, channels);
+  if (strategy == "group_wag") {
+    return proto::make_group_wait_and_go(n, k, channels, comb::FamilyKind::kRandomized, seed);
+  }
+  if (strategy == "random_rpd") return proto::make_random_channel_rpd(n, channels, seed);
+  throw std::invalid_argument("unknown mc strategy: " + strategy);
+}
+
 int cmd_run(const util::Args& args) {
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 1024));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 8));
   const auto trials = static_cast<std::uint64_t>(args.get_int("trials", 1));
   const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto channels = static_cast<std::uint32_t>(args.get_int("channels", 1));
+  const bool multichannel = channels > 1 || args.has("mc");
+  if (multichannel && (args.get_flag("trace") || args.get_flag("cd"))) {
+    throw std::invalid_argument(
+        "--trace and --cd are single-channel features; drop --channels/--mc to use them");
+  }
+
+  std::unique_ptr<sim::TrialCsvSink> csv;
+  if (args.has("per-trial-csv")) {
+    csv = std::make_unique<sim::TrialCsvSink>(args.get("per-trial-csv"));
+  }
 
   util::Sample rounds;
   bool all_ok = true;
@@ -93,17 +135,42 @@ int cmd_run(const util::Args& args) {
     }
     if (args.has("save-pattern")) mac::save_pattern_csv(args.get("save-pattern"), pattern);
 
-    const auto protocol = build_protocol(args, seed);
     sim::SimConfig config;
     config.max_slots = args.get_int("max-slots", 0);
+    config.engine = parse_engine(args.get("engine", "auto"));
     config.record_trace = args.get_flag("trace");
     config.record_transmitters = config.record_trace;
     config.feedback = args.get_flag("cd") ? mac::FeedbackModel::kCollisionDetection
                                           : mac::FeedbackModel::kNone;
-    const auto result = sim::run_wakeup(*protocol, pattern, config);
+
+    sim::SimResult result;
+    std::string name;
+    if (multichannel) {
+      const auto protocol = build_mc_protocol(args, channels < 1 ? 1 : channels, seed);
+      name = protocol->name();
+      const auto mc =
+          sim::Run({.mc_protocol = protocol.get(), .pattern = &pattern, .sim = config}).mc;
+      if (csv) csv->write(trial, mc);
+      result.success = mc.success;
+      result.s = mc.s;
+      result.success_slot = mc.success_slot;
+      result.rounds = mc.rounds;
+      result.winner = mc.winner;
+      result.silences = mc.silences;
+      result.collisions = mc.collisions;
+      result.successes = mc.successes;
+      if (trials == 1 && mc.success) {
+        std::cout << "winning channel: " << mc.success_channel << " of " << channels << "\n";
+      }
+    } else {
+      const auto protocol = build_protocol(args, seed);
+      name = protocol->name();
+      result = sim::Run({.protocol = protocol.get(), .pattern = &pattern, .sim = config}).sim;
+      if (csv) csv->write(trial, result);
+    }
 
     if (trials == 1) {
-      std::cout << "protocol: " << protocol->name() << "\nn=" << n << " k=" << pattern.k()
+      std::cout << "protocol: " << name << "\nn=" << n << " k=" << pattern.k()
                 << " s=" << pattern.first_wake() << "\n";
       if (result.success) {
         std::cout << "wake-up at slot " << result.success_slot << " (rounds "
@@ -118,6 +185,7 @@ int cmd_run(const util::Args& args) {
     all_ok = all_ok && result.success;
     if (result.success) rounds.push(static_cast<double>(result.rounds));
   }
+  if (csv) std::cout << "[per-trial csv] " << csv->path() << " (" << csv->rows() << " rows)\n";
 
   if (trials > 1) {
     const auto summary = util::Summary::of(rounds);
