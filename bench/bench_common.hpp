@@ -1,18 +1,122 @@
 #pragma once
 
-/// Shared plumbing for the experiment benches: a ready thread pool, trial
-/// counts, and the protocol-by-name cell helper.
+/// Shared plumbing for the experiment benches: a ready thread pool, the
+/// protocol-by-name cell helper, and the machine-readable JSON report that
+/// tracks the perf trajectory (BENCH_<name>.json) alongside the console
+/// tables and CSVs.
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "wakeup/wakeup.hpp"
 
 namespace wakeup::bench {
 
-inline util::ThreadPool& pool() {
-  static util::ThreadPool instance(util::ThreadPool::default_workers());
-  return instance;
-}
+inline util::ThreadPool& pool() { return util::ThreadPool::shared(); }
+
+/// One JSON scalar: number or string (bools become 0/1 numbers).
+struct JsonValue {
+  enum class Kind { kNumber, kInteger, kString } kind;
+  double num = 0;
+  std::uint64_t integer = 0;
+  std::string str;
+
+  JsonValue(double v) : kind(Kind::kNumber), num(v) {}                       // NOLINT
+  JsonValue(int v) : kind(Kind::kInteger), integer(std::uint64_t(v)) {}      // NOLINT
+  JsonValue(unsigned v) : kind(Kind::kInteger), integer(v) {}                // NOLINT
+  JsonValue(std::uint64_t v) : kind(Kind::kInteger), integer(v) {}           // NOLINT
+  JsonValue(bool v) : kind(Kind::kInteger), integer(v ? 1 : 0) {}            // NOLINT
+  JsonValue(const char* v) : kind(Kind::kString), str(v) {}                  // NOLINT
+  JsonValue(std::string v) : kind(Kind::kString), str(std::move(v)) {}       // NOLINT
+
+  void emit(std::ostream& out) const {
+    char buf[40];
+    switch (kind) {
+      case Kind::kNumber:
+        if (!std::isfinite(num)) {  // JSON has no inf/nan token
+          out << "null";
+          return;
+        }
+        std::snprintf(buf, sizeof buf, "%.9g", num);
+        out << buf;
+        return;
+      case Kind::kInteger:
+        out << integer;
+        return;
+      case Kind::kString:
+        out << '"';
+        for (const char c : str) {
+          if (c == '"' || c == '\\') out << '\\';
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out << buf;
+          } else {
+            out << c;
+          }
+        }
+        out << '"';
+        return;
+    }
+  }
+};
+
+using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Machine-readable bench artifact: collects config fields plus one object
+/// per measured cell and writes `<results_dir>/BENCH_<name>.json` (the
+/// same directory the CSVs land in; WAKEUP_RESULTS_DIR overrides, empty
+/// disables).  Schema: {"bench": <name>, "config": {...}, "rows": [...]}.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void config(const std::string& key, JsonValue value) {
+    config_.emplace_back(key, std::move(value));
+  }
+  void row(JsonFields fields) { rows_.push_back(std::move(fields)); }
+
+  /// Writes the report; returns its path, or "" when CSV/JSON output is
+  /// disabled.  Also prints the path, matching the CSV reporting style.
+  std::string write() const {
+    const std::string dir = sim::ResultsSink::results_dir();
+    if (dir.empty() || !util::ensure_directory(dir)) return "";
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out.good()) return "";
+    out << "{\n  \"bench\": ";
+    JsonValue(name_).emit(out);
+    out << ",\n  \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    ";
+      JsonValue(config_[i].first).emit(out);
+      out << ": ";
+      config_[i].second.emit(out);
+    }
+    out << (config_.empty() ? "" : "\n  ") << "},\n  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    {";
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        out << (i == 0 ? "" : ", ");
+        JsonValue(rows_[r][i].first).emit(out);
+        out << ": ";
+        rows_[r][i].second.emit(out);
+      }
+      out << "}";
+    }
+    out << (rows_.empty() ? "" : "\n  ") << "]\n}\n";
+    std::printf("[json] %s (%zu rows)\n", path.c_str(), rows_.size());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  JsonFields config_;
+  std::vector<JsonFields> rows_;
+};
 
 /// Builds a sweep-cell RunSpec for a registry protocol at (n, k, s) with
 /// the given pattern generator. Trials default to a bench-friendly count.

@@ -71,6 +71,11 @@ int main() {
   };
   const std::uint64_t trials = 48;
 
+  wakeup::bench::JsonReport json("engine_dispatch");
+  json.config("trials", trials);
+  json.config("tile_words", std::uint64_t{sim::tile_words()});
+  json.config("kernel", util::simd::active_name());
+
   std::printf("%-16s %6s %4s | %13s %13s %13s | %7s %7s\n", "protocol", "n", "k", "interp sl/s",
               "batch sl/s", "auto sl/s", "batch x", "auto x");
   for (const auto& cell : cells) {
@@ -91,6 +96,16 @@ int main() {
     std::printf("%-16s %6u %4u | %13.3e %13.3e %13.3e | %6.1fx %6.1fx\n", cell.protocol.c_str(),
                 cell.n, cell.k, interp.slots_per_sec, batch.slots_per_sec, hybrid.slots_per_sec,
                 batch_x, auto_x);
+    json.row({{"protocol", cell.protocol},
+              {"n", cell.n},
+              {"k", cell.k},
+              {"pattern", std::string(mac::patterns::kind_name(cell.pattern))},
+              {"interp_slots_per_sec", interp.slots_per_sec},
+              {"batch_slots_per_sec", batch.slots_per_sec},
+              {"auto_slots_per_sec", hybrid.slots_per_sec},
+              {"batch_speedup", batch_x},
+              {"auto_speedup", auto_x}});
   }
+  json.write();
   return 0;
 }

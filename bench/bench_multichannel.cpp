@@ -92,6 +92,12 @@ int main(int argc, char** argv) {
   sim::ResultsSink sink("m_multichannel",
                         {"strategy", "channels", "interp_tr_s", "batch_tr_s", "speedup",
                          "mean_rounds", "tdm_vs_c1"});
+  bench::JsonReport json("multichannel");
+  json.config("n", n);
+  json.config("trials", trials);
+  json.config("quick", quick);
+  json.config("tile_words", std::uint64_t{sim::tile_words()});
+  json.config("kernel", util::simd::active_name());
 
   bool verify_ok = true;
   double gate_speedup = 0;
@@ -134,12 +140,22 @@ int main(int argc, char** argv) {
           .cell(mean_rounds, 1)
           .cell(mean_rounds > 0 ? rounds_c1 / mean_rounds : 0, 1);
       sink.end_row();
+      json.row({{"strategy", strategy},
+                {"channels", channels},
+                {"k", cell_k},
+                {"interp_trials_per_sec", 1.0 / interp.per_trial_s},
+                {"throughput_trials_per_sec", 1.0 / batch.per_trial_s},
+                {"speedup", speedup},
+                {"mean_rounds", mean_rounds},
+                {"tdm_vs_c1", mean_rounds > 0 ? rounds_c1 / mean_rounds : 0.0}});
     }
   }
   sink.flush("M: native multichannel batching — cell throughput, batched vs slot loop "
              "(n=2^14; k=8, group_wag k=64)");
 
   const bool gate_ok = gate_speedup >= 3.0;
+  json.config("acceptance_pass", gate_ok && verify_ok);
+  json.write();
   std::cout << "striped_rr C=16 batched/interpreted: " << gate_speedup
             << "x (acceptance: >= 3x) " << (gate_ok ? "PASS" : "FAIL") << "\n"
             << "bit-identity: " << (verify_ok ? "PASS" : "FAIL") << "\n"

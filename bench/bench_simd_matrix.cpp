@@ -1,0 +1,215 @@
+/// S — SIMD word-matrix engine: batched cell throughput of the tiled
+/// engine (station-major word matrix, tile_words() = 8 words per station
+/// per resolve round, util/simd kernels) against the pre-tiling scalar
+/// path (tile = 1 word + forced scalar kernels — operationally the PR-3
+/// block engine: one cache read / schedule_block per station per 64-slot
+/// block, scalar OR reduction), serving the same trial-batched cell.
+///
+/// The protocol instance, the per-trial wake patterns, and the populated
+/// ScheduleCache are shared and built outside the timed region — exactly
+/// the state a sweep cell amortizes across its trials — so the comparison
+/// isolates the hot loop this engine owns: word fetch + OR reduction +
+/// outcome scan per trial.
+///
+/// Acceptance (ISSUE 4): >= 1.5x cell throughput on at least one cached
+/// protocol at n = 2^14, trials = 256, with per-trial bit-identity between
+/// the two paths verified in-bench.  Writes BENCH_simd_matrix.json.
+///
+/// Usage: bench_simd_matrix [--quick]   (--quick shrinks trial counts for
+/// CI-sized runs; the gate then applies to the shrunk cells)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace wakeup;
+
+namespace {
+
+struct MatrixCell {
+  std::string protocol;
+  std::uint32_t n;
+  std::uint32_t k;
+  std::uint64_t trials;
+  bool simultaneous = false;  ///< contended long runs vs uniform scatter
+  bool full_resolution = false;  ///< drain every station (re-resolve path)
+  bool gates = false;            ///< counts toward the acceptance check
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct Timed {
+  double seconds = 0;
+  std::vector<sim::SimResult> trials;
+};
+
+/// Times the cached trial loop — the phase trial batching repeats per
+/// trial once the cell's shared state exists — under the current engine
+/// configuration.
+Timed run_trials(const proto::Protocol& protocol, const sim::ScheduleCache& cache,
+                 const std::vector<mac::WakePattern>& patterns, const sim::SimConfig& config) {
+  Timed out;
+  out.trials.reserve(patterns.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const mac::WakePattern& pattern : patterns) {
+    out.trials.push_back(sim::run_wakeup_batch_cached(protocol, cache, pattern, config));
+  }
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+bool identical(const std::vector<sim::SimResult>& a, const std::vector<sim::SimResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].success != b[i].success || a[i].success_slot != b[i].success_slot ||
+        a[i].rounds != b[i].rounds || a[i].winner != b[i].winner ||
+        a[i].silences != b[i].silences || a[i].collisions != b[i].collisions ||
+        a[i].successes != b[i].successes || a[i].completed != b[i].completed ||
+        a[i].completion_slot != b[i].completion_slot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t t_accept = quick ? 64 : 256;
+
+  const std::vector<MatrixCell> cells = {
+      // Acceptance rows: n = 2^14, trials = 256, cached doubling-schedule
+      // protocols.  Simultaneous wake = the contended long-run regime the
+      // memo (and the tile fetch) amortizes; the uniform-scatter rows show
+      // the short-run end where the tile ramp keeps parity.
+      {"wait_and_go", 1 << 14, 64, t_accept, true, false, true},
+      {"wakeup_with_k", 1 << 14, 64, t_accept, true, false, true},
+      {"wait_and_go", 1 << 14, 64, t_accept, false, false, false},
+      {"wakeup_with_k", 1 << 14, 64, t_accept, false, false, false},
+      // Memo-thrash stress (reported, not gated): SATF's period at
+      // k_max = n is ~3e5 slots, so 256 trials of random stations plan
+      // ~7e3 wake classes x ~37KB wheels — past the 256MB cache budget.
+      // Fetches go to DRAM or the schedule_block fallback, where the tile
+      // ramp's overshoot words cost full memory latency; a real sweep's
+      // population cost gate declines this memo (this bench forces it).
+      // Kept for bit-identity coverage of the overflow/fallback paths.
+      {"select_among_the_first", 1 << 14, 64, t_accept, true, false, false},
+      // The matrix protocol's regime: simultaneous wake, long row scans.
+      {"wakeup_matrix", 1 << 14, 256, quick ? std::uint64_t{16} : std::uint64_t{64}, true, false, true},
+      // Full resolution: the drain exercises the mid-tile re-resolve.
+      {"wait_and_go", 1 << 14, 64, quick ? std::uint64_t{16} : std::uint64_t{64}, true, true, false},
+      // Cheap-word counterpoint (a sweep would not cache it): tiling still
+      // amortizes the per-word read, reported but not gated.
+      {"round_robin", 1 << 14, 64, t_accept, false, false, false},
+  };
+
+  bench::JsonReport json("simd_matrix");
+  json.config("n", std::uint64_t{1} << 14);
+  json.config("trials", t_accept);
+  json.config("tile_words", std::uint64_t{sim::tile_words()});
+  json.config("kernel", util::simd::active_name());
+  json.config("quick", quick);
+
+  std::printf("%-24s %8s %5s %7s %5s | %12s %12s | %8s %7s\n", "protocol", "n", "k", "trials",
+              "full", "scalar ms/tr", "tiled ms/tr", "speedup", "verify");
+
+  bool verify_ok = true;
+  double best_gated = 0;
+  std::string best_protocol;
+  for (const MatrixCell& cell : cells) {
+    // Shared cell state, built outside the timed region (a sweep builds it
+    // once per cell): protocol, per-trial patterns, populated cache.
+    proto::ProtocolSpec pspec;
+    pspec.name = cell.protocol;
+    pspec.n = cell.n;
+    pspec.k = cell.k;
+    pspec.seed = 20130522;
+    const proto::ProtocolPtr protocol = proto::make_protocol_by_name(pspec);
+    const proto::ObliviousSchedule* schedule = protocol->oblivious_schedule();
+    if (schedule == nullptr) std::abort();
+
+    std::vector<mac::WakePattern> patterns;
+    std::vector<std::pair<mac::StationId, mac::Slot>> members;
+    patterns.reserve(cell.trials);
+    for (std::uint64_t i = 0; i < cell.trials; ++i) {
+      util::Rng rng(util::hash_words({0x534d44ULL /* "SMD" */, cell.trials, i}));
+      patterns.push_back(
+          cell.simultaneous
+              ? mac::patterns::simultaneous(cell.n, cell.k, 0, rng)
+              : mac::patterns::uniform_window(cell.n, cell.k, 0,
+                                              static_cast<mac::Slot>(4) * cell.k, rng));
+      for (const mac::Arrival& a : patterns.back().arrivals()) {
+        members.emplace_back(a.station, a.wake);
+      }
+    }
+
+    sim::ScheduleCache::Config cache_config;
+    cache_config.window = 1 << 17;
+    cache_config.force = true;
+    sim::ScheduleCache cache(*schedule, cache_config);
+    cache.populate(members, &bench::pool());
+
+    sim::SimConfig config;
+    config.full_resolution = cell.full_resolution;
+
+    // Baseline: the pre-tiling scalar path (one word per station per
+    // block, scalar kernels) — warmed up with one untimed pass.
+    sim::set_tile_words(1);
+    util::simd::set_force_scalar(true);
+    (void)sim::run_wakeup_batch_cached(*protocol, cache, patterns[0], config);
+    const Timed scalar = run_trials(*protocol, cache, patterns, config);
+
+    // The tiled SIMD engine (default configuration).
+    sim::set_tile_words(0);
+    util::simd::set_force_scalar(false);
+    (void)sim::run_wakeup_batch_cached(*protocol, cache, patterns[0], config);
+    const Timed tiled = run_trials(*protocol, cache, patterns, config);
+
+    const bool ok = identical(scalar.trials, tiled.trials);
+    verify_ok = verify_ok && ok;
+    const double scalar_ms = scalar.seconds * 1e3 / static_cast<double>(cell.trials);
+    const double tiled_ms = tiled.seconds * 1e3 / static_cast<double>(cell.trials);
+    const double speedup = tiled.seconds > 0 ? scalar.seconds / tiled.seconds : 0;
+    if (cell.gates && speedup > best_gated) {
+      best_gated = speedup;
+      best_protocol = cell.protocol;
+    }
+    std::printf("%-24s %8u %5u %7llu %5s | %12.3f %12.3f | %7.2fx %7s\n",
+                cell.protocol.c_str(), cell.n, cell.k,
+                static_cast<unsigned long long>(cell.trials),
+                cell.full_resolution ? "yes" : "no", scalar_ms, tiled_ms, speedup,
+                ok ? "ok" : "MISMATCH");
+    json.row({{"protocol", cell.protocol},
+              {"n", cell.n},
+              {"k", cell.k},
+              {"trials", cell.trials},
+              {"full_resolution", cell.full_resolution},
+              {"scalar_ms_per_trial", scalar_ms},
+              {"tiled_ms_per_trial", tiled_ms},
+              {"throughput_trials_per_sec",
+               tiled.seconds > 0 ? static_cast<double>(cell.trials) / tiled.seconds : 0.0},
+              {"speedup", speedup},
+              {"gated", cell.gates},
+              {"bit_identical", ok}});
+  }
+
+  const bool accept_ok = best_gated >= 1.5;
+  std::printf("\nbest gated speedup: %.2fx (%s; acceptance: >= 1.5x on a cached protocol) %s\n",
+              best_gated, best_protocol.c_str(), accept_ok ? "PASS" : "FAIL");
+  std::printf("bit-identity: %s\n", verify_ok ? "PASS" : "FAIL");
+  json.config("best_gated_speedup", best_gated);
+  json.config("acceptance_pass", accept_ok && verify_ok);
+  json.write();
+  return verify_ok && accept_ok ? 0 : 1;
+}

@@ -147,6 +147,11 @@ int main(int argc, char** argv) {
     cells.push_back({"round_robin", 1 << 17, 64, 64, 4, false, false});
   }
 
+  bench::JsonReport json("trial_batch");
+  json.config("quick", quick);
+  json.config("tile_words", std::uint64_t{sim::tile_words()});
+  json.config("kernel", util::simd::active_name());
+
   std::printf("%-24s %8s %5s %7s | %12s %12s | %8s %7s\n", "protocol", "n", "k", "trials",
               "legacy ms/tr", "cached ms/tr", "speedup", "verify");
 
@@ -176,6 +181,15 @@ int main(int argc, char** argv) {
     std::printf("%-24s %8u %5u %7llu | %12.3f %12.3f | %7.1fx %7s\n", cell.protocol.c_str(),
                 cell.n, cell.k, static_cast<unsigned long long>(cell.trials), legacy * 1e3,
                 cached * 1e3, speedup, verdict.c_str());
+    json.row({{"protocol", cell.protocol},
+              {"n", cell.n},
+              {"k", cell.k},
+              {"trials", cell.trials},
+              {"legacy_ms_per_trial", legacy * 1e3},
+              {"cached_ms_per_trial", cached * 1e3},
+              {"throughput_trials_per_sec", cached > 0 ? 1.0 / cached : 0.0},
+              {"speedup", speedup},
+              {"cached", cell.cached}});
   }
 
   bool accept_ok = true;
@@ -186,6 +200,8 @@ int main(int argc, char** argv) {
                 geomean, accept_ok ? "PASS" : "FAIL");
   }
   std::printf("bit-identity: %s\n", verify_ok ? "PASS" : "FAIL");
+  json.config("acceptance_pass", verify_ok && accept_ok);
+  json.write();
   // Non-zero exit on either failed acceptance or a bit mismatch, so CI's
   // smoke step catches throughput regressions, not just wrong bits.
   return verify_ok && accept_ok ? 0 : 1;

@@ -1,15 +1,54 @@
 #include "sim/batch_engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/interpreter.hpp"
 #include "sim/schedule_cache.hpp"
 #include "sim/word_source.hpp"
+#include "util/simd.hpp"
 
 namespace wakeup::sim {
+
+namespace {
+
+std::size_t clamp_tile(std::size_t words) {
+  return std::clamp<std::size_t>(words, 1, kMaxTileWords);
+}
+
+std::size_t env_tile_words() {
+  const char* env = std::getenv("WAKEUP_TILE_WORDS");
+  if (env == nullptr || env[0] == '\0') return kMaxTileWords;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  // Unparsable or zero values fall back to the default rather than
+  // silently pinning the slowest width.
+  if (end == env || *end != '\0' || parsed == 0) return kMaxTileWords;
+  return clamp_tile(static_cast<std::size_t>(parsed));
+}
+
+std::atomic<std::size_t>& tile_override() noexcept {
+  static std::atomic<std::size_t> value{0};
+  return value;
+}
+
+}  // namespace
+
+std::size_t tile_words() noexcept {
+  const std::size_t forced = tile_override().load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  static const std::size_t from_env = env_tile_words();
+  return from_env;
+}
+
+void set_tile_words(std::size_t words) noexcept {
+  tile_override().store(words == 0 ? 0 : clamp_tile(words), std::memory_order_relaxed);
+}
 
 bool batch_engine_supports(const proto::Protocol& protocol, const SimConfig& config) {
   return protocol.oblivious_schedule() != nullptr && !config.record_trace;
@@ -19,13 +58,16 @@ namespace {
 
 using detail::CachedWords;
 using detail::DirectWords;
+namespace simd = util::simd;
 
-/// Block-wise core.  `start` is the first slot to resolve (>= s; arrivals
+/// Tile-wise core.  `start` is the first slot to resolve (>= s; arrivals
 /// before it join immediately) and `carry` holds outcome counters already
-/// accumulated by a warm-up prefix [s, start) run elsewhere.  Blocks are
+/// accumulated by a warm-up prefix [s, start) run elsewhere.  Tiles are
 /// aligned to absolute 64-slot boundaries (slots below `start` are masked
-/// out of `pending`), so the words a run requests are position-stable and
-/// shareable across trials with different first-wake slots.
+/// out of the pending words), so the words a run requests are
+/// position-stable and shareable across trials with different first-wake
+/// slots.  Each round fills one station-major matrix row of W words per
+/// live station and resolves all 64 * W slots against it.
 template <class Words>
 SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
                          const SimConfig& config, mac::Slot start, const SimResult* carry) {
@@ -35,9 +77,8 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
   struct Active {
     mac::StationId id;
     mac::Slot wake;
-    std::size_t arrival;     ///< index in pattern.arrivals()
-    std::uint64_t word = 0;  ///< schedule bits for the current block
-    bool done = false;       ///< full-resolution: already delivered
+    std::size_t arrival;  ///< index in pattern.arrivals()
+    bool done = false;    ///< full-resolution: already delivered
   };
 
   const auto& arrivals = pattern.arrivals();  // sorted by wake
@@ -48,8 +89,17 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
   if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
   const mac::Slot end = s + budget;  // exclusive
 
+  const std::size_t W = tile_words();
+
   std::vector<Active> active;
   active.reserve(pattern.k());
+  std::vector<std::uint64_t> matrix;  // station-major: row r = W words of active[r]
+  matrix.reserve(pattern.k() * W);
+  std::array<std::uint64_t, kMaxTileWords> any{};
+  std::array<std::uint64_t, kMaxTileWords> multi{};
+  std::array<std::uint64_t, kMaxTileWords> pend{};
+  std::array<std::uint64_t, kMaxTileWords> succ{};
+
   std::size_t next_arrival = 0;
   std::size_t remaining = pattern.k();
   std::uint64_t silences = carry != nullptr ? carry->silences : 0;
@@ -61,98 +111,136 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
   // so start >= 0 and plain division floors).
   const mac::Slot first_block = start / 64 * 64;
 
-  for (mac::Slot b = first_block; b < end && !halted; b += 64) {
-    const mac::Slot block_end = std::min<mac::Slot>(b + 64, end);
+  // Tile ramp: the first resolve round fetches one word per station (runs
+  // that end inside it pay exactly the pre-tiling cost), doubling up to W
+  // per round — long runs amortize the fetch W-fold, short runs never buy
+  // words they cannot use.  Tiles stay 64-aligned throughout, and results
+  // are bit-identical for every ramp state (tiles are just groupings of
+  // the same masked words).
+  std::size_t cur = 1;
 
-    // Admit every station that wakes inside this block; bits of its word
-    // before the wake slot are masked off below.
-    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < block_end) {
+  for (mac::Slot tb = first_block; tb < end && !halted;
+       tb += static_cast<mac::Slot>(64 * cur), cur = std::min<std::size_t>(cur * 2, W)) {
+    const mac::Slot tile_end =
+        std::min<mac::Slot>(tb + static_cast<mac::Slot>(64 * cur), end);
+    const auto tw = static_cast<std::size_t>((tile_end - tb + 63) / 64);
+
+    // Admit every station that wakes inside this tile; row bits before the
+    // wake slot are masked off below.
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < tile_end) {
       const auto& a = arrivals[next_arrival];
       active.push_back(Active{a.station, a.wake, next_arrival});
+      matrix.resize(active.size() * W, 0);
       ++next_arrival;
     }
 
-    // One schedule word per live station, then the two-pass OR reduction:
-    // after the loop, `any` has a bit where >= 1 station transmits and
-    // `multi` where >= 2 do.
-    std::uint64_t any = 0;
-    std::uint64_t multi = 0;
-    for (Active& st : active) {
+    // One schedule tile per live station: fetch from the block containing
+    // the wake (never query blocks wholly before it — cached entries start
+    // there), zero-fill the leading words, mask the straddling one.
+    for (std::size_t r = 0; r < active.size(); ++r) {
+      const Active& st = active[r];
+      std::uint64_t* row = matrix.data() + r * W;
       if (st.done) {
-        st.word = 0;
+        std::fill(row, row + tw, 0);
         continue;
       }
-      std::uint64_t w = 0;
-      words.word(st.arrival, st.id, st.wake, b, &w);
-      if (st.wake > b) w &= ~std::uint64_t{0} << (st.wake - b);
-      st.word = w;
-      multi |= any & w;
-      any |= w;
+      std::size_t w0 = 0;
+      mac::Slot from = tb;
+      if (st.wake > tb) {
+        from = st.wake / 64 * 64;
+        w0 = static_cast<std::size_t>((from - tb) / 64);
+        std::fill(row, row + w0, 0);
+      }
+      words.tile(st.arrival, st.id, st.wake, from, row + w0, tw - w0);
+      if (st.wake > from) row[w0] &= ~std::uint64_t{0} << (st.wake - from);
     }
 
-    const unsigned width = static_cast<unsigned>(block_end - b);
-    std::uint64_t pending =
-        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
-    // Slots below `start` belong to the warm-up prefix (or precede s);
-    // they carry no outcomes here.
-    if (start > b) pending &= ~std::uint64_t{0} << (start - b);
+    simd::or_reduce_2pass(matrix.data(), active.size(), W, tw, any.data(), multi.data());
 
-    while (pending != 0) {
-      const std::uint64_t succ = any & ~multi & pending;
-      if (succ == 0) {
-        silences += static_cast<std::uint64_t>(std::popcount(~any & pending));
-        collisions += static_cast<std::uint64_t>(std::popcount(multi & pending));
-        break;
-      }
-      // Count outcomes up to and including the first success slot, exactly
-      // like the interpreter which stops right after processing it.
-      const unsigned j = static_cast<unsigned>(std::countr_zero(succ));
-      const std::uint64_t upto =
-          j == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (j + 1)) - 1;
-      const std::uint64_t segment = pending & upto;
-      silences += static_cast<std::uint64_t>(std::popcount(~any & segment));
-      collisions += static_cast<std::uint64_t>(std::popcount(multi & segment));
-      ++successes;
-      pending &= ~upto;
+    // Pending masks: the slots of each word inside [max(tb, start), end).
+    for (std::size_t w = 0; w < tw; ++w) {
+      const mac::Slot ws = tb + static_cast<mac::Slot>(64 * w);
+      const auto width = static_cast<unsigned>(std::min<mac::Slot>(tile_end - ws, 64));
+      std::uint64_t m = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+      // Slots below `start` belong to the warm-up prefix (or precede s);
+      // they carry no outcomes here.
+      if (start > ws) m &= ~std::uint64_t{0} << (start - ws);
+      pend[w] = m;
+    }
 
-      const mac::Slot t = b + static_cast<mac::Slot>(j);
-      mac::StationId winner = 0;
-      for (const Active& st : active) {
-        if (!st.done && ((st.word >> j) & 1u) != 0) {
-          winner = st.id;
+    // Fast path: no solo success anywhere in the tile — count the whole
+    // tile's silences and collisions with one kernel call and move on.
+    for (std::size_t w = 0; w < tw; ++w) succ[w] = any[w] & ~multi[w] & pend[w];
+    const std::size_t hit = simd::first_set_below(succ.data(), tw, 64 * tw);
+    if (hit == simd::kNoBit) {
+      simd::active().masked_popcount_pair(any.data(), multi.data(), pend.data(), tw,
+                                          &silences, &collisions);
+      continue;
+    }
+    // Words before the first success word are fully resolved too.
+    const std::size_t first_w = hit / 64;
+    if (first_w > 0) {
+      simd::active().masked_popcount_pair(any.data(), multi.data(), pend.data(), first_w,
+                                          &silences, &collisions);
+    }
+
+    for (std::size_t w = first_w; w < tw && !halted; ++w) {
+      std::uint64_t pending = pend[w];
+      while (pending != 0) {
+        const std::uint64_t solo = any[w] & ~multi[w] & pending;
+        if (solo == 0) {
+          silences += static_cast<std::uint64_t>(std::popcount(~any[w] & pending));
+          collisions += static_cast<std::uint64_t>(std::popcount(multi[w] & pending));
           break;
         }
-      }
-      if (!result.success) {
-        result.success = true;
-        result.success_slot = t;
-        result.rounds = t - s;
-        result.winner = winner;
-      }
-      if (!config.full_resolution) {
-        halted = true;
-        break;
-      }
+        // Count outcomes up to and including the first success slot,
+        // exactly like the interpreter which stops right after it.
+        const auto j = static_cast<unsigned>(std::countr_zero(solo));
+        const std::uint64_t upto =
+            j == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (j + 1)) - 1;
+        const std::uint64_t segment = pending & upto;
+        silences += static_cast<std::uint64_t>(std::popcount(~any[w] & segment));
+        collisions += static_cast<std::uint64_t>(std::popcount(multi[w] & segment));
+        ++successes;
+        pending &= ~upto;
 
-      // Full resolution: the winner leaves the channel; re-resolve the rest
-      // of the block without it.
-      for (Active& st : active) {
-        if (st.id == winner) st.done = true;
-      }
-      --remaining;
-      if (remaining == 0 && next_arrival == arrivals.size()) {
-        result.completed = true;
-        result.completion_slot = t;
-        result.completion_rounds = t - s;
-        halted = true;
-        break;
-      }
-      any = 0;
-      multi = 0;
-      for (const Active& st : active) {
-        if (st.done) continue;
-        multi |= any & st.word;
-        any |= st.word;
+        const mac::Slot t = tb + static_cast<mac::Slot>(64 * w + j);
+        mac::StationId winner = 0;
+        for (std::size_t r = 0; r < active.size(); ++r) {
+          if (!active[r].done && ((matrix[r * W + w] >> j) & 1u) != 0) {
+            winner = active[r].id;
+            break;
+          }
+        }
+        if (!result.success) {
+          result.success = true;
+          result.success_slot = t;
+          result.rounds = t - s;
+          result.winner = winner;
+        }
+        if (!config.full_resolution) {
+          halted = true;
+          break;
+        }
+
+        // Full resolution: the winner leaves the channel; zero its row and
+        // re-resolve the remaining columns of the tile without it.
+        for (std::size_t r = 0; r < active.size(); ++r) {
+          if (active[r].id != winner || active[r].done) continue;
+          active[r].done = true;
+          std::fill(matrix.begin() + static_cast<std::ptrdiff_t>(r * W + w),
+                    matrix.begin() + static_cast<std::ptrdiff_t>(r * W + tw), 0);
+        }
+        --remaining;
+        if (remaining == 0 && next_arrival == arrivals.size()) {
+          result.completed = true;
+          result.completion_slot = t;
+          result.completion_rounds = t - s;
+          halted = true;
+          break;
+        }
+        simd::or_reduce_2pass(matrix.data() + w, active.size(), W, tw - w, any.data() + w,
+                              multi.data() + w);
       }
     }
   }
@@ -191,7 +279,7 @@ SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePatt
     throw std::invalid_argument("batch engine requires an oblivious protocol and no trace");
   }
   if (pattern.empty()) return {};
-  // Full resolution drains successes across many blocks anyway; the warm-up
+  // Full resolution drains successes across many tiles anyway; the warm-up
   // bookkeeping (departed winners) is not worth carrying over.
   if (config.full_resolution) {
     return run_batch_from(DirectWords{*schedule}, pattern, config, pattern.first_wake(),
@@ -202,12 +290,12 @@ SimResult run_wakeup_hybrid(const proto::Protocol& protocol, const mac::WakePatt
   if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
 
   // Warm-up length: an explicit SimConfig::warmup_slots wins (the sweep
-  // harness sizes it from measured schedule-word cost); otherwise the
-  // static hint — cheap-word schedules (strided bits) batch profitably
-  // from slot one, expensive ones get one interpreted block, since the
-  // paper's near-optimal protocols often resolve contention within a few
-  // slots, where a full 64-slot table- or hash-walking word per station
-  // would be pure waste.
+  // harness sizes it from measured schedule-word cost at tile
+  // granularity); otherwise the static hint — cheap-word schedules
+  // (strided bits) batch profitably from slot one, expensive ones get one
+  // interpreted block, since the paper's near-optimal protocols often
+  // resolve contention within a few slots, where a full schedule tile per
+  // station would be pure waste.
   mac::Slot warmup = config.warmup_slots;
   if (warmup < 0) warmup = schedule->words_are_cheap() ? 0 : 64;
   if (warmup == 0) {

@@ -1,17 +1,26 @@
 #pragma once
 
 /// \file batch_engine.hpp
-/// Word-parallel back-end of `run_wakeup` for oblivious protocols.
+/// Word-parallel back-end of `dispatch_wakeup` for oblivious protocols.
 ///
-/// Advances 64 slots per step: each active station contributes one 64-bit
-/// schedule word per block (`proto::ObliviousSchedule::schedule_block`), and
-/// the channel is resolved for the whole block with two OR passes —
-/// `any` (some station transmits) and `multi` (two or more do) — so
-/// silence = ~any, collision = multi, success = any & ~multi, all located
-/// with count-limited ctz/popcount scans.  Produces bit-identical
-/// `SimResult`s to the slot-by-slot interpreter (asserted by
+/// Advances one *tile* of 64 * W slots per resolve round (W = tile_words(),
+/// default 8 -> 512 slots): each live station contributes one row of W
+/// consecutive 64-slot schedule words to a station-major word matrix — one
+/// `proto::ObliviousSchedule::schedule_block` (or multi-word
+/// `ScheduleCache::read`) call per station per tile, amortizing the
+/// virtual dispatch W-fold — and the channel is resolved for the whole
+/// tile with the util/simd.hpp kernel suite: `or_reduce_2pass` down the
+/// station axis (`any` = some station transmits, `multi` = two or more),
+/// `masked_popcount_pair` for the silence/collision totals of fully
+/// resolved words, and `first_set_below` to locate the first solo success.
+/// The full-resolution re-resolve after a winner departs runs the same
+/// reduction over the remaining columns of the matrix.  Produces
+/// bit-identical `SimResult`s to the slot-by-slot interpreter for every
+/// tile width and kernel table (asserted by
 /// tests/test_engine_equivalence.cpp); traces are not supported, the
 /// dispatcher falls back to the interpreter for those.
+
+#include <cstddef>
 
 #include "sim/simulator.hpp"
 
@@ -19,35 +28,53 @@ namespace wakeup::sim {
 
 class ScheduleCache;
 
+/// Widest tile the engines allocate for (words per station row).
+inline constexpr std::size_t kMaxTileWords = 8;
+
+/// Tile width in effect: 64-slot words fetched per live station per
+/// resolve round, in [1, kMaxTileWords].  Defaults to kMaxTileWords;
+/// overridable via the WAKEUP_TILE_WORDS environment variable (read once)
+/// or `set_tile_words`.  Results are bit-identical for every width — only
+/// the cost profile moves (tests sweep widths, benches use width 1 as the
+/// pre-tiling scalar baseline).
+[[nodiscard]] std::size_t tile_words() noexcept;
+
+/// Overrides the tile width (clamped to [1, kMaxTileWords]); 0 restores
+/// the environment/default value.  For tests and benches.
+void set_tile_words(std::size_t words) noexcept;
+
 /// Can `run_wakeup_batch` execute this (protocol, config) pair?
 /// Requires an oblivious schedule and no trace recording.
 [[nodiscard]] bool batch_engine_supports(const proto::Protocol& protocol,
                                          const SimConfig& config);
 
-/// Runs `protocol` against `pattern` 64 slots at a time.  Preconditions:
-/// `batch_engine_supports(protocol, config)`; throws std::invalid_argument
-/// otherwise.
+/// Runs `protocol` against `pattern` one word-matrix tile at a time.
+/// Preconditions: `batch_engine_supports(protocol, config)`; throws
+/// std::invalid_argument otherwise.
 [[nodiscard]] SimResult run_wakeup_batch(const proto::Protocol& protocol,
                                          const mac::WakePattern& pattern,
                                          const SimConfig& config);
 
 /// Trial-batched entry point: like run_wakeup_batch, but schedule words
 /// are served from a pre-populated ScheduleCache (sim/schedule_cache.hpp)
-/// with per-word fallback to schedule_block on a miss, so results are
-/// bit-identical to the uncached engines for any cache contents.  One
-/// cache handle is resolved per arrival up front; the cache itself is
-/// only read, making concurrent trials over one shared cache safe.
+/// via its multi-word read, with schedule_block fallback for any uncached
+/// tail, so results are bit-identical to the uncached engines for any
+/// cache contents.  One cache handle is resolved per arrival up front;
+/// the cache itself is only read, making concurrent trials over one
+/// shared cache safe.
 [[nodiscard]] SimResult run_wakeup_batch_cached(const proto::Protocol& protocol,
                                                 const ScheduleCache& cache,
                                                 const mac::WakePattern& pattern,
                                                 const SimConfig& config);
 
 /// The Engine::kAuto fast path: interprets a warm-up prefix (runs that
-/// resolve quickly never pay for schedule words they do not need), then
+/// resolve quickly never pay for schedule tiles they do not need), then
 /// continues word-parallel.  The prefix length comes from
 /// SimConfig::warmup_slots, defaulting to one 64-slot block for
-/// expensive-word schedules and zero for cheap ones.  Same preconditions
-/// and bit-identical results as run_wakeup_batch, for every prefix length.
+/// expensive-word schedules and zero for cheap ones; the sweep harness
+/// sizes it from measured per-word cost at the engine's tile granularity.
+/// Same preconditions and bit-identical results as run_wakeup_batch, for
+/// every prefix length.
 [[nodiscard]] SimResult run_wakeup_hybrid(const proto::Protocol& protocol,
                                           const mac::WakePattern& pattern,
                                           const SimConfig& config);

@@ -1,12 +1,15 @@
 #include "sim/mc_batch_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/batch_engine.hpp"
 #include "sim/schedule_cache.hpp"
 #include "sim/word_source.hpp"
+#include "util/simd.hpp"
 
 namespace wakeup::sim {
 
@@ -17,11 +20,16 @@ bool mc_batch_supports(const proto::McProtocol& protocol) {
 
 namespace {
 
-/// Block-wise C-lane core.  Mirrors the single-channel run_batch_from
-/// (sim/batch_engine.cpp) with per-lane (any, multi) reductions; the
-/// multichannel model has no full-resolution drain, so a block either
-/// finds the first success slot (over all lanes) or accumulates a full
-/// block of per-lane silence/collision counts.
+namespace simd = util::simd;
+
+/// Tile-wise C-lane core.  Mirrors the single-channel run_batch_from
+/// (sim/batch_engine.cpp): one station-major matrix row of W words per
+/// live station per resolve round, folded into its lane's (any, multi)
+/// reduction rows; the multichannel model has no full-resolution drain,
+/// so a tile either locates the first success slot (over all lanes, one
+/// first_set_below over the per-word lane-solo union) or accumulates a
+/// full tile of per-lane silence/collision counts via
+/// masked_popcount_pair.
 template <class Words>
 McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule& schedule,
                               std::uint32_t channels, const mac::WakePattern& pattern,
@@ -32,9 +40,8 @@ McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule
   struct Active {
     mac::StationId id;
     mac::Slot wake;
-    std::size_t arrival;   ///< index in pattern.arrivals()
-    std::uint32_t lane;    ///< fixed channel (ObliviousSchedule::channel_lane)
-    std::uint64_t word = 0;
+    std::size_t arrival;  ///< index in pattern.arrivals()
+    std::uint32_t lane;   ///< fixed channel (ObliviousSchedule::channel_lane)
   };
 
   const auto& arrivals = pattern.arrivals();  // sorted by wake
@@ -45,85 +52,130 @@ McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule
   if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
   const mac::Slot end = s + budget;  // exclusive
 
+  const std::size_t W = tile_words();
+
   std::vector<Active> active;
   active.reserve(pattern.k());
+  std::vector<std::uint64_t> matrix;  // station-major: row r = W words of active[r]
+  matrix.reserve(pattern.k() * W);
+  // Lane-major reduction rows: lane c occupies [c * W, c * W + W).
+  std::vector<std::uint64_t> any(static_cast<std::size_t>(channels) * W);
+  std::vector<std::uint64_t> multi(static_cast<std::size_t>(channels) * W);
+  std::array<std::uint64_t, kMaxTileWords> pend{};
+  std::array<std::uint64_t, kMaxTileWords> solo_union{};
+  std::array<std::uint64_t, kMaxTileWords> masks{};
+
   std::size_t next_arrival = 0;
-  std::vector<std::uint64_t> any(channels);
-  std::vector<std::uint64_t> multi(channels);
 
-  // Blocks aligned to absolute 64-slot boundaries, like the single-channel
-  // engine: words are position-stable and shareable across trials.
+  // Tiles aligned to absolute 64-slot boundaries, like the single-channel
+  // engine: words are position-stable and shareable across trials.  Tile
+  // widths ramp 1 -> W like the single-channel engine, so short runs pay
+  // the pre-tiling fetch cost and long runs amortize W-fold.
   const mac::Slot first_block = s / 64 * 64;
+  std::size_t cur = 1;
 
-  for (mac::Slot b = first_block; b < end; b += 64) {
-    const mac::Slot block_end = std::min<mac::Slot>(b + 64, end);
+  for (mac::Slot tb = first_block; tb < end;
+       tb += static_cast<mac::Slot>(64 * cur), cur = std::min<std::size_t>(cur * 2, W)) {
+    const mac::Slot tile_end =
+        std::min<mac::Slot>(tb + static_cast<mac::Slot>(64 * cur), end);
+    const auto tw = static_cast<std::size_t>((tile_end - tb + 63) / 64);
 
-    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < block_end) {
+    while (next_arrival < arrivals.size() && arrivals[next_arrival].wake < tile_end) {
       const auto& a = arrivals[next_arrival];
       const std::uint32_t lane = schedule.channel_lane(a.station, a.wake);
       if (lane >= channels) {
         throw std::invalid_argument("mc batch engine: channel_lane out of range");
       }
       active.push_back(Active{a.station, a.wake, next_arrival, lane});
+      matrix.resize(active.size() * W, 0);
       ++next_arrival;
     }
 
     std::fill(any.begin(), any.end(), 0);
     std::fill(multi.begin(), multi.end(), 0);
-    for (Active& st : active) {
-      std::uint64_t w = 0;
-      words.word(st.arrival, st.id, st.wake, b, &w);
-      if (st.wake > b) w &= ~std::uint64_t{0} << (st.wake - b);
-      st.word = w;
-      multi[st.lane] |= any[st.lane] & w;
-      any[st.lane] |= w;
-    }
-
-    const unsigned width = static_cast<unsigned>(block_end - b);
-    std::uint64_t pending =
-        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
-    if (s > b) pending &= ~std::uint64_t{0} << (s - b);  // slots before s
-
-    // First success slot over all lanes inside this block, if any.
-    std::uint64_t success_union = 0;
-    for (std::uint32_t c = 0; c < channels; ++c) {
-      success_union |= any[c] & ~multi[c];
-    }
-    success_union &= pending;
-
-    if (success_union == 0) {
-      for (std::uint32_t c = 0; c < channels; ++c) {
-        result.silences += static_cast<std::uint64_t>(std::popcount(~any[c] & pending));
-        result.collisions += static_cast<std::uint64_t>(std::popcount(multi[c] & pending));
+    for (std::size_t r = 0; r < active.size(); ++r) {
+      const Active& st = active[r];
+      std::uint64_t* row = matrix.data() + r * W;
+      std::size_t w0 = 0;
+      mac::Slot from = tb;
+      if (st.wake > tb) {
+        from = st.wake / 64 * 64;
+        w0 = static_cast<std::size_t>((from - tb) / 64);
+        std::fill(row, row + w0, 0);
       }
-      continue;
+      words.tile(st.arrival, st.id, st.wake, from, row + w0, tw - w0);
+      if (st.wake > from) row[w0] &= ~std::uint64_t{0} << (st.wake - from);
+      simd::active().or_accumulate(any.data() + st.lane * W, multi.data() + st.lane * W, row,
+                                   tw);
     }
 
-    // Count outcomes up to and including the success slot, exactly like
-    // the slot loop, which stops right after processing it; several lanes
-    // can carry solos in that final slot.
-    const unsigned j = static_cast<unsigned>(std::countr_zero(success_union));
-    const std::uint64_t upto =
-        j == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (j + 1)) - 1;
-    const std::uint64_t segment = pending & upto;
+    // Pending masks: the slots of each word inside [max(tb, s), end).
+    for (std::size_t w = 0; w < tw; ++w) {
+      const mac::Slot ws = tb + static_cast<mac::Slot>(64 * w);
+      const auto width = static_cast<unsigned>(std::min<mac::Slot>(tile_end - ws, 64));
+      std::uint64_t m = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+      if (s > ws) m &= ~std::uint64_t{0} << (s - ws);  // slots before s
+      pend[w] = m;
+    }
+
+    // First solo-success slot over all lanes inside this tile, if any.
+    for (std::size_t w = 0; w < tw; ++w) solo_union[w] = 0;
     for (std::uint32_t c = 0; c < channels; ++c) {
-      const std::uint64_t solo = any[c] & ~multi[c];
-      result.silences += static_cast<std::uint64_t>(std::popcount(~any[c] & segment));
-      result.collisions += static_cast<std::uint64_t>(std::popcount(multi[c] & segment));
-      result.successes += static_cast<std::uint64_t>(std::popcount(solo & segment));
-      if (result.success_channel < 0 && ((solo >> j) & 1u) != 0) {
-        result.success_channel = static_cast<std::int32_t>(c);
+      const std::uint64_t* any_c = any.data() + static_cast<std::size_t>(c) * W;
+      const std::uint64_t* multi_c = multi.data() + static_cast<std::size_t>(c) * W;
+      for (std::size_t w = 0; w < tw; ++w) {
+        solo_union[w] |= any_c[w] & ~multi_c[w] & pend[w];
       }
     }
+    const std::size_t hit = simd::first_set_below(solo_union.data(), tw, 64 * tw);
 
-    const mac::Slot t = b + static_cast<mac::Slot>(j);
+    // Outcome masks: everything pending up to and including the success
+    // slot (the slot loop stops right after processing it), or the whole
+    // tile when no lane carries a solo.
+    std::size_t count_words = tw;
+    std::copy(pend.begin(), pend.begin() + static_cast<std::ptrdiff_t>(tw), masks.begin());
+    if (hit != simd::kNoBit) {
+      const std::size_t wq = hit / 64;
+      const auto j = static_cast<unsigned>(hit % 64);
+      const std::uint64_t upto =
+          j == 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (j + 1)) - 1;
+      masks[wq] &= upto;
+      count_words = wq + 1;
+    }
+    std::uint64_t mask_bits = 0;
+    for (std::size_t w = 0; w < count_words; ++w) {
+      mask_bits += static_cast<std::uint64_t>(std::popcount(masks[w]));
+    }
+    // Per lane, the counted slots partition into silence (~any), collision
+    // (multi) and solo (any & ~multi) — count two, derive the third.
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      std::uint64_t sil = 0;
+      std::uint64_t col = 0;
+      simd::active().masked_popcount_pair(any.data() + static_cast<std::size_t>(c) * W,
+                                          multi.data() + static_cast<std::size_t>(c) * W,
+                                          masks.data(), count_words, &sil, &col);
+      result.silences += sil;
+      result.collisions += col;
+      result.successes += mask_bits - sil - col;
+    }
+    if (hit == simd::kNoBit) continue;
+
+    const std::size_t wq = hit / 64;
+    const auto j = static_cast<unsigned>(hit % 64);
+    for (std::uint32_t c = 0; c < channels && result.success_channel < 0; ++c) {
+      const std::uint64_t solo = any[static_cast<std::size_t>(c) * W + wq] &
+                                 ~multi[static_cast<std::size_t>(c) * W + wq];
+      if (((solo >> j) & 1u) != 0) result.success_channel = static_cast<std::int32_t>(c);
+    }
+
+    const mac::Slot t = tb + static_cast<mac::Slot>(hit);
     result.success = true;
     result.success_slot = t;
     result.rounds = t - s;
-    for (const Active& st : active) {
-      if (st.lane == static_cast<std::uint32_t>(result.success_channel) &&
-          ((st.word >> j) & 1u) != 0) {
-        result.winner = st.id;
+    for (std::size_t r = 0; r < active.size(); ++r) {
+      if (active[r].lane == static_cast<std::uint32_t>(result.success_channel) &&
+          ((matrix[r * W + wq] >> j) & 1u) != 0) {
+        result.winner = active[r].id;
         break;
       }
     }

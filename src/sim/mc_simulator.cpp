@@ -132,13 +132,4 @@ McSimResult dispatch_mc_wakeup(const proto::McProtocol& protocol,
   return run_mc_interpreter(protocol, pattern, config.max_slots);
 }
 
-#ifdef WAKEUP_DEPRECATED_API
-McSimResult run_mc_wakeup(const proto::McProtocol& protocol, const mac::WakePattern& pattern,
-                          mac::Slot max_slots) {
-  SimConfig config;
-  config.max_slots = max_slots;
-  return dispatch_mc_wakeup(protocol, pattern, config);
-}
-#endif
-
 }  // namespace wakeup::sim

@@ -62,13 +62,4 @@ struct McSimResult {
                                              const mac::WakePattern& pattern,
                                              const SimConfig& config);
 
-#ifdef WAKEUP_DEPRECATED_API
-/// Deprecated pre-facade entry point; exactly `Run({.mc_protocol =
-/// &protocol, .pattern = &pattern, .sim = {.max_slots = max_slots}}).mc`.
-/// Kept for one PR behind the WAKEUP_DEPRECATED_API build option.
-[[deprecated("use sim::Run (sim/run.hpp)")]] [[nodiscard]] McSimResult run_mc_wakeup(
-    const proto::McProtocol& protocol, const mac::WakePattern& pattern,
-    mac::Slot max_slots = 0);
-#endif
-
 }  // namespace wakeup::sim

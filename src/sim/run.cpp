@@ -30,8 +30,8 @@ struct TrialOut {
   double completion = 0;
 };
 
-// Seed derivations — the pre-facade harness contract, bit for bit: the
-// deprecated run_cell wrappers must reproduce their historical streams.
+// Seed derivations — the documented RunSpec contract, stable since the
+// pre-facade harness so historical sweep results stay reproducible.
 std::uint64_t trial_seed(const RunSpec& spec, std::uint64_t i) {
   return util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
 }
@@ -117,14 +117,17 @@ mac::Slot walked_slots(const SimConfig& sim, const mac::WakePattern& pattern, bo
   return success ? success_rounds + 1 : budget;
 }
 
-/// Adaptive warm-up: measure the schedule's word cost and the protocol's
-/// interpreted slot cost on a sample of `sample`'s arrivals, then pick the
-/// kAuto interpreted prefix (a small menu of block multiples) minimizing
-/// the modeled cost of a `mean_run`-slot trial — interpreted slots pay
-/// per slot, everything beyond the prefix pays one schedule word per
-/// (partial) 64-slot block.  Replaces the static words_are_cheap() hint
-/// wherever probe trials are available; results are bit-identical for any
-/// prefix, only the cost profile moves.
+/// Adaptive warm-up: measure the schedule's per-word cost at the engine's
+/// tile granularity and the protocol's interpreted slot cost on a sample
+/// of `sample`'s arrivals, then pick the kAuto interpreted prefix (a small
+/// menu of block multiples) minimizing the modeled cost of a
+/// `mean_run`-slot trial.  Interpreted slots pay per slot; the batched
+/// remainder pays one word per covered 64-slot block plus the tile-ramp
+/// overshoot (the engine's tiles double 1 -> W, so a run buys at most
+/// W - 1 words past its last live block — W/2 expected, the term below).
+/// Replaces the static words_are_cheap() hint wherever probe trials are
+/// available; results are bit-identical for any prefix, only the cost
+/// profile moves.
 mac::Slot calibrated_warmup(const proto::Protocol& protocol,
                             const proto::ObliviousSchedule& schedule,
                             const mac::WakePattern& sample, double mean_run) {
@@ -137,18 +140,17 @@ mac::Slot calibrated_warmup(const proto::Protocol& protocol,
         std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
   };
 
-  constexpr std::size_t kWordsPerStation = 8;
+  const std::size_t tile = tile_words();  // measure at fetch granularity
   std::uint64_t sink = 0;
   const auto w0 = clock::now();
   for (std::size_t a = 0; a < stations; ++a) {
-    std::uint64_t words[kWordsPerStation] = {};
+    std::uint64_t words[kMaxTileWords] = {};
     const mac::Slot from = arrivals[a].wake / 64 * 64;
-    schedule.schedule_block(arrivals[a].station, arrivals[a].wake, from, words,
-                            kWordsPerStation);
+    schedule.schedule_block(arrivals[a].station, arrivals[a].wake, from, words, tile);
     for (const std::uint64_t w : words) sink ^= w;
   }
   const double word_ns =
-      ns_between(w0, clock::now()) / static_cast<double>(stations * kWordsPerStation);
+      ns_between(w0, clock::now()) / static_cast<double>(stations * tile);
 
   constexpr mac::Slot kProbeSlots = 256;
   const auto i0 = clock::now();
@@ -162,12 +164,15 @@ mac::Slot calibrated_warmup(const proto::Protocol& protocol,
                            static_cast<double>(stations * static_cast<std::size_t>(kProbeSlots));
   if (sink == 0x5a5a5a5a5a5a5a5aULL) return -1;  // keep the measured work alive
 
+  const double overshoot = static_cast<double>(tile) / 2.0;  // ramp overshoot, expected
   mac::Slot best = 0;
   double best_cost = std::numeric_limits<double>::infinity();
-  for (const mac::Slot w : {mac::Slot{0}, mac::Slot{64}, mac::Slot{128}, mac::Slot{256}}) {
+  for (const mac::Slot w : {mac::Slot{0}, mac::Slot{64}, mac::Slot{128}, mac::Slot{256},
+                            mac::Slot{512}}) {
+    const double batched = std::max(0.0, mean_run - static_cast<double>(w));
     const double interp_cost = std::min(mean_run, static_cast<double>(w)) * interp_ns;
-    const double blocks = std::ceil(std::max(0.0, mean_run - static_cast<double>(w)) / 64.0);
-    const double cost = interp_cost + blocks * word_ns;
+    const double words = batched > 0 ? std::ceil(batched / 64.0) + overshoot : 0;
+    const double cost = interp_cost + words * word_ns;
     if (cost < best_cost) {  // strict: ties keep the shorter prefix
       best = w;
       best_cost = cost;
@@ -464,6 +469,13 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
 
 RunOutcome Run(const RunSpec& spec, util::ThreadPool* pool) {
   validate(spec);
+  // Multi-trial specs parallelize on the process-wide shared pool when the
+  // caller passes none — unless this thread already *is* a pool worker
+  // (nested Run inside a trial), where queueing on the same pool could
+  // deadlock; those run inline, preserving the determinism contract.
+  if (pool == nullptr && spec.trials > 1 && util::ThreadPool::current() == nullptr) {
+    pool = &util::ThreadPool::shared();
+  }
   RunOutcome out;
   out.multichannel = spec.mc_protocol != nullptr || static_cast<bool>(spec.make_mc_protocol);
   if (out.multichannel) {

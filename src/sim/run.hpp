@@ -8,9 +8,9 @@
 /// engine selection, a trial count, and optional per-trial sinks; `Run`
 /// executes it: one call covers a single traced run, a Monte-Carlo sweep
 /// cell with memoized schedule words, and everything in between, for both
-/// channel models.  It replaces the four pre-facade entry points
-/// (`run_wakeup`, `run_mc_wakeup`, `run_cell`, `run_cell_batched`), which
-/// survive one PR as deprecated wrappers behind WAKEUP_DEPRECATED_API.
+/// channel models.  (The four pre-facade entry points — run_wakeup,
+/// run_mc_wakeup, run_cell, run_cell_batched — are gone; this is the only
+/// way in.)
 ///
 /// ```cpp
 /// // Single run, single channel:
@@ -129,9 +129,13 @@ struct RunOutcome {
   CellResult cell;
 };
 
-/// Executes `spec`.  `pool` may be null (inline execution).  Throws
-/// std::invalid_argument on ambiguous or incomplete specs (see RunSpec)
-/// and on engine/feature combinations the chosen model cannot serve.
+/// Executes `spec`.  With `pool` null, multi-trial specs run on the
+/// process-wide `util::ThreadPool::shared()` (single runs, and nested
+/// calls from inside a pool worker, stay inline); pass an explicit pool —
+/// e.g. one with 0 workers — to control placement.  Results are bitwise
+/// identical for every worker count.  Throws std::invalid_argument on
+/// ambiguous or incomplete specs (see RunSpec) and on engine/feature
+/// combinations the chosen model cannot serve.
 [[nodiscard]] RunOutcome Run(const RunSpec& spec, util::ThreadPool* pool = nullptr);
 
 /// Convenience: mean rounds normalized by a theory bound, the headline

@@ -141,22 +141,44 @@ const ScheduleCache::Entry* ScheduleCache::find(mac::StationId u, mac::Slot wake
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-bool ScheduleCache::read(const Entry& entry, mac::Slot from, std::uint64_t* out) {
-  if (from < 0 || (from & 63) != 0) return false;
-  if (entry.period > 0 && from >= entry.steady_base) {
-    const std::uint64_t off =
-        static_cast<std::uint64_t>(from - entry.steady_base) % entry.period;
+std::size_t ScheduleCache::read(const Entry& entry, mac::Slot from, std::uint64_t* out,
+                                std::size_t n_words) {
+  if (from < 0 || (from & 63) != 0) return 0;
+  std::size_t served = 0;
+
+  // Head words: the windowed prefix, or a folded entry's pre-steady run-up.
+  if (entry.period == 0 || from < entry.steady_base) {
+    const std::int64_t idx = from / 64 - entry.head_start;
+    if (idx < 0) return 0;  // before the first cached block
+    while (served < n_words) {
+      const mac::Slot block = from + static_cast<mac::Slot>(64 * served);
+      if (entry.period > 0 && block >= entry.steady_base) break;  // into the wheel
+      const std::int64_t i = idx + static_cast<std::int64_t>(served);
+      if (i >= static_cast<std::int64_t>(entry.head.size())) return served;  // window end
+      out[served] = entry.head[static_cast<std::size_t>(i)];
+      ++served;
+    }
+  }
+  if (entry.period == 0 || served == n_words) return served;
+
+  // Wheel words: any 64-slot window of the steady state is two shifts out
+  // of one period of bits.  The in-period offset advances by 64 per word
+  // with a wrap instead of a fresh modulo.
+  std::uint64_t off = (static_cast<std::uint64_t>(from) + 64 * served -
+                       static_cast<std::uint64_t>(entry.steady_base)) %
+                      entry.period;
+  for (; served < n_words; ++served) {
     const std::size_t w = static_cast<std::size_t>(off / 64);
     const unsigned shift = static_cast<unsigned>(off % 64);
     std::uint64_t word = entry.wheel[w] >> shift;
     if (shift != 0) word |= entry.wheel[w + 1] << (64 - shift);
-    *out = word;
-    return true;
+    out[served] = word;
+    off += 64;
+    if (off >= entry.period) {
+      off = entry.period >= 64 ? off - entry.period : off % entry.period;
+    }
   }
-  const std::int64_t idx = from / 64 - entry.head_start;
-  if (idx < 0 || idx >= static_cast<std::int64_t>(entry.head.size())) return false;
-  *out = entry.head[static_cast<std::size_t>(idx)];
-  return true;
+  return served;
 }
 
 }  // namespace wakeup::sim

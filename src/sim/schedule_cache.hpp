@@ -42,7 +42,7 @@ class ScheduleCache {
     /// caps windowed entries so they never outgrow the sweep.
     mac::Slot horizon = 0;
     /// Prefix slots cached per windowed entry.  Sweeps size this from
-    /// observed trial lengths (see run_cell_batched's probe trials).
+    /// observed trial lengths (see sim::Run's probe trials).
     mac::Slot window = 1 << 12;
     /// Largest period (and pre-steady prefix) the cache will fold; larger
     /// periods degrade to windowed entries.
@@ -50,7 +50,7 @@ class ScheduleCache {
     /// Hard cap on cached words across all entries; once reached, new
     /// (station, wake-class) pairs stay uncached and reads fall back.
     std::size_t max_bytes = std::size_t{256} << 20;
-    /// Bypass run_cell_batched's population cost gate: populate and serve
+    /// Bypass the sweep harness's population cost gate: populate and serve
     /// the memo even when the probe-based estimate says recomputing would
     /// be cheaper (low cross-trial reuse).  For tests and benches.
     bool force = false;
@@ -92,10 +92,23 @@ class ScheduleCache {
   /// population.
   [[nodiscard]] const Entry* find(mac::StationId u, mac::Slot wake) const;
 
-  /// Reads the 64-slot word starting at `from` (must be 64-aligned and
-  /// >= 0) from an entry of this cache.  Returns false when the entry does
-  /// not cover `from` — the caller falls back to schedule_block.
-  [[nodiscard]] static bool read(const Entry& entry, mac::Slot from, std::uint64_t* out);
+  /// Reads up to `n_words` consecutive 64-slot words starting at `from`
+  /// (must be 64-aligned and >= 0) from an entry of this cache into `out`.
+  /// Returns the number of *leading* words served; the caller falls back
+  /// to schedule_block for the rest.  Coverage is contiguous from the
+  /// entry's first cached block (head, then — for folded entries — the
+  /// period wheel, which answers any horizon), so a short count always
+  /// means the tail [from + 64 * served, ...) is uncached, never a gap.
+  /// One call walks head -> wheel transitions and period wrap-arounds with
+  /// the offset carried incrementally, so a W-word tile costs one modulo,
+  /// not W.
+  [[nodiscard]] static std::size_t read(const Entry& entry, mac::Slot from, std::uint64_t* out,
+                                        std::size_t n_words);
+
+  /// Single-word convenience: true iff the entry covers `from`.
+  [[nodiscard]] static bool read(const Entry& entry, mac::Slot from, std::uint64_t* out) {
+    return read(entry, from, out, 1) == 1;
+  }
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t entries() const noexcept { return entries_.size(); }

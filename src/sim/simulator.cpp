@@ -34,11 +34,4 @@ SimResult dispatch_wakeup(const proto::Protocol& protocol, const mac::WakePatter
              : run_wakeup_interpreter(protocol, pattern, config);
 }
 
-#ifdef WAKEUP_DEPRECATED_API
-SimResult run_wakeup(const proto::Protocol& protocol, const mac::WakePattern& pattern,
-                     const SimConfig& config) {
-  return dispatch_wakeup(protocol, pattern, config);
-}
-#endif
-
 }  // namespace wakeup::sim

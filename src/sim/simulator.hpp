@@ -91,12 +91,4 @@ struct SimResult {
                                         const mac::WakePattern& pattern,
                                         const SimConfig& config);
 
-#ifdef WAKEUP_DEPRECATED_API
-/// Deprecated pre-facade entry point; exactly `Run({.protocol = &protocol,
-/// .pattern = &pattern, .sim = config}).sim`.  Kept for one PR behind the
-/// WAKEUP_DEPRECATED_API build option.
-[[deprecated("use sim::Run (sim/run.hpp)")]] [[nodiscard]] SimResult run_wakeup(
-    const proto::Protocol& protocol, const mac::WakePattern& pattern, const SimConfig& config);
-#endif
-
 }  // namespace wakeup::sim

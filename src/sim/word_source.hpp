@@ -3,10 +3,14 @@
 /// \file word_source.hpp
 /// Schedule-word sources shared by the single-channel batch engine
 /// (sim/batch_engine.cpp) and the C-channel batch engine
-/// (sim/mc_batch_engine.cpp).  A source feeds the block loops one 64-slot
-/// schedule word per station per block; `arrival` is the station's index in
-/// pattern.arrivals(), so cached sources can pre-resolve one handle per
-/// arrival and stay lock-free during the run.
+/// (sim/mc_batch_engine.cpp).  A source fills one row of the engines'
+/// station-major word matrix per resolve round: `tile` writes `n_words`
+/// consecutive 64-slot schedule words starting at the 64-aligned slot
+/// `from`, amortizing the virtual `schedule_block` dispatch (and the cache
+/// handle walk) over the whole tile instead of paying it per word.
+/// `arrival` is the station's index in pattern.arrivals(), so cached
+/// sources can pre-resolve one handle per arrival and stay lock-free
+/// during the run.
 
 #include <cstdint>
 #include <vector>
@@ -16,27 +20,32 @@
 
 namespace wakeup::sim::detail {
 
-/// Uncached: every word comes straight from schedule_block.
+/// Uncached: every tile comes straight from one schedule_block call.
 struct DirectWords {
   const proto::ObliviousSchedule& schedule;
-  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
-            std::uint64_t* out) const {
+  void tile(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
+            std::uint64_t* out, std::size_t n_words) const {
     (void)arrival;
-    schedule.schedule_block(id, wake, from, out, 1);
+    schedule.schedule_block(id, wake, from, out, n_words);
   }
 };
 
-/// Trial-batched: words come from a read-only ScheduleCache with per-word
-/// fallback to schedule_block, so any miss is a slowdown, never a wrong
-/// bit.
+/// Trial-batched: tiles come from a read-only ScheduleCache.  The cache
+/// serves a leading run of words (head / folded wheel, contiguous
+/// coverage); whatever it cannot serve is fetched with one schedule_block
+/// over the uncached tail, so any miss is a slowdown, never a wrong bit.
 struct CachedWords {
   const proto::ObliviousSchedule& schedule;
   std::vector<const ScheduleCache::Entry*> handles;  ///< per arrival index
-  void word(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
-            std::uint64_t* out) const {
+  void tile(std::size_t arrival, mac::StationId id, mac::Slot wake, mac::Slot from,
+            std::uint64_t* out, std::size_t n_words) const {
     const ScheduleCache::Entry* entry = handles[arrival];
-    if (entry != nullptr && ScheduleCache::read(*entry, from, out)) return;
-    schedule.schedule_block(id, wake, from, out, 1);
+    const std::size_t served =
+        entry != nullptr ? ScheduleCache::read(*entry, from, out, n_words) : 0;
+    if (served < n_words) {
+      schedule.schedule_block(id, wake, from + static_cast<mac::Slot>(64 * served),
+                              out + served, n_words - served);
+    }
   }
 };
 

@@ -5,6 +5,10 @@
 
 namespace wakeup::util {
 
+namespace {
+thread_local ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
@@ -22,6 +26,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -85,6 +90,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 std::size_t ThreadPool::default_workers() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 1 ? hw : 1;
+}
+
+ThreadPool* ThreadPool::current() noexcept { return tl_worker_pool; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool instance(default_workers());
+  return instance;
 }
 
 }  // namespace wakeup::util

@@ -38,6 +38,17 @@ class ThreadPool {
   /// A reasonable default worker count for this machine.
   [[nodiscard]] static std::size_t default_workers() noexcept;
 
+  /// The pool whose worker is executing the calling thread, or nullptr on
+  /// any non-worker thread.  Lets nested dispatch (a task that itself
+  /// wants a pool) detect it is already inside one and run inline instead
+  /// of deadlocking on its own queue.
+  [[nodiscard]] static ThreadPool* current() noexcept;
+
+  /// Process-wide shared pool with default_workers() workers, constructed
+  /// on first use.  `sim::Run` parallelizes multi-trial specs on it when
+  /// the caller passes no pool of their own.
+  [[nodiscard]] static ThreadPool& shared();
+
  private:
   void worker_loop();
 

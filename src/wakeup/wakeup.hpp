@@ -55,7 +55,6 @@
 
 #include "sim/adversary.hpp"       // IWYU pragma: export
 #include "sim/batch_engine.hpp"    // IWYU pragma: export
-#include "sim/experiment.hpp"      // IWYU pragma: export
 #include "sim/interpreter.hpp"     // IWYU pragma: export
 #include "sim/mc_batch_engine.hpp" // IWYU pragma: export
 #include "sim/mc_simulator.hpp"    // IWYU pragma: export
@@ -65,4 +64,5 @@
 
 #include "util/math.hpp"   // IWYU pragma: export
 #include "util/rng.hpp"    // IWYU pragma: export
+#include "util/simd.hpp"   // IWYU pragma: export
 #include "util/stats.hpp"  // IWYU pragma: export

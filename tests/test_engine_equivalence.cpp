@@ -13,11 +13,21 @@
 #include "sim/run.hpp"
 #include "sim/schedule_cache.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "wakeup/wakeup.hpp"
 
 namespace wu = wakeup;
 
 namespace {
+
+/// Restores the engine tuning knobs (tile width, kernel table) the SIMD
+/// sweeps below override.
+struct EngineTuningGuard {
+  ~EngineTuningGuard() {
+    wu::sim::set_tile_words(0);
+    wu::util::simd::set_force_scalar(false);
+  }
+};
 
 void expect_identical(const wu::sim::SimResult& a, const wu::sim::SimResult& b,
                       const std::string& label) {
@@ -292,6 +302,145 @@ TEST(TrialBatching, CachedAndUncachedTrialsBitIdentical) {
       EXPECT_DOUBLE_EQ(plain.rounds.mean, batched.rounds.mean) << name;
       EXPECT_DOUBLE_EQ(plain.silences.mean, batched.silences.mean) << name;
       EXPECT_DOUBLE_EQ(plain.collisions.mean, batched.collisions.mean) << name;
+    }
+  }
+}
+
+/// SIMD vs scalar-fallback bit-identity, across tile widths: every
+/// oblivious protocol, through the forced batch engine, must produce the
+/// interpreter's exact SimResult for every (tile width, kernel table)
+/// combination — the acceptance bar for the word-matrix engine.  Covers
+/// first-success and full-resolution modes over mixed patterns.
+TEST(SimdMatrix, TileWidthsAndKernelsBitIdentical) {
+  EngineTuningGuard guard;
+  for (const auto& name : oblivious_names()) {
+    wu::proto::ProtocolSpec spec;
+    spec.name = name;
+    spec.n = 96;
+    spec.k = 8;
+    spec.s = 3;
+    spec.seed = 20130522;
+    const auto protocol = wu::proto::make_protocol_by_name(spec);
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+      wu::util::Rng rng(wu::util::hash_words({0x534d4458ULL /* "SMDX" */, trial}));
+      const auto pattern = wu::mac::patterns::uniform_window(96, 8, 3, 48, rng);
+      for (const bool full_resolution : {false, true}) {
+        wu::sim::SimConfig interp;
+        interp.engine = wu::sim::Engine::kInterpreter;
+        interp.full_resolution = full_resolution;
+        wu::sim::set_tile_words(0);
+        wu::util::simd::set_force_scalar(false);
+        const auto reference = run_one(*protocol, pattern, interp);
+        for (const std::size_t tile : {1u, 2u, 3u, 8u}) {
+          for (const bool scalar : {false, true}) {
+            wu::sim::set_tile_words(tile);
+            wu::util::simd::set_force_scalar(scalar);
+            wu::sim::SimConfig batch = interp;
+            batch.engine = wu::sim::Engine::kBatch;
+            expect_identical(reference, run_one(*protocol, pattern, batch),
+                             name + " trial=" + std::to_string(trial) + " tile=" +
+                                 std::to_string(tile) + (scalar ? " scalar" : " simd") +
+                                 (full_resolution ? " full" : ""));
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Budget edges at tile granularity: budgets straddling the 1-2-4-8 tile
+/// ramp boundaries (and the plain 64-slot block edges) must agree with the
+/// interpreter on every counter, including budget exhaustion.
+TEST(SimdMatrix, TileRampBudgetEdgesMatchInterpreter) {
+  EngineTuningGuard guard;
+  for (const auto& name : oblivious_names()) {
+    wu::proto::ProtocolSpec spec;
+    spec.name = name;
+    spec.n = 64;
+    spec.k = 8;
+    spec.s = 3;
+    spec.seed = 20130522;
+    const auto protocol = wu::proto::make_protocol_by_name(spec);
+    wu::util::Rng rng(wu::util::hash_words({0x52414d50ULL /* "RAMP" */}));
+    const auto pattern = wu::mac::patterns::simultaneous(64, 8, 5, rng);
+    for (const wu::mac::Slot budget :
+         {1, 63, 64, 65, 127, 128, 129, 191, 192, 193, 447, 448, 449, 511, 512, 513}) {
+      wu::sim::SimConfig interp;
+      interp.engine = wu::sim::Engine::kInterpreter;
+      interp.max_slots = budget;
+      wu::sim::set_tile_words(0);
+      wu::util::simd::set_force_scalar(false);
+      const auto reference = run_one(*protocol, pattern, interp);
+      for (const std::size_t tile : {1u, 8u}) {
+        wu::sim::set_tile_words(tile);
+        wu::sim::SimConfig batch = interp;
+        batch.engine = wu::sim::Engine::kBatch;
+        expect_identical(reference, run_one(*protocol, pattern, batch),
+                         name + " budget=" + std::to_string(budget) + " tile=" +
+                             std::to_string(tile));
+        wu::sim::SimConfig hybrid = interp;
+        hybrid.engine = wu::sim::Engine::kAuto;
+        expect_identical(reference, run_one(*protocol, pattern, hybrid),
+                         name + " budget=" + std::to_string(budget) + " tile=" +
+                             std::to_string(tile) + " auto");
+      }
+    }
+  }
+}
+
+/// The cached trial loop under every (tile, kernel) combination: memoized
+/// multi-word reads (wheel wraps, window-end fallback included — the tiny
+/// window forces reads past the cached prefix) must stay bit-identical to
+/// the plain per-trial loop.
+TEST(SimdMatrix, CachedCellsBitIdenticalAcrossTileAndKernel) {
+  EngineTuningGuard guard;
+  for (const auto& name : oblivious_names()) {
+    wu::sim::RunSpec spec;
+    spec.make_protocol = [name](std::uint64_t seed) {
+      wu::proto::ProtocolSpec p;
+      p.name = name;
+      p.n = 96;
+      p.k = 8;
+      p.s = 3;
+      p.seed = seed;
+      return wu::proto::make_protocol_by_name(p);
+    };
+    spec.make_pattern = [](wu::util::Rng& rng) {
+      return wu::mac::patterns::uniform_window(96, 8, 3, 48, rng);
+    };
+    spec.trials = 12;
+    spec.base_seed = 20130522;
+    spec.cache.window = 256;
+    spec.cache.force = true;
+
+    wu::sim::set_tile_words(0);
+    wu::util::simd::set_force_scalar(false);
+    std::vector<wu::sim::SimResult> reference(spec.trials);
+    auto plain_spec = spec;
+    plain_spec.batching = wu::sim::TrialBatching::kOff;
+    plain_spec.sim.engine = wu::sim::Engine::kInterpret;
+    plain_spec.per_trial = [&](std::uint64_t i, const wu::sim::SimResult& r) {
+      reference[i] = r;
+    };
+    (void)wu::sim::Run(plain_spec, nullptr);
+
+    for (const std::size_t tile : {1u, 3u, 8u}) {
+      for (const bool scalar : {false, true}) {
+        wu::sim::set_tile_words(tile);
+        wu::util::simd::set_force_scalar(scalar);
+        std::vector<wu::sim::SimResult> cached(spec.trials);
+        auto cached_spec = spec;
+        cached_spec.per_trial = [&](std::uint64_t i, const wu::sim::SimResult& r) {
+          cached[i] = r;
+        };
+        (void)wu::sim::Run(cached_spec, nullptr);
+        for (std::uint64_t i = 0; i < spec.trials; ++i) {
+          expect_identical(reference[i], cached[i],
+                           name + " tile=" + std::to_string(tile) +
+                               (scalar ? " scalar" : " simd") + " trial " +
+                               std::to_string(i));
+        }
+      }
     }
   }
 }

@@ -16,9 +16,11 @@
 #include "protocols/round_robin.hpp"
 #include "protocols/rpd.hpp"
 #include "protocols/wait_and_go.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/mc_batch_engine.hpp"
 #include "sim/run.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace wp = wakeup::proto;
 namespace wm = wakeup::mac;
@@ -118,6 +120,39 @@ TEST(McEngineEquivalence, BudgetExhaustionCountersMatch) {
       expect_identical(reference,
                        run_mc(*strategy.protocol, pattern, ws::Engine::kAuto, budget),
                        label + " auto");
+    }
+  }
+}
+
+/// SIMD vs scalar-fallback bit-identity across tile widths for the
+/// C-channel engine: every strategy (striped RR, group WAG, channel-0
+/// adapter), every counter, including budget-exhaustion runs straddling
+/// the tile ramp boundaries.
+TEST(McEngineEquivalence, TileWidthsAndKernelsBitIdentical) {
+  struct Guard {
+    ~Guard() {
+      ws::set_tile_words(0);
+      wakeup::util::simd::set_force_scalar(false);
+    }
+  } guard;
+  const std::uint32_t n = 96, k = 12;
+  for (const Strategy& strategy : native_strategies(n, k)) {
+    wu::Rng rng(wu::hash_words({0x4d435348ULL /* "MCSH" */}));
+    const auto pattern = wm::patterns::uniform_window(n, k, 3, 48, rng);
+    for (const wm::Slot budget : {wm::Slot{0}, wm::Slot{65}, wm::Slot{129}, wm::Slot{513}}) {
+      ws::set_tile_words(0);
+      wakeup::util::simd::set_force_scalar(false);
+      const auto reference = run_mc(*strategy.protocol, pattern, ws::Engine::kInterpret, budget);
+      for (const std::size_t tile : {1u, 2u, 8u}) {
+        for (const bool scalar : {false, true}) {
+          ws::set_tile_words(tile);
+          wakeup::util::simd::set_force_scalar(scalar);
+          expect_identical(reference,
+                           run_mc(*strategy.protocol, pattern, ws::Engine::kBatch, budget),
+                           strategy.label + " budget=" + std::to_string(budget) + " tile=" +
+                               std::to_string(tile) + (scalar ? " scalar" : " simd"));
+        }
+      }
     }
   }
 }

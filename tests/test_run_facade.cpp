@@ -1,6 +1,9 @@
 /// The sim::Run facade: spec validation, single-run/cell outcome shapes,
-/// engine forcing, the streaming per-trial CSV sink, and the adaptive
-/// warm-up override (SimConfig::warmup_slots) staying bit-identical.
+/// engine forcing, the streaming per-trial CSV sink, the adaptive warm-up
+/// override (SimConfig::warmup_slots) staying bit-identical, the default
+/// shared-pool dispatch, and the cell semantics (seed contract, per-trial
+/// sinks, failure counting) formerly pinned through the deleted
+/// run_cell/run_cell_batched wrappers.
 
 #include "sim/run.hpp"
 
@@ -14,6 +17,7 @@
 #include "protocols/multichannel.hpp"
 #include "protocols/registry.hpp"
 #include "protocols/round_robin.hpp"
+#include "protocols/rpd.hpp"
 #include "sim/results_sink.hpp"
 #include "util/rng.hpp"
 
@@ -36,6 +40,138 @@ ws::RunSpec basic_cell(std::uint32_t n, std::uint32_t k, std::uint64_t trials) {
 }
 
 }  // namespace
+
+TEST(RunFacade, RunsAllTrials) {
+  const auto result = ws::Run(basic_cell(32, 4, 20)).cell;
+  EXPECT_EQ(result.trials, 20u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.rounds.count, 20u);
+  EXPECT_LE(result.rounds.max, 32.0);
+}
+
+TEST(RunFacade, DeterministicAcrossPoolChoices) {
+  // Inline (0-worker pool), the default shared pool (pool == nullptr), and
+  // an explicit multi-worker pool must agree bitwise — the seed contract
+  // keys randomness by trial index, never by thread.
+  wu::ThreadPool inline_pool(0);
+  const auto inline_result = ws::Run(basic_cell(64, 8, 32), &inline_pool).cell;
+  const auto shared_result = ws::Run(basic_cell(64, 8, 32)).cell;
+  wu::ThreadPool pool4(4);
+  const auto pool4_result = ws::Run(basic_cell(64, 8, 32), &pool4).cell;
+  EXPECT_DOUBLE_EQ(inline_result.rounds.mean, shared_result.rounds.mean);
+  EXPECT_DOUBLE_EQ(inline_result.rounds.mean, pool4_result.rounds.mean);
+  EXPECT_DOUBLE_EQ(inline_result.rounds.median, shared_result.rounds.median);
+  EXPECT_DOUBLE_EQ(inline_result.rounds.max, pool4_result.rounds.max);
+  EXPECT_EQ(inline_result.failures, shared_result.failures);
+}
+
+TEST(RunFacade, CellTagChangesTrialStreams) {
+  auto a = basic_cell(64, 8, 16);
+  auto b = basic_cell(64, 8, 16);
+  b.cell_tag = 1;
+  const auto ra = ws::Run(a).cell;
+  const auto rb = ws::Run(b).cell;
+  // Different tags -> different patterns -> (almost surely) different stats.
+  EXPECT_NE(ra.rounds.mean, rb.rounds.mean);
+}
+
+TEST(RunFacade, FailuresCounted) {
+  auto spec = basic_cell(64, 4, 10);
+  spec.sim.max_slots = 1;  // nothing succeeds in one slot unless id matches slot 0
+  const auto result = ws::Run(spec).cell;
+  EXPECT_EQ(result.failures + result.rounds.count, 10u);
+  EXPECT_GT(result.failures, 0u);
+}
+
+TEST(RunFacade, DeterministicProtocolConstructedOncePerCell) {
+  // The trial-batch seed contract: the cell-level seed derives the
+  // protocol, so the factory runs exactly once however many trials run.
+  std::size_t constructions = 0;
+  ws::RunSpec spec;
+  spec.make_protocol = [&constructions](std::uint64_t) -> wp::ProtocolPtr {
+    ++constructions;
+    return std::make_shared<wp::RoundRobinProtocol>(32);
+  };
+  spec.make_pattern = [](wu::Rng& rng) { return wm::patterns::simultaneous(32, 4, 0, rng); };
+  spec.trials = 16;
+  wu::ThreadPool inline_pool(0);  // construction counting: no worker races
+  const auto result = ws::Run(spec, &inline_pool).cell;
+  EXPECT_EQ(result.trials, 16u);
+  EXPECT_EQ(constructions, 1u);
+}
+
+TEST(RunFacade, CellSeedIsTrialIndependent) {
+  // The seed handed to the factory must not depend on any trial: two cells
+  // differing only in trial count get the same protocol seed.
+  std::vector<std::uint64_t> seeds;
+  auto run_with_trials = [&](std::uint64_t trials) {
+    ws::RunSpec spec;
+    spec.make_protocol = [&seeds](std::uint64_t seed) -> wp::ProtocolPtr {
+      seeds.push_back(seed);
+      return std::make_shared<wp::RoundRobinProtocol>(32);
+    };
+    spec.make_pattern = [](wu::Rng& rng) { return wm::patterns::simultaneous(32, 4, 0, rng); };
+    spec.trials = trials;
+    wu::ThreadPool inline_pool(0);
+    (void)ws::Run(spec, &inline_pool);
+  };
+  run_with_trials(4);
+  run_with_trials(12);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], seeds[1]);
+}
+
+TEST(RunFacade, PerTrialSinkSeesEveryTrialOnce) {
+  auto spec = basic_cell(64, 8, 20);
+  std::vector<int> seen(20, 0);
+  std::vector<ws::SimResult> results(20);
+  spec.per_trial = [&](std::uint64_t i, const ws::SimResult& r) {
+    ++seen[i];
+    results[i] = r;
+  };
+  const auto agg = ws::Run(spec).cell;
+  for (int c : seen) EXPECT_EQ(c, 1);
+  std::uint64_t successes = 0;
+  for (const auto& r : results) successes += r.success ? 1 : 0;
+  EXPECT_EQ(successes, agg.trials - agg.failures);
+}
+
+TEST(RunFacade, RandomizedProtocolSeedsVaryPerTrial) {
+  ws::RunSpec spec;
+  spec.make_protocol = [](std::uint64_t seed) -> wp::ProtocolPtr {
+    return wp::RpdProtocol::for_n(64, seed);
+  };
+  spec.make_pattern = [](wu::Rng& rng) { return wm::patterns::simultaneous(64, 8, 0, rng); };
+  spec.trials = 24;
+  const auto result = ws::Run(spec).cell;
+  EXPECT_EQ(result.failures, 0u);
+  // With varying coins the rounds should not all be identical.
+  EXPECT_GT(result.rounds.max, result.rounds.min);
+}
+
+TEST(RunFacade, NormalizedMean) {
+  ws::CellResult r;
+  r.rounds.count = 5;
+  r.rounds.mean = 50.0;
+  EXPECT_DOUBLE_EQ(ws::normalized_mean(r, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(ws::normalized_mean(r, 0.0), 0.0);
+  ws::CellResult empty;
+  EXPECT_DOUBLE_EQ(ws::normalized_mean(empty, 10.0), 0.0);
+}
+
+TEST(RunFacade, NestedRunInsideAPoolWorkerStaysInline) {
+  // A Run issued from inside a pool task must not queue on the same pool
+  // (deadlock risk with few workers) — it detects the worker context and
+  // runs inline.  One worker makes any deadlock deterministic.
+  wu::ThreadPool pool(1);
+  ws::CellResult inner_result;
+  pool.parallel_for(0, 1, [&](std::size_t) {
+    inner_result = ws::Run(basic_cell(32, 4, 8)).cell;
+  });
+  const auto reference = ws::Run(basic_cell(32, 4, 8)).cell;
+  EXPECT_EQ(inner_result.trials, 8u);
+  EXPECT_DOUBLE_EQ(inner_result.rounds.mean, reference.rounds.mean);
+}
 
 TEST(RunFacade, RejectsAmbiguousSpecs) {
   const wp::RoundRobinProtocol rr(8);

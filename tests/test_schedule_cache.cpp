@@ -165,6 +165,170 @@ TEST(ScheduleCache, FoldedEntryCoversArbitraryHorizon) {
   }
 }
 
+TEST(ScheduleCache, MultiWordReadsMatchSingleWordReads) {
+  // The tile read must serve exactly the leading run of words the
+  // single-word read would serve, with identical bits — across head ->
+  // wheel transitions, period wrap-arounds (folded entries), and the
+  // window end (aperiodic entries), for every tile width the engine uses.
+  for (const auto& name : oblivious_names()) {
+    const auto protocol = make(name, 37, 5, 3);
+    const auto* schedule = protocol->oblivious_schedule();
+    ASSERT_NE(schedule, nullptr) << name;
+
+    wu::sim::ScheduleCache::Config config;
+    config.window = 1 << 10;  // small: tiles straddle the window end
+    config.horizon = 1 << 13;
+    wu::sim::ScheduleCache cache(*schedule, config);
+    const std::vector<std::pair<wu::mac::StationId, wu::mac::Slot>> members = {
+        {0, 3}, {17, 3}, {36, 10}, {5, 129}};
+    for (const auto& [u, wake] : members) cache.ensure(u, wake);
+
+    for (const auto& [u, wake] : members) {
+      const auto* entry = cache.find(u, wake);
+      ASSERT_NE(entry, nullptr) << name;
+      for (wu::mac::Slot from = 0; from < (1 << 11); from += 64) {
+        for (const std::size_t n_words : {1u, 2u, 5u, 8u}) {
+          std::vector<std::uint64_t> tile(n_words, 0xabababab);
+          const std::size_t served =
+              wu::sim::ScheduleCache::read(*entry, from, tile.data(), n_words);
+          ASSERT_LE(served, n_words);
+          for (std::size_t w = 0; w < n_words; ++w) {
+            const wu::mac::Slot block = from + static_cast<wu::mac::Slot>(64 * w);
+            std::uint64_t single = 0;
+            const bool hit = wu::sim::ScheduleCache::read(*entry, block, &single);
+            if (w < served) {
+              ASSERT_TRUE(hit) << name << " from=" << from << " w=" << w;
+              ASSERT_EQ(tile[w], single) << name << " u=" << u << " from=" << from
+                                         << " w=" << w << " n=" << n_words;
+            } else if (w == served) {
+              // Contiguous-coverage contract: the first unserved word is a
+              // genuine miss, never a gap the caller would mis-fill.
+              ASSERT_FALSE(hit) << name << " from=" << from << " w=" << w;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleCache, MultiWordReadCrossesPeriodWrap) {
+  // A folded entry read far out in the steady state: an 8-word tile spans
+  // multiple wraps of a 37-slot wheel and must equal schedule_block.
+  const wu::proto::RoundRobinProtocol protocol(37);
+  wu::sim::ScheduleCache::Config config;
+  config.window = 64;
+  wu::sim::ScheduleCache cache(protocol, config);
+  cache.ensure(11, 0);
+  const auto* entry = cache.find(11, 0);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_GT(entry->period, 0u);
+  for (const wu::mac::Slot from : {0L, 64L, 6400L, 123456L * 64L}) {
+    std::uint64_t got[8] = {};
+    ASSERT_EQ(wu::sim::ScheduleCache::read(*entry, from, got, 8), 8u) << from;
+    std::uint64_t want[8] = {};
+    protocol.schedule_block(11, 0, from, want, 8);
+    for (int w = 0; w < 8; ++w) {
+      EXPECT_EQ(got[w], want[w]) << "from=" << from << " w=" << w;
+    }
+  }
+}
+
+TEST(ScheduleCache, MultiWordReadStopsAtWindowEnd) {
+  // Aperiodic-style coverage: a pulse-free schedule with no period hint
+  // gets a windowed prefix; a tile straddling its end is served partially.
+  class WindowOnly final : public wu::proto::ObliviousSchedule {
+   public:
+    void schedule_block(wu::mac::StationId u, wu::mac::Slot wake, wu::mac::Slot from,
+                        std::uint64_t* out_words, std::size_t n_words) const override {
+      (void)wake;
+      for (std::size_t w = 0; w < n_words; ++w) {
+        out_words[w] = static_cast<std::uint64_t>(from) + 64 * w + u;  // position-unique
+      }
+    }
+  };
+  const WindowOnly schedule;
+  wu::sim::ScheduleCache::Config config;
+  config.window = 256;  // 4 words
+  wu::sim::ScheduleCache cache(schedule, config);
+  cache.ensure(7, 0);
+  const auto* entry = cache.find(7, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->period, 0u);
+
+  std::uint64_t tile[8] = {};
+  // Straddling the window end: only the covered prefix is served.
+  EXPECT_EQ(wu::sim::ScheduleCache::read(*entry, 128, tile, 8), 2u);
+  EXPECT_EQ(tile[0], 128u + 7u);
+  EXPECT_EQ(tile[1], 192u + 7u);
+  // Entirely past the window: nothing.
+  EXPECT_EQ(wu::sim::ScheduleCache::read(*entry, 512, tile, 8), 0u);
+  // Entirely inside: everything.
+  EXPECT_EQ(wu::sim::ScheduleCache::read(*entry, 0, tile, 4), 4u);
+}
+
+TEST(TrialBatchingHints, MultiWordScheduleBlocksMatchSingleWordCalls) {
+  // The tile fetch contract behind the word-matrix engines: one
+  // schedule_block(from, n) call must emit exactly what n single-word
+  // calls do, for every oblivious protocol (single- and multichannel),
+  // including tiles straddling the wake block and family boundaries.
+  struct Subject {
+    std::string label;
+    const wu::proto::ObliviousSchedule* schedule;
+    wu::proto::ProtocolPtr keep;        // ownership
+    wu::proto::McProtocolPtr keep_mc;   // ownership
+  };
+  std::vector<Subject> subjects;
+  for (const auto& name : oblivious_names()) {
+    auto protocol = make(name, 37, 5, 3);
+    subjects.push_back({name, protocol->oblivious_schedule(), protocol, nullptr});
+  }
+  for (const std::uint32_t c : {1u, 3u}) {
+    auto striped = wu::proto::make_striped_round_robin(37, c);
+    subjects.push_back({"striped_rr/C=" + std::to_string(c), striped->oblivious_schedule(),
+                        nullptr, striped});
+    auto wag = wu::proto::make_group_wait_and_go(37, 5, c, wu::comb::FamilyKind::kRandomized,
+                                                 77);
+    subjects.push_back({"group_wag/C=" + std::to_string(c), wag->oblivious_schedule(),
+                        nullptr, wag});
+  }
+  auto adapter = wu::proto::make_single_channel_adapter(make("wait_and_go", 37, 5, 3), 3);
+  subjects.push_back({"adapter(wait_and_go)/C=3", adapter->oblivious_schedule(), nullptr,
+                      adapter});
+
+  for (const Subject& subject : subjects) {
+    ASSERT_NE(subject.schedule, nullptr) << subject.label;
+    for (const wu::mac::Slot wake : {wu::mac::Slot{0}, wu::mac::Slot{10}, wu::mac::Slot{129}}) {
+      for (const wu::mac::StationId u : {0u, 17u, 36u, 45u}) {
+        for (const wu::mac::Slot from : {wu::mac::Slot{0}, wu::mac::Slot{64},
+                                         wu::mac::Slot{(wake / 64) * 64}}) {
+          for (const std::size_t n_words : {2u, 5u, 8u}) {
+            std::vector<std::uint64_t> tile(n_words, 0);
+            subject.schedule->schedule_block(u, wake, from, tile.data(), n_words);
+            for (std::size_t w = 0; w < n_words; ++w) {
+              std::uint64_t single = 0;
+              subject.schedule->schedule_block(
+                  u, wake, from + static_cast<wu::mac::Slot>(64 * w), &single, 1);
+              // Bits before the wake are unspecified by contract — mask
+              // both sides to the specified region.
+              const wu::mac::Slot block = from + static_cast<wu::mac::Slot>(64 * w);
+              std::uint64_t specified = ~std::uint64_t{0};
+              if (wake >= block + 64) {
+                specified = 0;
+              } else if (wake > block) {
+                specified <<= (wake - block);
+              }
+              ASSERT_EQ(tile[w] & specified, single & specified)
+                  << subject.label << " u=" << u << " wake=" << wake << " from=" << from
+                  << " w=" << w << " n=" << n_words;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(ScheduleCache, UnalignedOrUncachedReadsMiss) {
   const wu::proto::RoundRobinProtocol protocol(8);
   wu::sim::ScheduleCache cache(protocol, {});

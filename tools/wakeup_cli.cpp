@@ -5,7 +5,7 @@
 ///   wakeup_cli run  --protocol=wakeup_matrix --n=1024 --k=16
 ///                   [--pattern=staggered|simultaneous|uniform|batched|poisson|exp_spread]
 ///                   [--s=0] [--seed=1] [--trials=1] [--trace] [--cd]
-///                   [--engine=auto|interpret|batch]
+///                   [--engine=auto|interpret|batch] [--threads=N]
 ///                   [--channels=4] [--mc=adapter|striped_rr|group_wag|random_rpd]
 ///                   [--per-trial-csv=trials.csv]
 ///                   [--pattern-file=arrivals.csv] [--save-pattern=out.csv]
@@ -16,6 +16,8 @@
 /// Exit code 0 on success (wake-up achieved in every trial), 1 otherwise.
 
 #include <iostream>
+#include <memory>
+#include <mutex>
 
 #include "combinatorics/waking_search.hpp"
 #include "mac/pattern_io.hpp"
@@ -51,10 +53,15 @@ run options:
   --cd                   collision-detection feedback (for tree_splitting)
   --max-slots=<int>      slot budget (default: auto)
   --engine=<sel>         auto|interpret|batch (default auto)
+  --threads=<int>        worker threads for multi-trial runs (default: one
+                         per hardware thread via the shared pool; 0 = inline)
   --channels=<int>       C-channel network (default 1 = the paper's model)
   --mc=<strategy>        adapter|striped_rr|group_wag|random_rpd
                          (default adapter: --protocol embedded on channel 0)
   --per-trial-csv=<csv>  stream one result row per trial (no accumulation)
+
+note: --save-pattern generates one pattern up front, saves it, and replays
+it for every trial (use --pattern-file to re-run it later).
 )";
 }
 
@@ -119,71 +126,107 @@ int cmd_run(const util::Args& args) {
   if (args.has("per-trial-csv")) {
     csv = std::make_unique<sim::TrialCsvSink>(args.get("per-trial-csv"));
   }
-
-  util::Sample rounds;
-  bool all_ok = true;
-  for (std::uint64_t trial = 0; trial < trials; ++trial) {
-    const std::uint64_t seed = util::hash_words({base_seed, 0x434c49ULL /* "CLI" */, trial});
-    util::Rng rng(seed);
-
-    mac::WakePattern pattern;
-    if (args.has("pattern-file")) {
-      pattern = mac::load_pattern_csv(args.get("pattern-file"), n);
-    } else {
-      const auto kind = parse_kind(args.get("pattern", "staggered"));
-      pattern = mac::patterns::generate(kind, n, k, args.get_int("s", 0), rng);
+  // --threads=N builds a dedicated pool (0 = inline); otherwise sim::Run
+  // parallelizes multi-trial sweeps on the process-wide shared pool.
+  std::unique_ptr<util::ThreadPool> own_pool;
+  if (args.has("threads")) {
+    const std::int64_t threads = args.get_int("threads", 0);
+    if (threads < 0 || threads > 1024) {
+      throw std::invalid_argument("--threads must be in [0, 1024] (0 = inline)");
     }
-    if (args.has("save-pattern")) mac::save_pattern_csv(args.get("save-pattern"), pattern);
+    own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
+  }
 
-    sim::SimConfig config;
-    config.max_slots = args.get_int("max-slots", 0);
-    config.engine = parse_engine(args.get("engine", "auto"));
-    config.record_trace = args.get_flag("trace");
-    config.record_transmitters = config.record_trace;
-    config.feedback = args.get_flag("cd") ? mac::FeedbackModel::kCollisionDetection
+  // One sim::Run call covers the whole sweep: pattern per trial from the
+  // facade's seed contract, protocol hoisted per cell (randomized
+  // protocols rebuilt per trial), trials fanned out over the pool.
+  sim::RunSpec spec;
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+  spec.trial_csv = csv.get();
+  spec.sim.max_slots = args.get_int("max-slots", 0);
+  spec.sim.engine = parse_engine(args.get("engine", "auto"));
+  spec.sim.record_trace = args.get_flag("trace");
+  spec.sim.record_transmitters = spec.sim.record_trace;
+  spec.sim.feedback = args.get_flag("cd") ? mac::FeedbackModel::kCollisionDetection
                                           : mac::FeedbackModel::kNone;
 
+  mac::WakePattern fixed;
+  if (args.has("pattern-file")) {
+    fixed = mac::load_pattern_csv(args.get("pattern-file"), n);
+    spec.pattern = &fixed;
+  } else if (args.has("save-pattern")) {
+    // Reproducibility beats per-trial variety here: generate one pattern,
+    // save it, replay it for every trial.
+    const auto kind = parse_kind(args.get("pattern", "staggered"));
+    util::Rng rng(util::hash_words({base_seed, 0x434c49ULL /* "CLI" */}));
+    fixed = mac::patterns::generate(kind, n, k, args.get_int("s", 0), rng);
+    mac::save_pattern_csv(args.get("save-pattern"), fixed);
+    spec.pattern = &fixed;
+  } else {
+    const auto kind = parse_kind(args.get("pattern", "staggered"));
+    const mac::Slot s = args.get_int("s", 0);
+    spec.make_pattern = [kind, n, k, s](util::Rng& rng) {
+      return mac::patterns::generate(kind, n, k, s, rng);
+    };
+  }
+
+  std::string name;
+  util::Sample rounds;
+  std::mutex sample_mutex;
+  if (multichannel) {
+    const std::uint32_t c = channels < 1 ? 1 : channels;
+    spec.make_mc_protocol = [&args, c](std::uint64_t seed) {
+      return build_mc_protocol(args, c, seed);
+    };
+    name = build_mc_protocol(args, c, base_seed)->name();
+    spec.per_trial_mc = [&](std::uint64_t, const sim::McSimResult& r) {
+      const std::lock_guard<std::mutex> lock(sample_mutex);
+      if (r.success) rounds.push(static_cast<double>(r.rounds));
+    };
+  } else {
+    spec.make_protocol = [&args](std::uint64_t seed) { return build_protocol(args, seed); };
+    name = build_protocol(args, base_seed)->name();
+    spec.per_trial = [&](std::uint64_t, const sim::SimResult& r) {
+      const std::lock_guard<std::mutex> lock(sample_mutex);
+      if (r.success) rounds.push(static_cast<double>(r.rounds));
+    };
+  }
+
+  const auto out = sim::Run(spec, own_pool.get());
+
+  if (trials == 1) {
     sim::SimResult result;
-    std::string name;
     if (multichannel) {
-      const auto protocol = build_mc_protocol(args, channels < 1 ? 1 : channels, seed);
-      name = protocol->name();
-      const auto mc =
-          sim::Run({.mc_protocol = protocol.get(), .pattern = &pattern, .sim = config}).mc;
-      if (csv) csv->write(trial, mc);
-      result.success = mc.success;
-      result.s = mc.s;
-      result.success_slot = mc.success_slot;
-      result.rounds = mc.rounds;
-      result.winner = mc.winner;
-      result.silences = mc.silences;
-      result.collisions = mc.collisions;
-      result.successes = mc.successes;
-      if (trials == 1 && mc.success) {
-        std::cout << "winning channel: " << mc.success_channel << " of " << channels << "\n";
+      result.success = out.mc.success;
+      result.s = out.mc.s;
+      result.success_slot = out.mc.success_slot;
+      result.rounds = out.mc.rounds;
+      result.winner = out.mc.winner;
+      result.silences = out.mc.silences;
+      result.collisions = out.mc.collisions;
+      result.successes = out.mc.successes;
+      if (out.mc.success) {
+        std::cout << "winning channel: " << out.mc.success_channel << " of " << channels
+                  << "\n";
       }
     } else {
-      const auto protocol = build_protocol(args, seed);
-      name = protocol->name();
-      result = sim::Run({.protocol = protocol.get(), .pattern = &pattern, .sim = config}).sim;
-      if (csv) csv->write(trial, result);
+      result = out.sim;
     }
-
-    if (trials == 1) {
-      std::cout << "protocol: " << name << "\nn=" << n << " k=" << pattern.k()
-                << " s=" << pattern.first_wake() << "\n";
-      if (result.success) {
-        std::cout << "wake-up at slot " << result.success_slot << " (rounds "
-                  << result.rounds << ") by station " << result.winner << "\n"
-                  << "collisions=" << result.collisions << " silences=" << result.silences
-                  << "\n";
-      } else {
-        std::cout << "FAILED: no wake-up within the slot budget\n";
-      }
-      if (result.trace) result.trace->print(std::cout, 48);
+    // Report the simulated pattern's k, which --pattern-file may decouple
+    // from the --k flag.
+    const std::size_t pattern_k = spec.pattern != nullptr ? fixed.k() : k;
+    std::cout << "protocol: " << name << "\nn=" << n << " k=" << pattern_k
+              << " s=" << result.s << "\n";
+    if (result.success) {
+      std::cout << "wake-up at slot " << result.success_slot << " (rounds " << result.rounds
+                << ") by station " << result.winner << "\n"
+                << "collisions=" << result.collisions << " silences=" << result.silences
+                << "\n";
+    } else {
+      std::cout << "FAILED: no wake-up within the slot budget\n";
     }
-    all_ok = all_ok && result.success;
-    if (result.success) rounds.push(static_cast<double>(result.rounds));
+    if (!multichannel && out.sim.trace) out.sim.trace->print(std::cout, 48);
   }
   if (csv) std::cout << "[per-trial csv] " << csv->path() << " (" << csv->rows() << " rows)\n";
 
@@ -195,7 +238,7 @@ int cmd_run(const util::Args& args) {
               << "]95%  median=" << summary.median << " p95=" << summary.p95
               << " max=" << summary.max << "\n";
   }
-  return all_ok ? 0 : 1;
+  return out.cell.failures == 0 ? 0 : 1;
 }
 
 int cmd_adversary(const util::Args& args) {
