@@ -1,0 +1,51 @@
+#include "exp/aggregator.hpp"
+
+namespace wakeup::exp {
+
+Aggregator::Aggregator(std::uint64_t trials) : slots_(trials) {}
+
+void Aggregator::add(std::uint64_t trial, const sim::SimResult& result) {
+  TrialSlot& slot = slots_.at(trial);
+  slot.success = result.success;
+  slot.rounds = static_cast<double>(result.rounds);
+  slot.collisions = static_cast<double>(result.collisions);
+  slot.silences = static_cast<double>(result.silences);
+}
+
+void Aggregator::add(std::uint64_t trial, const sim::McSimResult& result) {
+  TrialSlot& slot = slots_.at(trial);
+  slot.success = result.success;
+  slot.rounds = static_cast<double>(result.rounds);
+  slot.collisions = static_cast<double>(result.collisions);
+  slot.silences = static_cast<double>(result.silences);
+}
+
+CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed,
+                               double ci_level) const {
+  CellStats stats;
+  stats.trials = slots_.size();
+  util::Sample rounds, collisions, silences;
+  rounds.reserve(slots_.size());
+  for (const TrialSlot& slot : slots_) {
+    if (!slot.success) {
+      ++stats.failures;
+      continue;
+    }
+    rounds.push(slot.rounds);
+    collisions.push(slot.collisions);
+    silences.push(slot.silences);
+  }
+  stats.success_rate =
+      stats.trials == 0
+          ? 0.0
+          : static_cast<double>(stats.trials - stats.failures) / static_cast<double>(stats.trials);
+  stats.rounds = util::Summary::of(rounds);
+  stats.collisions = util::Summary::of(collisions);
+  stats.silences = util::Summary::of(silences);
+  stats.rounds_mean_ci = util::BootstrapCI::of_mean(rounds, ci_level, ci_resamples, ci_seed);
+  stats.rounds_median_ci =
+      util::BootstrapCI::of_quantile(rounds, 0.5, ci_level, ci_resamples, ci_seed);
+  return stats;
+}
+
+}  // namespace wakeup::exp

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file aggregator.hpp
+/// Streaming per-cell aggregation for sweep runs.
+///
+/// An `Aggregator` receives one result per trial through the `sim::RunSpec`
+/// per-trial hooks (concurrently, from worker threads), storing each trial's
+/// observables in its trial slot — never in completion order — so the
+/// finalized statistics are bitwise identical for every worker count.
+/// `finalize()` produces the cell's `CellStats`: mean / median / p95 / max
+/// rounds, success rate, and seeded percentile-bootstrap confidence
+/// intervals for the mean and the median (util::BootstrapCI).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/mc_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace wakeup::exp {
+
+/// Aggregated outcome of one sweep cell.
+struct CellStats {
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;   ///< trials that exhausted the slot budget
+  double success_rate = 0.0;    ///< (trials - failures) / trials
+  util::Summary rounds;         ///< over successful trials
+  util::Summary collisions;
+  util::Summary silences;
+  util::BootstrapCI rounds_mean_ci;    ///< bootstrap CI for mean rounds
+  util::BootstrapCI rounds_median_ci;  ///< bootstrap CI for median rounds
+};
+
+/// Collects per-trial results of one cell.  `add` may be called
+/// concurrently for distinct trial indices (the RunSpec per-trial
+/// contract); `finalize` must only run after every trial landed.
+class Aggregator {
+ public:
+  explicit Aggregator(std::uint64_t trials);
+
+  void add(std::uint64_t trial, const sim::SimResult& result);
+  void add(std::uint64_t trial, const sim::McSimResult& result);
+
+  /// Statistics over the recorded trials, CIs seeded by `ci_seed`
+  /// (deterministic: same trials + seed => identical CellStats, regardless
+  /// of the order `add` was called in).  `ci_resamples` == 0 degenerates
+  /// the CIs to [estimate, estimate].
+  [[nodiscard]] CellStats finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed,
+                                   double ci_level = 0.95) const;
+
+ private:
+  struct TrialSlot {
+    bool success = false;
+    double rounds = 0;
+    double collisions = 0;
+    double silences = 0;
+  };
+  std::vector<TrialSlot> slots_;
+};
+
+}  // namespace wakeup::exp

@@ -1,0 +1,86 @@
+#include "exp/presets.hpp"
+
+#include <stdexcept>
+
+namespace wakeup::exp {
+
+namespace {
+
+std::vector<std::uint32_t> pow2_range(unsigned lo, unsigned hi) {
+  std::vector<std::uint32_t> values;
+  for (unsigned e = lo; e <= hi; ++e) values.push_back(1u << e);
+  return values;
+}
+
+}  // namespace
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> names = {
+      "figure-scenario-a", "figure-scenario-b", "figure-scenario-c",
+      "crossover",         "multichannel-scaling", "smoke",
+  };
+  return names;
+}
+
+SweepSpec make_preset(const std::string& name) {
+  SweepSpec spec;
+  spec.base_seed = 20130522;  // the paper's publication date; override per run
+  if (name == "figure-scenario-a") {
+    spec.protocols = {"wakeup_with_s", "select_among_the_first", "round_robin", "rpd_n"};
+    spec.ns = pow2_range(8, 13);
+    spec.ks = {2, 8, 32, 64};
+    spec.patterns = {PatternKind::kUniform};
+    spec.trials = 48;
+    return spec;
+  }
+  if (name == "figure-scenario-b") {
+    // The acceptance grid: 4 protocols x 6 n x 4 k.
+    spec.protocols = {"wakeup_with_k", "wait_and_go", "local_doubling", "round_robin"};
+    spec.ns = pow2_range(8, 13);
+    spec.ks = {2, 8, 32, 64};
+    spec.patterns = {PatternKind::kStaggered};
+    spec.trials = 48;
+    return spec;
+  }
+  if (name == "figure-scenario-c") {
+    spec.protocols = {"wakeup_matrix", "rpd_n", "binary_backoff", "round_robin"};
+    spec.ns = pow2_range(8, 13);
+    spec.ks = {2, 8, 32, 64};
+    spec.patterns = {PatternKind::kPoisson};
+    spec.trials = 32;
+    return spec;
+  }
+  if (name == "crossover") {
+    spec.protocols = {"round_robin", "wakeup_with_k", "wakeup_matrix", "slotted_aloha"};
+    spec.ns = {4096};
+    spec.ks = {2, 4, 8, 16, 32, 64, 128, 256};
+    spec.patterns = {PatternKind::kSimultaneous};
+    spec.trials = 48;
+    return spec;
+  }
+  if (name == "multichannel-scaling") {
+    spec.protocols = {"striped_rr", "group_wag", "round_robin"};
+    spec.ns = {1u << 10, 1u << 12, 1u << 14};
+    spec.ks = {8, 64};
+    spec.channels = {1, 4, 16};
+    spec.patterns = {PatternKind::kUniform};
+    spec.trials = 32;
+    return spec;
+  }
+  if (name == "smoke") {
+    spec.protocols = {"round_robin", "wakeup_with_k"};
+    spec.ns = {64, 128};
+    spec.ks = {2, 4};
+    spec.patterns = {PatternKind::kUniform};
+    spec.trials = 8;
+    return spec;
+  }
+  std::string names;
+  for (const std::string& preset : preset_names()) {
+    if (!names.empty()) names += ", ";
+    names += preset;
+  }
+  throw std::invalid_argument("unknown preset '" + name + "' (one of: " + names + ")");
+}
+
+}  // namespace wakeup::exp

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file presets.hpp
+/// Named sweep grids that reproduce the paper's scenario comparisons.
+///
+/// Each preset is a ready `SweepSpec`; the `figure-*` grids normalize the
+/// measured rounds against the theory bounds in core/solver + util/math,
+/// so the `normalized_mean` report column is the paper-figure y-axis:
+///
+///  * figure-scenario-a — s known: wakeup_with_s and select_among_the_first
+///    vs Θ(k log(n/k) + 1), round_robin / rpd_n baselines.
+///  * figure-scenario-b — k known: wakeup_with_k and wait_and_go vs the
+///    same bound, local_doubling / round_robin baselines (the acceptance
+///    grid: 4 protocols x 6 n x 4 k).
+///  * figure-scenario-c — no knowledge: wakeup_matrix vs
+///    O(k log n log log n), rpd_n / binary_backoff / round_robin baselines.
+///  * crossover — fixed n, k swept 2..256: where the Θ(k log(n/k))
+///    algorithms overtake the Θ(n) TDM schedule.
+///  * multichannel-scaling — native striped_rr / group_wag vs the adapted
+///    round_robin baseline over C ∈ {1, 4, 16}.
+///  * smoke — a seconds-scale grid for CI (manifest/report well-formedness
+///    and resume identity).
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep_spec.hpp"
+
+namespace wakeup::exp {
+
+/// All preset names, in a stable order.
+[[nodiscard]] const std::vector<std::string>& preset_names();
+
+/// The named grid.  Throws std::invalid_argument (listing the valid names)
+/// for unknown ones.
+[[nodiscard]] SweepSpec make_preset(const std::string& name);
+
+}  // namespace wakeup::exp

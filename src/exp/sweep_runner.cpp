@@ -1,0 +1,309 @@
+#include "exp/sweep_runner.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "exp/aggregator.hpp"
+#include "mac/wake_pattern.hpp"
+#include "protocols/multichannel.hpp"
+#include "protocols/registry.hpp"
+#include "sim/adversary.hpp"
+#include "sim/results_sink.hpp"
+#include "sim/run.hpp"
+#include "util/csv.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace wakeup::exp {
+
+namespace {
+
+/// CI stream of a cell: tied to the same (base_seed, tag) identity as the
+/// trial seeds but on its own tag, so adding resamples never perturbs the
+/// simulation and any cell subset reproduces its CIs alone.
+std::uint64_t ci_seed(std::uint64_t base_seed, std::uint64_t cell_tag) {
+  return util::hash_words({base_seed, 0x4349ULL /* "CI" */, cell_tag});
+}
+
+/// Adversarial pattern-search stream (same reasoning).
+std::uint64_t adversary_seed(std::uint64_t base_seed, std::uint64_t cell_tag) {
+  return util::hash_words({base_seed, 0x414456ULL /* "ADV" */, cell_tag});
+}
+
+proto::ProtocolPtr build_registry_protocol(const Cell& cell, std::uint64_t seed) {
+  proto::ProtocolSpec spec;
+  spec.name = cell.protocol;
+  spec.n = cell.n;
+  spec.k = cell.k;
+  spec.s = cell.s;
+  spec.seed = seed;
+  return proto::make_protocol_by_name(spec);
+}
+
+proto::McProtocolPtr build_mc_protocol(const Cell& cell, std::uint64_t seed) {
+  if (cell.protocol == "striped_rr") {
+    return proto::make_striped_round_robin(cell.n, cell.channels);
+  }
+  if (cell.protocol == "group_wag") {
+    return proto::make_group_wait_and_go(cell.n, cell.k, cell.channels,
+                                         comb::FamilyKind::kRandomized, seed);
+  }
+  if (cell.protocol == "random_rpd") {
+    return proto::make_random_channel_rpd(cell.n, cell.channels, seed);
+  }
+  return proto::make_single_channel_adapter(build_registry_protocol(cell, seed),
+                                            cell.channels);
+}
+
+/// Executes one cell and returns its finished record.  `trial_pool` is the
+/// pool handed to sim::Run — nullptr in cell-sharded mode, where the
+/// calling thread is already a pool worker and Run's
+/// ThreadPool::current() detection keeps the trials inline instead of
+/// deadlocking on (or oversubscribing) the pool the cells are sharded on.
+CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions& options,
+                    util::ThreadPool* trial_pool) {
+  sim::RunSpec run;
+  run.trials = cell.trials;
+  run.base_seed = spec.base_seed;
+  run.cell_tag = cell.tag_hash;
+  run.sim = spec.sim;
+  run.sim.engine = cell.engine;
+  run.trial_csv = options.trial_csv;
+
+  const bool multichannel = cell.channels > 1 || is_mc_strategy(cell.protocol);
+  if (multichannel) {
+    run.make_mc_protocol = [&cell](std::uint64_t seed) {
+      return build_mc_protocol(cell, seed);
+    };
+  } else {
+    run.make_protocol = [&cell](std::uint64_t seed) {
+      return build_registry_protocol(cell, seed);
+    };
+  }
+
+  // Wake pattern: a per-trial generator, except the adversarial kind,
+  // which runs the sim/adversary hill-climbing search once per cell
+  // (seeded from the cell identity) and fixes the hardest pattern found
+  // for every trial.
+  mac::WakePattern adversarial;
+  if (cell.pattern == PatternKind::kAdversarial) {
+    const auto factory = [&cell](std::uint64_t seed) {
+      return build_registry_protocol(cell, seed);
+    };
+    const sim::PatternSearchResult search = sim::search_worst_pattern(
+        factory, cell.n, cell.k, /*restarts=*/3, /*steps_per_restart=*/32,
+        adversary_seed(spec.base_seed, cell.tag_hash), run.sim);
+    adversarial = search.worst;
+    run.pattern = &adversarial;
+  } else {
+    const mac::patterns::Kind kind = generator_kind(cell.pattern);
+    const std::uint32_t n = cell.n;
+    const std::uint32_t k = cell.k;
+    const mac::Slot s = cell.s;
+    run.make_pattern = [kind, n, k, s](util::Rng& rng) {
+      return mac::patterns::generate(kind, n, k, s, rng);
+    };
+  }
+
+  Aggregator aggregator(cell.trials);
+  if (multichannel) {
+    run.per_trial_mc = [&aggregator](std::uint64_t i, const sim::McSimResult& r) {
+      aggregator.add(i, r);
+    };
+  } else {
+    run.per_trial = [&aggregator](std::uint64_t i, const sim::SimResult& r) {
+      aggregator.add(i, r);
+    };
+  }
+
+  (void)sim::Run(run, trial_pool);
+
+  CellRecord record;
+  record.cell = cell;
+  record.stats =
+      aggregator.finalize(options.ci_resamples, ci_seed(spec.base_seed, cell.tag_hash));
+  record.bound = cell_bound(cell);
+  record.normalized_mean = record.bound > 0 && record.stats.rounds.count > 0
+                               ? record.stats.rounds.mean / record.bound
+                               : 0.0;
+  return record;
+}
+
+const std::vector<std::string>& report_columns() {
+  static const std::vector<std::string> columns = {
+      "index",        "protocol",     "n",
+      "k",            "channels",     "pattern",
+      "engine",       "trials",       "failures",
+      "success_rate", "rounds_mean",  "mean_ci_lo",
+      "mean_ci_hi",   "rounds_median", "median_ci_lo",
+      "median_ci_hi", "rounds_p95",   "rounds_max",
+      "collisions_mean", "silences_mean", "bound",
+      "normalized_mean"};
+  return columns;
+}
+
+/// Full-precision CSV report (CsvWriter's double formatting rounds to 6
+/// significant digits; figures and the resume byte-identity contract want
+/// the exact values the manifest carries).
+void write_csv_report(const std::string& path, const std::vector<CellRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) throw std::runtime_error("sweep: cannot write " + path);
+  const auto& columns = report_columns();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out << (i == 0 ? "" : ",") << columns[i];
+  }
+  out << "\n";
+  for (const CellRecord& r : records) {
+    out << r.cell.index << ',' << util::csv_escape(r.cell.protocol) << ',' << r.cell.n << ','
+        << r.cell.k << ',' << r.cell.channels << ',' << pattern_name(r.cell.pattern) << ','
+        << engine_name(r.cell.engine) << ',' << r.cell.trials << ',' << r.stats.failures << ','
+        << json_double(r.stats.success_rate) << ',' << json_double(r.stats.rounds.mean) << ','
+        << json_double(r.stats.rounds_mean_ci.lo) << ','
+        << json_double(r.stats.rounds_mean_ci.hi) << ',' << json_double(r.stats.rounds.median)
+        << ',' << json_double(r.stats.rounds_median_ci.lo) << ','
+        << json_double(r.stats.rounds_median_ci.hi) << ',' << json_double(r.stats.rounds.p95)
+        << ',' << json_double(r.stats.rounds.max) << ','
+        << json_double(r.stats.collisions.mean) << ',' << json_double(r.stats.silences.mean)
+        << ',' << json_double(r.bound) << ',' << json_double(r.normalized_mean) << "\n";
+  }
+}
+
+/// JSON report: the manifest header plus every cell object (the same flat
+/// schema the manifest lines use), in grid order.
+void write_json_report(const std::string& path, const ManifestHeader& header,
+                       const std::vector<CellRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) throw std::runtime_error("sweep: cannot write " + path);
+  out << "{\n  \"sweep\": \"wakeup\",\n  \"version\": " << header.version
+      << ",\n  \"base_seed\": " << header.base_seed << ",\n  \"grid_hash\": " << header.grid_hash
+      << ",\n  \"cells\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << manifest_line(records[i]);
+  }
+  out << (records.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+}  // namespace
+
+double cell_bound(const Cell& cell) {
+  if (cell.protocol == "striped_rr") {
+    return static_cast<double>(util::ceil_div(cell.n, cell.channels));
+  }
+  if (cell.protocol == "group_wag") {
+    return util::scenario_ab_bound(cell.n, cell.k) / static_cast<double>(cell.channels);
+  }
+  if (cell.protocol == "random_rpd") {
+    return util::scenario_c_bound(cell.n, cell.k) / static_cast<double>(cell.channels);
+  }
+  const proto::ProtocolCapabilities caps = proto::protocol_capabilities(cell.protocol);
+  if (caps.needs_start_time || caps.needs_k) {
+    return util::scenario_ab_bound(cell.n, cell.k);
+  }
+  return util::scenario_c_bound(cell.n, cell.k);
+}
+
+SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  const std::vector<Cell> cells = expand(spec);
+  if (cells.empty()) {
+    throw std::invalid_argument("sweep: the grid expanded to zero feasible cells");
+  }
+  if (!util::ensure_directory(options.out_dir)) {
+    throw std::runtime_error("sweep: cannot create output directory " + options.out_dir);
+  }
+
+  ManifestHeader header;
+  header.base_seed = spec.base_seed;
+  header.grid_hash = grid_fingerprint(cells, spec.base_seed);
+  header.cells = cells.size();
+
+  SweepOutcome outcome;
+  outcome.cells_total = cells.size();
+  outcome.manifest_path = options.out_dir + "/manifest.jsonl";
+
+  // Resume pass: collect completed cells, validate the manifest identity.
+  std::map<std::string, CellRecord> done;
+  const bool manifest_exists = std::filesystem::exists(outcome.manifest_path);
+  if (options.resume && manifest_exists) {
+    ManifestData data = load_manifest(outcome.manifest_path);
+    if (data.header.base_seed != header.base_seed || data.header.grid_hash != header.grid_hash) {
+      throw std::runtime_error(
+          "sweep: " + outcome.manifest_path +
+          " was written by a different spec or base seed — refusing to mix results "
+          "(delete the directory or change --out)");
+    }
+    done = std::move(data.by_tag);
+  }
+  outcome.cells_resumed = done.size();
+
+  std::vector<const Cell*> pending;
+  for (const Cell& cell : cells) {
+    if (done.find(cell.tag) == done.end()) pending.push_back(&cell);
+  }
+  const std::uint64_t cap =
+      options.max_cells > 0 ? std::min<std::uint64_t>(options.max_cells, pending.size())
+                            : pending.size();
+  outcome.cells_remaining = pending.size() - cap;
+  pending.resize(cap);
+
+  ManifestWriter writer(outcome.manifest_path, header,
+                        /*append=*/options.resume && manifest_exists);
+
+  util::ThreadPool* pool = options.pool != nullptr ? options.pool : &util::ThreadPool::shared();
+  const bool cell_sharded =
+      options.sharding == Sharding::kCells ||
+      (options.sharding == Sharding::kAuto &&
+       pending.size() >= std::max<std::size_t>(2, pool->worker_count()));
+
+  std::vector<CellRecord> fresh(pending.size());
+  std::mutex progress_mutex;
+  const auto run_one = [&](std::size_t i, util::ThreadPool* trial_pool) {
+    fresh[i] = run_cell(spec, *pending[i], options, trial_pool);
+    writer.append(fresh[i]);
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      std::printf("[%zu/%zu] %s  mean=%.1f  failures=%llu\n", i + 1, pending.size(),
+                  pending[i]->tag.c_str(), fresh[i].stats.rounds.mean,
+                  static_cast<unsigned long long>(fresh[i].stats.failures));
+      std::fflush(stdout);
+    }
+  };
+  if (cell_sharded) {
+    // Nested Runs must stay inline: with workers, ThreadPool::current()
+    // inside sim::Run detects the worker thread (trial_pool == nullptr);
+    // a 0-worker pool runs parallel_for on the caller — not a worker — so
+    // pass the inline pool itself, or Run would silently fan trials onto
+    // the multi-threaded shared pool against the "0 = inline" contract.
+    util::ThreadPool* trial_pool = pool->worker_count() == 0 ? pool : nullptr;
+    pool->parallel_for(0, pending.size(), [&](std::size_t i) { run_one(i, trial_pool); });
+  } else {
+    for (std::size_t i = 0; i < pending.size(); ++i) run_one(i, options.pool);
+  }
+  outcome.cells_run = pending.size();
+
+  if (outcome.cells_remaining > 0) return outcome;  // capped: no report yet
+
+  // Assemble the report in grid order from resumed + fresh records.
+  std::map<std::string, const CellRecord*> fresh_by_tag;
+  for (const CellRecord& record : fresh) fresh_by_tag[record.cell.tag] = &record;
+  outcome.records.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    const auto it = fresh_by_tag.find(cell.tag);
+    CellRecord record = it != fresh_by_tag.end() ? *it->second : done.at(cell.tag);
+    // Identity comes from the grid, not the manifest text: index and tag
+    // are already equal by construction, but normalize anyway so a report
+    // row never disagrees with its grid cell.
+    record.cell = cell;
+    outcome.records.push_back(std::move(record));
+  }
+  outcome.csv_path = options.out_dir + "/report.csv";
+  outcome.json_path = options.out_dir + "/report.json";
+  write_csv_report(outcome.csv_path, outcome.records);
+  write_json_report(outcome.json_path, header, outcome.records);
+  outcome.completed = true;
+  return outcome;
+}
+
+}  // namespace wakeup::exp

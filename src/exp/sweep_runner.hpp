@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file sweep_runner.hpp
+/// Sharded, resumable execution of a sweep grid.
+///
+/// `run_sweep` expands the spec, shards the pending cells onto a thread
+/// pool (cell-level parallelism composes with the facade's trial-level
+/// parallelism without oversubscription: a `sim::Run` issued from inside a
+/// pool worker detects the pool via `util::ThreadPool::current()` and runs
+/// its trials inline), streams every finished cell through `exp::Aggregator`
+/// into the append-only JSONL manifest, and finally writes a CSV + JSON
+/// report in grid order.
+///
+/// Interruption contract: kill the process at any point; re-running with
+/// `resume = true` re-reads the manifest, skips completed cells (dropping a
+/// torn trailing line), runs only the remainder, and produces a final
+/// report byte-identical to an uninterrupted run — per-cell results are
+/// pure functions of (base_seed, cell tag), and CIs are seeded from the
+/// same identity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/manifest.hpp"
+#include "exp/sweep_spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wakeup::sim {
+class TrialCsvSink;
+}
+
+namespace wakeup::exp {
+
+/// How pending cells map onto the pool.
+enum class Sharding : std::uint8_t {
+  /// Cell-parallel when there are at least as many pending cells as
+  /// workers, trial-parallel otherwise.  The default.
+  kAuto,
+  /// One pool task per cell; each cell's trials run inline in the worker.
+  kCells,
+  /// Cells sequential on the caller; each cell fans its trials on the pool.
+  kTrials,
+};
+
+struct SweepOptions {
+  /// Output directory (created if missing): manifest.jsonl, report.csv,
+  /// report.json.
+  std::string out_dir = "sweep_out";
+  /// Resume from an existing manifest in out_dir (fresh run when none).
+  bool resume = false;
+  /// Pool for cell/trial parallelism; nullptr uses ThreadPool::shared().
+  util::ThreadPool* pool = nullptr;
+  Sharding sharding = Sharding::kAuto;
+  /// Bootstrap resamples for the per-cell CIs (0 disables).
+  std::uint64_t ci_resamples = 2000;
+  /// Stop after this many *pending* cells (0 = run all): lets tests and the
+  /// CI smoke leg simulate a mid-grid kill deterministically.  A capped run
+  /// appends to the manifest but writes no report.
+  std::uint64_t max_cells = 0;
+  /// Optional shared per-trial CSV stream (one row per trial across ALL
+  /// cells; the sink serializes concurrent writers).
+  sim::TrialCsvSink* trial_csv = nullptr;
+  /// Per-cell progress lines on stdout.
+  bool progress = false;
+};
+
+struct SweepOutcome {
+  /// True when every grid cell has a result and the report was written.
+  bool completed = false;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_run = 0;      ///< executed this invocation
+  std::uint64_t cells_resumed = 0;  ///< taken from the manifest
+  std::uint64_t cells_remaining = 0;  ///< left pending by max_cells
+  /// All records in grid order (only when completed).
+  std::vector<CellRecord> records;
+  std::string manifest_path;
+  std::string csv_path;   ///< "" until completed
+  std::string json_path;  ///< "" until completed
+};
+
+/// Executes the sweep.  Throws std::invalid_argument on spec problems and
+/// std::runtime_error on IO problems or a resume against a manifest whose
+/// base seed / grid fingerprint does not match the spec.
+[[nodiscard]] SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options);
+
+/// The theory-bound column of a cell: Scenario A/B protocols (needs_s or
+/// needs_k) normalize against k log2(n/k) + 1, everything else against the
+/// Scenario C bound k log2(n) loglog2(n); native multichannel strategies
+/// divide by C (striped_rr against its exact ceil(n/C) TDM worst case).
+/// Registry protocols swept at C > 1 ride the idle-channel adapter and
+/// keep their single-channel bound.
+[[nodiscard]] double cell_bound(const Cell& cell);
+
+}  // namespace wakeup::exp

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file sweep_spec.hpp
+/// Declarative sweep grids over the simulation facade.
+///
+/// A `SweepSpec` names axes — protocol (registry name or multichannel
+/// strategy), n, k, channels, engine, wake-pattern generator — plus a trial
+/// count and base seed; `expand()` turns it into a deterministic,
+/// stably-ordered list of `Cell`s.  Each cell carries a canonical textual
+/// `tag` and its 64-bit FNV-1a hash, which becomes `sim::RunSpec::cell_tag`:
+/// every per-trial seed is a pure function of (base_seed, tag), so any
+/// subset of cells — a resumed run, a re-run of one interesting cell —
+/// reproduces the full sweep's results bit-identically.
+///
+/// ```cpp
+/// exp::SweepSpec spec;
+/// spec.protocols = {"wakeup_with_k", "round_robin"};
+/// spec.ns = exp::parse_axis_u32("2^10..2^13");
+/// spec.ks = {2, 8, 64};
+/// spec.trials = 64;
+/// auto cells = exp::expand(spec);   // validated; throws friendly errors
+/// ```
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mac/types.hpp"
+#include "mac/wake_pattern.hpp"
+#include "sim/simulator.hpp"
+
+namespace wakeup::exp {
+
+/// Wake-pattern generators a sweep can ask for: the six mac/wake_pattern
+/// shapes plus the empirically-hard pattern found by the sim/adversary
+/// hill-climbing search (per cell, seeded from the cell identity, then
+/// fixed across that cell's trials).
+enum class PatternKind : std::uint8_t {
+  kSimultaneous,
+  kUniform,
+  kBatched,
+  kStaggered,
+  kPoisson,
+  kExponentialSpread,
+  kAdversarial,
+};
+
+/// Stable name used in tags, manifests and the CLI ("adversarial", or the
+/// mac::patterns::kind_name spelling for the generator kinds).
+[[nodiscard]] std::string pattern_name(PatternKind kind);
+
+/// Inverse of pattern_name; throws std::invalid_argument with the list of
+/// valid names on an unknown label.
+[[nodiscard]] PatternKind parse_pattern(const std::string& label);
+
+/// All pattern kinds, in tag order.
+[[nodiscard]] const std::vector<PatternKind>& all_pattern_kinds();
+
+/// The mac/wake_pattern generator behind a kind; throws std::logic_error
+/// for kAdversarial (which is searched, not generated — sweep_runner.cpp).
+[[nodiscard]] mac::patterns::Kind generator_kind(PatternKind kind);
+
+/// Multichannel strategy names accepted in the protocol axis next to the
+/// registry names ("striped_rr", "group_wag", "random_rpd").  Registry
+/// protocols swept at channels > 1 ride the channel-0 adapter.
+[[nodiscard]] const std::vector<std::string>& mc_strategy_names();
+
+/// True iff `name` is one of mc_strategy_names().
+[[nodiscard]] bool is_mc_strategy(const std::string& name);
+
+/// The declarative grid.  Every axis must be non-empty; `expand()`
+/// validates names and capabilities up front and drops infeasible
+/// combinations (k > n) deterministically.
+struct SweepSpec {
+  std::vector<std::string> protocols = {"wakeup_with_k"};
+  std::vector<std::uint32_t> ns = {1024};
+  std::vector<std::uint32_t> ks = {8};
+  std::vector<std::uint32_t> channels = {1};
+  std::vector<sim::Engine> engines = {sim::Engine::kAuto};
+  std::vector<PatternKind> patterns = {PatternKind::kUniform};
+  mac::Slot s = 0;            ///< known start slot (Scenario A protocols)
+  std::uint64_t trials = 64;  ///< Monte-Carlo trials per cell
+  std::uint64_t base_seed = 1;
+  sim::SimConfig sim;         ///< budget/engine template; engine comes from the axis
+};
+
+/// One grid point, fully identified.
+struct Cell {
+  std::string protocol;
+  std::uint32_t n = 0;
+  std::uint32_t k = 0;
+  std::uint32_t channels = 1;
+  sim::Engine engine = sim::Engine::kAuto;
+  PatternKind pattern = PatternKind::kUniform;
+  std::uint64_t trials = 0;
+  mac::Slot s = 0;
+  std::uint64_t index = 0;    ///< position in the expanded grid
+  std::string tag;            ///< canonical identity string
+  std::uint64_t tag_hash = 0; ///< FNV-1a of tag — sim::RunSpec::cell_tag
+};
+
+/// Engine axis spellings for tags and the CLI ("auto"/"interpret"/"batch").
+[[nodiscard]] std::string engine_name(sim::Engine engine);
+[[nodiscard]] sim::Engine parse_engine(const std::string& label);
+
+/// FNV-1a 64-bit over the tag text — the cell_tag derivation.  Stable
+/// forever: changing it re-seeds every historical sweep.
+[[nodiscard]] std::uint64_t tag_hash(const std::string& tag);
+
+/// The canonical tag of a cell identity (what `expand` stores): e.g.
+/// "protocol=wakeup_with_k,n=1024,k=8,c=1,pattern=uniform,engine=auto,trials=64,s=0".
+[[nodiscard]] std::string cell_tag_text(const std::string& protocol, std::uint32_t n,
+                                        std::uint32_t k, std::uint32_t channels,
+                                        sim::Engine engine, PatternKind pattern,
+                                        std::uint64_t trials, mac::Slot s);
+
+/// Validates the spec and expands it into the stably-ordered cell list
+/// (protocol-major, then n, k, channels, pattern, engine).  Throws
+/// std::invalid_argument with actionable messages on unknown protocol
+/// names (listing the registry), empty axes, or engine/capability
+/// conflicts (kBatch on a non-oblivious protocol); silently drops k > n
+/// combinations.
+[[nodiscard]] std::vector<Cell> expand(const SweepSpec& spec);
+
+/// Order-sensitive fingerprint of an expanded grid + base seed.  The
+/// manifest stores it so `--resume` can refuse to mix results from a
+/// different spec or seed into one report.
+[[nodiscard]] std::uint64_t grid_fingerprint(const std::vector<Cell>& cells,
+                                             std::uint64_t base_seed);
+
+/// Axis grammar shared by the CLI and scripts: a comma-separated list of
+/// items, each either a plain integer, `2^E`, or a doubling range `A..B`
+/// (from A, doubling while <= B; endpoints may use either spelling).
+/// "2^10..2^13" -> {1024, 2048, 4096, 8192}; "1,8,64" -> {1, 8, 64}.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<std::uint32_t> parse_axis_u32(const std::string& text);
+
+/// Splits "a,b,c" into trimmed non-empty items (shared by axis parsers).
+[[nodiscard]] std::vector<std::string> split_list(const std::string& text);
+
+}  // namespace wakeup::exp

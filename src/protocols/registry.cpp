@@ -1,5 +1,6 @@
 #include "protocols/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "protocols/aloha.hpp"
@@ -74,6 +75,33 @@ const std::vector<std::string>& protocol_names() {
       "tree_splitting", "binary_backoff",
   };
   return names;
+}
+
+bool is_protocol_name(const std::string& name) {
+  const auto& names = protocol_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+ProtocolCapabilities protocol_capabilities(const std::string& name) {
+  // A small probe instance answers every capability question; n/k are large
+  // enough that no constructor degenerates (k <= n, families non-empty).
+  ProtocolSpec spec;
+  spec.name = name;
+  spec.n = 64;
+  spec.k = 4;
+  spec.s = 0;
+  spec.seed = 1;
+  const ProtocolPtr probe = make_protocol_by_name(spec);
+  const Requirements req = probe->requirements();
+  const ObliviousSchedule* schedule = probe->oblivious_schedule();
+  ProtocolCapabilities caps;
+  caps.oblivious = schedule != nullptr;
+  caps.cheap_words = schedule != nullptr && schedule->words_are_cheap();
+  caps.randomized = req.randomized;
+  caps.needs_k = req.needs_k;
+  caps.needs_start_time = req.needs_start_time;
+  caps.needs_collision_detection = req.needs_collision_detection;
+  return caps;
 }
 
 }  // namespace wakeup::proto

@@ -34,4 +34,26 @@ struct ProtocolSpec {
 /// All registered names, in a stable order.
 [[nodiscard]] const std::vector<std::string>& protocol_names();
 
+/// True iff `name` is one of protocol_names().
+[[nodiscard]] bool is_protocol_name(const std::string& name);
+
+/// What a registered protocol can do — queried from a small probe instance,
+/// so the answers track the implementations instead of a hand-maintained
+/// table.  `wakeup_cli list` prints these as capability columns and the
+/// sweep grid validation (exp/sweep_spec.cpp) consults them to reject
+/// engine/protocol combinations with a friendly message instead of a
+/// mid-sweep throw.
+struct ProtocolCapabilities {
+  bool oblivious = false;      ///< exposes ObliviousSchedule (word-parallel engines apply)
+  bool cheap_words = false;    ///< oblivious and words_are_cheap()
+  bool randomized = false;     ///< rebuilt per trial by the sweep harness
+  bool needs_k = false;        ///< Scenario B knowledge
+  bool needs_start_time = false;  ///< Scenario A knowledge
+  bool needs_collision_detection = false;  ///< beyond the paper's model
+};
+
+/// Capabilities of the named protocol.  Throws std::invalid_argument for
+/// unknown names (same contract as make_protocol_by_name).
+[[nodiscard]] ProtocolCapabilities protocol_capabilities(const std::string& name);
+
 }  // namespace wakeup::proto

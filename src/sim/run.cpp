@@ -30,16 +30,13 @@ struct TrialOut {
   double completion = 0;
 };
 
-// Seed derivations — the documented RunSpec contract, stable since the
-// pre-facade harness so historical sweep results stay reproducible.
+// Spec-level spellings of the public seed hooks (bottom of this file).
 std::uint64_t trial_seed(const RunSpec& spec, std::uint64_t i) {
-  return util::hash_words({spec.base_seed, 0x5452ULL /* "TR" */, spec.cell_tag, i});
+  return sim::trial_seed(spec.base_seed, spec.cell_tag, i);
 }
 
-/// Cell-level seed: deterministic protocols are built once per cell from
-/// this, so every trial shares one instance (and one schedule).
 std::uint64_t cell_protocol_seed(const RunSpec& spec) {
-  return util::hash_words({spec.base_seed, 0x50524f544fULL /* "PROTO" */, spec.cell_tag});
+  return sim::cell_protocol_seed(spec.base_seed, spec.cell_tag);
 }
 
 /// Per-trial protocol stream for randomized protocols: derived from the
@@ -489,6 +486,16 @@ RunOutcome Run(const RunSpec& spec, util::ThreadPool* pool) {
 double normalized_mean(const CellResult& result, double bound) {
   if (bound <= 0.0 || result.rounds.count == 0) return 0.0;
   return result.rounds.mean / bound;
+}
+
+// Seed derivations — the documented RunSpec contract, stable since the
+// pre-facade harness so historical sweep results stay reproducible.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell_tag, std::uint64_t trial) {
+  return util::hash_words({base_seed, 0x5452ULL /* "TR" */, cell_tag, trial});
+}
+
+std::uint64_t cell_protocol_seed(std::uint64_t base_seed, std::uint64_t cell_tag) {
+  return util::hash_words({base_seed, 0x50524f544fULL /* "PROTO" */, cell_tag});
 }
 
 }  // namespace wakeup::sim

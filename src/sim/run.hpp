@@ -142,4 +142,22 @@ struct RunOutcome {
 /// statistic of the scaling tables.
 [[nodiscard]] double normalized_mean(const CellResult& result, double bound);
 
+// -- Seed-contract hooks ----------------------------------------------------
+//
+// The two derivations below ARE the documented RunSpec seed contract; they
+// are exposed so layers above the facade (the exp/ sweep orchestrator, test
+// fixtures) can derive per-cell and per-trial streams that agree bit for bit
+// with what `Run` uses internally — e.g. to seed a cell's bootstrap CIs or
+// an adversarial pattern search from the same (base_seed, cell_tag) identity
+// that reproduces the cell in isolation.
+
+/// Seed of trial `i` of cell (base_seed, cell_tag): the wake pattern and
+/// (for randomized protocols) the per-trial protocol stream flow from this.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t cell_tag,
+                                       std::uint64_t trial);
+
+/// Cell-level protocol seed: deterministic protocols are built once per cell
+/// from this and shared by every trial.
+[[nodiscard]] std::uint64_t cell_protocol_seed(std::uint64_t base_seed, std::uint64_t cell_tag);
+
 }  // namespace wakeup::sim

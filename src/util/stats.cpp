@@ -126,6 +126,54 @@ BootstrapCI BootstrapCI::of_mean(const Sample& sample, double level, std::uint64
   return ci;
 }
 
+BootstrapCI BootstrapCI::of_quantile(const Sample& sample, double p, double level,
+                                     std::uint64_t resamples, std::uint64_t seed) {
+  BootstrapCI ci;
+  ci.level = std::clamp(level, 0.5, 0.999);
+  ci.mean = sample.quantile(p);
+  ci.lo = ci.hi = ci.mean;
+  const auto& values = sample.values();
+  if (values.size() < 2 || resamples == 0) return ci;
+
+  // Distinct stream tag from of_mean so the two CIs of one cell draw
+  // independent resamples even when seeded identically.
+  Rng rng(hash_words({seed, 0x51424f4f54ULL /* "QBOOT" */}));
+  // One reused scratch draw per resample; the interpolated quantile needs
+  // only the order statistics at positions lo and lo+1, so two selection
+  // passes beat a full sort (matches Sample::quantile bit for bit).
+  const double clamped_p = std::clamp(p, 0.0, 1.0);
+  const double pos = clamped_p * static_cast<double>(values.size() - 1);
+  const auto lo_rank = static_cast<std::size_t>(pos);
+  const std::size_t hi_rank = std::min(lo_rank + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo_rank);
+  std::vector<double> draw(values.size());
+  std::vector<double> quantiles;
+  quantiles.reserve(resamples);
+  for (std::uint64_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      draw[i] = values[rng.uniform(values.size())];
+    }
+    std::nth_element(draw.begin(), draw.begin() + static_cast<std::ptrdiff_t>(lo_rank),
+                     draw.end());
+    const double lo_value = draw[lo_rank];
+    const double hi_value =
+        hi_rank == lo_rank
+            ? lo_value
+            : *std::min_element(draw.begin() + static_cast<std::ptrdiff_t>(lo_rank) + 1,
+                                draw.end());
+    quantiles.push_back(lo_value * (1.0 - frac) + hi_value * frac);
+  }
+  std::sort(quantiles.begin(), quantiles.end());
+  const double alpha = (1.0 - ci.level) / 2.0;
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(quantiles.size() - 1);
+    return quantiles[static_cast<std::size_t>(pos)];
+  };
+  ci.lo = at(alpha);
+  ci.hi = at(1.0 - alpha);
+  return ci;
+}
+
 LinearFit LinearFit::of(const std::vector<double>& x, const std::vector<double>& y) {
   LinearFit fit;
   const std::size_t n = std::min(x.size(), y.size());

@@ -114,6 +114,12 @@ struct BootstrapCI {
   /// Degenerate samples (size < 2) return [mean, mean].
   [[nodiscard]] static BootstrapCI of_mean(const Sample& sample, double level,
                                            std::uint64_t resamples, std::uint64_t seed);
+
+  /// Same percentile bootstrap for the p-quantile of a sample (`mean` holds
+  /// the point estimate, i.e. sample.quantile(p)).  The sweep aggregator
+  /// uses p = 0.5 for median CIs alongside of_mean.
+  [[nodiscard]] static BootstrapCI of_quantile(const Sample& sample, double p, double level,
+                                               std::uint64_t resamples, std::uint64_t seed);
 };
 
 }  // namespace wakeup::util

@@ -30,6 +30,12 @@
 #include "combinatorics/waking_search.hpp"       // IWYU pragma: export
 #include "combinatorics/waking_verifier.hpp"     // IWYU pragma: export
 
+#include "exp/aggregator.hpp"    // IWYU pragma: export
+#include "exp/manifest.hpp"      // IWYU pragma: export
+#include "exp/presets.hpp"       // IWYU pragma: export
+#include "exp/sweep_runner.hpp"  // IWYU pragma: export
+#include "exp/sweep_spec.hpp"    // IWYU pragma: export
+
 #include "mac/channel.hpp"       // IWYU pragma: export
 #include "mac/multichannel.hpp"  // IWYU pragma: export
 #include "mac/pattern_io.hpp"    // IWYU pragma: export

@@ -54,6 +54,25 @@ TEST(BootstrapCI, LevelClamped) {
   EXPECT_GE(lo.level, 0.5);
 }
 
+TEST(BootstrapCI, QuantileCIBracketsTheEstimate) {
+  wu::Sample s;
+  for (int i = 0; i < 200; ++i) s.push(i % 40);
+  const auto ci = wu::BootstrapCI::of_quantile(s, 0.5, 0.95, 600, 4);
+  EXPECT_NEAR(ci.mean, s.median(), 1e-12);
+  EXPECT_LE(ci.lo, ci.mean);
+  EXPECT_GE(ci.hi, ci.mean);
+  // Deterministic, and on a different resample stream than of_mean.
+  const auto again = wu::BootstrapCI::of_quantile(s, 0.5, 0.95, 600, 4);
+  EXPECT_DOUBLE_EQ(ci.lo, again.lo);
+  EXPECT_DOUBLE_EQ(ci.hi, again.hi);
+
+  wu::Sample one;
+  one.push(7.0);
+  const auto degenerate = wu::BootstrapCI::of_quantile(one, 0.5, 0.95, 100, 1);
+  EXPECT_DOUBLE_EQ(degenerate.lo, 7.0);
+  EXPECT_DOUBLE_EQ(degenerate.hi, 7.0);
+}
+
 TEST(BootstrapCI, NarrowsWithSampleSize) {
   wu::Sample small_sample, big;
   for (int i = 0; i < 10; ++i) small_sample.push((i * 13) % 20);

@@ -58,6 +58,28 @@ TEST(Registry, EveryDeterministicNoCdProtocolSolvesABasicInstance) {
   }
 }
 
+TEST(Registry, CapabilitiesMatchTheConstructedProtocols) {
+  // The capability table is probed from real instances, so it can never
+  // drift from the implementations `wakeup_cli list` and the sweep grid
+  // validation rely on.
+  for (const auto& name : wp::protocol_names()) {
+    const auto caps = wp::protocol_capabilities(name);
+    const auto protocol = wp::make_protocol_by_name(spec_for(name));
+    EXPECT_EQ(caps.oblivious, protocol->oblivious_schedule() != nullptr) << name;
+    EXPECT_EQ(caps.randomized, protocol->requirements().randomized) << name;
+    EXPECT_EQ(caps.needs_k, protocol->requirements().needs_k) << name;
+    EXPECT_EQ(caps.needs_start_time, protocol->requirements().needs_start_time) << name;
+    if (caps.cheap_words) EXPECT_TRUE(caps.oblivious) << name;
+  }
+  EXPECT_TRUE(wp::protocol_capabilities("round_robin").oblivious);
+  EXPECT_TRUE(wp::protocol_capabilities("round_robin").cheap_words);
+  EXPECT_FALSE(wp::protocol_capabilities("slotted_aloha").oblivious);
+  EXPECT_TRUE(wp::protocol_capabilities("tree_splitting").needs_collision_detection);
+  EXPECT_THROW((void)wp::protocol_capabilities("nope"), std::invalid_argument);
+  EXPECT_TRUE(wp::is_protocol_name("wakeup_matrix"));
+  EXPECT_FALSE(wp::is_protocol_name("wakeup_matrix2"));
+}
+
 TEST(Registry, RequirementFlagsMatchScenarios) {
   EXPECT_TRUE(wp::make_protocol_by_name(spec_for("wakeup_with_s"))->requirements().needs_start_time);
   EXPECT_TRUE(wp::make_protocol_by_name(spec_for("wakeup_with_k"))->requirements().needs_k);

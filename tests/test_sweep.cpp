@@ -1,0 +1,549 @@
+/// Sweep orchestration subsystem (src/exp/): grid expansion determinism,
+/// axis grammar, validation messages, streaming aggregation vs a naive
+/// reference, manifest round-trips (incl. torn tails), resume-equals-fresh
+/// byte identity, oversubscription-safe cell sharding, and a concurrent
+/// TrialCsvSink stress.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "exp/aggregator.hpp"
+#include "exp/manifest.hpp"
+#include "exp/presets.hpp"
+#include "exp/sweep_runner.hpp"
+#include "exp/sweep_spec.hpp"
+#include "sim/results_sink.hpp"
+#include "sim/run.hpp"
+#include "util/thread_pool.hpp"
+
+namespace we = wakeup::exp;
+namespace ws = wakeup::sim;
+namespace wu = wakeup::util;
+
+namespace {
+
+/// Small grid that still exercises several protocols/patterns: 2 x 2 x 2
+/// x 1 x 1 = 8 cells, seconds-scale.
+we::SweepSpec small_spec() {
+  we::SweepSpec spec;
+  spec.protocols = {"round_robin", "wakeup_with_k"};
+  spec.ns = {64, 128};
+  spec.ks = {2, 4};
+  spec.patterns = {we::PatternKind::kUniform};
+  spec.trials = 6;
+  spec.base_seed = 11;
+  return spec;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("wakeup_sweep_test_" + name)).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Manifest record lines (header dropped), sorted — completion order is
+/// scheduling-dependent, the *set* of records is not.
+std::vector<std::string> sorted_manifest_records(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+ws::SimResult trial_result(bool success, std::int64_t rounds, std::uint64_t collisions,
+                           std::uint64_t silences) {
+  ws::SimResult r;
+  r.success = success;
+  r.rounds = rounds;
+  r.collisions = collisions;
+  r.silences = silences;
+  return r;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- grid expansion --
+
+TEST(SweepSpec, ExpansionIsDeterministicAndStablyOrdered) {
+  const auto a = we::expand(small_spec());
+  const auto b = we::expand(small_spec());
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    EXPECT_EQ(a[i].tag_hash, b[i].tag_hash);
+    EXPECT_EQ(a[i].index, i);
+  }
+  // Protocol-major order, then n, then k.
+  EXPECT_EQ(a[0].protocol, "round_robin");
+  EXPECT_EQ(a[0].n, 64u);
+  EXPECT_EQ(a[0].k, 2u);
+  EXPECT_EQ(a[1].k, 4u);
+  EXPECT_EQ(a[2].n, 128u);
+  EXPECT_EQ(a[4].protocol, "wakeup_with_k");
+}
+
+TEST(SweepSpec, CellIdentityIsIndependentOfTheRestOfTheGrid) {
+  // The reproducibility contract: a cell's tag/seed depend only on its own
+  // coordinates, so any subset of cells (a resumed run, a single re-run
+  // cell) reproduces the full sweep bit-identically.
+  auto spec = small_spec();
+  const auto full = we::expand(spec);
+  spec.protocols = {"wakeup_with_k"};
+  spec.ns = {128};
+  spec.ks = {4};
+  const auto solo = we::expand(spec);
+  ASSERT_EQ(solo.size(), 1u);
+  const auto match = std::find_if(full.begin(), full.end(), [&](const we::Cell& cell) {
+    return cell.tag == solo[0].tag;
+  });
+  ASSERT_NE(match, full.end());
+  EXPECT_EQ(match->tag_hash, solo[0].tag_hash);
+  // And the trial seeds derived from it agree with the facade's contract.
+  EXPECT_EQ(ws::trial_seed(spec.base_seed, match->tag_hash, 3),
+            ws::trial_seed(spec.base_seed, solo[0].tag_hash, 3));
+}
+
+TEST(SweepSpec, InfeasibleKCellsAreDropped) {
+  auto spec = small_spec();
+  spec.ns = {4, 64};
+  spec.ks = {2, 32};
+  const auto cells = we::expand(spec);
+  for (const auto& cell : cells) EXPECT_LE(cell.k, cell.n);
+  // 2 protocols x {(4,2),(64,2),(64,32)}.
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(SweepSpec, UnknownProtocolGetsAFriendlyError) {
+  auto spec = small_spec();
+  spec.protocols = {"round_robbin"};
+  try {
+    (void)we::expand(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("round_robbin"), std::string::npos);
+    EXPECT_NE(what.find("round_robin"), std::string::npos);  // the registry listing
+    EXPECT_NE(what.find("wakeup_cli list"), std::string::npos);
+  }
+}
+
+TEST(SweepSpec, BatchEngineOnNonObliviousProtocolRejectedUpFront) {
+  auto spec = small_spec();
+  spec.protocols = {"slotted_aloha"};
+  spec.engines = {ws::Engine::kBatch};
+  EXPECT_THROW((void)we::expand(spec), std::invalid_argument);
+}
+
+TEST(SweepSpec, AdversarialPatternIsSingleChannelOnly) {
+  auto spec = small_spec();
+  spec.patterns = {we::PatternKind::kAdversarial};
+  spec.channels = {1, 4};
+  EXPECT_THROW((void)we::expand(spec), std::invalid_argument);
+}
+
+TEST(SweepSpec, AxisGrammar) {
+  EXPECT_EQ(we::parse_axis_u32("2^10..2^13"),
+            (std::vector<std::uint32_t>{1024, 2048, 4096, 8192}));
+  EXPECT_EQ(we::parse_axis_u32("1,8,64"), (std::vector<std::uint32_t>{1, 8, 64}));
+  EXPECT_EQ(we::parse_axis_u32("2^5"), (std::vector<std::uint32_t>{32}));
+  EXPECT_EQ(we::parse_axis_u32("3..24"), (std::vector<std::uint32_t>{3, 6, 12, 24}));
+  EXPECT_EQ(we::parse_axis_u32("16, 2^6..2^7"), (std::vector<std::uint32_t>{16, 64, 128}));
+  EXPECT_THROW((void)we::parse_axis_u32(""), std::invalid_argument);
+  EXPECT_THROW((void)we::parse_axis_u32("abc"), std::invalid_argument);
+  EXPECT_THROW((void)we::parse_axis_u32("3^4"), std::invalid_argument);
+  EXPECT_THROW((void)we::parse_axis_u32("8..2"), std::invalid_argument);
+  EXPECT_THROW((void)we::parse_axis_u32("0"), std::invalid_argument);
+  EXPECT_THROW((void)we::parse_axis_u32("2^33"), std::invalid_argument);
+}
+
+TEST(SweepSpec, GridFingerprintPinsSpecAndSeed) {
+  const auto cells = we::expand(small_spec());
+  EXPECT_EQ(we::grid_fingerprint(cells, 11), we::grid_fingerprint(cells, 11));
+  EXPECT_NE(we::grid_fingerprint(cells, 11), we::grid_fingerprint(cells, 12));
+  auto bigger = small_spec();
+  bigger.ks = {2, 4, 8};
+  EXPECT_NE(we::grid_fingerprint(we::expand(bigger), 11), we::grid_fingerprint(cells, 11));
+}
+
+// ----------------------------------------------------------- aggregator --
+
+TEST(Aggregator, MatchesNaiveReferenceAndIgnoresAddOrder) {
+  // Known samples: successes {10, 20, 30, 40} + one failure.
+  const std::vector<ws::SimResult> trials = {
+      trial_result(true, 10, 1, 100), trial_result(true, 20, 2, 200),
+      trial_result(false, -1, 9, 900), trial_result(true, 30, 3, 300),
+      trial_result(true, 40, 4, 400),
+  };
+  we::Aggregator forward(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) forward.add(i, trials[i]);
+  we::Aggregator backward(trials.size());
+  for (std::size_t i = trials.size(); i-- > 0;) backward.add(i, trials[i]);
+
+  const we::CellStats stats = forward.finalize(500, 42);
+  EXPECT_EQ(stats.trials, 5u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_DOUBLE_EQ(stats.success_rate, 0.8);
+  EXPECT_EQ(stats.rounds.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.rounds.mean, 25.0);
+  EXPECT_DOUBLE_EQ(stats.rounds.median, 25.0);
+  EXPECT_DOUBLE_EQ(stats.rounds.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.rounds.max, 40.0);
+  EXPECT_DOUBLE_EQ(stats.rounds.p95, 38.5);  // linear interpolation
+  EXPECT_DOUBLE_EQ(stats.collisions.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.silences.mean, 250.0);
+  EXPECT_LE(stats.rounds_mean_ci.lo, stats.rounds.mean);
+  EXPECT_GE(stats.rounds_mean_ci.hi, stats.rounds.mean);
+  EXPECT_LE(stats.rounds_median_ci.lo, stats.rounds.median);
+  EXPECT_GE(stats.rounds_median_ci.hi, stats.rounds.median);
+
+  // Trial-indexed storage: completion order cannot move any statistic
+  // (this is what makes sweep reports thread-count-independent).
+  const we::CellStats reversed = backward.finalize(500, 42);
+  EXPECT_DOUBLE_EQ(reversed.rounds_mean_ci.lo, stats.rounds_mean_ci.lo);
+  EXPECT_DOUBLE_EQ(reversed.rounds_mean_ci.hi, stats.rounds_mean_ci.hi);
+  EXPECT_DOUBLE_EQ(reversed.rounds_median_ci.lo, stats.rounds_median_ci.lo);
+  EXPECT_DOUBLE_EQ(reversed.rounds_median_ci.hi, stats.rounds_median_ci.hi);
+}
+
+TEST(Aggregator, ZeroResamplesDegeneratesCIs) {
+  we::Aggregator agg(2);
+  agg.add(0, trial_result(true, 10, 0, 0));
+  agg.add(1, trial_result(true, 30, 0, 0));
+  const we::CellStats stats = agg.finalize(0, 1);
+  EXPECT_DOUBLE_EQ(stats.rounds_mean_ci.lo, 20.0);
+  EXPECT_DOUBLE_EQ(stats.rounds_mean_ci.hi, 20.0);
+}
+
+// -------------------------------------------------------------- manifest --
+
+TEST(Manifest, RecordRoundTrips) {
+  const auto cells = we::expand(small_spec());
+  we::CellRecord record;
+  record.cell = cells[3];
+  record.stats.trials = 6;
+  record.stats.failures = 1;
+  record.stats.success_rate = 5.0 / 6.0;
+  record.stats.rounds.count = 5;
+  record.stats.rounds.mean = 12.3456789012345678;
+  record.stats.rounds.median = 11.5;
+  record.stats.rounds.p95 = 19.25;
+  record.stats.rounds.max = 21.0;
+  record.stats.rounds_mean_ci = {12.34, 10.0, 15.0, 0.95};
+  record.stats.rounds_median_ci = {11.5, 9.0, 14.0, 0.95};
+  record.bound = 36.0;
+  record.normalized_mean = record.stats.rounds.mean / record.bound;
+
+  const we::CellRecord parsed = we::parse_manifest_line(we::manifest_line(record));
+  EXPECT_EQ(parsed.cell.tag, record.cell.tag);
+  EXPECT_EQ(parsed.cell.tag_hash, record.cell.tag_hash);
+  EXPECT_EQ(parsed.cell.protocol, record.cell.protocol);
+  EXPECT_EQ(parsed.cell.n, record.cell.n);
+  EXPECT_EQ(parsed.cell.k, record.cell.k);
+  EXPECT_EQ(parsed.cell.index, record.cell.index);
+  EXPECT_EQ(parsed.stats.failures, record.stats.failures);
+  // %.17g round-trips doubles exactly — the keystone of resume identity.
+  EXPECT_EQ(parsed.stats.rounds.mean, record.stats.rounds.mean);
+  EXPECT_EQ(parsed.stats.success_rate, record.stats.success_rate);
+  EXPECT_EQ(parsed.stats.rounds_mean_ci.lo, record.stats.rounds_mean_ci.lo);
+  EXPECT_EQ(parsed.stats.rounds_median_ci.hi, record.stats.rounds_median_ci.hi);
+  EXPECT_EQ(parsed.bound, record.bound);
+  EXPECT_EQ(parsed.normalized_mean, record.normalized_mean);
+}
+
+TEST(Manifest, TornTailIsDroppedMidFileDamageThrows) {
+  const auto cells = we::expand(small_spec());
+  we::CellRecord record;
+  record.cell = cells[0];
+  record.stats.trials = 6;
+
+  const std::string dir = fresh_dir("torn");
+  ASSERT_TRUE(wu::ensure_directory(dir));
+  const std::string path = dir + "/manifest.jsonl";
+  {
+    we::ManifestHeader header;
+    header.base_seed = 11;
+    header.grid_hash = we::grid_fingerprint(cells, 11);
+    header.cells = cells.size();
+    we::ManifestWriter writer(path, header, /*append=*/false);
+    writer.append(record);
+  }
+  {  // tear the tail: a kill mid-append
+    std::ofstream out(path, std::ios::app);
+    out << "{\"tag\":\"protocol=trunc";
+  }
+  const we::ManifestData data = we::load_manifest(path);
+  EXPECT_EQ(data.by_tag.size(), 1u);
+  EXPECT_EQ(data.dropped_lines, 1u);
+  EXPECT_EQ(data.header.cells, cells.size());
+
+  {  // damage BEFORE the last line is corruption, not a torn tail
+    std::ofstream out(path, std::ios::app);
+    out << "\n" << we::manifest_line(record) << "\n";
+  }
+  EXPECT_THROW((void)we::load_manifest(path), std::runtime_error);
+}
+
+// ------------------------------------------------------------ run_sweep --
+
+TEST(SweepRunner, ResumeEqualsFreshByteIdentically) {
+  const auto spec = small_spec();
+  we::SweepOptions fresh;
+  fresh.out_dir = fresh_dir("fresh");
+  fresh.ci_resamples = 200;
+  const auto full = we::run_sweep(spec, fresh);
+  ASSERT_TRUE(full.completed);
+  EXPECT_EQ(full.cells_run, 8u);
+
+  we::SweepOptions interrupted;
+  interrupted.out_dir = fresh_dir("resumed");
+  interrupted.ci_resamples = 200;
+  interrupted.max_cells = 3;  // simulated mid-grid kill
+  const auto partial = we::run_sweep(spec, interrupted);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(partial.cells_run, 3u);
+  EXPECT_EQ(partial.cells_remaining, 5u);
+
+  interrupted.max_cells = 0;
+  interrupted.resume = true;
+  const auto resumed = we::run_sweep(spec, interrupted);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.cells_resumed, 3u);
+  EXPECT_EQ(resumed.cells_run, 5u);
+
+  EXPECT_EQ(slurp(full.csv_path), slurp(resumed.csv_path));
+  EXPECT_EQ(slurp(full.json_path), slurp(resumed.json_path));
+  EXPECT_EQ(sorted_manifest_records(full.manifest_path),
+            sorted_manifest_records(resumed.manifest_path));
+}
+
+TEST(SweepRunner, ResumeRepairsATornManifestTail) {
+  // A real kill can land mid-append, leaving a partial trailing line.  The
+  // resumed writer must not glue its first record onto the fragment: the
+  // torn cell re-runs, the manifest stays parseable line by line, and the
+  // final report is still byte-identical to a fresh run.
+  const auto spec = small_spec();
+  we::SweepOptions fresh;
+  fresh.out_dir = fresh_dir("torn_fresh");
+  fresh.ci_resamples = 100;
+  const auto full = we::run_sweep(spec, fresh);
+  ASSERT_TRUE(full.completed);
+
+  we::SweepOptions torn;
+  torn.out_dir = fresh_dir("torn_resume");
+  torn.ci_resamples = 100;
+  torn.max_cells = 4;
+  (void)we::run_sweep(spec, torn);
+  {  // tear the tail mid-record, no trailing newline
+    std::ofstream out(torn.out_dir + "/manifest.jsonl", std::ios::app);
+    out << "{\"tag\":\"protocol=round_ro";
+  }
+  torn.max_cells = 0;
+  torn.resume = true;
+  const auto resumed = we::run_sweep(spec, torn);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.cells_resumed, 4u);
+  EXPECT_EQ(slurp(full.csv_path), slurp(resumed.csv_path));
+  EXPECT_EQ(slurp(full.json_path), slurp(resumed.json_path));
+  // Every manifest line parses — no glued/torn lines survived — and a
+  // THIRD pass (e.g. another kill later) still resumes cleanly.
+  const auto data = we::load_manifest(resumed.manifest_path);
+  EXPECT_EQ(data.by_tag.size(), 8u);
+  EXPECT_EQ(data.dropped_lines, 0u);
+}
+
+TEST(SweepRunner, ZeroWorkerPoolStaysInlineOnTheCellShardedPath) {
+  // --threads=0 means "no worker threads anywhere": a 0-worker pool runs
+  // parallel_for on the caller (NOT a worker thread), so the cell-sharded
+  // path must hand the inline pool to the nested Runs instead of letting
+  // them fall through to the multi-threaded shared pool.  Exercises that
+  // branch and pins byte-identity against the trial-sharded inline run.
+  const auto spec = small_spec();
+  wu::ThreadPool pool0(0);
+
+  we::SweepOptions cells_mode;
+  cells_mode.out_dir = fresh_dir("zero_worker_cells");
+  cells_mode.ci_resamples = 100;
+  cells_mode.pool = &pool0;
+  cells_mode.sharding = we::Sharding::kCells;
+  const auto via_cells = we::run_sweep(spec, cells_mode);
+  ASSERT_TRUE(via_cells.completed);
+
+  we::SweepOptions trials_mode;
+  trials_mode.out_dir = fresh_dir("zero_worker_trials");
+  trials_mode.ci_resamples = 100;
+  trials_mode.pool = &pool0;
+  trials_mode.sharding = we::Sharding::kTrials;
+  const auto via_trials = we::run_sweep(spec, trials_mode);
+  EXPECT_EQ(slurp(via_cells.csv_path), slurp(via_trials.csv_path));
+  EXPECT_EQ(slurp(via_cells.json_path), slurp(via_trials.json_path));
+}
+
+TEST(SweepRunner, ResumeRefusesAForeignManifest) {
+  auto spec = small_spec();
+  we::SweepOptions options;
+  options.out_dir = fresh_dir("foreign");
+  options.ci_resamples = 50;
+  (void)we::run_sweep(spec, options);
+  spec.base_seed = 999;  // different seed => different grid fingerprint seeding
+  options.resume = true;
+  EXPECT_THROW((void)we::run_sweep(spec, options), std::runtime_error);
+}
+
+TEST(SweepRunner, CellShardedNestedRunsStayInline) {
+  // The oversubscription guard on the cell-sharded path: cells are pool
+  // tasks, and the sim::Run inside each worker must detect the pool via
+  // ThreadPool::current() and run its trials inline.  With ONE worker,
+  // queueing trials back on the pool would deadlock — completion is the
+  // proof — and the report must be bitwise identical to the inline run.
+  const auto spec = small_spec();
+
+  we::SweepOptions inline_run;
+  inline_run.out_dir = fresh_dir("inline");
+  inline_run.ci_resamples = 100;
+  wu::ThreadPool inline_pool(0);
+  inline_run.pool = &inline_pool;
+  inline_run.sharding = we::Sharding::kTrials;
+  const auto inline_outcome = we::run_sweep(spec, inline_run);
+
+  we::SweepOptions one_worker;
+  one_worker.out_dir = fresh_dir("one_worker");
+  one_worker.ci_resamples = 100;
+  wu::ThreadPool pool1(1);
+  one_worker.pool = &pool1;
+  one_worker.sharding = we::Sharding::kCells;
+  const auto one_outcome = we::run_sweep(spec, one_worker);
+
+  we::SweepOptions many_workers;
+  many_workers.out_dir = fresh_dir("many_workers");
+  many_workers.ci_resamples = 100;
+  wu::ThreadPool pool4(4);
+  many_workers.pool = &pool4;
+  many_workers.sharding = we::Sharding::kCells;
+  const auto many_outcome = we::run_sweep(spec, many_workers);
+
+  EXPECT_EQ(slurp(inline_outcome.csv_path), slurp(one_outcome.csv_path));
+  EXPECT_EQ(slurp(inline_outcome.csv_path), slurp(many_outcome.csv_path));
+  EXPECT_EQ(slurp(inline_outcome.json_path), slurp(many_outcome.json_path));
+}
+
+TEST(SweepRunner, ConcurrentTrialCsvSinkStressNoTornRows) {
+  // Many cells stream into ONE per-trial sink from pool workers; every row
+  // must arrive whole (the sink serializes writers).
+  we::SweepSpec spec;
+  spec.protocols = {"round_robin", "wakeup_with_k", "wait_and_go"};
+  spec.ns = {64, 128};
+  spec.ks = {2, 4};
+  spec.patterns = {we::PatternKind::kStaggered};
+  spec.trials = 16;
+  spec.base_seed = 3;
+  const auto cells = we::expand(spec);
+  ASSERT_EQ(cells.size(), 12u);
+
+  const std::string dir = fresh_dir("csv_stress");
+  ASSERT_TRUE(wu::ensure_directory(dir));
+  const std::string csv_path = dir + "/trials.csv";
+  {
+    ws::TrialCsvSink sink(csv_path);
+    we::SweepOptions options;
+    options.out_dir = dir;
+    options.ci_resamples = 0;
+    options.trial_csv = &sink;
+    wu::ThreadPool pool(4);
+    options.pool = &pool;
+    options.sharding = we::Sharding::kCells;
+    const auto outcome = we::run_sweep(spec, options);
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_EQ(sink.rows(), cells.size() * spec.trials);
+  }  // close the sink so every buffered row reaches the file
+
+  std::ifstream in(csv_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  const auto field_count = [](const std::string& row) {
+    return 1 + std::count(row.begin(), row.end(), ',');
+  };
+  const auto expected_fields = field_count(line);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ASSERT_EQ(field_count(line), expected_fields) << "torn row: " << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, cells.size() * spec.trials);
+}
+
+TEST(SweepRunner, MultichannelAndAdversarialCellsRun) {
+  we::SweepSpec spec;
+  spec.protocols = {"striped_rr", "round_robin"};
+  spec.ns = {64};
+  spec.ks = {4};
+  spec.channels = {2};
+  spec.patterns = {we::PatternKind::kUniform};
+  spec.trials = 4;
+  we::SweepOptions options;
+  options.out_dir = fresh_dir("mc");
+  options.ci_resamples = 0;
+  const auto outcome = we::run_sweep(spec, options);
+  ASSERT_TRUE(outcome.completed);
+  ASSERT_EQ(outcome.records.size(), 2u);
+  for (const auto& record : outcome.records) {
+    EXPECT_EQ(record.stats.failures, 0u) << record.cell.tag;
+    EXPECT_GT(record.bound, 0.0);
+  }
+
+  we::SweepSpec adv;
+  adv.protocols = {"round_robin"};
+  adv.ns = {32};
+  adv.ks = {3};
+  adv.patterns = {we::PatternKind::kAdversarial};
+  adv.trials = 3;
+  we::SweepOptions adv_options;
+  adv_options.out_dir = fresh_dir("adv");
+  adv_options.ci_resamples = 0;
+  const auto adv_outcome = we::run_sweep(adv, adv_options);
+  ASSERT_TRUE(adv_outcome.completed);
+  EXPECT_EQ(adv_outcome.records[0].stats.failures, 0u);
+  // Round-robin against ITS hardest k=3 pattern should cost more rounds
+  // than the average staggered run — sanity, not a tight claim.
+  EXPECT_GE(adv_outcome.records[0].stats.rounds.mean, 3.0);
+}
+
+// --------------------------------------------------------------- presets --
+
+TEST(Presets, AllNamedGridsExpand) {
+  for (const auto& name : we::preset_names()) {
+    const auto spec = we::make_preset(name);
+    const auto cells = we::expand(spec);
+    EXPECT_FALSE(cells.empty()) << name;
+  }
+  EXPECT_THROW((void)we::make_preset("figure-scenario-z"), std::invalid_argument);
+  // The acceptance grid: 4 protocols x 6 n x 4 k.
+  EXPECT_EQ(we::expand(we::make_preset("figure-scenario-b")).size(), 96u);
+  EXPECT_LE(we::expand(we::make_preset("smoke")).size(), 16u);
+}

@@ -83,3 +83,23 @@ TEST(ThreadPool, SequentialCallsAccumulate) {
 }
 
 TEST(ThreadPool, DefaultWorkersPositive) { EXPECT_GE(wu::ThreadPool::default_workers(), 1u); }
+
+TEST(ThreadPool, CurrentDetectsOwningPoolInsideWorkers) {
+  // The nested-dispatch guard: inside a worker, current() names the owning
+  // pool (sim::Run and the sweep runner key inline fallback off this);
+  // outside any worker — including inline 0-worker execution — it is null.
+  EXPECT_EQ(wu::ThreadPool::current(), nullptr);
+  wu::ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 16, [&](std::size_t) {
+    if (wu::ThreadPool::current() == &pool) hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 16);
+
+  wu::ThreadPool inline_pool(0);
+  bool inline_null = false;
+  inline_pool.parallel_for(0, 1,
+                           [&](std::size_t) { inline_null = wu::ThreadPool::current() == nullptr; });
+  EXPECT_TRUE(inline_null);
+  EXPECT_EQ(wu::ThreadPool::current(), nullptr);
+}

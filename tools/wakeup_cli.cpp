@@ -9,19 +9,23 @@
 ///                   [--channels=4] [--mc=adapter|striped_rr|group_wag|random_rpd]
 ///                   [--per-trial-csv=trials.csv]
 ///                   [--pattern-file=arrivals.csv] [--save-pattern=out.csv]
+///   wakeup_cli sweep --preset=figure-scenario-b --out=sweep_b [--resume]
+///   wakeup_cli sweep --protocols=wakeup_with_k,round_robin --n=2^10..2^13 --k=1,8,64
 ///   wakeup_cli adversary --protocol=round_robin --n=128 --k=16 [--seed=1]
 ///   wakeup_cli certify --n=16 [--c=2] [--seed=1]          # waking-matrix seed search
-///   wakeup_cli list                                       # registered protocols
+///   wakeup_cli list                                       # protocols + capabilities
 ///
 /// Exit code 0 on success (wake-up achieved in every trial), 1 otherwise.
 
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 
 #include "combinatorics/waking_search.hpp"
 #include "mac/pattern_io.hpp"
 #include "util/args.hpp"
+#include "util/table.hpp"
 #include "wakeup/wakeup.hpp"
 
 using namespace wakeup;
@@ -34,9 +38,10 @@ void print_usage() {
 
 commands:
   run        simulate a protocol against a wake pattern
+  sweep      run a declarative parameter grid (presets or --protocols/--n/--k axes)
   adversary  play the Theorem 2.1 element-swap game against a protocol
   certify    search for a certified waking-matrix seed (small n)
-  list       list registered protocols
+  list       list registered protocols with capability columns
 
 common options:
   --protocol=<name>      (see `list`; default wakeup_matrix)
@@ -60,6 +65,30 @@ run options:
                          (default adapter: --protocol embedded on channel 0)
   --per-trial-csv=<csv>  stream one result row per trial (no accumulation)
 
+sweep options:
+  --preset=<name>        figure-scenario-a/b/c, crossover, multichannel-scaling,
+                         smoke (grid flags below override preset axes)
+  --protocols=<a,b,..>   protocol axis: registry names and/or striped_rr,
+                         group_wag, random_rpd
+  --n=<axis>             axis grammar: N, 2^E, doubling range A..B, commas
+                         (e.g. --n=2^10..2^17 --k=1,8,64)
+  --k=<axis>  --channels=<axis>
+  --pattern=<a,b,..>     generator kinds plus `adversarial` (per-cell
+                         hardest-pattern search, sim/adversary)
+  --engine=<a,b,..>      auto|interpret|batch (axis)
+  --trials=<int>         Monte-Carlo trials per cell
+  --out=<dir>            output directory (manifest.jsonl, report.csv/json;
+                         default sweep_out)
+  --resume               skip cells already in the manifest; the final
+                         report is byte-identical to an uninterrupted run
+  --threads=<int>        pool size for cell/trial parallelism (default:
+                         shared pool; 0 = inline)
+  --sharding=<sel>       auto|cells|trials
+  --ci-resamples=<int>   bootstrap resamples per cell (default 2000)
+  --max-cells=<int>      stop after N pending cells (CI/kill simulation)
+  --per-trial-csv=<csv>  stream one row per trial across all cells
+  --quiet                suppress per-cell progress lines
+
 note: --save-pattern generates one pattern up front, saves it, and replays
 it for every trial (use --pattern-file to re-run it later).
 )";
@@ -72,8 +101,125 @@ mac::patterns::Kind parse_kind(const std::string& label) {
   throw std::invalid_argument("unknown pattern kind: " + label);
 }
 
+const char* yn(bool v) { return v ? "yes" : "-"; }
+
 int cmd_list() {
-  for (const auto& name : proto::protocol_names()) std::cout << name << "\n";
+  // The capability columns are the same answers exp/sweep_spec.cpp
+  // validates grids against, so what this table says runs, runs.
+  util::ConsoleTable table(
+      {"protocol", "oblivious", "cheap-words", "randomized", "needs-k", "needs-s", "needs-cd"});
+  for (const auto& name : proto::protocol_names()) {
+    const auto caps = proto::protocol_capabilities(name);
+    table.cell(name)
+        .cell(yn(caps.oblivious))
+        .cell(yn(caps.cheap_words))
+        .cell(yn(caps.randomized))
+        .cell(yn(caps.needs_k))
+        .cell(yn(caps.needs_start_time))
+        .cell(yn(caps.needs_collision_detection));
+    table.end_row();
+  }
+  table.print(std::cout);
+  std::cout << "\nmultichannel strategies (sweep --protocols / run --mc): ";
+  bool first = true;
+  for (const auto& name : exp::mc_strategy_names()) {
+    std::cout << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cout << ", adapter (any registry protocol at --channels > 1)\n"
+            << "oblivious protocols batch word-parallel; non-oblivious ones run on the\n"
+            << "slot interpreter (engine=batch rejects them at grid validation).\n";
+  return 0;
+}
+
+int cmd_sweep(const util::Args& args) {
+  exp::SweepSpec spec =
+      args.has("preset") ? exp::make_preset(args.get("preset")) : exp::SweepSpec{};
+  if (args.has("protocols")) spec.protocols = exp::split_list(args.get("protocols"));
+  if (args.has("n")) spec.ns = exp::parse_axis_u32(args.get("n"));
+  if (args.has("k")) spec.ks = exp::parse_axis_u32(args.get("k"));
+  if (args.has("channels")) spec.channels = exp::parse_axis_u32(args.get("channels"));
+  if (args.has("pattern")) {
+    spec.patterns.clear();
+    for (const auto& label : exp::split_list(args.get("pattern"))) {
+      spec.patterns.push_back(exp::parse_pattern(label));
+    }
+  }
+  if (args.has("engine")) {
+    spec.engines.clear();
+    for (const auto& label : exp::split_list(args.get("engine"))) {
+      spec.engines.push_back(exp::parse_engine(label));
+    }
+  }
+  // Bounded integer options: a negative value would wrap through the
+  // uint64 casts into a ~2^64 trial count / resample loop.
+  const auto bounded = [&args](const char* key, std::int64_t fallback, std::int64_t lo,
+                               std::int64_t hi) {
+    const std::int64_t v = args.get_int(key, fallback);
+    if (v < lo || v > hi) {
+      throw std::invalid_argument("--" + std::string(key) + " must be in [" +
+                                  std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    return v;
+  };
+  if (args.has("trials")) {
+    spec.trials = static_cast<std::uint64_t>(bounded("trials", 64, 1, 1'000'000'000));
+  }
+  if (args.has("seed")) spec.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("s")) spec.s = bounded("s", 0, 0, std::numeric_limits<std::int64_t>::max());
+  if (args.has("max-slots")) spec.sim.max_slots = args.get_int("max-slots", 0);
+
+  exp::SweepOptions options;
+  options.out_dir = args.get("out", "sweep_out");
+  options.resume = args.get_flag("resume");
+  options.ci_resamples =
+      static_cast<std::uint64_t>(bounded("ci-resamples", 2000, 0, 1'000'000));
+  options.max_cells =
+      static_cast<std::uint64_t>(bounded("max-cells", 0, 0, 1'000'000'000));
+  options.progress = !args.get_flag("quiet");
+  const std::string sharding = args.get("sharding", "auto");
+  if (sharding == "cells") {
+    options.sharding = exp::Sharding::kCells;
+  } else if (sharding == "trials") {
+    options.sharding = exp::Sharding::kTrials;
+  } else if (sharding != "auto") {
+    throw std::invalid_argument("unknown sharding '" + sharding +
+                                "' (one of: auto, cells, trials)");
+  }
+
+  std::unique_ptr<sim::TrialCsvSink> csv;
+  if (args.has("per-trial-csv")) {
+    // The sink may target the (not yet created) output directory.
+    if (!util::ensure_directory(options.out_dir)) {
+      throw std::runtime_error("cannot create output directory " + options.out_dir);
+    }
+    csv = std::make_unique<sim::TrialCsvSink>(args.get("per-trial-csv"));
+    options.trial_csv = csv.get();
+  }
+  std::unique_ptr<util::ThreadPool> own_pool;
+  if (args.has("threads")) {
+    const std::int64_t threads = args.get_int("threads", 0);
+    if (threads < 0 || threads > 1024) {
+      throw std::invalid_argument("--threads must be in [0, 1024] (0 = inline)");
+    }
+    own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
+    options.pool = own_pool.get();
+  }
+
+  const exp::SweepOutcome outcome = exp::run_sweep(spec, options);
+  std::cout << "cells: " << outcome.cells_total << " total, " << outcome.cells_run << " run, "
+            << outcome.cells_resumed << " resumed, " << outcome.cells_remaining
+            << " remaining\n"
+            << "manifest: " << outcome.manifest_path << "\n";
+  if (csv) std::cout << "[per-trial csv] " << csv->path() << " (" << csv->rows() << " rows)\n";
+  if (!outcome.completed) {
+    std::cout << "sweep interrupted by --max-cells; re-run with --resume to finish\n";
+    return 1;
+  }
+  std::cout << "report: " << outcome.csv_path << "  " << outcome.json_path << "\n";
+  std::uint64_t failures = 0;
+  for (const auto& record : outcome.records) failures += record.stats.failures;
+  std::cout << "trials with budget exhaustion across the grid: " << failures << "\n";
   return 0;
 }
 
@@ -284,6 +430,7 @@ int main(int argc, char** argv) {
     const std::string& command = args.positional().front();
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "adversary") return cmd_adversary(args);
     if (command == "certify") return cmd_certify(args);
     std::cerr << "unknown command: " << command << "\n";
