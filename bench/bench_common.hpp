@@ -12,11 +12,32 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "wakeup/wakeup.hpp"
 
 namespace wakeup::bench {
 
 inline util::ThreadPool& pool() { return util::ThreadPool::shared(); }
+
+/// Peak resident set size of this process in bytes (0 when unavailable).
+/// Recorded into every JSON report so the memory trajectory — the whole
+/// point of the implicit-family work — is tracked alongside throughput.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
 
 /// One JSON scalar: number or string (bools become 0/1 numbers).
 struct JsonValue {
@@ -87,16 +108,19 @@ class JsonReport {
     const std::string path = dir + "/BENCH_" + name_ + ".json";
     std::ofstream out(path);
     if (!out.good()) return "";
+    // Snapshot peak RSS at write time — after every cell has run.
+    JsonFields config = config_;
+    config.emplace_back("peak_rss_bytes", peak_rss_bytes());
     out << "{\n  \"bench\": ";
     JsonValue(name_).emit(out);
     out << ",\n  \"config\": {";
-    for (std::size_t i = 0; i < config_.size(); ++i) {
+    for (std::size_t i = 0; i < config.size(); ++i) {
       out << (i == 0 ? "\n" : ",\n") << "    ";
-      JsonValue(config_[i].first).emit(out);
+      JsonValue(config[i].first).emit(out);
       out << ": ";
-      config_[i].second.emit(out);
+      config[i].second.emit(out);
     }
-    out << (config_.empty() ? "" : "\n  ") << "},\n  \"rows\": [";
+    out << (config.empty() ? "" : "\n  ") << "},\n  \"rows\": [";
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       out << (r == 0 ? "\n" : ",\n") << "    {";
       for (std::size_t i = 0; i < rows_[r].size(); ++i) {

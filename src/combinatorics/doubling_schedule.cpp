@@ -11,34 +11,47 @@ DoublingSchedule::DoublingSchedule(const Config& config) : config_(config) {
   const unsigned levels = std::max(1u, util::ceil_log2(std::max<std::uint32_t>(2, config.k_max)));
   std::uint64_t offset = 0;
   for (unsigned j = 1; j <= levels; ++j) {
+    if (config.prefix_cap > 0 && !implicit_.empty() && offset >= config.prefix_cap) break;
     const auto kj = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(config.n, util::ipow(2, j)));
     const std::uint64_t family_seed = util::hash_words({config.seed, 0x444246ULL, j});
-    SelectiveFamily fam = build_family(config.kind, config.n, kj, family_seed, config.c);
+    ImplicitFamilyPtr fam = make_implicit_family(config.kind, config.n, kj, family_seed, config.c);
     starts_.push_back(offset);
-    offset += fam.length();
-    families_.push_back(std::move(fam));
+    offset += fam->length();
+    implicit_.push_back(std::move(fam));
   }
   period_ = offset;
+  materialized_.resize(implicit_.size());
+}
+
+const SelectiveFamily& DoublingSchedule::family(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(materialize_mutex_);
+  if (!materialized_[i]) {
+    materialized_[i] = std::make_shared<const SelectiveFamily>(implicit_[i]->materialize());
+  }
+  return *materialized_[i];
 }
 
 bool DoublingSchedule::transmits(Station u, std::uint64_t idx) const noexcept {
   const Position pos = position(idx);
-  return families_[pos.family_index].transmits(u, static_cast<std::size_t>(pos.step));
+  return implicit_[pos.family_index]->contains(static_cast<std::size_t>(pos.step), u);
 }
 
 std::uint64_t DoublingSchedule::schedule_word(Station u, std::uint64_t from) const noexcept {
   Position pos = position(from);
-  const SelectiveFamily* fam = &families_[pos.family_index];
-  auto step = static_cast<std::size_t>(pos.step);
   std::uint64_t word = 0;
-  for (unsigned j = 0; j < 64; ++j) {
-    if (fam->transmits(u, step)) word |= std::uint64_t{1} << j;
-    if (++step == fam->length()) {
-      pos.family_index = pos.family_index + 1 == families_.size() ? 0 : pos.family_index + 1;
-      fam = &families_[pos.family_index];
-      step = 0;
-    }
+  unsigned filled = 0;
+  while (filled < 64) {
+    const ImplicitFamily& fam = *implicit_[pos.family_index];
+    const auto step = static_cast<std::size_t>(pos.step);
+    const auto avail =
+        static_cast<unsigned>(std::min<std::uint64_t>(64 - filled, fam.length() - step));
+    std::uint64_t bits = fam.membership_word(u, step);
+    if (avail < 64) bits &= (std::uint64_t{1} << avail) - 1;
+    word |= bits << filled;
+    filled += avail;
+    pos.family_index = pos.family_index + 1 == implicit_.size() ? 0 : pos.family_index + 1;
+    pos.step = 0;
   }
   return word;
 }

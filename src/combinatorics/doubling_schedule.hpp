@@ -10,12 +10,20 @@
 /// needs the *family start offsets*, because a newly awake station must stay
 /// silent until the next start so the participant set of a family is frozen
 /// during its execution.
+///
+/// The backend is *implicit*: families are held as `ImplicitFamily` handles
+/// whose membership is computed per query (O(levels) construction state, no
+/// materialized bitsets), which is what makes k_max-free ladders at
+/// n = 2^20 affordable.  `family(i)` materializes lazily — cold path for
+/// tests and reports only.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "combinatorics/builders.hpp"
+#include "combinatorics/implicit_family.hpp"
 
 namespace wakeup::comb {
 
@@ -29,6 +37,15 @@ class DoublingSchedule {
     FamilyKind kind = FamilyKind::kRandomized;
     std::uint64_t seed = 1;
     double c = kDefaultRandomFamilyC;
+    /// Truncates the concatenation (0 = off): stop appending doubling
+    /// levels once the cumulative length has reached this many slots.  At
+    /// least one family is always kept, and the family that crosses the
+    /// cap is kept whole, so the period is >= prefix_cap (or the full
+    /// ladder, whichever is shorter).  Used by protocols whose analysis
+    /// guarantees success within a known slot prefix — e.g. wakeup_with_s,
+    /// whose round-robin half succeeds within 2n slots, so SATF sets past
+    /// index n can never run before success.
+    std::uint64_t prefix_cap = 0;
   };
 
   explicit DoublingSchedule(const Config& config);
@@ -38,10 +55,18 @@ class DoublingSchedule {
   /// z — the length of one full pass over all families.
   [[nodiscard]] std::uint64_t period() const noexcept { return period_; }
 
-  [[nodiscard]] std::size_t family_count() const noexcept { return families_.size(); }
-  [[nodiscard]] const SelectiveFamily& family(std::size_t i) const noexcept {
-    return families_[i];
+  [[nodiscard]] std::size_t family_count() const noexcept { return implicit_.size(); }
+
+  /// Family i behind the implicit interface — the hot-path handle.
+  [[nodiscard]] const ImplicitFamily& implicit_family(std::size_t i) const noexcept {
+    return *implicit_[i];
   }
+
+  /// Family i, materialized lazily on first access (cached; thread-safe).
+  /// Cold path: tests, verification and reports — the simulation never
+  /// needs the bitsets.
+  [[nodiscard]] const SelectiveFamily& family(std::size_t i) const;
+
   /// Offset of family i's first set within the period.
   [[nodiscard]] std::uint64_t family_start(std::size_t i) const noexcept { return starts_[i]; }
 
@@ -49,10 +74,10 @@ class DoublingSchedule {
   [[nodiscard]] bool transmits(Station u, std::uint64_t idx) const noexcept;
 
   /// Packs 64 consecutive schedule bits of station u starting at index
-  /// `from` into one word: bit j = transmits(u, from + j).  Walks the
-  /// family list incrementally instead of re-running position()'s binary
-  /// search per step — the word-parallel building block of the oblivious
-  /// schedule_block implementations.
+  /// `from` into one word: bit j = transmits(u, from + j).  Assembles the
+  /// word from per-family `membership_word` chunks instead of re-running
+  /// position()'s binary search per step — the word-parallel building
+  /// block of the oblivious schedule_block implementations.
   [[nodiscard]] std::uint64_t schedule_word(Station u, std::uint64_t from) const noexcept;
 
   /// Is `idx mod period` the first set of some family?
@@ -71,9 +96,12 @@ class DoublingSchedule {
 
  private:
   Config config_;
-  std::vector<SelectiveFamily> families_;
+  std::vector<ImplicitFamilyPtr> implicit_;
   std::vector<std::uint64_t> starts_;  ///< starts_[i] = z_1 + ... + z_{i-1}
   std::uint64_t period_ = 0;
+  /// Lazily materialized mirrors of implicit_ (family(i) cache).
+  mutable std::vector<std::shared_ptr<const SelectiveFamily>> materialized_;
+  mutable std::mutex materialize_mutex_;
 };
 
 /// Schedules are immutable and shared by every station runtime of a

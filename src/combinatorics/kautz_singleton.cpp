@@ -1,62 +1,22 @@
 #include "combinatorics/builders.hpp"
-#include "util/math.hpp"
-#include "util/primes.hpp"
+#include "combinatorics/implicit_family.hpp"
 
 namespace wakeup::comb {
-namespace {
-
-/// Number of base-q digits needed to address n ids (at least 1).
-unsigned digits_needed(std::uint64_t n, std::uint64_t q) {
-  unsigned d = 1;
-  std::uint64_t span = q;
-  while (span < n) {
-    span *= q;
-    ++d;
-  }
-  return d;
-}
-
-/// Evaluates the polynomial whose coefficients are u's base-q digits at
-/// point a over GF(q) (Horner, digits high-to-low).
-std::uint64_t poly_eval(std::uint64_t u, std::uint64_t q, unsigned digits, std::uint64_t a) {
-  // Extract digits little-endian, evaluate via Horner from the top.
-  std::uint64_t coeff[64];
-  for (unsigned d = 0; d < digits; ++d) {
-    coeff[d] = u % q;
-    u /= q;
-  }
-  std::uint64_t acc = 0;
-  for (unsigned d = digits; d-- > 0;) {
-    acc = (acc * a + coeff[d]) % q;
-  }
-  return acc;
-}
-
-}  // namespace
 
 SelectiveFamily build_kautz_singleton(std::uint32_t n, std::uint32_t k) {
-  if (k < 1) k = 1;
-  if (k > n) k = n;
-  // Fixed point: q prime with q > (k-1)*(L-1) where L = digits base q.
-  std::uint64_t q = util::next_prime(std::max<std::uint64_t>(2, k));
-  for (;;) {
-    const unsigned L = digits_needed(n, q);
-    const std::uint64_t need = static_cast<std::uint64_t>(k - 1) * (L - 1) + 1;
-    if (q >= need) break;
-    q = util::next_prime(need);
-  }
-  const unsigned L = digits_needed(n, q);
-  (void)L;
+  k = detail::clamp_family_k(n, k);
+  // Field size and digit arithmetic shared with the implicit backend.
+  const std::uint64_t q = detail::kautz_singleton_q(n, k);
+  const unsigned digits = detail::gf_digits_needed(n, q);
 
   std::vector<TransmissionSet> sets;
   sets.reserve(static_cast<std::size_t>(q) * static_cast<std::size_t>(q));
-  const unsigned digits = digits_needed(n, q);
   // Precompute each station's codeword symbol per evaluation point.
   for (std::uint64_t a = 0; a < q; ++a) {
     std::vector<util::DynamicBitset> by_value(static_cast<std::size_t>(q),
                                               util::DynamicBitset(n));
     for (std::uint32_t u = 0; u < n; ++u) {
-      by_value[static_cast<std::size_t>(poly_eval(u, q, digits, a))].set(u);
+      by_value[static_cast<std::size_t>(detail::gf_poly_eval(u, q, digits, a))].set(u);
     }
     for (auto& bits : by_value) {
       if (bits.any()) sets.emplace_back(std::move(bits));

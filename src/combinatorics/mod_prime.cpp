@@ -1,19 +1,13 @@
 #include "combinatorics/builders.hpp"
-#include "util/math.hpp"
-#include "util/primes.hpp"
+#include "combinatorics/implicit_family.hpp"
 
 namespace wakeup::comb {
 
 SelectiveFamily build_mod_prime(std::uint32_t n, std::uint32_t k) {
-  if (k < 1) k = 1;
-  if (k > n) k = n;
-  // For x != y in [n], |x - y| < n has at most floor(log2 n) prime factors,
-  // so (k-1)*floor(log2 n) + 1 primes guarantee one that separates x from
-  // every other member of X.
-  const unsigned lg = util::floor_log2(n == 0 ? 1 : n);
-  const std::size_t prime_count =
-      static_cast<std::size_t>(k > 1 ? (k - 1) * (lg == 0 ? 1 : lg) : 0) + 1;
-  const auto primes = util::first_primes_from(2, prime_count);
+  k = detail::clamp_family_k(n, k);
+  // Prime window shared with the implicit backend (see
+  // detail::mod_prime_primes for the separation argument).
+  const auto primes = detail::mod_prime_primes(n, k);
 
   std::vector<TransmissionSet> sets;
   for (std::uint64_t p : primes) {

@@ -1,21 +1,17 @@
-#include <cmath>
-
 #include "combinatorics/builders.hpp"
-#include "util/math.hpp"
-#include "util/rng.hpp"
+#include "combinatorics/implicit_family.hpp"
 
 namespace wakeup::comb {
 
 SelectiveFamily build_randomized(std::uint32_t n, std::uint32_t k, double c,
                                  std::uint64_t seed) {
-  if (k < 1) k = 1;
-  if (k > n) k = n;
-  // Length c * k * max(1, log2(n/k)) — the probabilistic-method size.
-  const double lg = std::max(1.0, std::log2(static_cast<double>(n) / static_cast<double>(k)));
-  const auto length = static_cast<std::size_t>(
-      std::ceil(c * static_cast<double>(k) * lg));
-
-  util::Rng rng(util::hash_words({seed, 0x52414e44464dULL /* "RANDFM" */, n, k}));
+  k = detail::clamp_family_k(n, k);
+  const std::size_t length = detail::randomized_length(n, k, c);
+  // Membership is a counter-RNG draw per (set, station) coordinate — a pure
+  // function of (stream seed, j, u) rather than a sequential stream, so the
+  // implicit backend can re-derive any single bit in O(1) and stay
+  // bit-identical to this materialization.
+  const std::uint64_t stream_seed = detail::randomized_stream_seed(seed, n, k);
   const double p = 1.0 / static_cast<double>(k);
 
   std::vector<TransmissionSet> sets;
@@ -23,7 +19,7 @@ SelectiveFamily build_randomized(std::uint32_t n, std::uint32_t k, double c,
   for (std::size_t j = 0; j < length; ++j) {
     util::DynamicBitset bits(n);
     for (std::uint32_t u = 0; u < n; ++u) {
-      if (rng.bernoulli(p)) bits.set(u);
+      if (detail::randomized_member(stream_seed, j, u, p)) bits.set(u);
     }
     sets.emplace_back(std::move(bits));
   }

@@ -18,6 +18,7 @@ const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "figure-scenario-a", "figure-scenario-b", "figure-scenario-c",
       "crossover",         "multichannel-scaling", "smoke",
+      "frontier-scaling",
   };
   return names;
 }
@@ -65,6 +66,19 @@ SweepSpec make_preset(const std::string& name) {
     spec.channels = {1, 4, 16};
     spec.patterns = {PatternKind::kUniform};
     spec.trials = 32;
+    return spec;
+  }
+  if (name == "frontier-scaling") {
+    // The n = 2^17..2^20 memory-wall frontier: implicit lazy-word families
+    // keep every selective-family protocol inside the budget where the
+    // materialized ladders used to thrash.  Acceptance demands zero budget
+    // exhaustions across the grid.
+    spec.protocols = {"select_among_the_first", "wakeup_with_s", "wait_and_go",
+                      "wakeup_with_k"};
+    spec.ns = pow2_range(17, 20);
+    spec.ks = {64};
+    spec.patterns = {PatternKind::kUniform};
+    spec.trials = 8;
     return spec;
   }
   if (name == "smoke") {

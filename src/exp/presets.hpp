@@ -20,6 +20,8 @@
 ///    round_robin baseline over C ∈ {1, 4, 16}.
 ///  * smoke — a seconds-scale grid for CI (manifest/report well-formedness
 ///    and resume identity).
+///  * frontier-scaling — n = 2^17..2^20 at k = 64: the implicit-family
+///    memory frontier; must finish with zero budget exhaustions.
 
 #include <string>
 #include <vector>

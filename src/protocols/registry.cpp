@@ -24,7 +24,11 @@ ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec) {
   if (spec.name == "select_among_the_first") {
     comb::DoublingSchedule::Config config;
     config.n = spec.n;
-    config.k_max = spec.n;
+    // The ladder only needs to reach the declared contention bound: levels
+    // 2^1..2^ceil(log2 k) cover every |X| in [1, next_pow2(k)].  The old
+    // k_max = n concatenated ~log n families regardless of k, which is what
+    // blew the memory budget past n = 2^17.
+    config.k_max = std::max<std::uint32_t>(2, std::min(spec.k, spec.n));
     config.kind = spec.family_kind;
     config.seed = spec.seed;
     config.c = spec.family_c;

@@ -90,7 +90,14 @@ ProtocolPtr make_wakeup_with_s(std::uint32_t n, Slot s, comb::FamilyKind kind,
                                std::uint64_t seed, double family_c) {
   comb::DoublingSchedule::Config config;
   config.n = n;
-  config.k_max = n;  // s is known but k is not: concatenate families up to n
+  config.k_max = n;  // s is known but k is not: the ladder must reach any k
+  // The round-robin half guarantees success within 2n slots of the first
+  // wake (designated stations never collide there), and the SATF half runs
+  // set v at slot s + 2v + 1 — so sets at index >= n can never execute
+  // before success.  Truncate the concatenation at a prefix of n sets
+  // instead of materializing families up to k = n: same outcomes, and the
+  // schedule stays affordable at the n = 2^20 frontier.
+  config.prefix_cap = n;
   config.kind = kind;
   config.seed = seed;
   config.c = family_c;

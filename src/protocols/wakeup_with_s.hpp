@@ -53,8 +53,10 @@ class WakeupWithSProtocol final : public Protocol, public ObliviousSchedule {
   comb::DoublingSchedulePtr schedule_;
 };
 
-/// Convenience factory: builds the doubling schedule for universe n (with
-/// families up to k = n) and wraps it in the protocol.
+/// Convenience factory: builds the doubling schedule for universe n,
+/// truncated to a prefix of n sets — the round-robin half succeeds within
+/// 2n slots of the first wake, so SATF sets past index n are unreachable
+/// before success and materializing families up to k = n buys nothing.
 [[nodiscard]] ProtocolPtr make_wakeup_with_s(std::uint32_t n, Slot s,
                                              comb::FamilyKind kind, std::uint64_t seed,
                                              double family_c = comb::kDefaultRandomFamilyC);

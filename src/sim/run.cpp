@@ -269,6 +269,15 @@ ScheduleCache::Config sized_cache_config(const RunSpec& spec, bool force,
   config.horizon = stats.horizon;
   config.window = std::clamp<mac::Slot>(2 * stats.observed, 256,
                                         std::max<mac::Slot>(spec.cache.window, 256));
+  if (config.contended_prefix == 0) {
+    // Contended-prefix policy: contention (>= 2 live stations) resolves
+    // within roughly the observed probe runs, so 8x that covers the slots
+    // with cross-trial reuse while the long solo tail falls back to the
+    // implicit generators.  A caller-set value passes through unchanged.
+    const mac::Slot cap = stats.horizon > 0 ? stats.horizon : std::numeric_limits<mac::Slot>::max();
+    config.contended_prefix =
+        std::clamp<mac::Slot>(8 * stats.observed, 4096, std::max<mac::Slot>(cap, 4096));
+  }
   return config;
 }
 

@@ -96,9 +96,23 @@ ScheduleCache::Entry* ScheduleCache::plan(mac::StationId u, mac::Slot wake) {
       // periodicity contract.
       wheel_words = static_cast<std::size_t>(period / 64 + 2);
     }
+    // Contended-prefix policy: a fold bigger than the contention window
+    // memoizes slots only ever read by a lone survivor — degrade to a
+    // windowed prefix and let the tail fall back to the (implicit,
+    // arithmetic) generators instead.
+    if (fold && config_.contended_prefix > 0 &&
+        (head_words + wheel_words) * 64 >
+            static_cast<std::uint64_t>(config_.contended_prefix)) {
+      fold = false;
+      head_words = 0;
+      wheel_words = 0;
+    }
   }
   if (!fold) {
     mac::Slot span = std::max<mac::Slot>(config_.window, 64);
+    if (config_.contended_prefix > 0) {
+      span = std::min(span, std::max<mac::Slot>(config_.contended_prefix, 64));
+    }
     if (config_.horizon > 0) {
       const mac::Slot to_horizon = config_.horizon - head_start * 64;
       span = std::clamp<mac::Slot>(to_horizon, 64, span);

@@ -54,6 +54,16 @@ class ScheduleCache {
     /// the memo even when the probe-based estimate says recomputing would
     /// be cheaper (low cross-trial reuse).  For tests and benches.
     bool force = false;
+    /// Contended-prefix policy (0 = off): cap, in slots, on the words
+    /// cached per entry.  Folds whose head + wheel would exceed the cap
+    /// degrade to windowed entries, and windowed spans are clamped to it.
+    /// Reads past the cached prefix fall back to schedule_block — with
+    /// implicit families the tail is recomputed arithmetically, so the
+    /// byte budget concentrates on the prefix where >= 2 stations are
+    /// still live and cross-trial reuse actually pays; the long solo tail
+    /// is served from the generators.  sim::Run sizes this from the probe
+    /// trials' observed contention window.
+    mac::Slot contended_prefix = 0;
   };
 
   /// Per-(station, wake-class) memoized words.  Opaque to callers; reads

@@ -34,6 +34,9 @@ struct DirectWords {
 /// serves a leading run of words (head / folded wheel, contiguous
 /// coverage); whatever it cannot serve is fetched with one schedule_block
 /// over the uncached tail, so any miss is a slowdown, never a wrong bit.
+/// Under the contended-prefix policy this tail path is the common case
+/// late in a trial: entries stop at the contention window and the solo
+/// survivor's words are recomputed by the implicit family generators.
 struct CachedWords {
   const proto::ObliviousSchedule& schedule;
   std::vector<const ScheduleCache::Entry*> handles;  ///< per arrival index

@@ -117,6 +117,50 @@ TEST(DoublingSchedule, NextFamilyStartAtStartIsIdentity) {
   }
 }
 
+TEST(DoublingSchedule, PrefixCapTruncatesLadder) {
+  auto config = config_for(256, 256);
+  const wc::DoublingSchedule full(config);
+  config.prefix_cap = 200;
+  const wc::DoublingSchedule capped(config);
+  ASSERT_LT(capped.family_count(), full.family_count());
+  EXPECT_GE(capped.period(), 200u);  // the crossing family is kept whole
+  // The truncation is a pure prefix: identical bits up to the capped period.
+  for (std::uint64_t idx = 0; idx < capped.period(); ++idx) {
+    for (wc::Station u = 0; u < 256; u += 31) {
+      EXPECT_EQ(capped.transmits(u, idx), full.transmits(u, idx)) << "idx=" << idx;
+    }
+  }
+}
+
+TEST(DoublingSchedule, PrefixCapKeepsAtLeastOneFamily) {
+  auto config = config_for(64, 32);
+  config.prefix_cap = 1;  // below the first family's length
+  const wc::DoublingSchedule sched(config);
+  EXPECT_EQ(sched.family_count(), 1u);
+  EXPECT_GT(sched.period(), 1u);
+}
+
+TEST(DoublingSchedule, ScheduleWordMatchesTransmits) {
+  for (const auto kind : {wc::FamilyKind::kRandomized, wc::FamilyKind::kModPrime,
+                          wc::FamilyKind::kKautzSingleton, wc::FamilyKind::kBitSplitter}) {
+    auto config = config_for(64, kind == wc::FamilyKind::kBitSplitter ? 2 : 8);
+    config.kind = kind;
+    const wc::DoublingSchedule sched(config);
+    const std::uint64_t z = sched.period();
+    for (wc::Station u = 0; u < 64; u += 9) {
+      // Unaligned starts included: wakeup_with_s asks for words at d/2.
+      for (std::uint64_t from = 0; from < 2 * z + 64; from += 37) {
+        const std::uint64_t word = sched.schedule_word(u, from);
+        for (unsigned j = 0; j < 64; ++j) {
+          ASSERT_EQ((word >> j) & 1u, sched.transmits(u, from + j) ? 1u : 0u)
+              << "kind=" << wc::family_kind_name(kind) << " u=" << u << " from=" << from
+              << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
 TEST(DoublingSchedule, DeterministicForSeed) {
   const wc::DoublingSchedule a(config_for(64, 8));
   const wc::DoublingSchedule b(config_for(64, 8));

@@ -1,0 +1,264 @@
+#include "combinatorics/implicit_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "combinatorics/doubling_schedule.hpp"
+#include "combinatorics/verifier.hpp"
+#include "protocols/registry.hpp"
+#include "sim/schedule_cache.hpp"
+#include "util/rng.hpp"
+
+namespace wc = wakeup::comb;
+namespace wp = wakeup::proto;
+namespace ws = wakeup::sim;
+namespace wm = wakeup::mac;
+namespace wu = wakeup::util;
+
+namespace {
+
+struct GridPoint {
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+const std::vector<GridPoint>& grid() {
+  static const std::vector<GridPoint> points = {
+      {1, 1}, {2, 2}, {7, 2},  {16, 2},  {16, 5},  {31, 4},
+      {64, 2}, {64, 8}, {100, 3}, {128, 16}, {200, 7}, {256, 64},
+  };
+  return points;
+}
+
+const std::vector<wc::FamilyKind>& kinds() {
+  static const std::vector<wc::FamilyKind> all = {
+      wc::FamilyKind::kRandomized,
+      wc::FamilyKind::kBitSplitter,  // k > 2 points exercise the fallback
+      wc::FamilyKind::kModPrime,
+      wc::FamilyKind::kKautzSingleton,
+  };
+  return all;
+}
+
+}  // namespace
+
+// The core tentpole contract: for every builder kind over the sampled
+// (n,k) grid, the implicit family and the materialized builder agree on
+// every (set, station) bit — via contains, membership_word, and
+// materialize().
+TEST(ImplicitFamily, BitIdenticalToMaterializedBuilders) {
+  for (const wc::FamilyKind kind : kinds()) {
+    for (const auto& [n, k] : grid()) {
+      const std::uint64_t seed = wu::hash_words({n, k, 99});
+      const auto implicit = wc::make_implicit_family(kind, n, k, seed);
+      const auto built = wc::build_family(kind, n, k, seed);
+      ASSERT_EQ(implicit->length(), built.length())
+          << wc::family_kind_name(kind) << " n=" << n << " k=" << k;
+      ASSERT_EQ(implicit->params().n, built.params().n);
+      ASSERT_EQ(implicit->params().k, built.params().k);
+      EXPECT_EQ(implicit->origin(), built.origin());
+      for (std::size_t j = 0; j < built.length(); ++j) {
+        for (wc::Station u = 0; u < n; ++u) {
+          ASSERT_EQ(implicit->contains(j, u), built.transmits(u, j))
+              << wc::family_kind_name(kind) << " n=" << n << " k=" << k << " j=" << j
+              << " u=" << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(ImplicitFamily, MembershipWordMatchesContains) {
+  for (const wc::FamilyKind kind : kinds()) {
+    for (const auto& [n, k] : grid()) {
+      const std::uint64_t seed = wu::hash_words({n, k, 7});
+      const auto implicit = wc::make_implicit_family(kind, n, k, seed);
+      const std::size_t length = implicit->length();
+      for (wc::Station u = 0; u < n; u += (n > 16 ? 13 : 1)) {
+        for (std::size_t from = 0; from < length; from += 17) {
+          const std::uint64_t word = implicit->membership_word(u, from);
+          const std::size_t end = std::min<std::size_t>(length - from, 64);
+          for (std::size_t j = 0; j < end; ++j) {
+            ASSERT_EQ((word >> j) & 1u, implicit->contains(from + j, u) ? 1u : 0u)
+                << wc::family_kind_name(kind) << " n=" << n << " k=" << k
+                << " from=" << from << " u=" << u << " j=" << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ImplicitFamily, MaterializeRoundTrips) {
+  for (const wc::FamilyKind kind : kinds()) {
+    const auto implicit = wc::make_implicit_family(kind, 64, 8, 5);
+    const auto materialized = implicit->materialize();
+    const auto built = wc::build_family(kind, 64, 8, 5);
+    ASSERT_EQ(materialized.length(), built.length());
+    for (std::size_t j = 0; j < built.length(); ++j) {
+      for (wc::Station u = 0; u < 64; ++u) {
+        ASSERT_EQ(materialized.transmits(u, j), built.transmits(u, j));
+      }
+    }
+  }
+}
+
+// The proven constructions stay proven through the implicit path: the
+// verifier accepts their materializations.
+TEST(ImplicitFamily, VerifierPassesOnImplicitModPrime) {
+  const auto family = wc::make_implicit_family(wc::FamilyKind::kModPrime, 24, 3, 1);
+  const auto report = wc::verify_exhaustive(family->materialize());
+  EXPECT_TRUE(report.ok) << "subsets checked: " << report.subsets_checked;
+}
+
+TEST(ImplicitFamily, VerifierPassesOnImplicitKautzSingleton) {
+  const auto family = wc::make_implicit_family(wc::FamilyKind::kKautzSingleton, 24, 3, 1);
+  const auto report = wc::verify_exhaustive(family->materialize());
+  EXPECT_TRUE(report.ok) << "subsets checked: " << report.subsets_checked;
+}
+
+TEST(ImplicitFamily, GreedyWrapsMaterialized) {
+  const auto implicit = wc::make_implicit_family(wc::FamilyKind::kGreedy, 10, 3, 2);
+  const auto built = wc::build_greedy(10, 3, 2);
+  ASSERT_EQ(implicit->length(), built.length());
+  for (std::size_t j = 0; j < built.length(); ++j) {
+    for (wc::Station u = 0; u < 10; ++u) {
+      ASSERT_EQ(implicit->contains(j, u), built.transmits(u, j));
+    }
+  }
+}
+
+// build_randomized draws membership from the counter RNG, so any single
+// bit is random-accessible: spot-check that a fresh implicit family over
+// the same (seed, n, k) re-derives the exact realized sets.
+TEST(ImplicitFamily, RandomizedBuilderIsCounterBased) {
+  const auto built = wc::build_randomized(96, 6, 4.0, 42);
+  const auto implicit = wc::make_implicit_family(wc::FamilyKind::kRandomized, 96, 6, 42, 4.0);
+  ASSERT_EQ(implicit->length(), built.length());
+  for (std::size_t j = 0; j < built.length(); ++j) {
+    for (wc::Station u = 0; u < 96; ++u) {
+      ASSERT_EQ(implicit->contains(j, u), built.transmits(u, j)) << "j=" << j << " u=" << u;
+    }
+  }
+}
+
+// DoublingSchedule serves the same bits through the implicit backend as
+// the lazily materialized families.
+TEST(ImplicitFamily, DoublingScheduleMatchesMaterializedFamilies) {
+  for (const wc::FamilyKind kind : kinds()) {
+    wc::DoublingSchedule::Config config;
+    config.n = 64;
+    config.k_max = 8;
+    config.kind = kind;
+    config.seed = 3;
+    const wc::DoublingSchedule sched(config);
+    for (std::uint64_t idx = 0; idx < sched.period(); ++idx) {
+      const auto pos = sched.position(idx);
+      const auto& fam = sched.family(pos.family_index);
+      for (wc::Station u = 0; u < 64; u += 5) {
+        ASSERT_EQ(sched.transmits(u, idx), fam.transmits(u, static_cast<std::size_t>(pos.step)))
+            << wc::family_kind_name(kind) << " idx=" << idx << " u=" << u;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Streams `horizon` slots worth of words through a cache the way
+/// detail::CachedWords does: serve the leading run from the entry, fetch
+/// the rest with one schedule_block over the tail.
+std::vector<std::uint64_t> stream_words(const wp::ObliviousSchedule& schedule,
+                                        const ws::ScheduleCache& cache, wm::StationId u,
+                                        wm::Slot wake, std::size_t n_words) {
+  std::vector<std::uint64_t> out(n_words, 0);
+  const auto* entry = cache.find(u, wake);
+  const std::size_t served =
+      entry != nullptr ? ws::ScheduleCache::read(*entry, 0, out.data(), n_words) : 0;
+  if (served < n_words) {
+    schedule.schedule_block(u, wake, static_cast<wm::Slot>(64 * served), out.data() + served,
+                            n_words - served);
+  }
+  return out;
+}
+
+}  // namespace
+
+// Contended-prefix policy: a cache capped at a short prefix must serve the
+// same word stream (cached prefix + generator tail) as an uncapped cache
+// and as the schedule itself, while actually storing less.
+TEST(ImplicitFamily, ContendedPrefixCacheBitIdentity) {
+  wp::ProtocolSpec spec;
+  spec.name = "wait_and_go";
+  spec.n = 512;
+  spec.k = 8;
+  spec.seed = 9;
+  const auto protocol = wp::make_protocol_by_name(spec);
+  const auto* schedule = protocol->oblivious_schedule();
+  ASSERT_NE(schedule, nullptr);
+
+  ws::ScheduleCache::Config full_config;
+  full_config.force = true;
+  ws::ScheduleCache full(*schedule, full_config);
+
+  ws::ScheduleCache::Config capped_config;
+  capped_config.force = true;
+  capped_config.contended_prefix = 128;  // far below the fold size
+  capped_config.window = 1 << 12;
+  ws::ScheduleCache capped(*schedule, capped_config);
+
+  std::vector<std::pair<wm::StationId, wm::Slot>> members;
+  for (wm::StationId u = 0; u < 32; ++u) members.emplace_back(u * 7 % 512, u % 3);
+  full.populate(members, nullptr);
+  capped.populate(members, nullptr);
+
+  EXPECT_GT(full.folded_entries(), 0u);
+  EXPECT_EQ(capped.folded_entries(), 0u) << "fold should degrade under the prefix cap";
+  EXPECT_LT(capped.bytes(), full.bytes());
+  EXPECT_EQ(capped.overflowed(), 0u);
+
+  const std::size_t n_words = 128;  // 8192 slots, far past the 128-slot prefix
+  std::vector<std::uint64_t> direct(n_words, 0);
+  for (const auto& [u, wake] : members) {
+    schedule->schedule_block(u, wake, 0, direct.data(), n_words);
+    const auto from_full = stream_words(*schedule, full, u, wake, n_words);
+    const auto from_capped = stream_words(*schedule, capped, u, wake, n_words);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      ASSERT_EQ(from_full[w], direct[w]) << "u=" << u << " wake=" << wake << " w=" << w;
+      ASSERT_EQ(from_capped[w], direct[w]) << "u=" << u << " wake=" << wake << " w=" << w;
+    }
+  }
+}
+
+// Same policy through sim-facing knobs on a protocol whose period would
+// normally fold: select_among_the_first with a tiny k-bounded ladder.
+TEST(ImplicitFamily, ContendedPrefixClampsWindowedEntries) {
+  wp::ProtocolSpec spec;
+  spec.name = "select_among_the_first";
+  spec.n = 256;
+  spec.k = 16;
+  spec.seed = 4;
+  const auto protocol = wp::make_protocol_by_name(spec);
+  const auto* schedule = protocol->oblivious_schedule();
+  ASSERT_NE(schedule, nullptr);
+
+  ws::ScheduleCache::Config config;
+  config.force = true;
+  config.window = 1 << 14;
+  config.contended_prefix = 256;
+  ws::ScheduleCache cache(*schedule, config);
+  std::vector<std::pair<wm::StationId, wm::Slot>> members;
+  for (wm::StationId u = 0; u < 16; ++u) members.emplace_back(u, 0);
+  cache.populate(members, nullptr);
+
+  const std::size_t n_words = 64;
+  std::vector<std::uint64_t> direct(n_words, 0);
+  for (const auto& [u, wake] : members) {
+    schedule->schedule_block(u, wake, 0, direct.data(), n_words);
+    const auto streamed = stream_words(*schedule, cache, u, wake, n_words);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      ASSERT_EQ(streamed[w], direct[w]) << "u=" << u << " w=" << w;
+    }
+  }
+}

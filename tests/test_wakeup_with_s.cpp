@@ -88,6 +88,24 @@ TEST(WakeupWithS, SingleStation) {
   EXPECT_LE(result.rounds, 2 * 32);
 }
 
+TEST(WakeupWithS, ScheduleTruncatedAtPrefixN) {
+  // The old factory concatenated families up to k_max = n (~log n levels).
+  // The RR half succeeds within 2n slots of the first wake, and the SATF
+  // half runs set v at s + 2v + 1, so sets past index n are unreachable
+  // before success: the ladder is truncated at a prefix of >= n sets.
+  const std::uint32_t n = 256;
+  const auto protocol = wp::make_wakeup_with_s(n, 0, wc::FamilyKind::kRandomized, 1);
+  const auto* wws = dynamic_cast<const wp::WakeupWithSProtocol*>(protocol.get());
+  ASSERT_NE(wws, nullptr);
+  const auto& sched = wws->schedule();
+  EXPECT_GE(sched.period(), n);  // every SATF set reachable pre-success is present
+  EXPECT_LT(sched.family_count(), wu::ceil_log2(n));  // strictly fewer than the full ladder
+  // Pin the realized shape at c = 6: lengths ceil(6 * 2^j * log2(n / 2^j))
+  // = 84, 144, 240 accumulate past n = 256 at the third level.
+  EXPECT_EQ(sched.family_count(), 3u);
+  EXPECT_EQ(sched.period(), 468u);
+}
+
 TEST(WakeupWithS, RequirementsAndName) {
   const auto protocol = wp::make_wakeup_with_s(16, 0, wc::FamilyKind::kRandomized, 1);
   EXPECT_TRUE(protocol->requirements().needs_start_time);

@@ -67,7 +67,8 @@ run options:
 
 sweep options:
   --preset=<name>        figure-scenario-a/b/c, crossover, multichannel-scaling,
-                         smoke (grid flags below override preset axes)
+                         smoke, frontier-scaling (grid flags below override
+                         preset axes)
   --protocols=<a,b,..>   protocol axis: registry names and/or striped_rr,
                          group_wag, random_rpd
   --n=<axis>             axis grammar: N, 2^E, doubling range A..B, commas
