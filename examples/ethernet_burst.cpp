@@ -1,11 +1,13 @@
-/// ethernet_burst — correlated burst arrivals on a shared segment.
+/// ethernet_burst — sustained bursty frame traffic on a shared segment.
 ///
-/// The classic LAN story the paper's introduction motivates: a higher-layer
-/// event (say, a switch rebooting) makes a burst of hosts contend for one
-/// shared medium at nearly the same moment, with a few stragglers.  We
-/// compare the paper's deterministic protocols with the classic randomized
-/// ones on identical bursts and report mean rounds to the first delivered
-/// frame.
+/// The classic LAN story the paper's introduction motivates: hosts on one
+/// shared medium carry correlated on/off traffic — a switch reboot, a
+/// backup window — and every frame must win the channel.  The dynamic
+/// layer (mac::ArrivalSpec + sim::Run with a horizon) models exactly that:
+/// per-host FIFO queues under a bursty arrival stream, hosts re-contending
+/// per frame.  We compare the paper's deterministic protocols with the
+/// classic adaptive re-contenders on identical traffic and report
+/// sustained throughput, queue-latency tails, and Jain's fairness.
 
 #include <iostream>
 
@@ -14,46 +16,53 @@
 int main() {
   using namespace wakeup;
 
-  constexpr std::uint32_t n = 1024;  // addressable hosts
-  constexpr std::uint32_t k = 24;    // hosts caught in the burst
+  constexpr std::uint32_t n = 1024;        // addressable hosts
+  constexpr std::uint32_t k = 24;          // hosts with traffic
+  constexpr mac::Slot horizon = 4096;      // slots per trial
   constexpr std::uint64_t trials = 40;
 
   util::ThreadPool pool(util::ThreadPool::default_workers());
-  util::ConsoleTable table({"protocol", "mean", "p95", "max", "collisions/trial"});
+  util::ConsoleTable table(
+      {"protocol", "throughput", "latency p50", "latency p99", "jain", "backlog/trial"});
 
   for (const std::string name :
-       {"wakeup_with_s", "wakeup_with_k", "wakeup_matrix", "rpd_n", "slotted_aloha",
-        "round_robin"}) {
+       {"wakeup_with_k", "wakeup_matrix", "round_robin", "binary_backoff", "slotted_aloha",
+        "adaptive_cw"}) {
     sim::RunSpec cell;
     cell.make_protocol = [&, name](std::uint64_t seed) {
       proto::ProtocolSpec spec;
       spec.name = name;
       spec.n = n;
       spec.k = k;
-      spec.s = 0;
       spec.seed = seed;
       return proto::make_protocol_by_name(spec);
     };
-    cell.make_pattern = [&](util::Rng& rng) {
-      // Burst of 4 sub-bursts, 8 slots apart: most hosts at s, echoes after.
-      return mac::patterns::batched(n, k, /*s=*/0, /*batches=*/4, /*gap=*/8, rng);
-    };
+    // Offered load 0.35 frames/slot across the k hosts, on/off modulated
+    // with 2% switch probability: long quiet stretches, then pile-ups.
+    cell.arrival = mac::ArrivalSpec::parse("bursty:0.35:0.02");
+    cell.horizon = horizon;
+    cell.dynamic_n = n;
+    cell.dynamic_k = k;
     cell.trials = trials;
     cell.base_seed = 777;
     const auto result = sim::Run(cell, &pool).cell;
     table.cell(name)
-        .cell(result.rounds.mean, 1)
-        .cell(result.rounds.p95, 1)
-        .cell(result.rounds.max, 0)
-        .cell(result.collisions.mean, 1);
+        .cell(result.throughput.mean, 3)
+        .cell(result.latency.median, 1)
+        .cell(result.latency.p99, 1)
+        .cell(result.jain.mean, 3)
+        .cell(static_cast<double>(result.backlog) / static_cast<double>(trials), 1);
     table.end_row();
   }
 
-  std::cout << "Ethernet-style burst: n=" << n << ", k=" << k << ", " << trials
-            << " trials, batched arrivals (4 x 8 slots)\n\n";
+  std::cout << "Ethernet-style sustained burst traffic: n=" << n << ", k=" << k
+            << ", horizon=" << horizon << " slots, " << trials
+            << " trials, bursty:0.35:0.02 arrivals\n\n";
   table.print(std::cout);
-  std::cout << "\nReading: the deterministic Scenario A/B algorithms resolve the burst in\n"
-               "O(k log(n/k)) slots with zero knowledge of who is contending; RPD is\n"
-               "fast on average but has a heavy tail; round-robin pays ~n regardless.\n";
+  std::cout << "\nReading: the deterministic schedules drain every burst at their\n"
+               "O(k log(n/k))-ish per-frame cost and split the channel evenly (Jain ~1);\n"
+               "the adaptive re-contenders ride light load with shorter queues but grow\n"
+               "heavier p99 tails when a burst piles the queues up; round-robin's fixed\n"
+               "~n-slot cycle caps throughput at k/n of the channel under load.\n";
   return 0;
 }

@@ -2,7 +2,8 @@
 
 namespace wakeup::exp {
 
-Aggregator::Aggregator(std::uint64_t trials) : slots_(trials) {}
+Aggregator::Aggregator(std::uint64_t trials, bool dynamic)
+    : slots_(trials), dynamic_slots_(dynamic ? trials : 0) {}
 
 void Aggregator::add(std::uint64_t trial, const sim::SimResult& result) {
   TrialSlot& slot = slots_.at(trial);
@@ -20,10 +21,49 @@ void Aggregator::add(std::uint64_t trial, const sim::McSimResult& result) {
   slot.silences = static_cast<double>(result.silences);
 }
 
+void Aggregator::add(std::uint64_t trial, const sim::DynamicResult& result) {
+  DynamicSlot& slot = dynamic_slots_.at(trial);
+  slot.throughput = result.throughput();
+  slot.jain = result.jain();
+  slot.collisions = static_cast<double>(result.collisions);
+  slot.silences = static_cast<double>(result.silences);
+  slot.arrivals = result.arrivals;
+  slot.delivered = result.delivered;
+  slot.backlog = result.backlog;
+  slot.latency = result.latency;
+}
+
 CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed,
                                double ci_level) const {
   CellStats stats;
   stats.trials = slots_.size();
+
+  if (!dynamic_slots_.empty()) {
+    // Dynamic cells: the horizon is the budget and every slot of it
+    // resolves, so there is no exhaustion to fail on.
+    stats.success_rate = 1.0;
+    util::Sample throughput, jain, collisions, silences, latency;
+    for (const DynamicSlot& slot : dynamic_slots_) {
+      throughput.push(slot.throughput);
+      jain.push(slot.jain);
+      collisions.push(slot.collisions);
+      silences.push(slot.silences);
+      for (const double l : slot.latency) latency.push(l);
+      stats.packet_arrivals += slot.arrivals;
+      stats.delivered += slot.delivered;
+      stats.backlog += slot.backlog;
+    }
+    stats.throughput = util::Summary::of(throughput);
+    stats.jain = util::Summary::of(jain);
+    stats.latency = util::Summary::of(latency);
+    stats.collisions = util::Summary::of(collisions);
+    stats.silences = util::Summary::of(silences);
+    stats.rounds_mean_ci =
+        util::BootstrapCI::of_mean(throughput, ci_level, ci_resamples, ci_seed);
+    stats.rounds_median_ci =
+        util::BootstrapCI::of_quantile(throughput, 0.5, ci_level, ci_resamples, ci_seed);
+    return stats;
+  }
   util::Sample rounds, collisions, silences;
   rounds.reserve(slots_.size());
   for (const TrialSlot& slot : slots_) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/dynamic.hpp"
 #include "sim/mc_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -28,19 +29,32 @@ struct CellStats {
   util::Summary rounds;         ///< over successful trials
   util::Summary collisions;
   util::Summary silences;
-  util::BootstrapCI rounds_mean_ci;    ///< bootstrap CI for mean rounds
-  util::BootstrapCI rounds_median_ci;  ///< bootstrap CI for median rounds
+  /// Bootstrap CIs for the cell's headline statistic: mean/median rounds
+  /// for static cells, mean/median per-trial throughput for dynamic ones.
+  util::BootstrapCI rounds_mean_ci;
+  util::BootstrapCI rounds_median_ci;
+
+  // -- Dynamic traffic (arrival-axis cells; zero for static cells) -------
+  util::Summary throughput;  ///< delivered packets per slot, per trial
+  util::Summary jain;        ///< Jain's fairness index, per trial
+  util::Summary latency;     ///< queue latency pooled over delivered packets
+  std::uint64_t packet_arrivals = 0;  ///< total packets arrived, all trials
+  std::uint64_t delivered = 0;
+  std::uint64_t backlog = 0;  ///< still queued at the horizon, all trials
 };
 
 /// Collects per-trial results of one cell.  `add` may be called
 /// concurrently for distinct trial indices (the RunSpec per-trial
 /// contract); `finalize` must only run after every trial landed.
+/// Construct with `dynamic = true` for arrival-axis cells (preallocates the
+/// dynamic trial slots, so concurrent adds never resize).
 class Aggregator {
  public:
-  explicit Aggregator(std::uint64_t trials);
+  explicit Aggregator(std::uint64_t trials, bool dynamic = false);
 
   void add(std::uint64_t trial, const sim::SimResult& result);
   void add(std::uint64_t trial, const sim::McSimResult& result);
+  void add(std::uint64_t trial, const sim::DynamicResult& result);
 
   /// Statistics over the recorded trials, CIs seeded by `ci_seed`
   /// (deterministic: same trials + seed => identical CellStats, regardless
@@ -56,7 +70,18 @@ class Aggregator {
     double collisions = 0;
     double silences = 0;
   };
+  struct DynamicSlot {
+    double throughput = 0;
+    double jain = 0;
+    double collisions = 0;
+    double silences = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t backlog = 0;
+    std::vector<double> latency;
+  };
   std::vector<TrialSlot> slots_;
+  std::vector<DynamicSlot> dynamic_slots_;  ///< empty unless dynamic
 };
 
 }  // namespace wakeup::exp

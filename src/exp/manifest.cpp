@@ -135,6 +135,7 @@ void emit_summary(std::ostringstream& out, const char* prefix, const util::Summa
       << ",\"" << prefix << "_min\":" << json_double(s.min)
       << ",\"" << prefix << "_median\":" << json_double(s.median)
       << ",\"" << prefix << "_p95\":" << json_double(s.p95)
+      << ",\"" << prefix << "_p99\":" << json_double(s.p99)
       << ",\"" << prefix << "_max\":" << json_double(s.max);
 }
 
@@ -147,6 +148,7 @@ util::Summary parse_summary(const std::map<std::string, std::string>& fields,
   s.min = field_double(fields, prefix + "_min");
   s.median = field_double(fields, prefix + "_median");
   s.p95 = field_double(fields, prefix + "_p95");
+  s.p99 = field_double(fields, prefix + "_p99");
   s.max = field_double(fields, prefix + "_max");
   return s;
 }
@@ -169,7 +171,9 @@ std::string manifest_line(const CellRecord& record) {
       << ",\"n\":" << cell.n << ",\"k\":" << cell.k << ",\"channels\":" << cell.channels
       << ",\"pattern\":\"" << pattern_name(cell.pattern) << "\""
       << ",\"engine\":\"" << engine_name(cell.engine) << "\""
-      << ",\"trials\":" << cell.trials << ",\"s\":" << cell.s << ",\"index\":" << cell.index
+      << ",\"trials\":" << cell.trials << ",\"s\":" << cell.s
+      << ",\"arrival\":\"" << json_escape(cell.dynamic ? cell.arrival.name() : "") << "\""
+      << ",\"horizon\":" << (cell.dynamic ? cell.horizon : 0) << ",\"index\":" << cell.index
       << ",\"failures\":" << stats.failures
       << ",\"success_rate\":" << json_double(stats.success_rate);
   emit_summary(out, "rounds", stats.rounds);
@@ -179,7 +183,12 @@ std::string manifest_line(const CellRecord& record) {
       << ",\"median_ci_hi\":" << json_double(stats.rounds_median_ci.hi);
   emit_summary(out, "collisions", stats.collisions);
   emit_summary(out, "silences", stats.silences);
-  out << ",\"bound\":" << json_double(record.bound)
+  emit_summary(out, "throughput", stats.throughput);
+  emit_summary(out, "jain", stats.jain);
+  emit_summary(out, "latency", stats.latency);
+  out << ",\"packet_arrivals\":" << stats.packet_arrivals
+      << ",\"delivered\":" << stats.delivered << ",\"backlog\":" << stats.backlog
+      << ",\"bound\":" << json_double(record.bound)
       << ",\"normalized_mean\":" << json_double(record.normalized_mean) << "}";
   return out.str();
 }
@@ -198,6 +207,12 @@ CellRecord parse_manifest_line(const std::string& line) {
   cell.engine = parse_engine(field_str(fields, "engine"));
   cell.trials = field_u64(fields, "trials");
   cell.s = static_cast<mac::Slot>(field_u64(fields, "s"));
+  const std::string arrival = field_str(fields, "arrival");
+  if (!arrival.empty()) {
+    cell.dynamic = true;
+    cell.arrival = mac::ArrivalSpec::parse(arrival);
+    cell.horizon = static_cast<mac::Slot>(field_u64(fields, "horizon"));
+  }
   cell.index = field_u64(fields, "index");
 
   CellStats& stats = record.stats;
@@ -213,6 +228,16 @@ CellRecord parse_manifest_line(const std::string& line) {
   stats.rounds_median_ci.mean = stats.rounds.median;
   stats.rounds_median_ci.lo = field_double(fields, "median_ci_lo");
   stats.rounds_median_ci.hi = field_double(fields, "median_ci_hi");
+  stats.throughput = parse_summary(fields, "throughput");
+  stats.jain = parse_summary(fields, "jain");
+  stats.latency = parse_summary(fields, "latency");
+  stats.packet_arrivals = field_u64(fields, "packet_arrivals");
+  stats.delivered = field_u64(fields, "delivered");
+  stats.backlog = field_u64(fields, "backlog");
+  if (cell.dynamic) {
+    stats.rounds_mean_ci.mean = stats.throughput.mean;
+    stats.rounds_median_ci.mean = stats.throughput.median;
+  }
 
   record.bound = field_double(fields, "bound");
   record.normalized_mean = field_double(fields, "normalized_mean");
@@ -237,8 +262,15 @@ ManifestData load_manifest(const std::string& path) {
   } catch (const std::exception& e) {
     throw std::runtime_error(std::string("manifest: bad header: ") + e.what());
   }
-  if (data.header.version != 1) {
-    throw std::runtime_error("manifest: unsupported version in " + path);
+  if (data.header.version != kManifestVersion) {
+    throw std::runtime_error(
+        "manifest: " + path + " is version " + std::to_string(data.header.version) +
+        ", but this build writes version " + std::to_string(kManifestVersion) +
+        (data.header.version < kManifestVersion
+             ? " (the dynamic-traffic release added p99 and throughput/fairness columns to "
+               "every line) — a resumed report could not be byte-identical; re-run the sweep "
+               "fresh (delete the output directory or pass a new --out)"
+             : " — this manifest was written by a newer build"));
   }
 
   // Record lines.  A malformed line is fatal unless it is the last one —

@@ -46,8 +46,14 @@ struct CellRecord {
 /// input.
 [[nodiscard]] CellRecord parse_manifest_line(const std::string& line);
 
+/// Current manifest schema version.  v2 added the p99 percentile to every
+/// Summary block and the dynamic-traffic columns (arrival/horizon identity,
+/// throughput/jain/latency summaries, packet totals); v1 manifests cannot
+/// round-trip byte-identically and are rejected with a friendly error.
+inline constexpr std::uint64_t kManifestVersion = 2;
+
 struct ManifestHeader {
-  std::uint64_t version = 1;
+  std::uint64_t version = kManifestVersion;
   std::uint64_t base_seed = 0;
   std::uint64_t grid_hash = 0;  ///< grid_fingerprint(cells, base_seed)
   std::uint64_t cells = 0;      ///< grid size, for progress reporting

@@ -18,7 +18,7 @@ const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "figure-scenario-a", "figure-scenario-b", "figure-scenario-c",
       "crossover",         "multichannel-scaling", "smoke",
-      "frontier-scaling",
+      "frontier-scaling",  "dynamic-throughput",
   };
   return names;
 }
@@ -79,6 +79,22 @@ SweepSpec make_preset(const std::string& name) {
     spec.ks = {64};
     spec.patterns = {PatternKind::kUniform};
     spec.trials = 8;
+    return spec;
+  }
+  if (name == "dynamic-throughput") {
+    // Sustained-load comparison: offered load swept across the Poisson
+    // saturation knee plus a bursty and a heavy-tailed point, per-packet
+    // re-contenders against the oblivious schedules.  Report columns of
+    // interest: throughput_mean, jain_mean, latency_p50/p95/p99.
+    spec.protocols = {"round_robin", "wakeup_with_k", "binary_backoff", "slotted_aloha",
+                      "adaptive_cw"};
+    spec.ns = {256};
+    spec.ks = {16};
+    spec.arrivals = parse_arrival_axis(
+        "poisson:0.1,poisson:0.2,poisson:0.4,poisson:0.6,poisson:0.8,"
+        "bursty:0.4:0.05,pareto:1.5:0.3");
+    spec.horizon = 2048;
+    spec.trials = 12;
     return spec;
   }
   if (name == "smoke") {

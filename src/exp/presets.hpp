@@ -22,6 +22,10 @@
 ///    and resume identity).
 ///  * frontier-scaling — n = 2^17..2^20 at k = 64: the implicit-family
 ///    memory frontier; must finish with zero budget exhaustions.
+///  * dynamic-throughput — sustained load (arrival axis): Poisson offered
+///    loads 0.1..0.8 plus bursty/pareto points at n=256, k=16 over a
+///    2048-slot horizon; y-axes are throughput_mean, jain_mean and the
+///    latency percentiles.
 
 #include <string>
 #include <vector>

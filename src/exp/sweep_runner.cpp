@@ -71,6 +71,28 @@ CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions&
   run.cell_tag = cell.tag_hash;
   run.sim = spec.sim;
   run.sim.engine = cell.engine;
+
+  if (cell.dynamic) {
+    // Dynamic cells: arrival-generated traffic in place of a wake pattern;
+    // the facade realizes one scenario per trial from the trial stream.
+    run.horizon = cell.horizon;
+    run.arrival = cell.arrival;
+    run.dynamic_n = cell.n;
+    run.dynamic_k = cell.k;
+    run.make_protocol = [&cell](std::uint64_t seed) {
+      return build_registry_protocol(cell, seed);
+    };
+    Aggregator aggregator(cell.trials, /*dynamic=*/true);
+    run.per_trial_dynamic = [&aggregator](std::uint64_t i, const sim::DynamicResult& r) {
+      aggregator.add(i, r);
+    };
+    (void)sim::Run(run, trial_pool);
+    CellRecord record;
+    record.cell = cell;
+    record.stats =
+        aggregator.finalize(options.ci_resamples, ci_seed(spec.base_seed, cell.tag_hash));
+    return record;  // theory bounds are one-shot statements; no bound column
+  }
   run.trial_csv = options.trial_csv;
 
   const bool multichannel = cell.channels > 1 || is_mc_strategy(cell.protocol);
@@ -141,7 +163,12 @@ const std::vector<std::string>& report_columns() {
       "mean_ci_hi",   "rounds_median", "median_ci_lo",
       "median_ci_hi", "rounds_p95",   "rounds_max",
       "collisions_mean", "silences_mean", "bound",
-      "normalized_mean"};
+      "normalized_mean",
+      // Dynamic-traffic columns (zero for static cells).
+      "arrival",      "horizon",      "throughput_mean",
+      "jain_mean",    "latency_p50",  "latency_p95",
+      "latency_p99",  "packet_arrivals", "delivered",
+      "backlog"};
   return columns;
 }
 
@@ -167,7 +194,13 @@ void write_csv_report(const std::string& path, const std::vector<CellRecord>& re
         << json_double(r.stats.rounds_median_ci.hi) << ',' << json_double(r.stats.rounds.p95)
         << ',' << json_double(r.stats.rounds.max) << ','
         << json_double(r.stats.collisions.mean) << ',' << json_double(r.stats.silences.mean)
-        << ',' << json_double(r.bound) << ',' << json_double(r.normalized_mean) << "\n";
+        << ',' << json_double(r.bound) << ',' << json_double(r.normalized_mean) << ','
+        << util::csv_escape(r.cell.dynamic ? r.cell.arrival.name() : "") << ','
+        << (r.cell.dynamic ? r.cell.horizon : 0) << ','
+        << json_double(r.stats.throughput.mean) << ',' << json_double(r.stats.jain.mean) << ','
+        << json_double(r.stats.latency.median) << ',' << json_double(r.stats.latency.p95)
+        << ',' << json_double(r.stats.latency.p99) << ',' << r.stats.packet_arrivals << ','
+        << r.stats.delivered << ',' << r.stats.backlog << "\n";
   }
 }
 
@@ -209,6 +242,11 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   const std::vector<Cell> cells = expand(spec);
   if (cells.empty()) {
     throw std::invalid_argument("sweep: the grid expanded to zero feasible cells");
+  }
+  if (options.trial_csv != nullptr && !spec.arrivals.empty()) {
+    throw std::invalid_argument(
+        "sweep: the per-trial CSV stream has no row schema for dynamic cells — drop "
+        "--trials-csv from arrival-axis sweeps");
   }
   if (!util::ensure_directory(options.out_dir)) {
     throw std::runtime_error("sweep: cannot create output directory " + options.out_dir);

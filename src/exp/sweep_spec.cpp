@@ -109,11 +109,13 @@ std::uint64_t tag_hash(const std::string& tag) {
 
 std::string cell_tag_text(const std::string& protocol, std::uint32_t n, std::uint32_t k,
                           std::uint32_t channels, sim::Engine engine, PatternKind pattern,
-                          std::uint64_t trials, mac::Slot s) {
+                          std::uint64_t trials, mac::Slot s, const std::string& arrival,
+                          mac::Slot horizon) {
   std::ostringstream tag;
   tag << "protocol=" << protocol << ",n=" << n << ",k=" << k << ",c=" << channels
       << ",pattern=" << pattern_name(pattern) << ",engine=" << engine_name(engine)
       << ",trials=" << trials << ",s=" << s;
+  if (!arrival.empty()) tag << ",arrival=" << arrival << ",horizon=" << horizon;
   return tag.str();
 }
 
@@ -123,6 +125,48 @@ std::vector<Cell> expand(const SweepSpec& spec) {
     throw std::invalid_argument("SweepSpec: every axis needs at least one value");
   }
   if (spec.trials == 0) throw std::invalid_argument("SweepSpec: trials must be >= 1");
+
+  const bool dynamic = !spec.arrivals.empty();
+  if (dynamic) {
+    if (spec.horizon <= 0) {
+      throw std::invalid_argument("SweepSpec: dynamic grids need horizon >= 1");
+    }
+    // The arrival axis replaces the pattern axis — a grid asking for both
+    // is ambiguous, so reject it instead of silently ignoring one.
+    if (spec.patterns.size() != 1 || spec.patterns.front() != PatternKind::kUniform) {
+      throw std::invalid_argument(
+          "SweepSpec: the arrival axis replaces the pattern axis — leave patterns at its "
+          "default for dynamic grids");
+    }
+    for (const std::uint32_t c : spec.channels) {
+      if (c != 1) {
+        throw std::invalid_argument(
+            "SweepSpec: dynamic traffic is single-channel — drop channels > 1 from the grid");
+      }
+    }
+    for (const mac::ArrivalSpec& arrival : spec.arrivals) {
+      if (arrival.kind == mac::ArrivalKind::kReplay) {
+        throw std::invalid_argument(
+            "SweepSpec: replay traffic is loaded from a file, not swept — use the generator "
+            "kinds (poisson, bursty, pareto) on the arrival axis");
+      }
+    }
+    for (const std::string& name : spec.protocols) {
+      if (is_mc_strategy(name)) {
+        throw std::invalid_argument(
+            "mc strategy '" + name + "' cannot run under dynamic traffic (single-channel)");
+      }
+      if (!proto::is_protocol_name(name)) continue;  // reported below with the full list
+      const proto::ProtocolCapabilities caps = proto::protocol_capabilities(name);
+      if (!caps.dynamic) {
+        throw std::invalid_argument(
+            "protocol '" + name +
+            "' is static-only (it needs a known start slot or collision detection) and "
+            "cannot re-contend per packet — drop it from arrival-axis grids (see the "
+            "`dynamic` column of `wakeup_cli list`)");
+      }
+    }
+  }
 
   // Validate names and capabilities before touching any cell, so a typo
   // fails in milliseconds instead of mid-overnight-sweep.
@@ -188,6 +232,38 @@ std::vector<Cell> expand(const SweepSpec& spec) {
   }
 
   std::vector<Cell> cells;
+  if (dynamic) {
+    // Dynamic grids: arrival-major in place of the pattern loop (channels
+    // is validated to {1} above).
+    for (const std::string& protocol : spec.protocols) {
+      for (const std::uint32_t n : spec.ns) {
+        for (const std::uint32_t k : spec.ks) {
+          if (k > n) continue;
+          for (const mac::ArrivalSpec& arrival : spec.arrivals) {
+            for (const sim::Engine engine : spec.engines) {
+              Cell cell;
+              cell.protocol = protocol;
+              cell.n = n;
+              cell.k = k;
+              cell.channels = 1;
+              cell.engine = engine;
+              cell.trials = spec.trials;
+              cell.s = spec.s;
+              cell.dynamic = true;
+              cell.arrival = arrival;
+              cell.horizon = spec.horizon;
+              cell.index = cells.size();
+              cell.tag = cell_tag_text(protocol, n, k, 1, engine, cell.pattern, spec.trials,
+                                       spec.s, arrival.name(), spec.horizon);
+              cell.tag_hash = tag_hash(cell.tag);
+              cells.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+    }
+    return cells;
+  }
   for (const std::string& protocol : spec.protocols) {
     for (const std::uint32_t n : spec.ns) {
       for (const std::uint32_t k : spec.ks) {
@@ -221,6 +297,21 @@ std::uint64_t grid_fingerprint(const std::vector<Cell>& cells, std::uint64_t bas
   std::uint64_t h = util::hash_words({base_seed, cells.size()});
   for (const Cell& cell : cells) h = util::hash_combine(h, cell.tag_hash);
   return h;
+}
+
+std::vector<mac::ArrivalSpec> parse_arrival_axis(const std::string& text) {
+  std::vector<mac::ArrivalSpec> specs;
+  for (const std::string& item : split_list(text)) {
+    mac::ArrivalSpec spec = mac::ArrivalSpec::parse(item);
+    if (spec.kind == mac::ArrivalKind::kReplay) {
+      throw std::invalid_argument(
+          "arrival axis: 'replay' is loaded from a file, not swept — use poisson, bursty, "
+          "or pareto");
+    }
+    specs.push_back(spec);
+  }
+  if (specs.empty()) throw std::invalid_argument("empty arrival axis '" + text + "'");
+  return specs;
 }
 
 std::vector<std::string> split_list(const std::string& text) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "mac/arrival_process.hpp"
 #include "mac/types.hpp"
 #include "mac/wake_pattern.hpp"
 #include "sim/simulator.hpp"
@@ -82,6 +83,15 @@ struct SweepSpec {
   std::uint64_t trials = 64;  ///< Monte-Carlo trials per cell
   std::uint64_t base_seed = 1;
   sim::SimConfig sim;         ///< budget/engine template; engine comes from the axis
+
+  /// Dynamic-traffic axis.  Non-empty switches the whole grid to sustained
+  /// load: each cell realizes one ArrivalSpec over [0, horizon) per trial
+  /// (k active stations of the n universe) instead of a wake pattern — the
+  /// arrival axis *replaces* the pattern axis, so `patterns` must be left
+  /// at its default.  Dynamic grids are single-channel and only accept
+  /// protocols whose `dynamic` capability is set (`wakeup_cli list`).
+  std::vector<mac::ArrivalSpec> arrivals;
+  mac::Slot horizon = 2048;  ///< slots per dynamic trial (arrivals non-empty)
 };
 
 /// One grid point, fully identified.
@@ -94,6 +104,9 @@ struct Cell {
   PatternKind pattern = PatternKind::kUniform;
   std::uint64_t trials = 0;
   mac::Slot s = 0;
+  bool dynamic = false;        ///< dynamic-traffic cell (arrival axis)
+  mac::ArrivalSpec arrival;    ///< meaningful iff dynamic
+  mac::Slot horizon = 0;       ///< meaningful iff dynamic
   std::uint64_t index = 0;    ///< position in the expanded grid
   std::string tag;            ///< canonical identity string
   std::uint64_t tag_hash = 0; ///< FNV-1a of tag — sim::RunSpec::cell_tag
@@ -109,10 +122,14 @@ struct Cell {
 
 /// The canonical tag of a cell identity (what `expand` stores): e.g.
 /// "protocol=wakeup_with_k,n=1024,k=8,c=1,pattern=uniform,engine=auto,trials=64,s=0".
+/// Dynamic cells append ",arrival=<spec>,horizon=<H>" (pass `arrival` as the
+/// ArrivalSpec::name() text); static tags are byte-identical to what every
+/// pre-dynamic release produced, so historical seeds stay stable.
 [[nodiscard]] std::string cell_tag_text(const std::string& protocol, std::uint32_t n,
                                         std::uint32_t k, std::uint32_t channels,
                                         sim::Engine engine, PatternKind pattern,
-                                        std::uint64_t trials, mac::Slot s);
+                                        std::uint64_t trials, mac::Slot s,
+                                        const std::string& arrival = "", mac::Slot horizon = 0);
 
 /// Validates the spec and expands it into the stably-ordered cell list
 /// (protocol-major, then n, k, channels, pattern, engine).  Throws
@@ -134,6 +151,12 @@ struct Cell {
 /// "2^10..2^13" -> {1024, 2048, 4096, 8192}; "1,8,64" -> {1, 8, 64}.
 /// Throws std::invalid_argument on malformed input.
 [[nodiscard]] std::vector<std::uint32_t> parse_axis_u32(const std::string& text);
+
+/// Arrival-axis grammar: a comma-separated list of mac::ArrivalSpec specs,
+/// e.g. "poisson:0.1,bursty:0.5:0.05,pareto:1.5".  Throws
+/// std::invalid_argument (with the per-kind grammar) on malformed specs and
+/// on "replay" (replay traffic is loaded from a file, not swept).
+[[nodiscard]] std::vector<mac::ArrivalSpec> parse_arrival_axis(const std::string& text);
 
 /// Splits "a,b,c" into trimmed non-empty items (shared by axis parsers).
 [[nodiscard]] std::vector<std::string> split_list(const std::string& text);

@@ -1,0 +1,228 @@
+#include "mac/arrival_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/dynamic_bitset.hpp"
+
+namespace wakeup::mac {
+namespace {
+
+std::string format_param(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+double parse_param(const std::string& text, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("arrival spec '" + spec + "': '" + text + "' is not a number");
+  }
+}
+
+[[noreturn]] void grammar_error(const std::string& spec, const std::string& detail) {
+  throw std::invalid_argument("arrival spec '" + spec + "': " + detail +
+                              " (grammar: poisson:RATE | bursty:RATE:SWITCH | "
+                              "pareto:ALPHA[:RATE] | replay)");
+}
+
+}  // namespace
+
+std::string ArrivalSpec::name() const {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson:" + format_param(rate);
+    case ArrivalKind::kBursty:
+      return "bursty:" + format_param(rate) + ":" + format_param(param);
+    case ArrivalKind::kPareto:
+      return "pareto:" + format_param(param) + ":" + format_param(rate);
+    case ArrivalKind::kReplay:
+      return "replay";
+  }
+  return "unknown";
+}
+
+ArrivalSpec ArrivalSpec::parse(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    parts.push_back(text.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+
+  ArrivalSpec spec;
+  const std::string& family = parts[0];
+  if (family == "poisson") {
+    spec.kind = ArrivalKind::kPoisson;
+    if (parts.size() != 2) grammar_error(text, "poisson takes exactly one parameter, the rate");
+    spec.rate = parse_param(parts[1], text);
+  } else if (family == "bursty") {
+    spec.kind = ArrivalKind::kBursty;
+    if (parts.size() != 3) grammar_error(text, "bursty takes rate and switch probability");
+    spec.rate = parse_param(parts[1], text);
+    spec.param = parse_param(parts[2], text);
+    if (spec.param <= 0.0 || spec.param > 1.0)
+      grammar_error(text, "switch probability must be in (0, 1]");
+  } else if (family == "pareto") {
+    spec.kind = ArrivalKind::kPareto;
+    if (parts.size() != 2 && parts.size() != 3)
+      grammar_error(text, "pareto takes alpha and an optional rate");
+    spec.param = parse_param(parts[1], text);
+    spec.rate = parts.size() == 3 ? parse_param(parts[2], text) : 0.1;
+    if (spec.param <= 1.0) grammar_error(text, "pareto tail index alpha must exceed 1");
+  } else if (family == "replay") {
+    spec.kind = ArrivalKind::kReplay;
+    if (parts.size() != 1) grammar_error(text, "replay takes no parameters");
+    spec.rate = 0.0;
+  } else {
+    grammar_error(text, "unknown family '" + family + "'");
+  }
+  if (spec.kind != ArrivalKind::kReplay && !(spec.rate > 0.0))
+    grammar_error(text, "rate must be positive");
+  return spec;
+}
+
+DynamicScenario::DynamicScenario(std::uint32_t n, Slot horizon, std::vector<Arrival> packets)
+    : n_(n), horizon_(horizon), packets_(std::move(packets)) {
+  if (horizon_ <= 0) throw std::invalid_argument("DynamicScenario: horizon must be positive");
+  for (const Arrival& p : packets_) {
+    if (p.station >= n_) throw std::invalid_argument("DynamicScenario: station id out of range");
+    if (p.wake < 0 || p.wake >= horizon_)
+      throw std::invalid_argument("DynamicScenario: packet arrival outside [0, horizon)");
+  }
+  std::sort(packets_.begin(), packets_.end(), [](const Arrival& a, const Arrival& b) {
+    return a.wake != b.wake ? a.wake < b.wake : a.station < b.station;
+  });
+  util::DynamicBitset seen(n_);
+  for (const Arrival& p : packets_) seen.set(p.station);
+  for (StationId u = 0; u < n_; ++u) {
+    if (seen.test(u)) stations_.push_back(u);
+  }
+}
+
+DynamicScenario DynamicScenario::single_shot(const WakePattern& pattern, Slot horizon) {
+  return DynamicScenario(pattern.n(), horizon, pattern.arrivals());
+}
+
+namespace arrivals {
+namespace {
+
+/// Floyd's uniform sampling of k distinct stations out of [n] — the same
+/// draw sequence as the wake-pattern generators, so scenario station sets
+/// match pattern station sets under a shared rng state.
+std::vector<StationId> choose_stations(std::uint32_t n, std::uint32_t k, util::Rng& rng) {
+  if (k > n) k = n;
+  std::vector<StationId> out;
+  out.reserve(k);
+  util::DynamicBitset chosen(n);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<StationId>(rng.uniform(j + 1));
+    if (chosen.test(t)) {
+      chosen.set(j);
+      out.push_back(j);
+    } else {
+      chosen.set(t);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+/// Failures before the first success of Bernoulli(p) — the geometric gap
+/// equivalent of a per-slot arrival draw, O(1) instead of O(gap).
+Slot geometric_gap(double p, util::Rng& rng) {
+  if (p >= 1.0) return 0;
+  const double u = 1.0 - rng.uniform01();  // in (0, 1]
+  return static_cast<Slot>(std::log(u) / std::log1p(-p));
+}
+
+void poisson_stream(StationId u, double per_station_rate, Slot horizon, util::Rng& rng,
+                    std::vector<Arrival>& out) {
+  const double p = std::min(1.0, per_station_rate);
+  if (p <= 0.0) return;
+  Slot t = geometric_gap(p, rng);
+  while (t < horizon) {
+    out.push_back({u, t});
+    t += 1 + geometric_gap(p, rng);
+  }
+}
+
+void bursty_stream(StationId u, double per_station_rate, double switch_p, Slot horizon,
+                   util::Rng& rng, std::vector<Arrival>& out) {
+  // Symmetric on/off modulator: half the slots are ON in expectation, so the
+  // ON-state arrival probability is doubled to preserve the offered load.
+  const double p_on = std::min(1.0, 2.0 * per_station_rate);
+  bool on = rng.bernoulli(0.5);
+  for (Slot t = 0; t < horizon; ++t) {
+    if (on && rng.bernoulli(p_on)) out.push_back({u, t});
+    if (rng.bernoulli(switch_p)) on = !on;
+  }
+}
+
+void pareto_stream(StationId u, double per_station_rate, double alpha, Slot horizon,
+                   util::Rng& rng, std::vector<Arrival>& out) {
+  // Pareto(alpha) gaps scaled so the mean inter-arrival matches the target
+  // rate: E[x_m * U^(-1/alpha)] = x_m * alpha / (alpha - 1).
+  const double target_mean = 1.0 / per_station_rate;
+  const double x_m = target_mean * (alpha - 1.0) / alpha;
+  Slot t = 0;
+  while (true) {
+    const double un = 1.0 - rng.uniform01();  // in (0, 1]
+    const double gap = x_m * std::pow(un, -1.0 / alpha);
+    // Heavy tails produce astronomically long gaps; anything past the
+    // horizon ends the stream regardless of its exact value.
+    if (gap > static_cast<double>(horizon - t)) return;
+    t += std::max<Slot>(1, static_cast<Slot>(std::llround(gap)));
+    if (t >= horizon) return;
+    out.push_back({u, t});
+  }
+}
+
+}  // namespace
+
+DynamicScenario generate(const ArrivalSpec& spec, std::uint32_t n, std::uint32_t k, Slot horizon,
+                         util::Rng& rng) {
+  if (spec.kind == ArrivalKind::kReplay)
+    throw std::invalid_argument(
+        "arrivals::generate: replay scenarios carry an explicit packet list — construct a "
+        "DynamicScenario directly");
+  if (horizon <= 0) throw std::invalid_argument("arrivals::generate: horizon must be positive");
+  if (k == 0 || k > n) throw std::invalid_argument("arrivals::generate: need 0 < k <= n");
+
+  const auto stations = choose_stations(n, k, rng);
+  const double per_station_rate = spec.rate / static_cast<double>(stations.size());
+  std::vector<Arrival> packets;
+  packets.reserve(static_cast<std::size_t>(
+      std::min(spec.rate * static_cast<double>(horizon) * 1.25 + 16.0, 1e8)));
+  for (StationId u : stations) {
+    // Independent per-station substream: station u's stream depends only on
+    // the shared rng state and u, not on how many packets others generated.
+    util::Rng sub = rng.split(0x414252ULL /* "ARR" */ ^ (std::uint64_t{u} << 24));
+    switch (spec.kind) {
+      case ArrivalKind::kPoisson:
+        poisson_stream(u, per_station_rate, horizon, sub, packets);
+        break;
+      case ArrivalKind::kBursty:
+        bursty_stream(u, per_station_rate, spec.param, horizon, sub, packets);
+        break;
+      case ArrivalKind::kPareto:
+        pareto_stream(u, per_station_rate, spec.param, horizon, sub, packets);
+        break;
+      case ArrivalKind::kReplay:
+        break;  // unreachable, rejected above
+    }
+  }
+  return DynamicScenario(n, horizon, std::move(packets));
+}
+
+}  // namespace arrivals
+}  // namespace wakeup::mac

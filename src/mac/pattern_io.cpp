@@ -1,5 +1,6 @@
 #include "mac/pattern_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -38,6 +39,42 @@ WakePattern read_pattern_csv(std::istream& is, std::uint32_t n) {
     }
   }
   return WakePattern(n, std::move(arrivals));
+}
+
+DynamicScenario read_arrivals_csv(std::istream& is, std::uint32_t n, Slot horizon) {
+  std::vector<Arrival> packets;
+  std::string line;
+  std::size_t line_no = 0;
+  Slot max_slot = -1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (line.find("station") != std::string::npos) continue;  // header
+    std::istringstream row(line);
+    std::string station_field, slot_field;
+    if (!std::getline(row, station_field, ',') || !std::getline(row, slot_field)) {
+      throw std::runtime_error("read_arrivals_csv: line " + std::to_string(line_no) +
+                               ": expected 'station,slot'");
+    }
+    try {
+      const auto station = std::stoull(station_field);
+      const auto slot = std::stoll(slot_field);
+      packets.push_back({static_cast<StationId>(station), static_cast<Slot>(slot)});
+      max_slot = std::max<Slot>(max_slot, static_cast<Slot>(slot));
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_arrivals_csv: line " + std::to_string(line_no) +
+                               ": non-numeric field");
+    }
+  }
+  if (horizon <= 0) horizon = max_slot + 1;  // tightest horizon covering the trace
+  return DynamicScenario(n, horizon, std::move(packets));
+}
+
+DynamicScenario load_arrivals_csv(const std::string& path, std::uint32_t n, Slot horizon) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_arrivals_csv: cannot open " + path);
+  return read_arrivals_csv(in, n, horizon);
 }
 
 void save_pattern_csv(const std::string& path, const WakePattern& pattern) {

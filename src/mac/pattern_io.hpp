@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "mac/arrival_process.hpp"
 #include "mac/wake_pattern.hpp"
 
 namespace wakeup::mac {
@@ -24,5 +25,15 @@ void write_pattern_csv(std::ostream& os, const WakePattern& pattern);
 
 void save_pattern_csv(const std::string& path, const WakePattern& pattern);
 [[nodiscard]] WakePattern load_pattern_csv(const std::string& path, std::uint32_t n);
+
+/// Parses a dynamic replay trace: "station,slot" rows, same comment/header
+/// conventions as read_pattern_csv, but a station may appear any number of
+/// times (one row per packet).  `horizon` 0 derives the tightest horizon
+/// (max slot + 1); otherwise every slot must lie in [0, horizon).  The
+/// packet list flows through DynamicScenario validation (kReplay spec).
+[[nodiscard]] DynamicScenario read_arrivals_csv(std::istream& is, std::uint32_t n,
+                                                Slot horizon);
+[[nodiscard]] DynamicScenario load_arrivals_csv(const std::string& path, std::uint32_t n,
+                                                Slot horizon);
 
 }  // namespace wakeup::mac

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file adaptive_cw.hpp
+/// LBT-style adaptive contention window with a distributed Jain's-fairness
+/// controller, for the dynamic-traffic workloads.
+///
+/// Listen-before-talk baseline: every backlogged station picks a uniform
+/// slot inside its current contention window [t, t + cw); a window that
+/// expires without the station's own delivery doubles cw (up to cw_max),
+/// an own delivery halves it (down to cw_min) — AIMD on the only signal the
+/// no-collision-detection channel provides.
+///
+/// On top of AIMD sits a fairness controller (the DynamicCWController idea
+/// from the 5G/Wi-Fi coexistence literature, run *distributed*): each
+/// station measures its share of the successes it hears per epoch and
+/// compares it against the fair share 1/k.  Over-served stations widen
+/// their effective window (a penalty shift), under-served ones narrow it
+/// back.  When every share sits at 1/k, Jain's fairness index
+/// (sum x)^2 / (k * sum x^2) is exactly 1 — the controller's target.
+
+#include "protocols/protocol.hpp"
+
+namespace wakeup::proto {
+
+class AdaptiveCwProtocol final : public Protocol {
+ public:
+  struct Config {
+    std::uint32_t k = 2;          ///< contention bound -> fair share 1/k
+    std::uint32_t cw_min = 8;     ///< smallest contention window, slots
+    unsigned cw_max_log2 = 9;     ///< doubling cap: cw <= 2^cw_max_log2
+    Slot epoch = 128;             ///< fairness measurement period, slots
+    double tolerance = 0.25;      ///< share band: [target/(1+tol), target*(1+tol)]
+    std::uint64_t seed = 1;
+  };
+
+  explicit AdaptiveCwProtocol(Config config);
+
+  [[nodiscard]] std::string name() const override { return "adaptive_cw"; }
+  [[nodiscard]] Requirements requirements() const override {
+    Requirements r;
+    r.needs_k = true;  // the fair-share target is 1/k
+    r.randomized = true;
+    return r;
+  }
+
+  /// Static (one-shot wake-up) fallback: plain AIMD windowing from cw_min,
+  /// no cross-packet state to carry.
+  [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
+                                                             Slot wake) const override;
+
+  /// The real protocol: AIMD windows plus the per-epoch fairness penalty,
+  /// carried across every packet of the trial.
+  [[nodiscard]] std::unique_ptr<DynamicStation> make_dynamic_station(StationId u) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace wakeup::proto

@@ -19,12 +19,36 @@ class AlohaRuntime final : public StationRuntime {
   util::Rng rng_;
 };
 
+/// Dynamic-traffic ALOHA: memoryless per slot, but one rng stream per
+/// station per trial — successive packets continue the stream instead of
+/// reseeding, which keeps the trial a deterministic function of (seed, u).
+class AlohaStation final : public DynamicStation {
+ public:
+  AlohaStation(double p, util::Rng rng) : p_(p), rng_(rng) {}
+
+  void packet_start(Slot start) override { (void)start; }
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    (void)t;
+    return rng_.bernoulli(p_);
+  }
+
+ private:
+  double p_;
+  util::Rng rng_;
+};
+
 }  // namespace
 
 std::unique_ptr<StationRuntime> SlottedAlohaProtocol::make_runtime(StationId u, Slot wake) const {
   util::Rng rng(util::hash_words({seed_, 0x414c4f4841ULL /* "ALOHA" */, u,
                                   static_cast<std::uint64_t>(wake)}));
   return std::make_unique<AlohaRuntime>(p_, rng);
+}
+
+std::unique_ptr<DynamicStation> SlottedAlohaProtocol::make_dynamic_station(StationId u) const {
+  util::Rng rng(util::hash_words({seed_, 0x44414c4f4841ULL /* "DALOHA" */, u}));
+  return std::make_unique<AlohaStation>(p_, rng);
 }
 
 ProtocolPtr SlottedAlohaProtocol::for_k(std::uint32_t k, std::uint64_t seed) {

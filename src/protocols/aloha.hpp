@@ -24,6 +24,9 @@ class SlottedAlohaProtocol final : public Protocol {
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
 
+  /// Dynamic traffic: memoryless re-contention, one rng stream per trial.
+  [[nodiscard]] std::unique_ptr<DynamicStation> make_dynamic_station(StationId u) const override;
+
   [[nodiscard]] double p() const noexcept { return p_; }
 
   /// The standard tuning p = 1/k.

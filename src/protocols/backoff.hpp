@@ -35,6 +35,10 @@ class BinaryBackoffProtocol final : public Protocol {
   [[nodiscard]] std::unique_ptr<StationRuntime> make_runtime(StationId u,
                                                              Slot wake) const override;
 
+  /// Dynamic traffic: the window persists across packets as a congestion
+  /// estimate (halved on own delivery, doubled on a success-free window).
+  [[nodiscard]] std::unique_ptr<DynamicStation> make_dynamic_station(StationId u) const override;
+
   [[nodiscard]] std::uint32_t initial_window() const noexcept { return initial_window_; }
 
  private:

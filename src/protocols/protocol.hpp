@@ -52,6 +52,40 @@ class StationRuntime {
   }
 };
 
+/// Per-station execution state under *dynamic* traffic, where a station
+/// serves a stream of packets instead of a single wake-up: each head-of-line
+/// packet contends until delivered, then the next packet (if any) starts a
+/// fresh contention.  Unlike StationRuntime, a DynamicStation lives for the
+/// whole trial, so adaptive protocols can carry congestion estimates and
+/// fairness state across packets.
+///
+/// Contract: the owner calls `packet_start(s)` whenever a new head-of-line
+/// packet begins contending at slot s (including the first), then
+/// `transmits(t)` exactly once for every slot t >= s while the station is
+/// backlogged, in strictly increasing order, with `feedback(t, ...)` after
+/// `transmits(t)`.  While the queue is empty no calls are made; the next
+/// `packet_start` resumes at a strictly later slot.
+class DynamicStation {
+ public:
+  virtual ~DynamicStation() = default;
+
+  /// A new head-of-line packet starts contending at slot `start`.
+  virtual void packet_start(Slot start) = 0;
+
+  /// Does this station transmit in slot t?
+  [[nodiscard]] virtual bool transmits(Slot t) = 0;
+
+  /// What the station heard in slot t; `delivered` is true exactly when the
+  /// slot's success was this station's own head-of-line packet (in which
+  /// case fb == kSuccess and the owner follows up with `packet_start` if
+  /// the queue is still non-empty).
+  virtual void feedback(Slot t, ChannelFeedback fb, bool delivered) {
+    (void)t;
+    (void)fb;
+    (void)delivered;
+  }
+};
+
 /// Capability interface of deterministic, feedback-free ("oblivious")
 /// protocols: the whole transmission schedule of a station is a pure
 /// function of (station, wake slot), so it can be emitted as packed 64-slot
@@ -157,6 +191,17 @@ class Protocol {
   /// `make_runtime` bit for bit.  Adaptive/randomized protocols keep the
   /// default and run through the slot-by-slot interpreter.
   [[nodiscard]] virtual const ObliviousSchedule* oblivious_schedule() const { return nullptr; }
+
+  /// Creates cross-packet execution state for station `u` under dynamic
+  /// traffic.  The default (nullptr) tells the simulator to restart a fresh
+  /// `make_runtime(u, start)` per packet — exactly right for oblivious
+  /// protocols and memoryless randomized ones.  Adaptive protocols override
+  /// this to carry state (contention windows, fairness shares) across the
+  /// packets of one trial.
+  [[nodiscard]] virtual std::unique_ptr<DynamicStation> make_dynamic_station(StationId u) const {
+    (void)u;
+    return nullptr;
+  }
 };
 
 /// Protocols are immutable and shared across stations and trials.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "protocols/adaptive_cw.hpp"
 #include "protocols/aloha.hpp"
 #include "protocols/backoff.hpp"
 #include "protocols/local_doubling.hpp"
@@ -66,6 +67,12 @@ ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec) {
     return std::make_shared<BinaryBackoffProtocol>(/*initial_window=*/2,
                                                    /*max_window_log2=*/20, spec.seed);
   }
+  if (spec.name == "adaptive_cw") {
+    AdaptiveCwProtocol::Config config;
+    config.k = std::max<std::uint32_t>(1, spec.k);
+    config.seed = spec.seed;
+    return std::make_shared<AdaptiveCwProtocol>(config);
+  }
   throw std::invalid_argument("unknown protocol: " + spec.name);
 }
 
@@ -77,6 +84,7 @@ const std::vector<std::string>& protocol_names() {
       "rpd_n",         "rpd_k",
       "slotted_aloha", "local_doubling",
       "tree_splitting", "binary_backoff",
+      "adaptive_cw",
   };
   return names;
 }
@@ -105,6 +113,10 @@ ProtocolCapabilities protocol_capabilities(const std::string& name) {
   caps.needs_k = req.needs_k;
   caps.needs_start_time = req.needs_start_time;
   caps.needs_collision_detection = req.needs_collision_detection;
+  // Dynamic traffic re-contends per packet at arbitrary queue-head times,
+  // which has no meaningful "known start slot", and the dynamic engines
+  // deliver only the paper's no-CD feedback.
+  caps.dynamic = !req.needs_start_time && !req.needs_collision_detection;
   return caps;
 }
 

@@ -28,7 +28,7 @@ struct ProtocolSpec {
 /// names.  Registered names:
 ///   round_robin, select_among_the_first, wakeup_with_s, wait_and_go,
 ///   wakeup_with_k, wakeup_matrix, rpd_n, rpd_k, slotted_aloha,
-///   local_doubling, tree_splitting, binary_backoff
+///   local_doubling, tree_splitting, binary_backoff, adaptive_cw
 [[nodiscard]] ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec);
 
 /// All registered names, in a stable order.
@@ -50,6 +50,7 @@ struct ProtocolCapabilities {
   bool needs_k = false;        ///< Scenario B knowledge
   bool needs_start_time = false;  ///< Scenario A knowledge
   bool needs_collision_detection = false;  ///< beyond the paper's model
+  bool dynamic = false;  ///< usable under dynamic traffic (arrival= axes)
 };
 
 /// Capabilities of the named protocol.  Throws std::invalid_argument for

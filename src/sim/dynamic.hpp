@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file dynamic.hpp
+/// Dynamic-traffic execution: per-station FIFO queues under sustained load.
+///
+/// Where `simulator.hpp` runs one-shot wake-up (each station contends once),
+/// the dynamic layer serves a `mac::DynamicScenario`: every station owns a
+/// FIFO packet queue fed by an arrival stream, the head-of-line packet
+/// contends via the protocol until delivered, and the next packet then
+/// starts a fresh contention at the following slot.  Every slot in
+/// [0, horizon) resolves exactly once — silence, collision, or delivery —
+/// so  silences + collisions + delivered = horizon  and
+/// arrivals = delivered + backlog  hold as invariants.
+///
+/// Two engines with bit-identical results (tests/test_dynamic_engine.cpp):
+///
+///  - `run_dynamic_interpreter` — the reference slot loop; works for every
+///    protocol, including the adaptive re-contenders
+///    (`proto::DynamicStation`).
+///  - `run_dynamic_batch` — the word-parallel engine for oblivious
+///    protocols.  It generalizes the batch engines' full-resolution drain
+///    into a *still-backlogged mask*: each scenario station owns one row of
+///    the station-major word matrix; a delivered winner's row is refetched
+///    from its next head-of-line start — and zeroed only when its queue
+///    drains — while stations whose next packet arrives mid-tile get their
+///    row bits set back from the arrival slot.  The SIMD tile machinery
+///    (or_reduce_2pass / masked_popcount_pair / first_set_below, 1->W tile
+///    ramp) is exactly the hot path of sim/batch_engine.cpp.
+///
+/// Contention start of a packet: max(arrival slot, previous delivery + 1).
+/// Queue latency of a delivered packet: delivery - arrival + 1 (a packet
+/// delivered in its arrival slot has latency 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/arrival_process.hpp"
+#include "sim/simulator.hpp"
+
+namespace wakeup::sim {
+
+/// Outcome of one dynamic trial.
+struct DynamicResult {
+  mac::Slot horizon = 0;
+  std::uint64_t arrivals = 0;    ///< packets that arrived in [0, horizon)
+  std::uint64_t delivered = 0;   ///< head-of-line packets delivered
+  std::uint64_t backlog = 0;     ///< arrivals - delivered (queued at horizon)
+  std::uint64_t silences = 0;
+  std::uint64_t collisions = 0;
+
+  /// Scenario stations (ascending) and their delivered counts, parallel.
+  std::vector<mac::StationId> stations;
+  std::vector<std::uint64_t> delivered_per_station;
+
+  /// Queue latency (delivery - arrival + 1) per delivered packet, in
+  /// delivery order — identical across engines, not just as a multiset.
+  std::vector<double> latency;
+
+  /// Sustained throughput: delivered packets per slot.
+  [[nodiscard]] double throughput() const noexcept {
+    return horizon > 0 ? static_cast<double>(delivered) / static_cast<double>(horizon) : 0.0;
+  }
+
+  /// Jain's fairness index (sum x)^2 / (m * sum x^2) over the per-station
+  /// delivered counts; 1 when every station delivered equally, 1/m when one
+  /// station took everything.  1.0 for empty/all-zero scenarios.
+  [[nodiscard]] double jain() const noexcept;
+
+  [[nodiscard]] bool operator==(const DynamicResult&) const = default;
+};
+
+/// Reference dynamic slot loop — works for every protocol.  Protocols
+/// overriding `make_dynamic_station` carry state across packets; all others
+/// re-contend each packet on a fresh `make_runtime(u, start)`.
+[[nodiscard]] DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
+                                                    const mac::DynamicScenario& scenario);
+
+/// Can `run_dynamic_batch` execute this protocol?  Requires an oblivious
+/// single-lane schedule (dynamic traffic is single-channel).
+[[nodiscard]] bool dynamic_batch_supports(const proto::Protocol& protocol);
+
+/// Word-parallel dynamic engine (still-backlogged mask over the word-matrix
+/// tiles).  Precondition: `dynamic_batch_supports(protocol)`; throws
+/// std::invalid_argument otherwise.  Bit-identical to the interpreter.
+[[nodiscard]] DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
+                                              const mac::DynamicScenario& scenario);
+
+/// Engine selection, mirroring `dispatch_wakeup`: kAuto batches oblivious
+/// protocols and interprets the rest; kBatch throws where
+/// `dynamic_batch_supports` says no.
+[[nodiscard]] DynamicResult dispatch_dynamic(const proto::Protocol& protocol,
+                                             const mac::DynamicScenario& scenario,
+                                             Engine engine = Engine::kAuto);
+
+}  // namespace wakeup::sim

@@ -190,8 +190,46 @@ void validate(const RunSpec& spec) {
   }
   const int pattern_sources =
       (spec.pattern != nullptr ? 1 : 0) + (spec.make_pattern ? 1 : 0);
+
+  if (spec.horizon > 0) {
+    // Dynamic traffic: single channel, one traffic source, dynamic sinks.
+    if (multichannel) {
+      throw std::invalid_argument("RunSpec: dynamic traffic (horizon > 0) is single-channel");
+    }
+    if (pattern_sources != 0) {
+      throw std::invalid_argument(
+          "RunSpec: dynamic runs take traffic from scenario/arrival, not pattern/make_pattern");
+    }
+    const bool generated = spec.dynamic_n > 0 && spec.dynamic_k > 0;
+    if ((spec.scenario != nullptr) == generated) {
+      throw std::invalid_argument(
+          "RunSpec: dynamic runs need exactly one of scenario / (arrival + dynamic_n + "
+          "dynamic_k)");
+    }
+    if (spec.scenario == nullptr && spec.arrival.kind == mac::ArrivalKind::kReplay) {
+      throw std::invalid_argument(
+          "RunSpec: replay arrivals need an explicit scenario (they cannot be generated)");
+    }
+    if (generated && spec.dynamic_k > spec.dynamic_n) {
+      throw std::invalid_argument("RunSpec: dynamic_k must be <= dynamic_n");
+    }
+    if (spec.sim.record_trace || spec.sim.full_resolution ||
+        spec.sim.feedback != mac::FeedbackModel::kNone) {
+      throw std::invalid_argument(
+          "RunSpec: dynamic runs support neither traces, full resolution, nor CD feedback");
+    }
+    if (spec.per_trial || spec.per_trial_mc || spec.trial_csv != nullptr) {
+      throw std::invalid_argument("RunSpec: dynamic runs report through per_trial_dynamic");
+    }
+    return;
+  }
+
   if (pattern_sources != 1) {
     throw std::invalid_argument("RunSpec: exactly one of pattern / make_pattern");
+  }
+  if (spec.scenario != nullptr || spec.per_trial_dynamic) {
+    throw std::invalid_argument(
+        "RunSpec: scenario / per_trial_dynamic need dynamic mode (horizon > 0)");
   }
   // A sink of the wrong channel model would compile and run but never
   // fire — reject it instead of silently dropping every trial.
@@ -201,6 +239,66 @@ void validate(const RunSpec& spec) {
   if (!multichannel && spec.per_trial_mc) {
     throw std::invalid_argument("RunSpec: single-channel runs report through per_trial");
   }
+}
+
+// -------------------------------------------------------- dynamic traffic --
+
+/// Dynamic cells: a plain per-trial loop.  No schedule memo — post-delivery
+/// head starts are as diverse as the traffic, so cross-trial word reuse is
+/// gone and the engines fetch schedule blocks directly (the dynamic batch
+/// engine's fill_row is the DirectWords path at tile granularity).  A trial
+/// cannot fail: the horizon is the budget and every slot of it resolves, so
+/// `failures` stays 0 by construction.
+void run_dynamic(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
+  proto::ProtocolPtr owned;
+  const proto::Protocol* protocol = spec.protocol;
+  if (protocol == nullptr) {
+    owned = spec.make_protocol(cell_protocol_seed(spec));
+    protocol = owned.get();
+  }
+  const bool randomized =
+      protocol->requirements().randomized && static_cast<bool>(spec.make_protocol);
+
+  std::vector<DynamicResult> results(spec.trials);
+  for_each_trial(spec.trials, pool, [&](std::size_t i) {
+    const std::uint64_t seed = trial_seed(spec, i);
+    util::Rng rng(seed);
+    // Generated scenarios draw from the trial stream exactly where a wake
+    // pattern would, so (base_seed, cell_tag, i) pins the traffic.
+    mac::DynamicScenario generated;
+    if (spec.scenario == nullptr) {
+      generated = mac::arrivals::generate(spec.arrival, spec.dynamic_n, spec.dynamic_k,
+                                          spec.horizon, rng);
+    }
+    const mac::DynamicScenario& scenario =
+        spec.scenario != nullptr ? *spec.scenario : generated;
+    const proto::ProtocolPtr rebuilt =
+        randomized ? spec.make_protocol(trial_protocol_seed(seed)) : nullptr;
+    DynamicResult r =
+        dispatch_dynamic(rebuilt ? *rebuilt : *protocol, scenario, spec.sim.engine);
+    if (spec.per_trial_dynamic) spec.per_trial_dynamic(i, r);
+    results[i] = std::move(r);
+  });
+
+  util::Sample throughput, jain, collisions, silences, latency;
+  CellResult& cell = out.cell;
+  cell.trials = spec.trials;
+  for (const DynamicResult& r : results) {
+    throughput.push(r.throughput());
+    jain.push(r.jain());
+    collisions.push(static_cast<double>(r.collisions));
+    silences.push(static_cast<double>(r.silences));
+    for (const double l : r.latency) latency.push(l);
+    cell.packet_arrivals += r.arrivals;
+    cell.delivered += r.delivered;
+    cell.backlog += r.backlog;
+  }
+  cell.throughput = util::Summary::of(throughput);
+  cell.jain = util::Summary::of(jain);
+  cell.collisions = util::Summary::of(collisions);
+  cell.silences = util::Summary::of(silences);
+  cell.latency = util::Summary::of(latency);
+  if (spec.trials == 1) out.dynamic = std::move(results.front());
 }
 
 // ------------------------------------------- shared sweep-cell plumbing --
@@ -484,7 +582,10 @@ RunOutcome Run(const RunSpec& spec, util::ThreadPool* pool) {
   }
   RunOutcome out;
   out.multichannel = spec.mc_protocol != nullptr || static_cast<bool>(spec.make_mc_protocol);
-  if (out.multichannel) {
+  out.dynamic_mode = spec.horizon > 0;
+  if (out.dynamic_mode) {
+    run_dynamic(spec, pool, out);
+  } else if (out.multichannel) {
     run_mc(spec, pool, out);
   } else {
     run_sc(spec, pool, out);

@@ -34,9 +34,11 @@
 #include <cstdint>
 #include <functional>
 
+#include "mac/arrival_process.hpp"
 #include "mac/wake_pattern.hpp"
 #include "protocols/multichannel.hpp"
 #include "protocols/protocol.hpp"
+#include "sim/dynamic.hpp"
 #include "sim/mc_simulator.hpp"
 #include "sim/schedule_cache.hpp"
 #include "sim/simulator.hpp"
@@ -69,6 +71,16 @@ struct CellResult {
   util::Summary completion;  ///< full-resolution rounds (if enabled)
   std::uint64_t trials = 0;
   std::uint64_t failures = 0;  ///< trials that exhausted the slot budget
+
+  // -- Dynamic traffic (horizon > 0 runs; zero otherwise) ---------------
+  util::Summary throughput;  ///< delivered packets per slot, per trial
+  util::Summary jain;        ///< Jain's fairness index, per trial
+  /// Queue latency pooled over every delivered packet of every trial (in
+  /// trial order, so the percentiles are thread-count-independent).
+  util::Summary latency;
+  std::uint64_t packet_arrivals = 0;  ///< total packets arrived, all trials
+  std::uint64_t delivered = 0;
+  std::uint64_t backlog = 0;  ///< still queued at the horizon, all trials
 };
 
 /// What to run.  Exactly one of {protocol, mc_protocol, make_protocol,
@@ -90,6 +102,21 @@ struct RunSpec {
   const mac::WakePattern* pattern = nullptr;
   /// Per-trial pattern builder, drawing from the trial's RNG stream.
   std::function<mac::WakePattern(util::Rng& rng)> make_pattern;
+
+  // -- Dynamic traffic (sustained load, single-channel) -----------------
+  /// > 0 switches the run to dynamic mode (sim/dynamic.hpp): per-station
+  /// FIFO queues served over [0, horizon) slots, stations re-contending
+  /// per packet.  Dynamic specs take no pattern source; traffic comes from
+  /// exactly one of `scenario` (fixed, deterministic replay) or `arrival`
+  /// realized per trial for `dynamic_k` stations of a `dynamic_n` universe
+  /// from the trial's RNG stream (the slot a wake pattern would occupy in
+  /// the seed contract).  SimConfig::max_slots is ignored — the horizon is
+  /// the budget and every trial resolves all of it.
+  mac::Slot horizon = 0;
+  mac::ArrivalSpec arrival;
+  std::uint32_t dynamic_n = 0;
+  std::uint32_t dynamic_k = 0;
+  const mac::DynamicScenario* scenario = nullptr;
 
   /// Engine selection, slot budget, trace/full-resolution flags.  The
   /// engine flows through `dispatch_wakeup` / `dispatch_mc_wakeup`, so
@@ -114,6 +141,8 @@ struct RunSpec {
   /// single-channel runs, `per_trial_mc` for C-channel runs.
   std::function<void(std::uint64_t trial, const SimResult& result)> per_trial;
   std::function<void(std::uint64_t trial, const McSimResult& result)> per_trial_mc;
+  /// ... and `per_trial_dynamic` for dynamic (horizon > 0) runs.
+  std::function<void(std::uint64_t trial, const DynamicResult& result)> per_trial_dynamic;
   /// Optional streaming CSV sink (sim/results_sink.hpp): one row per
   /// trial, written as trials complete, nothing accumulated in memory.
   TrialCsvSink* trial_csv = nullptr;
@@ -124,8 +153,10 @@ struct RunSpec {
 /// model) is filled too.
 struct RunOutcome {
   bool multichannel = false;  ///< which of sim/mc is meaningful
+  bool dynamic_mode = false;  ///< spec.horizon > 0: `dynamic` is meaningful
   SimResult sim;              ///< trials == 1, single-channel
   McSimResult mc;             ///< trials == 1, C-channel
+  DynamicResult dynamic;      ///< trials == 1, dynamic traffic
   CellResult cell;
 };
 

@@ -73,6 +73,7 @@ Summary Summary::of(const Sample& s) {
   out.min = s.min();
   out.median = s.median();
   out.p95 = s.quantile(0.95);
+  out.p99 = s.quantile(0.99);
   out.max = s.max();
   return out;
 }

@@ -74,6 +74,7 @@ struct Summary {
   double min = 0.0;
   double median = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double max = 0.0;
 
   [[nodiscard]] static Summary of(const Sample& s);

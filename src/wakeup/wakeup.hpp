@@ -36,6 +36,7 @@
 #include "exp/sweep_runner.hpp"  // IWYU pragma: export
 #include "exp/sweep_spec.hpp"    // IWYU pragma: export
 
+#include "mac/arrival_process.hpp"  // IWYU pragma: export
 #include "mac/channel.hpp"       // IWYU pragma: export
 #include "mac/multichannel.hpp"  // IWYU pragma: export
 #include "mac/pattern_io.hpp"    // IWYU pragma: export
@@ -43,6 +44,7 @@
 #include "mac/types.hpp"         // IWYU pragma: export
 #include "mac/wake_pattern.hpp"  // IWYU pragma: export
 
+#include "protocols/adaptive_cw.hpp"             // IWYU pragma: export
 #include "protocols/aloha.hpp"                   // IWYU pragma: export
 #include "protocols/backoff.hpp"                 // IWYU pragma: export
 #include "protocols/interleaved.hpp"             // IWYU pragma: export
@@ -61,6 +63,7 @@
 
 #include "sim/adversary.hpp"       // IWYU pragma: export
 #include "sim/batch_engine.hpp"    // IWYU pragma: export
+#include "sim/dynamic.hpp"         // IWYU pragma: export
 #include "sim/interpreter.hpp"     // IWYU pragma: export
 #include "sim/mc_batch_engine.hpp" // IWYU pragma: export
 #include "sim/mc_simulator.hpp"    // IWYU pragma: export

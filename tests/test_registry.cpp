@@ -69,12 +69,25 @@ TEST(Registry, CapabilitiesMatchTheConstructedProtocols) {
     EXPECT_EQ(caps.randomized, protocol->requirements().randomized) << name;
     EXPECT_EQ(caps.needs_k, protocol->requirements().needs_k) << name;
     EXPECT_EQ(caps.needs_start_time, protocol->requirements().needs_start_time) << name;
+    EXPECT_EQ(caps.dynamic, !protocol->requirements().needs_start_time &&
+                                !protocol->requirements().needs_collision_detection)
+        << name;
     if (caps.cheap_words) EXPECT_TRUE(caps.oblivious) << name;
   }
   EXPECT_TRUE(wp::protocol_capabilities("round_robin").oblivious);
   EXPECT_TRUE(wp::protocol_capabilities("round_robin").cheap_words);
   EXPECT_FALSE(wp::protocol_capabilities("slotted_aloha").oblivious);
   EXPECT_TRUE(wp::protocol_capabilities("tree_splitting").needs_collision_detection);
+  // Dynamic traffic pins: per-packet re-contenders and start-time-free
+  // oblivious protocols qualify; Scenario A and CD protocols do not.
+  for (const char* name :
+       {"round_robin", "wakeup_with_k", "wakeup_matrix", "binary_backoff", "slotted_aloha",
+        "adaptive_cw"}) {
+    EXPECT_TRUE(wp::protocol_capabilities(name).dynamic) << name;
+  }
+  for (const char* name : {"wakeup_with_s", "select_among_the_first", "tree_splitting"}) {
+    EXPECT_FALSE(wp::protocol_capabilities(name).dynamic) << name;
+  }
   EXPECT_THROW((void)wp::protocol_capabilities("nope"), std::invalid_argument);
   EXPECT_TRUE(wp::is_protocol_name("wakeup_matrix"));
   EXPECT_FALSE(wp::is_protocol_name("wakeup_matrix2"));

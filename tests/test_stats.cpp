@@ -94,6 +94,39 @@ TEST(Summary, OfSample) {
   EXPECT_DOUBLE_EQ(sum.median, 2.0);
 }
 
+TEST(Summary, P99TailOfKnownData) {
+  wu::Sample s;
+  for (int i = 1; i <= 100; ++i) s.push(i);
+  const auto sum = wu::Summary::of(s);
+  EXPECT_NEAR(sum.p95, 95.05, 1e-9);
+  EXPECT_NEAR(sum.p99, 99.01, 1e-9);  // linear interpolation at rank 0.99*(n-1)
+  EXPECT_GE(sum.p99, sum.p95);
+  EXPECT_LE(sum.p99, sum.max);
+}
+
+TEST(Summary, P99EdgeCases) {
+  // n = 0: every field (p99 included) stays zero.
+  const auto empty = wu::Summary::of(wu::Sample{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+  // n = 1: all quantiles collapse onto the single observation.
+  wu::Sample one;
+  one.push(42.0);
+  const auto single = wu::Summary::of(one);
+  EXPECT_DOUBLE_EQ(single.median, 42.0);
+  EXPECT_DOUBLE_EQ(single.p95, 42.0);
+  EXPECT_DOUBLE_EQ(single.p99, 42.0);
+
+  // Ties: a constant sample keeps every quantile at the tied value.
+  wu::Sample ties;
+  for (int i = 0; i < 10; ++i) ties.push(7.0);
+  const auto tied = wu::Summary::of(ties);
+  EXPECT_DOUBLE_EQ(tied.p99, 7.0);
+  EXPECT_DOUBLE_EQ(tied.min, 7.0);
+  EXPECT_DOUBLE_EQ(tied.max, 7.0);
+}
+
 TEST(Log2Histogram, Buckets) {
   wu::Log2Histogram h;
   h.push(1);   // bucket 0

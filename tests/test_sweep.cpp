@@ -547,3 +547,129 @@ TEST(Presets, AllNamedGridsExpand) {
   EXPECT_EQ(we::expand(we::make_preset("figure-scenario-b")).size(), 96u);
   EXPECT_LE(we::expand(we::make_preset("smoke")).size(), 16u);
 }
+
+// ------------------------------------------------------- dynamic traffic --
+
+namespace {
+
+/// Tiny dynamic grid: 2 protocols x 2 arrival kinds, seconds-scale.
+we::SweepSpec dynamic_spec() {
+  we::SweepSpec spec;
+  spec.protocols = {"round_robin", "adaptive_cw"};
+  spec.ns = {64};
+  spec.ks = {4};
+  spec.arrivals = we::parse_arrival_axis("poisson:0.2,bursty:0.4:0.1");
+  spec.horizon = 256;
+  spec.trials = 5;
+  spec.base_seed = 17;
+  return spec;
+}
+
+}  // namespace
+
+TEST(Manifest, DynamicRecordRoundTrips) {
+  const auto cells = we::expand(dynamic_spec());
+  ASSERT_EQ(cells.size(), 4u);
+  we::CellRecord record;
+  record.cell = cells[1];
+  ASSERT_TRUE(record.cell.dynamic);
+  record.stats.trials = 5;
+  record.stats.success_rate = 1.0;
+  record.stats.throughput.count = 5;
+  record.stats.throughput.mean = 0.19921875;
+  record.stats.throughput.median = 0.201171875;
+  record.stats.jain.count = 5;
+  record.stats.jain.mean = 0.87654321987654321;
+  record.stats.latency.count = 250;
+  record.stats.latency.median = 12.5;
+  record.stats.latency.p95 = 40.25;
+  record.stats.latency.p99 = 61.125;
+  record.stats.latency.max = 88.0;
+  record.stats.packet_arrivals = 257;
+  record.stats.delivered = 251;
+  record.stats.backlog = 6;
+
+  const we::CellRecord parsed = we::parse_manifest_line(we::manifest_line(record));
+  EXPECT_TRUE(parsed.cell.dynamic);
+  EXPECT_EQ(parsed.cell.arrival, record.cell.arrival);
+  EXPECT_EQ(parsed.cell.horizon, record.cell.horizon);
+  EXPECT_EQ(parsed.cell.tag, record.cell.tag);
+  EXPECT_EQ(parsed.stats.throughput.mean, record.stats.throughput.mean);
+  EXPECT_EQ(parsed.stats.jain.mean, record.stats.jain.mean);
+  EXPECT_EQ(parsed.stats.latency.p99, record.stats.latency.p99);
+  EXPECT_EQ(parsed.stats.packet_arrivals, record.stats.packet_arrivals);
+  EXPECT_EQ(parsed.stats.delivered, record.stats.delivered);
+  EXPECT_EQ(parsed.stats.backlog, record.stats.backlog);
+}
+
+TEST(Manifest, RejectsPreDynamicVersionWithFriendlyError) {
+  const std::string dir = fresh_dir("v1");
+  ASSERT_TRUE(wu::ensure_directory(dir));
+  const std::string path = dir + "/manifest.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"manifest\":\"wakeup-sweep\",\"version\":1,\"base_seed\":11,"
+           "\"grid_hash\":123,\"cells\":8}\n";
+  }
+  try {
+    (void)we::load_manifest(path);
+    FAIL() << "v1 manifest must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("re-run the sweep fresh"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepRunner, DynamicSweepResumeEqualsFreshByteIdentically) {
+  const auto spec = dynamic_spec();
+  we::SweepOptions fresh;
+  fresh.out_dir = fresh_dir("dyn_fresh");
+  fresh.ci_resamples = 100;
+  const auto full = we::run_sweep(spec, fresh);
+  ASSERT_TRUE(full.completed);
+  ASSERT_EQ(full.records.size(), 4u);
+  for (const auto& record : full.records) {
+    // Dynamic trials never exhaust a budget — the horizon IS the budget.
+    EXPECT_EQ(record.stats.failures, 0u) << record.cell.tag;
+    EXPECT_GT(record.stats.throughput.mean, 0.0) << record.cell.tag;
+    EXPECT_GT(record.stats.jain.mean, 0.0) << record.cell.tag;
+    EXPECT_LE(record.stats.jain.mean, 1.0) << record.cell.tag;
+    EXPECT_GE(record.stats.latency.p99, record.stats.latency.median) << record.cell.tag;
+    EXPECT_EQ(record.stats.packet_arrivals,
+              record.stats.delivered + record.stats.backlog)
+        << record.cell.tag;
+  }
+  // The report carries the dynamic columns.
+  const std::string json = slurp(full.json_path);
+  EXPECT_NE(json.find("\"throughput_mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"jain_mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p99\""), std::string::npos);
+
+  we::SweepOptions interrupted;
+  interrupted.out_dir = fresh_dir("dyn_resumed");
+  interrupted.ci_resamples = 100;
+  interrupted.max_cells = 2;  // simulated mid-grid kill
+  const auto partial = we::run_sweep(spec, interrupted);
+  EXPECT_FALSE(partial.completed);
+  interrupted.max_cells = 0;
+  interrupted.resume = true;
+  const auto resumed = we::run_sweep(spec, interrupted);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.cells_resumed, 2u);
+  EXPECT_EQ(slurp(full.csv_path), slurp(resumed.csv_path));
+  EXPECT_EQ(slurp(full.json_path), slurp(resumed.json_path));
+  EXPECT_EQ(sorted_manifest_records(full.manifest_path),
+            sorted_manifest_records(resumed.manifest_path));
+}
+
+TEST(SweepRunner, DynamicGridRejectsPerTrialCsv) {
+  const std::string dir = fresh_dir("dyn_csv");
+  ASSERT_TRUE(wu::ensure_directory(dir));
+  ws::TrialCsvSink sink(dir + "/trials.csv");
+  we::SweepOptions options;
+  options.out_dir = dir;
+  options.ci_resamples = 0;
+  options.trial_csv = &sink;
+  EXPECT_THROW((void)we::run_sweep(dynamic_spec(), options), std::invalid_argument);
+}

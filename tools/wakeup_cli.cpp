@@ -9,14 +9,17 @@
 ///                   [--channels=4] [--mc=adapter|striped_rr|group_wag|random_rpd]
 ///                   [--per-trial-csv=trials.csv]
 ///                   [--pattern-file=arrivals.csv] [--save-pattern=out.csv]
+///                   [--arrival=poisson:0.2 --horizon=2048]  (dynamic traffic)
 ///   wakeup_cli sweep --preset=figure-scenario-b --out=sweep_b [--resume]
 ///   wakeup_cli sweep --protocols=wakeup_with_k,round_robin --n=2^10..2^13 --k=1,8,64
+///   wakeup_cli sweep --preset=dynamic-throughput   # sustained-load grid
 ///   wakeup_cli adversary --protocol=round_robin --n=128 --k=16 [--seed=1]
 ///   wakeup_cli certify --n=16 [--c=2] [--seed=1]          # waking-matrix seed search
 ///   wakeup_cli list                                       # protocols + capabilities
 ///
 /// Exit code 0 on success (wake-up achieved in every trial), 1 otherwise.
 
+#include <algorithm>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -64,11 +67,17 @@ run options:
   --mc=<strategy>        adapter|striped_rr|group_wag|random_rpd
                          (default adapter: --protocol embedded on channel 0)
   --per-trial-csv=<csv>  stream one result row per trial (no accumulation)
+  --arrival=<spec>       dynamic traffic: per-station packet queues fed by
+                         poisson:RATE | bursty:RATE:SWITCH | pareto:ALPHA[:RATE]
+                         (RATE = offered load, packets/slot across k stations)
+  --horizon=<int>        slots per dynamic trial (default 2048)
+  --arrival-file=<csv>   replay a fixed "station,slot" packet trace instead
+                         (one row per packet; stations may repeat)
 
 sweep options:
   --preset=<name>        figure-scenario-a/b/c, crossover, multichannel-scaling,
-                         smoke, frontier-scaling (grid flags below override
-                         preset axes)
+                         smoke, frontier-scaling, dynamic-throughput (grid
+                         flags below override preset axes)
   --protocols=<a,b,..>   protocol axis: registry names and/or striped_rr,
                          group_wag, random_rpd
   --n=<axis>             axis grammar: N, 2^E, doubling range A..B, commas
@@ -76,6 +85,9 @@ sweep options:
   --k=<axis>  --channels=<axis>
   --pattern=<a,b,..>     generator kinds plus `adversarial` (per-cell
                          hardest-pattern search, sim/adversary)
+  --arrival=<a,b,..>     dynamic-traffic axis (replaces --pattern), e.g.
+                         --arrival=poisson:0.1,bursty:0.5:0.05,pareto:1.5
+  --horizon=<int>        slots per dynamic trial (default 2048)
   --engine=<a,b,..>      auto|interpret|batch (axis)
   --trials=<int>         Monte-Carlo trials per cell
   --out=<dir>            output directory (manifest.jsonl, report.csv/json;
@@ -107,8 +119,8 @@ const char* yn(bool v) { return v ? "yes" : "-"; }
 int cmd_list() {
   // The capability columns are the same answers exp/sweep_spec.cpp
   // validates grids against, so what this table says runs, runs.
-  util::ConsoleTable table(
-      {"protocol", "oblivious", "cheap-words", "randomized", "needs-k", "needs-s", "needs-cd"});
+  util::ConsoleTable table({"protocol", "oblivious", "cheap-words", "randomized", "needs-k",
+                            "needs-s", "needs-cd", "dynamic"});
   for (const auto& name : proto::protocol_names()) {
     const auto caps = proto::protocol_capabilities(name);
     table.cell(name)
@@ -117,7 +129,8 @@ int cmd_list() {
         .cell(yn(caps.randomized))
         .cell(yn(caps.needs_k))
         .cell(yn(caps.needs_start_time))
-        .cell(yn(caps.needs_collision_detection));
+        .cell(yn(caps.needs_collision_detection))
+        .cell(yn(caps.dynamic));
     table.end_row();
   }
   table.print(std::cout);
@@ -129,7 +142,9 @@ int cmd_list() {
   }
   std::cout << ", adapter (any registry protocol at --channels > 1)\n"
             << "oblivious protocols batch word-parallel; non-oblivious ones run on the\n"
-            << "slot interpreter (engine=batch rejects them at grid validation).\n";
+            << "slot interpreter (engine=batch rejects them at grid validation).\n"
+            << "`dynamic` marks protocols that re-contend per packet under sustained\n"
+            << "load (--arrival); static-only ones are rejected on arrival-axis grids.\n";
   return 0;
 }
 
@@ -151,6 +166,12 @@ int cmd_sweep(const util::Args& args) {
     for (const auto& label : exp::split_list(args.get("engine"))) {
       spec.engines.push_back(exp::parse_engine(label));
     }
+  }
+  if (args.has("arrival")) spec.arrivals = exp::parse_arrival_axis(args.get("arrival"));
+  if (args.has("horizon")) {
+    const std::int64_t horizon = args.get_int("horizon", 2048);
+    if (horizon < 1) throw std::invalid_argument("--horizon must be >= 1");
+    spec.horizon = horizon;
   }
   // Bounded integer options: a negative value would wrap through the
   // uint64 casts into a ~2^64 trial count / resample loop.
@@ -257,7 +278,88 @@ proto::McProtocolPtr build_mc_protocol(const util::Args& args, std::uint32_t cha
   throw std::invalid_argument("unknown mc strategy: " + strategy);
 }
 
+/// `run --arrival=...` / `run --arrival-file=...`: sustained-load traffic on
+/// per-station packet queues instead of a one-shot wake pattern.
+int cmd_run_dynamic(const util::Args& args) {
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 1024));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 8));
+  const auto trials = static_cast<std::uint64_t>(args.get_int("trials", 1));
+  const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.get_int("channels", 1) != 1 || args.has("mc")) {
+    throw std::invalid_argument("dynamic traffic is single-channel — drop --channels/--mc");
+  }
+  if (args.get_flag("trace") || args.get_flag("cd")) {
+    throw std::invalid_argument("--trace and --cd are one-shot features; drop --arrival");
+  }
+  if (args.has("pattern") || args.has("pattern-file") || args.has("save-pattern")) {
+    throw std::invalid_argument(
+        "--arrival replaces the wake pattern — drop --pattern/--pattern-file/--save-pattern");
+  }
+  if (args.has("per-trial-csv")) {
+    throw std::invalid_argument("--per-trial-csv has no row schema for dynamic trials yet");
+  }
+
+  std::unique_ptr<util::ThreadPool> own_pool;
+  if (args.has("threads")) {
+    const std::int64_t threads = args.get_int("threads", 0);
+    if (threads < 0 || threads > 1024) {
+      throw std::invalid_argument("--threads must be in [0, 1024] (0 = inline)");
+    }
+    own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
+  }
+
+  sim::RunSpec spec;
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+  spec.sim.engine = parse_engine(args.get("engine", "auto"));
+  spec.make_protocol = [&args](std::uint64_t seed) { return build_protocol(args, seed); };
+
+  const std::int64_t horizon_flag = args.get_int("horizon", 0);
+  if (horizon_flag < 0) throw std::invalid_argument("--horizon must be >= 1");
+  mac::DynamicScenario replay;
+  mac::ArrivalSpec arrival;
+  if (args.has("arrival-file")) {
+    replay = mac::load_arrivals_csv(args.get("arrival-file"), n, horizon_flag);
+    arrival.kind = mac::ArrivalKind::kReplay;
+    spec.scenario = &replay;
+    spec.horizon = replay.horizon();
+  } else {
+    arrival = mac::ArrivalSpec::parse(args.get("arrival"));
+    spec.horizon = horizon_flag > 0 ? horizon_flag : 2048;
+    spec.dynamic_n = n;
+    spec.dynamic_k = k;
+  }
+
+  const auto out = sim::Run(spec, own_pool.get());
+  const sim::CellResult& cell = out.cell;
+
+  std::cout << "protocol: " << build_protocol(args, base_seed)->name() << "\n"
+            << "n=" << n << " k=" << k << " arrival=" << arrival.name()
+            << " horizon=" << spec.horizon << " trials=" << trials << "\n"
+            << "packets: " << cell.packet_arrivals << " arrived, " << cell.delivered
+            << " delivered, " << cell.backlog << " backlogged at the horizon\n"
+            << "throughput mean=" << cell.throughput.mean << " packets/slot"
+            << "  jain=" << cell.jain.mean << "\n"
+            << "latency p50=" << cell.latency.median << " p95=" << cell.latency.p95
+            << " p99=" << cell.latency.p99 << " max=" << cell.latency.max << "\n"
+            << "collisions mean=" << cell.collisions.mean
+            << " silences mean=" << cell.silences.mean << "\n";
+  if (trials == 1) {
+    // Per-station delivery spread of the single trial (truncated).
+    const auto& d = out.dynamic;
+    std::cout << "per-station delivered:";
+    const std::size_t shown = std::min<std::size_t>(d.stations.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::cout << ' ' << d.stations[i] << ':' << d.delivered_per_station[i];
+    }
+    if (shown < d.stations.size()) std::cout << " ... (" << d.stations.size() << " stations)";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_run(const util::Args& args) {
+  if (args.has("arrival") || args.has("arrival-file")) return cmd_run_dynamic(args);
   const auto n = static_cast<std::uint32_t>(args.get_int("n", 1024));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 8));
   const auto trials = static_cast<std::uint64_t>(args.get_int("trials", 1));
