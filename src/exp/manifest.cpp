@@ -173,7 +173,10 @@ std::string manifest_line(const CellRecord& record) {
       << ",\"engine\":\"" << engine_name(cell.engine) << "\""
       << ",\"trials\":" << cell.trials << ",\"s\":" << cell.s
       << ",\"arrival\":\"" << json_escape(cell.dynamic ? cell.arrival.name() : "") << "\""
-      << ",\"horizon\":" << (cell.dynamic ? cell.horizon : 0) << ",\"index\":" << cell.index
+      << ",\"horizon\":" << (cell.dynamic ? cell.horizon : 0)
+      << ",\"impairment\":\""
+      << json_escape(cell.impairment.clean() ? "" : cell.impairment.name()) << "\""
+      << ",\"index\":" << cell.index
       << ",\"failures\":" << stats.failures
       << ",\"success_rate\":" << json_double(stats.success_rate);
   emit_summary(out, "rounds", stats.rounds);
@@ -189,7 +192,8 @@ std::string manifest_line(const CellRecord& record) {
   out << ",\"packet_arrivals\":" << stats.packet_arrivals
       << ",\"delivered\":" << stats.delivered << ",\"backlog\":" << stats.backlog
       << ",\"bound\":" << json_double(record.bound)
-      << ",\"normalized_mean\":" << json_double(record.normalized_mean) << "}";
+      << ",\"normalized_mean\":" << json_double(record.normalized_mean)
+      << ",\"rounds_inflation\":" << json_double(record.rounds_inflation) << "}";
   return out.str();
 }
 
@@ -213,6 +217,8 @@ CellRecord parse_manifest_line(const std::string& line) {
     cell.arrival = mac::ArrivalSpec::parse(arrival);
     cell.horizon = static_cast<mac::Slot>(field_u64(fields, "horizon"));
   }
+  const std::string impairment = field_str(fields, "impairment");
+  if (!impairment.empty()) cell.impairment = mac::ImpairmentSpec::parse(impairment);
   cell.index = field_u64(fields, "index");
 
   CellStats& stats = record.stats;
@@ -241,6 +247,7 @@ CellRecord parse_manifest_line(const std::string& line) {
 
   record.bound = field_double(fields, "bound");
   record.normalized_mean = field_double(fields, "normalized_mean");
+  record.rounds_inflation = field_double(fields, "rounds_inflation");
   return record;
 }
 
@@ -267,9 +274,10 @@ ManifestData load_manifest(const std::string& path) {
         "manifest: " + path + " is version " + std::to_string(data.header.version) +
         ", but this build writes version " + std::to_string(kManifestVersion) +
         (data.header.version < kManifestVersion
-             ? " (the dynamic-traffic release added p99 and throughput/fairness columns to "
-               "every line) — a resumed report could not be byte-identical; re-run the sweep "
-               "fresh (delete the output directory or pass a new --out)"
+             ? " (v2 added p99 and throughput/fairness columns, v3 added the impairment "
+               "identity and rounds_inflation robustness column to every line) — a resumed "
+               "report could not be byte-identical; re-run the sweep fresh (delete the "
+               "output directory or pass a new --out)"
              : " — this manifest was written by a newer build"));
   }
 

@@ -33,6 +33,13 @@ struct CellRecord {
   CellStats stats;
   double bound = 0.0;            ///< scenario theory bound for (protocol, n, k)
   double normalized_mean = 0.0;  ///< rounds.mean / bound (0 when bound unusable)
+  /// Robustness vs the clean twin (the cell with the same identity minus
+  /// the impairment suffix): impaired rounds.mean / clean rounds.mean for
+  /// static cells, clean throughput.mean / impaired throughput.mean for
+  /// dynamic ones — >= 1 means the impairment cost rounds.  Computed at
+  /// report assembly (it is a cross-cell statistic); -1 while unknown or
+  /// when the grid carries no clean twin.
+  double rounds_inflation = -1.0;
 };
 
 /// Shortest-exact double formatting used by the manifest and the reports
@@ -48,9 +55,11 @@ struct CellRecord {
 
 /// Current manifest schema version.  v2 added the p99 percentile to every
 /// Summary block and the dynamic-traffic columns (arrival/horizon identity,
-/// throughput/jain/latency summaries, packet totals); v1 manifests cannot
-/// round-trip byte-identically and are rejected with a friendly error.
-inline constexpr std::uint64_t kManifestVersion = 2;
+/// throughput/jain/latency summaries, packet totals); v3 added the
+/// channel-impairment identity and the rounds_inflation robustness column.
+/// Older manifests cannot round-trip byte-identically and are rejected
+/// with a friendly error.
+inline constexpr std::uint64_t kManifestVersion = 3;
 
 struct ManifestHeader {
   std::uint64_t version = kManifestVersion;

@@ -18,7 +18,7 @@ const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "figure-scenario-a", "figure-scenario-b", "figure-scenario-c",
       "crossover",         "multichannel-scaling", "smoke",
-      "frontier-scaling",  "dynamic-throughput",
+      "frontier-scaling",  "dynamic-throughput",   "robustness-curves",
   };
   return names;
 }
@@ -95,6 +95,30 @@ SweepSpec make_preset(const std::string& name) {
         "bursty:0.4:0.05,pareto:1.5:0.3");
     spec.horizon = 2048;
     spec.trials = 12;
+    return spec;
+  }
+  if (name == "robustness-curves") {
+    // Degradation under channel impairments: an adversarially-placed jam
+    // ladder and an iid feedback-noise ladder against the clean baseline,
+    // for the TDM schedule, its repetition-hardened variant and the
+    // selective-family wake-up protocol.  L-shaped impairment list: 3
+    // protocols x 9 impairments = 27 cells.  Report columns of interest:
+    // success_rate (success under jamming) and rounds_inflation.
+    spec.protocols = {"round_robin", "robust_rr", "wakeup_with_k"};
+    spec.ns = {256};
+    spec.ks = {16};
+    spec.patterns = {PatternKind::kUniform};
+    spec.impairments = {"none",
+                        "jam:budget:8:adversarial",
+                        "jam:budget:16:adversarial",
+                        "jam:budget:32:adversarial",
+                        "jam:budget:64:adversarial",
+                        "noise:iid:0.01",
+                        "noise:iid:0.02",
+                        "noise:iid:0.05",
+                        "noise:iid:0.1"};
+    spec.trials = 20;
+    spec.sim.max_slots = 1 << 17;
     return spec;
   }
   if (name == "smoke") {

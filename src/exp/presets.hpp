@@ -26,6 +26,10 @@
 ///    loads 0.1..0.8 plus bursty/pareto points at n=256, k=16 over a
 ///    2048-slot horizon; y-axes are throughput_mean, jain_mean and the
 ///    latency percentiles.
+///  * robustness-curves — channel impairments (impairment axis): an
+///    adversarial jam ladder (8..64 slots) and an iid noise ladder
+///    (0.01..0.1) against the clean twin for round_robin / robust_rr /
+///    wakeup_with_k; y-axes are success_rate and rounds_inflation.
 
 #include <string>
 #include <vector>

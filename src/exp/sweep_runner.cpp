@@ -71,6 +71,7 @@ CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions&
   run.cell_tag = cell.tag_hash;
   run.sim = spec.sim;
   run.sim.engine = cell.engine;
+  run.impairment = cell.impairment;
 
   if (cell.dynamic) {
     // Dynamic cells: arrival-generated traffic in place of a wake pattern;
@@ -168,7 +169,10 @@ const std::vector<std::string>& report_columns() {
       "arrival",      "horizon",      "throughput_mean",
       "jain_mean",    "latency_p50",  "latency_p95",
       "latency_p99",  "packet_arrivals", "delivered",
-      "backlog"};
+      "backlog",
+      // Robustness columns (impairment axis; empty/-1 for clean cells with
+      // no impaired twin in the grid).
+      "impairment",   "rounds_inflation"};
   return columns;
 }
 
@@ -200,7 +204,9 @@ void write_csv_report(const std::string& path, const std::vector<CellRecord>& re
         << json_double(r.stats.throughput.mean) << ',' << json_double(r.stats.jain.mean) << ','
         << json_double(r.stats.latency.median) << ',' << json_double(r.stats.latency.p95)
         << ',' << json_double(r.stats.latency.p99) << ',' << r.stats.packet_arrivals << ','
-        << r.stats.delivered << ',' << r.stats.backlog << "\n";
+        << r.stats.delivered << ',' << r.stats.backlog << ','
+        << util::csv_escape(r.cell.impairment.clean() ? "" : r.cell.impairment.name()) << ','
+        << json_double(r.rounds_inflation) << "\n";
   }
 }
 
@@ -335,6 +341,31 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     // row never disagrees with its grid cell.
     record.cell = cell;
     outcome.records.push_back(std::move(record));
+  }
+
+  // Robustness column: rounds inflation vs the clean twin — the cell with
+  // the same identity minus the impairment suffix.  Cross-cell, so it is
+  // computed here (never in run_cell) and recomputed identically on every
+  // resume; the sentinel -1 survives only when the grid carries no twin.
+  std::map<std::string, const CellRecord*> by_tag;
+  for (const CellRecord& record : outcome.records) by_tag[record.cell.tag] = &record;
+  for (CellRecord& record : outcome.records) {
+    const Cell& cell = record.cell;
+    const std::string clean_tag = cell_tag_text(
+        cell.protocol, cell.n, cell.k, cell.channels, cell.engine, cell.pattern, cell.trials,
+        cell.s, cell.dynamic ? cell.arrival.name() : "", cell.dynamic ? cell.horizon : 0);
+    const auto twin = by_tag.find(clean_tag);
+    if (twin == by_tag.end()) continue;
+    const CellRecord& clean = *twin->second;
+    if (cell.dynamic) {
+      // Dynamic cells have no terminating round; inflation is the factor by
+      // which sustained throughput shrank under the impairment.
+      if (record.stats.throughput.mean > 0 && clean.stats.throughput.mean > 0) {
+        record.rounds_inflation = clean.stats.throughput.mean / record.stats.throughput.mean;
+      }
+    } else if (clean.stats.rounds.mean > 0 && record.stats.rounds.count > 0) {
+      record.rounds_inflation = record.stats.rounds.mean / clean.stats.rounds.mean;
+    }
   }
   outcome.csv_path = options.out_dir + "/report.csv";
   outcome.json_path = options.out_dir + "/report.json";

@@ -110,12 +110,13 @@ std::uint64_t tag_hash(const std::string& tag) {
 std::string cell_tag_text(const std::string& protocol, std::uint32_t n, std::uint32_t k,
                           std::uint32_t channels, sim::Engine engine, PatternKind pattern,
                           std::uint64_t trials, mac::Slot s, const std::string& arrival,
-                          mac::Slot horizon) {
+                          mac::Slot horizon, const std::string& impairment) {
   std::ostringstream tag;
   tag << "protocol=" << protocol << ",n=" << n << ",k=" << k << ",c=" << channels
       << ",pattern=" << pattern_name(pattern) << ",engine=" << engine_name(engine)
       << ",trials=" << trials << ",s=" << s;
   if (!arrival.empty()) tag << ",arrival=" << arrival << ",horizon=" << horizon;
+  if (!impairment.empty()) tag << ",impairment=" << impairment;
   return tag.str();
 }
 
@@ -159,12 +160,56 @@ std::vector<Cell> expand(const SweepSpec& spec) {
       if (!proto::is_protocol_name(name)) continue;  // reported below with the full list
       const proto::ProtocolCapabilities caps = proto::protocol_capabilities(name);
       if (!caps.dynamic) {
+        // Name the axis values forcing dynamic mode, not just the axis: the
+        // fix is either dropping this protocol or those values.
+        std::string values;
+        for (const mac::ArrivalSpec& arrival : spec.arrivals) {
+          if (!values.empty()) values += ", ";
+          values += arrival.name();
+        }
         throw std::invalid_argument(
             "protocol '" + name +
             "' is static-only (it needs a known start slot or collision detection) and "
-            "cannot re-contend per packet — drop it from arrival-axis grids (see the "
-            "`dynamic` column of `wakeup_cli list`)");
+            "cannot re-contend per packet under arrival axis value(s) [" + values +
+            "] — drop the protocol or the arrival values (see the `dynamic` column of "
+            "`wakeup_cli list`)");
       }
+    }
+  }
+
+  // The impairment axis: parse and validate every value before expansion.
+  std::vector<mac::ImpairmentSpec> impairments;
+  if (spec.impairments.empty()) {
+    impairments.emplace_back();  // one clean channel
+  } else {
+    for (const std::string& text : spec.impairments) {
+      impairments.push_back(mac::ImpairmentSpec::parse(text));  // throws with the grammar
+    }
+  }
+  const bool grid_is_mc =
+      std::any_of(spec.protocols.begin(), spec.protocols.end(), is_mc_strategy) ||
+      std::any_of(spec.channels.begin(), spec.channels.end(),
+                  [](std::uint32_t c) { return c > 1; });
+  for (const mac::ImpairmentSpec& imp : impairments) {
+    if (!dynamic && imp.has_faults()) {
+      throw std::invalid_argument(
+          "impairment axis value '" + imp.name() +
+          "' has crash/byzantine fault clauses, which only the dynamic layer models — add "
+          "an arrival axis or drop that value");
+    }
+    const bool adversarial =
+        imp.has_jam() && imp.jam_sched == mac::JamSchedule::kAdversarial;
+    if (adversarial && dynamic) {
+      throw std::invalid_argument(
+          "impairment axis value '" + imp.name() +
+          "' asks for the adversarial jam search, which runs on the static single-channel "
+          "stack — use a fixed jam schedule (front/spread/random) on dynamic grids");
+    }
+    if (adversarial && grid_is_mc) {
+      throw std::invalid_argument(
+          "impairment axis value '" + imp.name() +
+          "' asks for the adversarial jam search, which is single-channel — drop "
+          "channels > 1 and the mc strategies, or pick a fixed jam schedule");
     }
   }
 
@@ -241,22 +286,26 @@ std::vector<Cell> expand(const SweepSpec& spec) {
           if (k > n) continue;
           for (const mac::ArrivalSpec& arrival : spec.arrivals) {
             for (const sim::Engine engine : spec.engines) {
-              Cell cell;
-              cell.protocol = protocol;
-              cell.n = n;
-              cell.k = k;
-              cell.channels = 1;
-              cell.engine = engine;
-              cell.trials = spec.trials;
-              cell.s = spec.s;
-              cell.dynamic = true;
-              cell.arrival = arrival;
-              cell.horizon = spec.horizon;
-              cell.index = cells.size();
-              cell.tag = cell_tag_text(protocol, n, k, 1, engine, cell.pattern, spec.trials,
-                                       spec.s, arrival.name(), spec.horizon);
-              cell.tag_hash = tag_hash(cell.tag);
-              cells.push_back(std::move(cell));
+              for (const mac::ImpairmentSpec& imp : impairments) {
+                Cell cell;
+                cell.protocol = protocol;
+                cell.n = n;
+                cell.k = k;
+                cell.channels = 1;
+                cell.engine = engine;
+                cell.trials = spec.trials;
+                cell.s = spec.s;
+                cell.dynamic = true;
+                cell.arrival = arrival;
+                cell.horizon = spec.horizon;
+                cell.impairment = imp;
+                cell.index = cells.size();
+                cell.tag = cell_tag_text(protocol, n, k, 1, engine, cell.pattern, spec.trials,
+                                         spec.s, arrival.name(), spec.horizon,
+                                         imp.clean() ? "" : imp.name());
+                cell.tag_hash = tag_hash(cell.tag);
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }
@@ -271,19 +320,23 @@ std::vector<Cell> expand(const SweepSpec& spec) {
         for (const std::uint32_t c : spec.channels) {
           for (const PatternKind pattern : spec.patterns) {
             for (const sim::Engine engine : spec.engines) {
-              Cell cell;
-              cell.protocol = protocol;
-              cell.n = n;
-              cell.k = k;
-              cell.channels = c;
-              cell.engine = engine;
-              cell.pattern = pattern;
-              cell.trials = spec.trials;
-              cell.s = spec.s;
-              cell.index = cells.size();
-              cell.tag = cell_tag_text(protocol, n, k, c, engine, pattern, spec.trials, spec.s);
-              cell.tag_hash = tag_hash(cell.tag);
-              cells.push_back(std::move(cell));
+              for (const mac::ImpairmentSpec& imp : impairments) {
+                Cell cell;
+                cell.protocol = protocol;
+                cell.n = n;
+                cell.k = k;
+                cell.channels = c;
+                cell.engine = engine;
+                cell.pattern = pattern;
+                cell.trials = spec.trials;
+                cell.s = spec.s;
+                cell.impairment = imp;
+                cell.index = cells.size();
+                cell.tag = cell_tag_text(protocol, n, k, c, engine, pattern, spec.trials,
+                                         spec.s, "", 0, imp.clean() ? "" : imp.name());
+                cell.tag_hash = tag_hash(cell.tag);
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mac/arrival_process.hpp"
+#include "mac/impairment.hpp"
 #include "mac/types.hpp"
 #include "mac/wake_pattern.hpp"
 #include "sim/simulator.hpp"
@@ -92,6 +93,16 @@ struct SweepSpec {
   /// protocols whose `dynamic` capability is set (`wakeup_cli list`).
   std::vector<mac::ArrivalSpec> arrivals;
   mac::Slot horizon = 2048;  ///< slots per dynamic trial (arrivals non-empty)
+
+  /// Channel-impairment axis (mac/impairment.hpp grammar): each value is
+  /// one ImpairmentSpec text ("none", "noise:iid:0.05",
+  /// "jam:budget:16:adversarial", "noise:bursty:0.1:0.2+crash:0.25", ...);
+  /// an empty list means one clean channel.  A single flat list — not one
+  /// axis per clause kind — so L-shaped robustness grids (clean + a jam
+  /// ladder + a noise ladder) cost |list| cells, not a dense product.
+  /// Fault clauses (crash/byzantine) need a dynamic grid; adversarial jam
+  /// is static single-channel.  expand() validates every value up front.
+  std::vector<std::string> impairments;
 };
 
 /// One grid point, fully identified.
@@ -107,6 +118,7 @@ struct Cell {
   bool dynamic = false;        ///< dynamic-traffic cell (arrival axis)
   mac::ArrivalSpec arrival;    ///< meaningful iff dynamic
   mac::Slot horizon = 0;       ///< meaningful iff dynamic
+  mac::ImpairmentSpec impairment;  ///< clean() for unimpaired cells
   std::uint64_t index = 0;    ///< position in the expanded grid
   std::string tag;            ///< canonical identity string
   std::uint64_t tag_hash = 0; ///< FNV-1a of tag — sim::RunSpec::cell_tag
@@ -123,13 +135,16 @@ struct Cell {
 /// The canonical tag of a cell identity (what `expand` stores): e.g.
 /// "protocol=wakeup_with_k,n=1024,k=8,c=1,pattern=uniform,engine=auto,trials=64,s=0".
 /// Dynamic cells append ",arrival=<spec>,horizon=<H>" (pass `arrival` as the
-/// ArrivalSpec::name() text); static tags are byte-identical to what every
-/// pre-dynamic release produced, so historical seeds stay stable.
+/// ArrivalSpec::name() text); impaired cells append ",impairment=<spec>"
+/// (pass the ImpairmentSpec::name() text, empty for clean).  Clean static
+/// tags are byte-identical to what every earlier release produced, so
+/// historical seeds stay stable.
 [[nodiscard]] std::string cell_tag_text(const std::string& protocol, std::uint32_t n,
                                         std::uint32_t k, std::uint32_t channels,
                                         sim::Engine engine, PatternKind pattern,
                                         std::uint64_t trials, mac::Slot s,
-                                        const std::string& arrival = "", mac::Slot horizon = 0);
+                                        const std::string& arrival = "", mac::Slot horizon = 0,
+                                        const std::string& impairment = "");
 
 /// Validates the spec and expands it into the stably-ordered cell list
 /// (protocol-major, then n, k, channels, pattern, engine).  Throws

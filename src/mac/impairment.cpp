@@ -1,0 +1,198 @@
+#include "mac/impairment.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace wakeup::mac {
+namespace {
+
+std::string format_param(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+double parse_param(const std::string& text, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("impairment spec '" + spec + "': '" + text +
+                                "' is not a number");
+  }
+}
+
+std::int64_t parse_int_param(const std::string& text, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("impairment spec '" + spec + "': '" + text +
+                                "' is not an integer");
+  }
+}
+
+[[noreturn]] void grammar_error(const std::string& spec, const std::string& detail) {
+  throw std::invalid_argument("impairment spec '" + spec + "': " + detail +
+                              " (grammar: noise:iid:P | noise:bursty:P:SWITCH | "
+                              "jam:budget:J[:front|spread|random|adversarial] | "
+                              "crash:F[:slot] | byzantine:F | none; "
+                              "clauses joined with '+')");
+}
+
+std::vector<std::string> split_on(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t at = text.find(sep, start);
+    parts.push_back(text.substr(start, at - start));
+    if (at == std::string::npos) break;
+    start = at + 1;
+  }
+  return parts;
+}
+
+void parse_noise_clause(const std::vector<std::string>& parts, const std::string& text,
+                        ImpairmentSpec& spec) {
+  if (spec.has_noise()) grammar_error(text, "duplicate noise clause");
+  if (parts.size() < 2) grammar_error(text, "noise needs a family, iid or bursty");
+  if (parts[1] == "iid") {
+    if (parts.size() != 3) grammar_error(text, "noise:iid takes exactly one parameter, P");
+    spec.noise = NoiseKind::kIid;
+    spec.noise_p = parse_param(parts[2], text);
+    if (!(spec.noise_p > 0.0) || spec.noise_p > 1.0)
+      grammar_error(text, "noise probability P must be in (0, 1]");
+  } else if (parts[1] == "bursty") {
+    if (parts.size() != 4) grammar_error(text, "noise:bursty takes P and SWITCH");
+    spec.noise = NoiseKind::kBursty;
+    spec.noise_p = parse_param(parts[2], text);
+    spec.noise_switch = parse_param(parts[3], text);
+    if (!(spec.noise_p > 0.0) || spec.noise_p >= 1.0)
+      grammar_error(text, "bursty noise probability P must be in (0, 1)");
+    if (!(spec.noise_switch > 0.0) || spec.noise_switch > 1.0)
+      grammar_error(text, "burst-end probability SWITCH must be in (0, 1]");
+  } else {
+    grammar_error(text, "unknown noise family '" + parts[1] + "'");
+  }
+}
+
+void parse_jam_clause(const std::vector<std::string>& parts, const std::string& text,
+                      ImpairmentSpec& spec) {
+  if (spec.has_jam()) grammar_error(text, "duplicate jam clause");
+  if (parts.size() < 3 || parts[1] != "budget")
+    grammar_error(text, "jam needs a budget, jam:budget:J");
+  if (parts.size() > 4) grammar_error(text, "jam:budget takes J and an optional schedule");
+  const std::int64_t budget = parse_int_param(parts[2], text);
+  if (budget < 1) grammar_error(text, "jam budget J must be >= 1");
+  spec.jam_budget = static_cast<std::uint64_t>(budget);
+  spec.jam_sched = JamSchedule::kRandom;
+  if (parts.size() == 4) {
+    if (parts[3] == "front") {
+      spec.jam_sched = JamSchedule::kFront;
+    } else if (parts[3] == "spread") {
+      spec.jam_sched = JamSchedule::kSpread;
+    } else if (parts[3] == "random") {
+      spec.jam_sched = JamSchedule::kRandom;
+    } else if (parts[3] == "adversarial") {
+      spec.jam_sched = JamSchedule::kAdversarial;
+    } else {
+      grammar_error(text, "unknown jam schedule '" + parts[3] + "'");
+    }
+  }
+}
+
+void parse_crash_clause(const std::vector<std::string>& parts, const std::string& text,
+                        ImpairmentSpec& spec) {
+  if (spec.crash_f > 0.0) grammar_error(text, "duplicate crash clause");
+  if (parts.size() != 2 && parts.size() != 3)
+    grammar_error(text, "crash takes F and an optional cutoff slot");
+  spec.crash_f = parse_param(parts[1], text);
+  if (!(spec.crash_f > 0.0) || spec.crash_f > 1.0)
+    grammar_error(text, "crashed fraction F must be in (0, 1]");
+  if (parts.size() == 3) {
+    spec.crash_slot = parse_int_param(parts[2], text);
+    if (spec.crash_slot < 0) grammar_error(text, "crash cutoff slot must be >= 0");
+  }
+}
+
+void parse_byzantine_clause(const std::vector<std::string>& parts, const std::string& text,
+                            ImpairmentSpec& spec) {
+  if (spec.byzantine_f > 0.0) grammar_error(text, "duplicate byzantine clause");
+  if (parts.size() != 2) grammar_error(text, "byzantine takes exactly one parameter, F");
+  spec.byzantine_f = parse_param(parts[1], text);
+  if (!(spec.byzantine_f > 0.0) || spec.byzantine_f > 1.0)
+    grammar_error(text, "byzantine fraction F must be in (0, 1]");
+}
+
+}  // namespace
+
+std::string_view jam_schedule_name(JamSchedule sched) noexcept {
+  switch (sched) {
+    case JamSchedule::kFront:
+      return "front";
+    case JamSchedule::kSpread:
+      return "spread";
+    case JamSchedule::kRandom:
+      return "random";
+    case JamSchedule::kAdversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+std::string ImpairmentSpec::name() const {
+  if (clean()) return "none";
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += '+';
+    out += text;
+  };
+  if (noise == NoiseKind::kIid) {
+    clause("noise:iid:" + format_param(noise_p));
+  } else if (noise == NoiseKind::kBursty) {
+    clause("noise:bursty:" + format_param(noise_p) + ":" + format_param(noise_switch));
+  }
+  if (has_jam()) {
+    clause("jam:budget:" + std::to_string(jam_budget) + ":" +
+           std::string(jam_schedule_name(jam_sched)));
+  }
+  if (crash_f > 0.0) {
+    clause(crash_slot >= 0
+               ? "crash:" + format_param(crash_f) + ":" + std::to_string(crash_slot)
+               : "crash:" + format_param(crash_f));
+  }
+  if (byzantine_f > 0.0) clause("byzantine:" + format_param(byzantine_f));
+  return out;
+}
+
+ImpairmentSpec ImpairmentSpec::parse(const std::string& text) {
+  ImpairmentSpec spec;
+  if (text.empty() || text == "none") return spec;
+  for (const std::string& clause : split_on(text, '+')) {
+    const std::vector<std::string> parts = split_on(clause, ':');
+    const std::string& family = parts[0];
+    if (family == "noise") {
+      parse_noise_clause(parts, text, spec);
+    } else if (family == "jam") {
+      parse_jam_clause(parts, text, spec);
+    } else if (family == "crash") {
+      parse_crash_clause(parts, text, spec);
+    } else if (family == "byzantine") {
+      parse_byzantine_clause(parts, text, spec);
+    } else if (family == "none") {
+      grammar_error(text, "'none' cannot be combined with other clauses");
+    } else {
+      grammar_error(text, "unknown clause '" + family + "'");
+    }
+  }
+  if (spec.crash_f + spec.byzantine_f > 1.0)
+    grammar_error(text, "crash and byzantine fractions must sum to at most 1");
+  return spec;
+}
+
+}  // namespace wakeup::mac

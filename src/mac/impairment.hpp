@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file impairment.hpp
+/// Channel impairments: feedback noise, budgeted jamming, station faults.
+///
+/// The paper's guarantees assume a clean channel.  The robust
+/// contention-resolution line (PAPERS.md, Chen–Jiang–Zheng) asks which
+/// guarantees survive when the channel itself misbehaves; this file names
+/// those misbehaviours declaratively so they can ride the sweep seed
+/// contract exactly like `ArrivalSpec` does for traffic.
+///
+/// An `ImpairmentSpec` is a *distribution* over impairment realizations; it
+/// compiles per trial (sim/impairment_engine.hpp) into 64-slot word masks the
+/// engines fold into their reductions — one extra AND/OR per word on the hot
+/// path.
+///
+/// Semantics of each clause:
+///  * noise  — feedback noise: in a noisy slot a successful solo transmission
+///    is garbled into what listeners (and the winner) perceive as a
+///    collision.  Noise on a silent slot is inaudible (stays silence).
+///  * jam    — a budgeted adversary transmits in J chosen slots; a jammed
+///    slot reads as a collision no matter how many stations transmit.
+///  * crash  — a fraction F of participating stations halt (stop
+///    transmitting, never deliver) at a cutoff slot.
+///  * byzantine — a fraction F of participating stations ignore their
+///    protocol and transmit adversarially (p = 1/2 per slot), interfering
+///    like an unbudgeted jammer; their own packets are never delivered.
+///
+/// Fault clauses (crash/byzantine) need a station population to draw from,
+/// so they are dynamic-layer features; the static engines accept noise and
+/// jam only (sim/run.cpp validates).
+
+#include <cstdint>
+#include <string>
+
+#include "mac/types.hpp"
+
+namespace wakeup::mac {
+
+/// Feedback-noise families.
+enum class NoiseKind : std::uint8_t {
+  kNone,    ///< clean feedback
+  kIid,     ///< each slot independently noisy with probability P
+  kBursty,  ///< 2-state Markov bursts; stationary noisy probability P
+};
+
+/// How the jammer places its J-slot budget over the horizon.
+enum class JamSchedule : std::uint8_t {
+  kFront,        ///< the first J slots — the "deaf period" adversary
+  kSpread,       ///< J slots evenly spaced over the horizon
+  kRandom,       ///< J distinct slots drawn uniformly
+  kAdversarial,  ///< J slots placed by the sim/adversary hill-climb
+};
+
+/// Parsed form of one `--noise=` / `--jam=` / `--faults=` clause set.
+///
+/// Grammar (clauses joined with '+'; canonical order noise, jam, crash,
+/// byzantine; `name()` round-trips `parse()` like ArrivalSpec):
+///   noise:iid:P            e.g. noise:iid:0.05
+///   noise:bursty:P:SWITCH  e.g. noise:bursty:0.1:0.02
+///   jam:budget:J[:sched]   sched = front|spread|random|adversarial
+///                          (default random; name() spells it explicitly)
+///   crash:F[:slot]         F = crashed fraction of participating stations;
+///                          cutoff at `slot`, or uniform-random per station
+///   byzantine:F            F = byzantine fraction of participating stations
+///   none                   the clean channel
+///
+/// P is the per-slot noise probability; SWITCH is the per-slot probability
+/// that a noise burst ends (mean burst length 1/SWITCH); J is the jammer's
+/// slot budget; F is a fraction in (0, 1].
+struct ImpairmentSpec {
+  NoiseKind noise = NoiseKind::kNone;
+  double noise_p = 0.0;       ///< per-slot noisy probability (stationary)
+  double noise_switch = 0.0;  ///< bursty: burst-end probability per slot
+  std::uint64_t jam_budget = 0;  ///< jammed slots; 0 = no jammer
+  JamSchedule jam_sched = JamSchedule::kRandom;
+  double crash_f = 0.0;   ///< crashed fraction of participating stations
+  Slot crash_slot = -1;   ///< fixed cutoff slot; -1 = uniform per station
+  double byzantine_f = 0.0;  ///< byzantine fraction of participating stations
+
+  [[nodiscard]] bool operator==(const ImpairmentSpec&) const = default;
+
+  [[nodiscard]] bool has_noise() const noexcept { return noise != NoiseKind::kNone; }
+  [[nodiscard]] bool has_jam() const noexcept { return jam_budget > 0; }
+  [[nodiscard]] bool has_faults() const noexcept {
+    return crash_f > 0.0 || byzantine_f > 0.0;
+  }
+  /// True iff this is the clean channel (name() == "none").
+  [[nodiscard]] bool clean() const noexcept {
+    return !has_noise() && !has_jam() && !has_faults();
+  }
+
+  /// Canonical spelling, used verbatim in cell tags (seed contract) and CLI
+  /// output: "none", "noise:iid:0.05", "jam:budget:8:adversarial",
+  /// "noise:iid:0.01+jam:budget:16:random", "crash:0.25+byzantine:0.1".
+  [[nodiscard]] std::string name() const;
+
+  /// Inverse of name(); accepts the grammar above.  Throws
+  /// std::invalid_argument with a friendly message on anything else.
+  [[nodiscard]] static ImpairmentSpec parse(const std::string& text);
+};
+
+[[nodiscard]] std::string_view jam_schedule_name(JamSchedule sched) noexcept;
+
+}  // namespace wakeup::mac

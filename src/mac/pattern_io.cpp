@@ -77,6 +77,19 @@ DynamicScenario load_arrivals_csv(const std::string& path, std::uint32_t n, Slot
   return read_arrivals_csv(in, n, horizon);
 }
 
+void write_arrivals_csv(std::ostream& os, const DynamicScenario& scenario) {
+  os << "station,slot\n";
+  for (const Arrival& packet : scenario.packets()) {
+    os << packet.station << ',' << packet.wake << '\n';
+  }
+}
+
+void save_arrivals_csv(const std::string& path, const DynamicScenario& scenario) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_arrivals_csv: cannot open " + path);
+  write_arrivals_csv(out, scenario);
+}
+
 void save_pattern_csv(const std::string& path, const WakePattern& pattern) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_pattern_csv: cannot open " + path);

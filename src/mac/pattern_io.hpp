@@ -36,4 +36,12 @@ void save_pattern_csv(const std::string& path, const WakePattern& pattern);
 [[nodiscard]] DynamicScenario load_arrivals_csv(const std::string& path, std::uint32_t n,
                                                 Slot horizon);
 
+/// Writes "station,slot" rows with a header line — the exact format
+/// read_arrivals_csv accepts, so a generated scenario can be pinned to disk
+/// and replayed (`run --arrival-file=`).  load → save → load round-trips:
+/// the scenario constructor canonicalizes packet order, so a reloaded trace
+/// is identical packet-for-packet.
+void write_arrivals_csv(std::ostream& os, const DynamicScenario& scenario);
+void save_arrivals_csv(const std::string& path, const DynamicScenario& scenario);
+
 }  // namespace wakeup::mac

@@ -7,6 +7,7 @@
 #include "protocols/aloha.hpp"
 #include "protocols/backoff.hpp"
 #include "protocols/local_doubling.hpp"
+#include "protocols/robust_rr.hpp"
 #include "protocols/round_robin.hpp"
 #include "protocols/rpd.hpp"
 #include "protocols/select_among_the_first.hpp"
@@ -21,6 +22,11 @@ namespace wakeup::proto {
 ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec) {
   if (spec.name == "round_robin") {
     return std::make_shared<RoundRobinProtocol>(spec.n);
+  }
+  if (spec.name == "robust_rr") {
+    // The repetition factor rides the s parameter (like wakeup_with_s's
+    // sleep bound); 0 selects the r = 2 default.
+    return std::make_shared<RobustRoundRobinProtocol>(spec.n, spec.s == 0 ? 2 : spec.s);
   }
   if (spec.name == "select_among_the_first") {
     comb::DoublingSchedule::Config config;
@@ -78,7 +84,8 @@ ProtocolPtr make_protocol_by_name(const ProtocolSpec& spec) {
 
 const std::vector<std::string>& protocol_names() {
   static const std::vector<std::string> names = {
-      "round_robin",   "select_among_the_first",
+      "round_robin",   "robust_rr",
+      "select_among_the_first",
       "wakeup_with_s", "wait_and_go",
       "wakeup_with_k", "wakeup_matrix",
       "rpd_n",         "rpd_k",

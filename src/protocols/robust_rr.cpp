@@ -1,0 +1,61 @@
+#include "protocols/robust_rr.hpp"
+
+namespace wakeup::proto {
+namespace {
+
+class RobustRoundRobinRuntime final : public StationRuntime {
+ public:
+  RobustRoundRobinRuntime(StationId u, std::uint32_t n, std::uint32_t r)
+      : u_(u), n_(n), r_(r) {}
+
+  [[nodiscard]] bool transmits(Slot t) override {
+    return static_cast<std::uint32_t>((t / static_cast<Slot>(r_)) % static_cast<Slot>(n_)) ==
+           u_;
+  }
+
+ private:
+  StationId u_;
+  std::uint32_t n_;
+  std::uint32_t r_;
+};
+
+}  // namespace
+
+std::unique_ptr<StationRuntime> RobustRoundRobinProtocol::make_runtime(StationId u,
+                                                                       Slot wake) const {
+  (void)wake;  // oblivious: the schedule depends only on the global clock
+  return std::make_unique<RobustRoundRobinRuntime>(u, n_, r_);
+}
+
+void RobustRoundRobinProtocol::schedule_block(StationId u, Slot wake, Slot from,
+                                              std::uint64_t* out_words,
+                                              std::size_t n_words) const {
+  (void)wake;  // schedule depends only on the global clock
+  if (u >= n_) {  // out-of-universe station: the runtime never transmits
+    for (std::size_t w = 0; w < n_words; ++w) out_words[w] = 0;
+    return;
+  }
+  // Station u's runs are the slots [a, a + r) with a ≡ u·r (mod n·r): walk
+  // run boundaries instead of bits, so a word costs O(64/r + 1) iterations.
+  const auto r = static_cast<Slot>(r_);
+  const auto p = static_cast<Slot>(n_) * r;  // full period
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const Slot t0 = from + static_cast<Slot>(64 * w);
+    // First run start >= t0 - (r - 1) (a run may straddle the word start).
+    Slot a = static_cast<Slot>(u) * r + (t0 - static_cast<Slot>(u) * r) / p * p;
+    while (a + r <= t0) a += p;
+    std::uint64_t word = 0;
+    for (; a < t0 + 64; a += p) {
+      const Slot lo = a < t0 ? 0 : a - t0;
+      const Slot hi = a + r - t0 < 64 ? a + r - t0 : 64;  // exclusive
+      if (hi <= lo) continue;
+      const std::uint64_t span =
+          hi - lo == 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << (hi - lo)) - 1) << lo;
+      word |= span;
+    }
+    out_words[w] = word;
+  }
+}
+
+}  // namespace wakeup::proto

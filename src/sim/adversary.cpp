@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/impairment_engine.hpp"
 #include "sim/run.hpp"
 #include "util/dynamic_bitset.hpp"
 #include "util/math.hpp"
@@ -122,6 +123,110 @@ PatternSearchResult search_worst_pattern(
     if (rounds > best_rounds) {
       best_rounds = rounds;
       best.worst = current;
+      best.worst_result = current_result;
+    }
+  }
+  return best;
+}
+
+JamSearchResult search_worst_jam(const proto::Protocol& protocol,
+                                 const mac::WakePattern& pattern,
+                                 const mac::ImpairmentSpec& spec, std::uint32_t restarts,
+                                 std::uint32_t steps_per_restart, std::uint64_t seed,
+                                 const SimConfig& config) {
+  JamSearchResult best;
+  if (pattern.empty() || spec.jam_budget == 0) return best;
+
+  mac::Slot budget = config.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+  const mac::Slot horizon = pattern.first_wake() + budget;
+  const auto jam = static_cast<std::size_t>(
+      std::min<std::uint64_t>(spec.jam_budget, static_cast<std::uint64_t>(horizon)));
+
+  // Candidate placements are realized through the plan compiler itself, so
+  // the search evaluates exactly what the trials will face.  One fixed plan
+  // seed for every evaluation keeps the spec's noise background constant
+  // (the clause substreams are independent of the jam override).
+  std::int64_t best_rounds = -1;
+  const auto objective = [](const SimResult& r) {
+    return r.success ? r.rounds : std::numeric_limits<std::int64_t>::max();
+  };
+  auto evaluate = [&](const std::vector<mac::Slot>& slots) -> SimResult {
+    const ImpairmentPlan plan = compile_impairment(spec, seed, horizon, nullptr, &slots);
+    SimConfig cfg = config;
+    cfg.impairment = &plan;
+    ++best.evaluations;
+    return dispatch_wakeup(protocol, pattern, cfg);
+  };
+
+  // Everything jammed: nothing to place, the protocol can never win.
+  if (static_cast<mac::Slot>(jam) >= horizon) {
+    best.slots.resize(jam);
+    for (std::size_t i = 0; i < jam; ++i) best.slots[i] = static_cast<mac::Slot>(i);
+    best.worst_result = evaluate(best.slots);
+    return best;
+  }
+
+  for (std::uint32_t r = 0; r < restarts; ++r) {
+    util::Rng rng(util::hash_words({seed, 0x4a414d53ULL /* "JAMS" */, r}));
+    // Restarts cycle through the canonical schedules: front-load, spread,
+    // then random placements.
+    std::vector<mac::Slot> current(jam);
+    switch (r % 3) {
+      case 0:
+        for (std::size_t i = 0; i < jam; ++i) current[i] = static_cast<mac::Slot>(i);
+        break;
+      case 1:
+        for (std::size_t i = 0; i < jam; ++i) {
+          current[i] = horizon * static_cast<mac::Slot>(i) / static_cast<mac::Slot>(jam);
+        }
+        break;
+      default: {
+        // Floyd's distinct sampling of `jam` slots from [0, horizon).
+        util::DynamicBitset taken(static_cast<std::size_t>(horizon));
+        current.clear();
+        for (mac::Slot t = horizon - static_cast<mac::Slot>(jam); t < horizon; ++t) {
+          const auto pick =
+              static_cast<mac::Slot>(rng.uniform(static_cast<std::uint64_t>(t) + 1));
+          const auto chosen = taken.test(static_cast<std::size_t>(pick)) ? t : pick;
+          taken.set(static_cast<std::size_t>(chosen));
+          current.push_back(chosen);
+        }
+        std::sort(current.begin(), current.end());
+        break;
+      }
+    }
+    SimResult current_result = evaluate(current);
+
+    for (std::uint32_t step = 0; step < steps_per_restart; ++step) {
+      // Perturb: resample one jam slot uniformly, or shift it locally.
+      std::vector<mac::Slot> candidate = current;
+      const auto idx = static_cast<std::size_t>(rng.uniform(candidate.size()));
+      mac::Slot moved;
+      if (rng.bernoulli(0.5)) {
+        moved = static_cast<mac::Slot>(rng.uniform(static_cast<std::uint64_t>(horizon)));
+      } else {
+        const std::int64_t delta = rng.uniform_range(-32, 32);
+        moved = std::clamp<mac::Slot>(candidate[idx] + delta, 0, horizon - 1);
+      }
+      bool duplicate = false;
+      for (std::size_t j = 0; j < candidate.size(); ++j) {
+        duplicate = duplicate || (j != idx && candidate[j] == moved);
+      }
+      if (duplicate) continue;  // placements stay distinct; try the next step
+      candidate[idx] = moved;
+      std::sort(candidate.begin(), candidate.end());
+
+      const SimResult candidate_result = evaluate(candidate);
+      if (objective(candidate_result) >= objective(current_result)) {  // ties drift
+        current = std::move(candidate);
+        current_result = candidate_result;
+      }
+    }
+
+    if (objective(current_result) > best_rounds) {
+      best_rounds = objective(current_result);
+      best.slots = std::move(current);
       best.worst_result = current_result;
     }
   }

@@ -13,10 +13,18 @@
 /// 2. A stochastic search for empirically hard wake patterns of a given
 ///    (n, k): random restarts plus local perturbations of wake times,
 ///    keeping the pattern that maximizes rounds-to-wake-up.
+///
+/// 3. A budgeted-jamming twin of (2): for a fixed protocol and wake
+///    pattern, hill-climb over placements of J jam slots — the adversary
+///    of the channel-impairment subsystem (mac/impairment.hpp,
+///    `jam:budget:J:adversarial`) — keeping the schedule that maximizes
+///    rounds-to-wake-up against a fixed noise background.
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "mac/impairment.hpp"
 #include "mac/wake_pattern.hpp"
 #include "protocols/protocol.hpp"
 #include "sim/simulator.hpp"
@@ -51,5 +59,31 @@ struct PatternSearchResult {
     const std::function<proto::ProtocolPtr(std::uint64_t seed)>& factory, std::uint32_t n,
     std::uint32_t k, std::uint32_t restarts, std::uint32_t steps_per_restart,
     std::uint64_t seed, const SimConfig& config);
+
+struct JamSearchResult {
+  std::vector<mac::Slot> slots;  ///< the worst placement found, ascending
+  SimResult worst_result;        ///< the protocol's run against it
+  std::uint64_t evaluations = 0;
+};
+
+/// Hill-climbing with random restarts over placements of
+/// `spec.jam_budget` jam slots in [0, first_wake + budget): restarts seed
+/// from the front / spread / random canonical schedules, perturbations
+/// resample or locally shift one jam slot, and the objective is
+/// rounds-to-wake-up (a budget-exhausting failure counts as +inf — the
+/// adversary's jackpot).  Every candidate is evaluated under the *same*
+/// plan seed, so the spec's noise clauses form a fixed background (the
+/// clause substreams of sim/impairment_engine.hpp are independent) and
+/// placements compare apples to apples.
+///
+/// Deterministic: a pure function of the arguments — independent of thread
+/// count and SIMD availability, because the evaluation engines are
+/// bit-identical and the climb is serial (tests/test_adversary.cpp).
+[[nodiscard]] JamSearchResult search_worst_jam(const proto::Protocol& protocol,
+                                               const mac::WakePattern& pattern,
+                                               const mac::ImpairmentSpec& spec,
+                                               std::uint32_t restarts,
+                                               std::uint32_t steps_per_restart,
+                                               std::uint64_t seed, const SimConfig& config);
 
 }  // namespace wakeup::sim

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/impairment_engine.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/schedule_cache.hpp"
 #include "sim/word_source.hpp"
@@ -91,6 +92,22 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
 
   const std::size_t W = tile_words();
 
+  // Impairment fold: tiles are 64-aligned to absolute slots, so word w of a
+  // tile starting at tb is plan word tb/64 + w.  One OR-AND per word:
+  // corrupt slots collide regardless of transmitters, noisy slots garble an
+  // actual transmission into a collision.
+  const ImpairmentPlan* plan = config.impairment;
+  if (plan != nullptr && plan->clean()) plan = nullptr;
+  const auto fold_impairment = [plan](std::uint64_t* any_w, std::uint64_t* multi_w,
+                                      mac::Slot tb, std::size_t from_w, std::size_t tw) {
+    const std::size_t gw = static_cast<std::size_t>(tb) / 64;
+    for (std::size_t w = from_w; w < tw; ++w) {
+      const std::uint64_t corrupt = plan->corrupt_word(gw + w);
+      multi_w[w] |= (any_w[w] & plan->noise_word(gw + w)) | corrupt;
+      any_w[w] |= corrupt;
+    }
+  };
+
   std::vector<Active> active;
   active.reserve(pattern.k());
   std::vector<std::uint64_t> matrix;  // station-major: row r = W words of active[r]
@@ -156,6 +173,7 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
     }
 
     simd::or_reduce_2pass(matrix.data(), active.size(), W, tw, any.data(), multi.data());
+    if (plan != nullptr) fold_impairment(any.data(), multi.data(), tb, 0, tw);
 
     // Pending masks: the slots of each word inside [max(tb, start), end).
     for (std::size_t w = 0; w < tw; ++w) {
@@ -241,6 +259,7 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
         }
         simd::or_reduce_2pass(matrix.data() + w, active.size(), W, tw - w, any.data() + w,
                               multi.data() + w);
+        if (plan != nullptr) fold_impairment(any.data(), multi.data(), tb, w, tw);
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mac/channel.hpp"
+#include "sim/impairment_engine.hpp"
 
 namespace wakeup::sim {
 
@@ -65,12 +66,14 @@ struct StationQueues {
 }  // namespace
 
 DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
-                                      const mac::DynamicScenario& scenario) {
+                                      const mac::DynamicScenario& scenario,
+                                      const ImpairmentPlan* plan) {
   DynamicResult result;
   result.horizon = scenario.horizon();
   result.arrivals = scenario.packets_total();
   result.stations = scenario.stations();
   result.delivered_per_station.assign(result.stations.size(), 0);
+  if (plan != nullptr && plan->clean()) plan = nullptr;
 
   const StationQueues queues(scenario);
 
@@ -80,9 +83,16 @@ DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
     const std::vector<mac::Slot>* arr;     ///< this station's arrival slots
     std::size_t admitted = 0;              ///< arrivals with slot <= current t
     std::size_t head = 0;                  ///< delivered packets
+    mac::Slot crash_cutoff = -1;           ///< silent from this slot; -1 = never
+    bool byzantine = false;                ///< never follows the protocol
     std::unique_ptr<proto::DynamicStation> dyn;
 
     [[nodiscard]] bool backlogged() const noexcept { return head < admitted; }
+    /// Still follows the protocol at slot t (crash is permanent, byzantine
+    /// never followed it in the first place).
+    [[nodiscard]] bool follows(mac::Slot t) const noexcept {
+      return !byzantine && (crash_cutoff < 0 || t < crash_cutoff);
+    }
   };
 
   std::vector<Active> stations;
@@ -92,6 +102,10 @@ DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
     st.id = queues.ids[i];
     st.index = i;
     st.arr = &queues.slots[i];
+    if (plan != nullptr) {
+      st.crash_cutoff = plan->crash_cutoff(st.id);
+      st.byzantine = plan->is_byzantine(st.id);
+    }
     st.dyn = protocol.make_dynamic_station(st.id);
     if (st.dyn == nullptr) st.dyn = std::make_unique<PerPacketStation>(protocol, st.id);
     stations.push_back(std::move(st));
@@ -100,28 +114,49 @@ DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
   mac::Channel channel(mac::FeedbackModel::kNone);
   std::vector<Active*> transmitters;
   const mac::Slot horizon = scenario.horizon();
+  std::uint64_t silences = 0, collisions = 0, delivered = 0;
 
   for (mac::Slot t = 0; t < horizon; ++t) {
     // Admit this slot's arrivals; a station going from empty to backlogged
-    // starts contending immediately (its packet may transmit at t).
+    // starts contending immediately (its packet may transmit at t).  Faulty
+    // stations still accumulate arrivals — their packets strand in the
+    // backlog — but no longer drive their protocol state.
     for (Active& st : stations) {
       const auto& arr = *st.arr;
       const bool was_backlogged = st.backlogged();
       while (st.admitted < arr.size() && arr[st.admitted] == t) ++st.admitted;
-      if (!was_backlogged && st.backlogged()) st.dyn->packet_start(t);
+      if (!was_backlogged && st.backlogged() && st.follows(t)) st.dyn->packet_start(t);
     }
 
     transmitters.clear();
     for (Active& st : stations) {
-      if (st.backlogged() && st.dyn->transmits(t)) transmitters.push_back(&st);
+      if (st.backlogged() && st.follows(t) && st.dyn->transmits(t)) {
+        transmitters.push_back(&st);
+      }
     }
 
-    const mac::SlotOutcome outcome = channel.transmit(transmitters.size());
+    mac::SlotOutcome outcome;
+    if (plan != nullptr) {
+      outcome = plan->effective_outcome(t, transmitters.size());
+      switch (outcome) {
+        case mac::SlotOutcome::kSilence:
+          ++silences;
+          break;
+        case mac::SlotOutcome::kSuccess:
+          ++delivered;
+          break;
+        case mac::SlotOutcome::kCollision:
+          ++collisions;
+          break;
+      }
+    } else {
+      outcome = channel.transmit(transmitters.size());
+    }
     const mac::ChannelFeedback fb = channel.feedback(outcome);
     Active* winner =
         outcome == mac::SlotOutcome::kSuccess ? transmitters.front() : nullptr;
     for (Active& st : stations) {
-      if (st.backlogged()) st.dyn->feedback(t, fb, &st == winner);
+      if (st.backlogged() && st.follows(t)) st.dyn->feedback(t, fb, &st == winner);
     }
 
     if (winner != nullptr) {
@@ -131,13 +166,15 @@ DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
       ++winner->head;
       // The next head-of-line packet (if already queued) re-contends from
       // the following slot.
-      if (winner->backlogged()) winner->dyn->packet_start(t + 1);
+      if (winner->backlogged() && winner->follows(t + 1)) {
+        winner->dyn->packet_start(t + 1);
+      }
     }
   }
 
-  result.silences = channel.silences();
-  result.collisions = channel.collisions();
-  result.delivered = channel.successes();
+  result.silences = plan != nullptr ? silences : channel.silences();
+  result.collisions = plan != nullptr ? collisions : channel.collisions();
+  result.delivered = plan != nullptr ? delivered : channel.successes();
   result.backlog = result.arrivals - result.delivered;
   return result;
 }
@@ -148,15 +185,17 @@ bool dynamic_batch_supports(const proto::Protocol& protocol) {
 }
 
 DynamicResult dispatch_dynamic(const proto::Protocol& protocol,
-                               const mac::DynamicScenario& scenario, Engine engine) {
+                               const mac::DynamicScenario& scenario, Engine engine,
+                               const ImpairmentPlan* plan) {
   switch (engine) {
     case Engine::kAuto:
-      return dynamic_batch_supports(protocol) ? run_dynamic_batch(protocol, scenario)
-                                              : run_dynamic_interpreter(protocol, scenario);
+      return dynamic_batch_supports(protocol)
+                 ? run_dynamic_batch(protocol, scenario, plan)
+                 : run_dynamic_interpreter(protocol, scenario, plan);
     case Engine::kInterpreter:
-      return run_dynamic_interpreter(protocol, scenario);
+      return run_dynamic_interpreter(protocol, scenario, plan);
     case Engine::kBatch:
-      return run_dynamic_batch(protocol, scenario);
+      return run_dynamic_batch(protocol, scenario, plan);
   }
   throw std::invalid_argument("dispatch_dynamic: unknown engine");
 }

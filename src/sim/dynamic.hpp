@@ -72,8 +72,20 @@ struct DynamicResult {
 /// Reference dynamic slot loop — works for every protocol.  Protocols
 /// overriding `make_dynamic_station` carry state across packets; all others
 /// re-contend each packet on a fresh `make_runtime(u, start)`.
+///
+/// `plan` (nullable, not owned) applies one trial's channel impairments.
+/// The dynamic layer is where the station fault models live: a *crashed*
+/// station follows its protocol until its cutoff slot and then falls
+/// permanently silent (queued packets strand in the backlog); a *byzantine*
+/// station never follows the protocol at all — its adversarial
+/// transmissions are pre-folded into the plan's corrupt words and its own
+/// packets are never delivered.  Noise and jam act exactly as in the
+/// one-shot engines.  The slot invariants survive every impairment:
+/// silences + collisions + delivered == horizon, arrivals == delivered +
+/// backlog.
 [[nodiscard]] DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
-                                                    const mac::DynamicScenario& scenario);
+                                                    const mac::DynamicScenario& scenario,
+                                                    const ImpairmentPlan* plan = nullptr);
 
 /// Can `run_dynamic_batch` execute this protocol?  Requires an oblivious
 /// single-lane schedule (dynamic traffic is single-channel).
@@ -81,15 +93,19 @@ struct DynamicResult {
 
 /// Word-parallel dynamic engine (still-backlogged mask over the word-matrix
 /// tiles).  Precondition: `dynamic_batch_supports(protocol)`; throws
-/// std::invalid_argument otherwise.  Bit-identical to the interpreter.
+/// std::invalid_argument otherwise.  Bit-identical to the interpreter,
+/// impaired or clean: noise/jam words fold into the tile reductions, crash
+/// cutoffs mask row bits, byzantine rows stay zero.
 [[nodiscard]] DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
-                                              const mac::DynamicScenario& scenario);
+                                              const mac::DynamicScenario& scenario,
+                                              const ImpairmentPlan* plan = nullptr);
 
 /// Engine selection, mirroring `dispatch_wakeup`: kAuto batches oblivious
 /// protocols and interprets the rest; kBatch throws where
 /// `dynamic_batch_supports` says no.
 [[nodiscard]] DynamicResult dispatch_dynamic(const proto::Protocol& protocol,
                                              const mac::DynamicScenario& scenario,
-                                             Engine engine = Engine::kAuto);
+                                             Engine engine = Engine::kAuto,
+                                             const ImpairmentPlan* plan = nullptr);
 
 }  // namespace wakeup::sim

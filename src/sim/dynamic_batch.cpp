@@ -6,6 +6,7 @@
 
 #include "sim/batch_engine.hpp"
 #include "sim/dynamic.hpp"
+#include "sim/impairment_engine.hpp"
 #include "util/simd.hpp"
 
 namespace wakeup::sim {
@@ -25,6 +26,7 @@ struct Row {
   const std::vector<mac::Slot>* arr = nullptr;
   std::size_t head = 0;                ///< delivered packets
   mac::Slot head_start = 0;
+  mac::Slot crash_cutoff = -2;         ///< silent from this slot; negative = never
 };
 
 constexpr mac::Slot kIdle = -1;
@@ -32,10 +34,12 @@ constexpr mac::Slot kIdle = -1;
 /// The still-backlogged mask made concrete: fills `row` with station
 /// bits for the tile [tb, tile_end).  Idle-until-some-arrival stations get
 /// their bits set back from the arrival slot; drained stations stay zero.
+/// A crashed station's bits from its cutoff on are masked off — exactly
+/// the interpreter's follows(t) gate for an oblivious schedule.
 void fill_row(const proto::ObliviousSchedule& schedule, const Row& st, mac::Slot tb,
               mac::Slot tile_end, std::uint64_t* row, std::size_t tw) {
   const mac::Slot h = st.head_start;
-  if (h == kIdle || h >= tile_end) {
+  if (h == kIdle || h >= tile_end || (st.crash_cutoff >= 0 && st.crash_cutoff <= h)) {
     std::fill(row, row + tw, 0);
     return;
   }
@@ -50,17 +54,33 @@ void fill_row(const proto::ObliviousSchedule& schedule, const Row& st, mac::Slot
   }
   schedule.schedule_block(st.id, h, from, row + w0, tw - w0);
   if (h > from) row[w0] &= ~std::uint64_t{0} << (h - from);
+  if (st.crash_cutoff >= 0 && st.crash_cutoff < tile_end) {
+    if (st.crash_cutoff <= tb) {
+      std::fill(row, row + tw, 0);
+      return;
+    }
+    const auto off = static_cast<std::size_t>(st.crash_cutoff - tb);
+    std::size_t wc = off / 64;
+    const unsigned bit = off % 64;
+    if (bit != 0) {
+      row[wc] &= (std::uint64_t{1} << bit) - 1;
+      ++wc;
+    }
+    std::fill(row + wc, row + tw, 0);
+  }
 }
 
 }  // namespace
 
 DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
-                                const mac::DynamicScenario& scenario) {
+                                const mac::DynamicScenario& scenario,
+                                const ImpairmentPlan* plan) {
   if (!dynamic_batch_supports(protocol)) {
     throw std::invalid_argument(
         "dynamic batch engine requires a single-channel oblivious protocol");
   }
   const proto::ObliviousSchedule& schedule = *protocol.oblivious_schedule();
+  if (plan != nullptr && plan->clean()) plan = nullptr;
 
   DynamicResult result;
   result.horizon = scenario.horizon();
@@ -85,6 +105,13 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
     rows[r].index = r;
     rows[r].arr = &arr[r];
     rows[r].head_start = arr[r].empty() ? kIdle : arr[r].front();
+    if (plan != nullptr) {
+      rows[r].crash_cutoff = plan->crash_cutoff(rows[r].id);
+      // Byzantine stations never follow the protocol: their interference is
+      // pre-folded into the plan's corrupt words, so their own row stays
+      // idle forever and their packets strand in the backlog.
+      if (plan->is_byzantine(rows[r].id)) rows[r].head_start = kIdle;
+    }
   }
 
   std::vector<std::uint64_t> matrix(m * W, 0);  // station-major rows
@@ -112,6 +139,18 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
     }
 
     simd::or_reduce_2pass(matrix.data(), m, W, tw, any.data(), multi.data());
+
+    // Impairment fold: corrupt slots collide even when idle, noisy slots
+    // garble an actual transmission.  Tiles are 64-aligned, so word w is
+    // plan word tb/64 + w.
+    if (plan != nullptr) {
+      const std::size_t gw = static_cast<std::size_t>(tb) / 64;
+      for (std::size_t w = 0; w < tw; ++w) {
+        const std::uint64_t corrupt = plan->corrupt_word(gw + w);
+        multi[w] |= (any[w] & plan->noise_word(gw + w)) | corrupt;
+        any[w] |= corrupt;
+      }
+    }
 
     // Pending masks: every slot of the tile inside [tb, horizon) resolves.
     for (std::size_t w = 0; w < tw; ++w) {
@@ -172,6 +211,16 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
         fill_row(schedule, st, tb, tile_end, matrix.data() + winner * W, tw);
         simd::or_reduce_2pass(matrix.data() + w, m, W, tw - w, any.data() + w,
                               multi.data() + w);
+        // The re-reduce rebuilt (any, multi) from raw rows — re-fold the
+        // impairment words over the rebuilt suffix.
+        if (plan != nullptr) {
+          const std::size_t gw = static_cast<std::size_t>(tb) / 64;
+          for (std::size_t v = w; v < tw; ++v) {
+            const std::uint64_t corrupt = plan->corrupt_word(gw + v);
+            multi[v] |= (any[v] & plan->noise_word(gw + v)) | corrupt;
+            any[v] |= corrupt;
+          }
+        }
       }
     }
   }

@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "sim/impairment_engine.hpp"
+
 namespace wakeup::sim {
 
 SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
@@ -27,6 +29,13 @@ SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
   if (config.record_trace) {
     result.trace.emplace(config.record_transmitters);
   }
+  // An impaired slot's outcome is no longer a pure function of the
+  // transmitter count, so the channel's own counters are bypassed and the
+  // effective outcome is tallied by hand.  The clean path stays on Channel
+  // untouched (bit-identity with the seed behaviour).
+  const ImpairmentPlan* plan = config.impairment;
+  if (plan != nullptr && plan->clean()) plan = nullptr;
+  std::uint64_t silences = 0, collisions = 0, successes = 0;
 
   std::vector<Active> active;
   active.reserve(pattern.k());
@@ -47,7 +56,23 @@ SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
       if (st.runtime->transmits(t)) transmitters.push_back(st.id);
     }
 
-    const mac::SlotOutcome outcome = channel.transmit(transmitters.size());
+    mac::SlotOutcome outcome;
+    if (plan != nullptr) {
+      outcome = plan->effective_outcome(t, transmitters.size());
+      switch (outcome) {
+        case mac::SlotOutcome::kSilence:
+          ++silences;
+          break;
+        case mac::SlotOutcome::kSuccess:
+          ++successes;
+          break;
+        case mac::SlotOutcome::kCollision:
+          ++collisions;
+          break;
+      }
+    } else {
+      outcome = channel.transmit(transmitters.size());
+    }
     if (result.trace) result.trace->add(t, outcome, transmitters);
 
     const mac::ChannelFeedback fb = channel.feedback(outcome);
@@ -78,9 +103,9 @@ SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
     }
   }
 
-  result.silences = channel.silences();
-  result.collisions = channel.collisions();
-  result.successes = channel.successes();
+  result.silences = plan != nullptr ? silences : channel.silences();
+  result.collisions = plan != nullptr ? collisions : channel.collisions();
+  result.successes = plan != nullptr ? successes : channel.successes();
   return result;
 }
 

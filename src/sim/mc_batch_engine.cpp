@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/batch_engine.hpp"
+#include "sim/impairment_engine.hpp"
 #include "sim/schedule_cache.hpp"
 #include "sim/word_source.hpp"
 #include "util/simd.hpp"
@@ -33,9 +34,10 @@ namespace simd = util::simd;
 template <class Words>
 McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule& schedule,
                               std::uint32_t channels, const mac::WakePattern& pattern,
-                              mac::Slot max_slots) {
+                              mac::Slot max_slots, const ImpairmentPlan* plan) {
   McSimResult result;
   if (pattern.empty()) return result;
+  if (plan != nullptr && plan->clean()) plan = nullptr;
 
   struct Active {
     mac::StationId id;
@@ -107,6 +109,22 @@ McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule
       if (st.wake > from) row[w0] &= ~std::uint64_t{0} << (st.wake - from);
       simd::active().or_accumulate(any.data() + st.lane * W, multi.data() + st.lane * W, row,
                                    tw);
+    }
+
+    // Wideband impairment fold, every lane alike: corrupt slots collide
+    // even when idle, noisy slots garble an actual transmission.  Tiles are
+    // 64-aligned, so word w is plan word tb/64 + w.
+    if (plan != nullptr) {
+      const std::size_t gw = static_cast<std::size_t>(tb) / 64;
+      for (std::uint32_t c = 0; c < channels; ++c) {
+        std::uint64_t* any_c = any.data() + static_cast<std::size_t>(c) * W;
+        std::uint64_t* multi_c = multi.data() + static_cast<std::size_t>(c) * W;
+        for (std::size_t w = 0; w < tw; ++w) {
+          const std::uint64_t corrupt = plan->corrupt_word(gw + w);
+          multi_c[w] |= (any_c[w] & plan->noise_word(gw + w)) | corrupt;
+          any_c[w] |= corrupt;
+        }
+      }
     }
 
     // Pending masks: the slots of each word inside [max(tb, s), end).
@@ -187,25 +205,26 @@ McSimResult run_mc_batch_from(const Words& words, const proto::ObliviousSchedule
 }  // namespace
 
 McSimResult run_mc_batch(const proto::McProtocol& protocol, const mac::WakePattern& pattern,
-                         mac::Slot max_slots) {
+                         mac::Slot max_slots, const ImpairmentPlan* plan) {
   if (!mc_batch_supports(protocol)) {
     throw std::invalid_argument(
         "mc batch engine requires an oblivious schedule spanning all channels");
   }
   const proto::ObliviousSchedule& schedule = *protocol.oblivious_schedule();
   return run_mc_batch_from(detail::DirectWords{schedule}, schedule, protocol.channels(),
-                           pattern, max_slots);
+                           pattern, max_slots, plan);
 }
 
 McSimResult run_mc_batch_cached(const proto::McProtocol& protocol, const ScheduleCache& cache,
-                                const mac::WakePattern& pattern, mac::Slot max_slots) {
+                                const mac::WakePattern& pattern, mac::Slot max_slots,
+                                const ImpairmentPlan* plan) {
   if (!mc_batch_supports(protocol)) {
     throw std::invalid_argument(
         "mc batch engine requires an oblivious schedule spanning all channels");
   }
   const proto::ObliviousSchedule& schedule = *protocol.oblivious_schedule();
   const detail::CachedWords words = detail::make_cached_words(schedule, cache, pattern);
-  return run_mc_batch_from(words, schedule, protocol.channels(), pattern, max_slots);
+  return run_mc_batch_from(words, schedule, protocol.channels(), pattern, max_slots, plan);
 }
 
 }  // namespace wakeup::sim

@@ -36,10 +36,13 @@ class ScheduleCache;
 /// Runs `protocol` against `pattern` one word-matrix tile at a time, all
 /// lanes per round.  Precondition: `mc_batch_supports(protocol)`; throws
 /// std::invalid_argument otherwise.  `max_slots <= 0` selects the auto
-/// budget.
+/// budget.  `plan` (nullable, not owned) folds one trial's wideband
+/// impairment words into every lane's reduction rows — bit-identical to
+/// the impaired multichannel interpreter.
 [[nodiscard]] McSimResult run_mc_batch(const proto::McProtocol& protocol,
                                        const mac::WakePattern& pattern,
-                                       mac::Slot max_slots = 0);
+                                       mac::Slot max_slots = 0,
+                                       const ImpairmentPlan* plan = nullptr);
 
 /// Trial-batched variant: schedule words are served from a pre-populated
 /// read-only ScheduleCache (sim/schedule_cache.hpp) with per-word fallback
@@ -48,6 +51,7 @@ class ScheduleCache;
 [[nodiscard]] McSimResult run_mc_batch_cached(const proto::McProtocol& protocol,
                                               const ScheduleCache& cache,
                                               const mac::WakePattern& pattern,
-                                              mac::Slot max_slots = 0);
+                                              mac::Slot max_slots = 0,
+                                              const ImpairmentPlan* plan = nullptr);
 
 }  // namespace wakeup::sim

@@ -4,14 +4,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/impairment_engine.hpp"
 #include "sim/mc_batch_engine.hpp"
 
 namespace wakeup::sim {
 
 McSimResult run_mc_interpreter(const proto::McProtocol& protocol,
-                               const mac::WakePattern& pattern, mac::Slot max_slots) {
+                               const mac::WakePattern& pattern, mac::Slot max_slots,
+                               const ImpairmentPlan* plan) {
   McSimResult result;
   if (pattern.empty()) return result;
+  if (plan != nullptr && plan->clean()) plan = nullptr;
 
   struct Active {
     mac::StationId id;
@@ -43,7 +46,19 @@ McSimResult run_mc_interpreter(const proto::McProtocol& protocol,
       actions.push_back(st.last_action);
     }
 
-    const auto slot = mac::resolve_multi_slot(protocol.channels(), actions);
+    auto slot = mac::resolve_multi_slot(protocol.channels(), actions);
+    // Wideband impairment: a corrupted slot collides on every lane; a noisy
+    // slot garbles every lane's solo into a collision (silence stays
+    // silence).  Listeners hear only the effective outcomes.
+    if (plan != nullptr && (plan->corrupted(t) || plan->noisy(t))) {
+      const bool corrupt = plan->corrupted(t);
+      for (auto& outcome : slot.outcomes) {
+        if (corrupt || outcome == mac::SlotOutcome::kSuccess) {
+          outcome = mac::SlotOutcome::kCollision;
+        }
+      }
+      slot.success_channel = -1;
+    }
     for (std::uint32_t c = 0; c < protocol.channels(); ++c) {
       if (slot.outcomes[c] == mac::SlotOutcome::kCollision) ++result.collisions;
       if (slot.outcomes[c] == mac::SlotOutcome::kSilence) ++result.silences;
@@ -101,8 +116,17 @@ McSimResult run_adapter_fast_path(const proto::McProtocol& protocol,
   mac::Slot budget = config.max_slots;
   if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
   const mac::Slot processed = sc.success ? sc.rounds + 1 : budget;
-  result.silences = sc.silences + static_cast<std::uint64_t>(protocol.channels() - 1) *
-                                      static_cast<std::uint64_t>(processed);
+  // Wideband impairment reaches the side channels too: a corrupted slot is
+  // a collision on every idle lane, not a silence — exactly what the slot
+  // loop counts.
+  const ImpairmentPlan* plan = config.impairment;
+  if (plan != nullptr && plan->clean()) plan = nullptr;
+  const std::uint64_t corrupted =
+      plan != nullptr ? plan->corrupted_in(sc.s, sc.s + processed) : 0;
+  const auto side = static_cast<std::uint64_t>(protocol.channels() - 1);
+  result.silences =
+      sc.silences + side * (static_cast<std::uint64_t>(processed) - corrupted);
+  result.collisions += side * corrupted;
   return result;
 }
 
@@ -117,9 +141,10 @@ McSimResult dispatch_mc_wakeup(const proto::McProtocol& protocol,
   }
   switch (config.engine) {
     case Engine::kInterpreter:
-      return run_mc_interpreter(protocol, pattern, config.max_slots);
+      return run_mc_interpreter(protocol, pattern, config.max_slots, config.impairment);
     case Engine::kBatch:
-      return run_mc_batch(protocol, pattern, config.max_slots);  // throws if unsupported
+      // throws if unsupported
+      return run_mc_batch(protocol, pattern, config.max_slots, config.impairment);
     case Engine::kAuto:
       break;
   }
@@ -127,9 +152,9 @@ McSimResult dispatch_mc_wakeup(const proto::McProtocol& protocol,
     return run_adapter_fast_path(protocol, *inner, pattern, config);
   }
   if (mc_batch_supports(protocol)) {
-    return run_mc_batch(protocol, pattern, config.max_slots);
+    return run_mc_batch(protocol, pattern, config.max_slots, config.impairment);
   }
-  return run_mc_interpreter(protocol, pattern, config.max_slots);
+  return run_mc_interpreter(protocol, pattern, config.max_slots, config.impairment);
 }
 
 }  // namespace wakeup::sim

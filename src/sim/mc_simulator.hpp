@@ -46,10 +46,14 @@ struct McSimResult {
 /// `mac::resolve_multi_slot` per slot, feedback from the acted-on channel.
 /// Works for every McProtocol (including adapters, run generically).
 /// `max_slots <= 0` selects the same auto budget as the single-channel
-/// simulator.
+/// simulator.  `plan` (nullable, not owned) applies one trial's channel
+/// impairments *wideband* — noise and jamming hit every lane of a slot
+/// alike (a jammed slot collides on all C channels, a noisy slot garbles
+/// every lane's solo).
 [[nodiscard]] McSimResult run_mc_interpreter(const proto::McProtocol& protocol,
                                              const mac::WakePattern& pattern,
-                                             mac::Slot max_slots = 0);
+                                             mac::Slot max_slots = 0,
+                                             const ImpairmentPlan* plan = nullptr);
 
 /// Engine-selection layer: runs `protocol` against `pattern` on the engine
 /// selected by `config.engine` (kAuto routes adapters through the

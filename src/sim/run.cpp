@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "sim/adversary.hpp"
 #include "sim/batch_engine.hpp"
+#include "sim/impairment_engine.hpp"
 #include "sim/mc_batch_engine.hpp"
 #include "sim/results_sink.hpp"
 #include "util/rng.hpp"
@@ -44,6 +46,45 @@ std::uint64_t cell_protocol_seed(const RunSpec& spec) {
 /// pattern alone consumes the trial seed.
 std::uint64_t trial_protocol_seed(std::uint64_t seed) {
   return util::hash_words({seed, 0x50524fULL /* "PRO" */});
+}
+
+/// Per-trial impairment plan for a static run, covering every slot the
+/// trial may walk: [0, first_wake + budget).  The plan seed is the trial
+/// seed, so realizations vary per trial like wake patterns do.
+ImpairmentPlan compile_static_plan(const RunSpec& spec, std::uint64_t seed,
+                                   const mac::WakePattern& pattern,
+                                   const std::vector<mac::Slot>* jam_override) {
+  if (pattern.empty()) return {};
+  mac::Slot budget = spec.sim.max_slots;
+  if (budget <= 0) budget = auto_slot_budget(pattern.n(), pattern.k());
+  return compile_impairment(spec.impairment, seed, pattern.first_wake() + budget, nullptr,
+                            jam_override);
+}
+
+/// Resolves an adversarial jam spec into the slot list every trial of the
+/// cell will face: one hill-climb (sim/adversary.hpp), seeded from the
+/// cell identity, against trial 0's pattern.  Returns an empty vector for
+/// every other jam schedule (they realize per trial inside the compiler).
+std::vector<mac::Slot> resolve_adversarial_jam(const RunSpec& spec,
+                                               const proto::Protocol& protocol) {
+  if (!spec.impairment.has_jam() ||
+      spec.impairment.jam_sched != mac::JamSchedule::kAdversarial) {
+    return {};
+  }
+  mac::WakePattern generated;
+  const mac::WakePattern* target = spec.pattern;
+  if (spec.make_pattern) {
+    util::Rng rng(trial_seed(spec, 0));
+    generated = spec.make_pattern(rng);
+    target = &generated;
+  }
+  constexpr std::uint32_t kRestarts = 3;
+  constexpr std::uint32_t kSteps = 24;
+  return search_worst_jam(protocol, *target, spec.impairment, kRestarts, kSteps,
+                          util::hash_words({spec.base_seed, 0x4a414dULL /* "JAM" */,
+                                            spec.cell_tag}),
+                          spec.sim)
+      .slots;
 }
 
 void record_sc(const RunSpec& spec, RunOutcome& out, std::vector<TrialOut>& outs,
@@ -191,6 +232,25 @@ void validate(const RunSpec& spec) {
   const int pattern_sources =
       (spec.pattern != nullptr ? 1 : 0) + (spec.make_pattern ? 1 : 0);
 
+  // Impairment placement: fault clauses draw their stations from a dynamic
+  // scenario's population, and the adversarial jam search climbs over the
+  // static single-channel stack — name the offending spec in the rejection.
+  const bool adversarial_jam = spec.impairment.has_jam() &&
+                               spec.impairment.jam_sched == mac::JamSchedule::kAdversarial;
+  if (spec.horizon > 0 && adversarial_jam) {
+    throw std::invalid_argument(
+        "RunSpec: adversarial jam ('" + spec.impairment.name() +
+        "') needs a static single-channel run, not dynamic traffic");
+  }
+  if (spec.horizon <= 0 && spec.impairment.has_faults()) {
+    throw std::invalid_argument("RunSpec: crash/byzantine faults ('" + spec.impairment.name() +
+                                "') need dynamic mode (horizon > 0)");
+  }
+  if (multichannel && adversarial_jam) {
+    throw std::invalid_argument("RunSpec: adversarial jam ('" + spec.impairment.name() +
+                                "') is single-channel only");
+  }
+
   if (spec.horizon > 0) {
     // Dynamic traffic: single channel, one traffic source, dynamic sinks.
     if (multichannel) {
@@ -274,8 +334,16 @@ void run_dynamic(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
         spec.scenario != nullptr ? *spec.scenario : generated;
     const proto::ProtocolPtr rebuilt =
         randomized ? spec.make_protocol(trial_protocol_seed(seed)) : nullptr;
+    // One impairment realization per trial; fault clauses draw their
+    // stations from this trial's scenario population.
+    ImpairmentPlan plan;
+    const ImpairmentPlan* plan_ptr = spec.sim.impairment;
+    if (!spec.impairment.clean()) {
+      plan = compile_impairment(spec.impairment, seed, spec.horizon, &scenario.stations());
+      plan_ptr = &plan;
+    }
     DynamicResult r =
-        dispatch_dynamic(rebuilt ? *rebuilt : *protocol, scenario, spec.sim.engine);
+        dispatch_dynamic(rebuilt ? *rebuilt : *protocol, scenario, spec.sim.engine, plan_ptr);
     if (spec.per_trial_dynamic) spec.per_trial_dynamic(i, r);
     results[i] = std::move(r);
   });
@@ -436,6 +504,23 @@ void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
                          (!schedule->words_are_cheap() || force) &&
                          !spec.sim.record_trace && spec.sim.engine != Engine::kInterpreter;
 
+  // Impaired cells compile one plan per trial (and resolve an adversarial
+  // jam placement once, here); clean cells touch none of this — their
+  // trial configs are spec.sim verbatim.
+  const bool impaired = !spec.impairment.clean();
+  const std::vector<mac::Slot> jam_slots =
+      impaired ? resolve_adversarial_jam(spec, *protocol) : std::vector<mac::Slot>{};
+  const std::vector<mac::Slot>* jam_override = jam_slots.empty() ? nullptr : &jam_slots;
+  const auto trial_config = [&](std::uint64_t i, const mac::WakePattern& pattern,
+                                const SimConfig& base, ImpairmentPlan& plan) {
+    SimConfig cfg = base;
+    if (impaired) {
+      plan = compile_static_plan(spec, trial_seed(spec, i), pattern, jam_override);
+      cfg.impairment = &plan;
+    }
+    return cfg;
+  };
+
   if (!cacheable) {
     // Plain per-trial loop (protocol hoisted per the seed contract).
     for_each_trial(spec.trials, pool, [&](std::size_t i) {
@@ -446,8 +531,10 @@ void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
       const mac::WakePattern& pattern = spec.make_pattern ? generated : *spec.pattern;
       const proto::ProtocolPtr rebuilt =
           randomized ? spec.make_protocol(trial_protocol_seed(seed)) : nullptr;
+      ImpairmentPlan plan;
+      const SimConfig cfg = trial_config(i, pattern, spec.sim, plan);
       record_sc(spec, out, outs, i,
-                dispatch_wakeup(rebuilt ? *rebuilt : *protocol, pattern, spec.sim));
+                dispatch_wakeup(rebuilt ? *rebuilt : *protocol, pattern, cfg));
     });
     out.cell = aggregate(spec, outs);
     return;
@@ -458,7 +545,9 @@ void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
   const CellPatterns patterns(spec);
   const ProbeStats stats = run_probe_trials(spec, patterns, probe_cap_for(spec, force),
                                             [&](std::uint64_t i) {
-    const SimResult r = dispatch_wakeup(*protocol, patterns[i], spec.sim);
+    ImpairmentPlan plan;
+    const SimConfig cfg = trial_config(i, patterns[i], spec.sim, plan);
+    const SimResult r = dispatch_wakeup(*protocol, patterns[i], cfg);
     record_sc(spec, out, outs, i, r);
     return walked_slots(spec.sim, patterns[i], r.success, r.rounds, r.completed,
                         r.completion_rounds);
@@ -474,7 +563,9 @@ void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
     }
     for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
       const std::size_t i = j + stats.probes;
-      record_sc(spec, out, outs, i, dispatch_wakeup(*protocol, patterns[i], rest));
+      ImpairmentPlan plan;
+      const SimConfig cfg = trial_config(i, patterns[i], rest, plan);
+      record_sc(spec, out, outs, i, dispatch_wakeup(*protocol, patterns[i], cfg));
     });
     out.cell = aggregate(spec, outs);
     return;
@@ -483,8 +574,10 @@ void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
 
   for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
     const std::size_t i = j + stats.probes;
+    ImpairmentPlan plan;
+    const SimConfig cfg = trial_config(i, patterns[i], spec.sim, plan);
     record_sc(spec, out, outs, i,
-              run_wakeup_batch_cached(*protocol, cache, patterns[i], spec.sim));
+              run_wakeup_batch_cached(*protocol, cache, patterns[i], cfg));
   });
   out.cell = aggregate(spec, outs);
 }
@@ -517,6 +610,19 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
                          (!schedule->words_are_cheap() || force) &&
                          spec.sim.engine != Engine::kInterpreter;
 
+  // Impaired cells compile one plan per trial (adversarial jam is
+  // single-channel and was validated away, so there is no override here).
+  const bool impaired = !spec.impairment.clean();
+  const auto trial_config = [&](std::uint64_t i, const mac::WakePattern& pattern,
+                                const SimConfig& base, ImpairmentPlan& plan) {
+    SimConfig cfg = base;
+    if (impaired) {
+      plan = compile_static_plan(spec, trial_seed(spec, i), pattern, nullptr);
+      cfg.impairment = &plan;
+    }
+    return cfg;
+  };
+
   if (!cacheable) {
     for_each_trial(spec.trials, pool, [&](std::size_t i) {
       const std::uint64_t seed = trial_seed(spec, i);
@@ -526,8 +632,10 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
       const mac::WakePattern& pattern = spec.make_pattern ? generated : *spec.pattern;
       const proto::McProtocolPtr rebuilt =
           randomized ? spec.make_mc_protocol(trial_protocol_seed(seed)) : nullptr;
+      ImpairmentPlan plan;
+      const SimConfig cfg = trial_config(i, pattern, spec.sim, plan);
       record_mc(spec, out, outs, i,
-                dispatch_mc_wakeup(rebuilt ? *rebuilt : *protocol, pattern, spec.sim));
+                dispatch_mc_wakeup(rebuilt ? *rebuilt : *protocol, pattern, cfg));
     });
     out.cell = aggregate(spec, outs);
     return;
@@ -536,7 +644,9 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
   const CellPatterns patterns(spec);
   const ProbeStats stats = run_probe_trials(spec, patterns, probe_cap_for(spec, force),
                                             [&](std::uint64_t i) {
-    const McSimResult r = dispatch_mc_wakeup(*protocol, patterns[i], spec.sim);
+    ImpairmentPlan plan;
+    const SimConfig cfg = trial_config(i, patterns[i], spec.sim, plan);
+    const McSimResult r = dispatch_mc_wakeup(*protocol, patterns[i], cfg);
     record_mc(spec, out, outs, i, r);
     return walked_slots(spec.sim, patterns[i], r.success, r.rounds, false, -1);
   });
@@ -554,7 +664,9 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
     }
     for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
       const std::size_t i = j + stats.probes;
-      record_mc(spec, out, outs, i, dispatch_mc_wakeup(*protocol, patterns[i], rest));
+      ImpairmentPlan plan;
+      const SimConfig cfg = trial_config(i, patterns[i], rest, plan);
+      record_mc(spec, out, outs, i, dispatch_mc_wakeup(*protocol, patterns[i], cfg));
     });
     out.cell = aggregate(spec, outs);
     return;
@@ -563,8 +675,11 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
 
   for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
     const std::size_t i = j + stats.probes;
+    ImpairmentPlan plan;
+    const SimConfig cfg = trial_config(i, patterns[i], spec.sim, plan);
     record_mc(spec, out, outs, i,
-              run_mc_batch_cached(*protocol, cache, patterns[i], spec.sim.max_slots));
+              run_mc_batch_cached(*protocol, cache, patterns[i], spec.sim.max_slots,
+                                  cfg.impairment));
   });
   out.cell = aggregate(spec, outs);
 }

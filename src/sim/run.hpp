@@ -35,6 +35,7 @@
 #include <functional>
 
 #include "mac/arrival_process.hpp"
+#include "mac/impairment.hpp"
 #include "mac/wake_pattern.hpp"
 #include "protocols/multichannel.hpp"
 #include "protocols/protocol.hpp"
@@ -117,6 +118,18 @@ struct RunSpec {
   std::uint32_t dynamic_n = 0;
   std::uint32_t dynamic_k = 0;
   const mac::DynamicScenario* scenario = nullptr;
+
+  /// Channel impairment (mac/impairment.hpp) applied to every trial.  The
+  /// realization is compiled per trial from the trial seed — noise/jam
+  /// draws vary per trial exactly like wake patterns do — except an
+  /// adversarial jam placement (`jam:budget:J:adversarial`), which is
+  /// searched once per cell from hash(base_seed, "JAM", cell_tag) against
+  /// trial 0's pattern and then faced by every trial.  Crash/byzantine
+  /// fault clauses need dynamic mode (the station population is the
+  /// scenario's); adversarial jam needs the static single-channel stack.
+  /// When non-clean this takes precedence over a caller-set
+  /// `sim.impairment` plan.
+  mac::ImpairmentSpec impairment;
 
   /// Engine selection, slot budget, trace/full-resolution flags.  The
   /// engine flows through `dispatch_wakeup` / `dispatch_mc_wakeup`, so

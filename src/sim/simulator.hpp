@@ -26,6 +26,8 @@
 
 namespace wakeup::sim {
 
+struct ImpairmentPlan;  // sim/impairment_engine.hpp
+
 /// Which back-end executes the run.
 enum class Engine : std::uint8_t {
   /// Batch engine when the protocol is oblivious and no trace is recorded;
@@ -59,6 +61,12 @@ struct SimConfig {
   /// schedule-word cost (adaptive warm-up, sim/run.cpp).  Results are
   /// bit-identical for every value; only the cost profile moves.
   mac::Slot warmup_slots = -1;
+  /// One trial's realized channel impairments (noise/jam words, faults),
+  /// or nullptr for the clean channel.  Not owned; the caller keeps the
+  /// plan alive for the run (sim/run.cpp compiles one per trial).  Every
+  /// engine folds the same plan, so interpreter ≡ batch holds under
+  /// impairment exactly as it does clean.
+  const ImpairmentPlan* impairment = nullptr;
 };
 
 struct SimResult {

@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "mac/impairment.hpp"
 #include "protocols/local_doubling.hpp"
 #include "protocols/round_robin.hpp"
 #include "protocols/wakeup_matrix.hpp"
+#include "sim/batch_engine.hpp"
 #include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace ws = wakeup::sim;
 namespace wp = wakeup::proto;
@@ -85,4 +91,49 @@ TEST(PatternSearch, DeterministicForSeed) {
   const auto b = ws::search_worst_pattern(factory, n, k, 2, 8, 11, config);
   EXPECT_EQ(a.worst_result.rounds, b.worst_result.rounds);
   EXPECT_EQ(a.worst.arrivals(), b.worst.arrivals());
+}
+
+TEST(JamSearch, DeterministicAcrossEngineTuning) {
+  // The adversarial jam schedule feeds the cell-tag seed contract: the
+  // sweep resolves it once per cell and every trial replays it, so the
+  // search must be a pure function of (seed, cell identity) — identical
+  // slots no matter the tile width or whether the SIMD kernels are live.
+  struct Guard {
+    ~Guard() {
+      wakeup::sim::set_tile_words(0);
+      wakeup::util::simd::set_force_scalar(false);
+    }
+  } guard;
+
+  const std::uint32_t n = 64, k = 8;
+  wp::RoundRobinProtocol rr(n);
+  wakeup::util::Rng rng(2013);
+  const auto pattern =
+      wakeup::mac::patterns::generate(wakeup::mac::patterns::Kind::kUniform, n, k, 0, rng);
+  const auto spec = wakeup::mac::ImpairmentSpec::parse("jam:budget:12:adversarial");
+  ws::SimConfig config;
+  config.max_slots = 1 << 12;
+
+  const auto reference = ws::search_worst_jam(rr, pattern, spec, 3, 16, 77, config);
+  EXPECT_EQ(reference.slots.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(reference.slots.begin(), reference.slots.end()));
+  EXPECT_GT(reference.evaluations, 0u);
+
+  for (const std::size_t tile : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const bool scalar : {false, true}) {
+      wakeup::sim::set_tile_words(tile);
+      wakeup::util::simd::set_force_scalar(scalar);
+      const auto probe = ws::search_worst_jam(rr, pattern, spec, 3, 16, 77, config);
+      EXPECT_EQ(probe.slots, reference.slots)
+          << "tile=" << tile << (scalar ? " scalar" : " simd");
+      EXPECT_EQ(probe.worst_result.rounds, reference.worst_result.rounds)
+          << "tile=" << tile << (scalar ? " scalar" : " simd");
+      EXPECT_EQ(probe.evaluations, reference.evaluations)
+          << "tile=" << tile << (scalar ? " scalar" : " simd");
+    }
+  }
+
+  // A different seed explores differently (the climb is seed-driven).
+  const auto other = ws::search_worst_jam(rr, pattern, spec, 3, 16, 78, config);
+  EXPECT_EQ(other.slots.size(), 12u);
 }

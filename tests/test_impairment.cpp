@@ -1,0 +1,187 @@
+/// mac/impairment + sim/impairment_engine: grammar round-trips, parse
+/// errors, and the determinism/budget/fault contracts of compiled plans.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mac/impairment.hpp"
+#include "sim/impairment_engine.hpp"
+
+namespace wu = wakeup;
+
+namespace {
+
+std::uint64_t popcount_words(const std::vector<std::uint64_t>& words) {
+  std::uint64_t count = 0;
+  for (const std::uint64_t w : words) count += static_cast<std::uint64_t>(std::popcount(w));
+  return count;
+}
+
+std::vector<wu::mac::StationId> station_range(std::uint32_t count) {
+  std::vector<wu::mac::StationId> out(count);
+  std::iota(out.begin(), out.end(), wu::mac::StationId{0});
+  return out;
+}
+
+TEST(ImpairmentSpec, NameRoundTripsParse) {
+  // Every canonical spelling must survive parse() -> name() unchanged —
+  // the tag/seed contract depends on the text being stable.
+  const std::vector<std::string> canonical = {
+      "none",
+      "noise:iid:0.05",
+      "noise:bursty:0.1:0.02",
+      "jam:budget:8:front",
+      "jam:budget:16:spread",
+      "jam:budget:32:random",
+      "jam:budget:64:adversarial",
+      "crash:0.25",
+      "crash:0.5:128",
+      "byzantine:0.1",
+      "noise:iid:0.01+jam:budget:16:random",
+      "noise:bursty:0.2:0.1+jam:budget:8:front+crash:0.25:64+byzantine:0.1",
+  };
+  for (const std::string& text : canonical) {
+    EXPECT_EQ(wu::mac::ImpairmentSpec::parse(text).name(), text) << text;
+  }
+  // The default jam schedule is spelled explicitly by name().
+  EXPECT_EQ(wu::mac::ImpairmentSpec::parse("jam:budget:4").name(), "jam:budget:4:random");
+  // An empty string is the clean channel.
+  EXPECT_TRUE(wu::mac::ImpairmentSpec::parse("").clean());
+  EXPECT_EQ(wu::mac::ImpairmentSpec::parse("none").name(), "none");
+}
+
+TEST(ImpairmentSpec, RejectsMalformedSpecs) {
+  const std::vector<std::string> bad = {
+      "nois:iid:0.1",        // unknown clause
+      "noise:gauss:0.1",     // unknown family
+      "noise:iid",           // missing P
+      "noise:iid:0",         // P out of range
+      "noise:iid:1.5",       // P out of range
+      "noise:iid:abc",       // non-numeric
+      "noise:bursty:0.1",    // missing SWITCH
+      "noise:bursty:1:0.5",  // bursty P must be < 1
+      "jam:16",              // missing "budget"
+      "jam:budget:0",        // budget must be >= 1
+      "jam:budget:8:never",  // unknown schedule
+      "crash:0",             // fraction out of range
+      "crash:0.5:-3",        // negative cutoff
+      "byzantine:1.01",      // fraction out of range
+      "crash:0.7+byzantine:0.7",  // fractions exceed the population
+      "none+noise:iid:0.1",  // none cannot combine
+      "noise:iid:0.1+noise:iid:0.2",  // duplicate clause
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW((void)wu::mac::ImpairmentSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(ImpairmentEngine, PlansAreDeterministicInSeedAndSpec) {
+  const auto spec = wu::mac::ImpairmentSpec::parse(
+      "noise:bursty:0.1:0.05+jam:budget:32:random+crash:0.25+byzantine:0.1");
+  const auto stations = station_range(64);
+  const auto a = wu::sim::compile_impairment(spec, 42, 4096, &stations);
+  const auto b = wu::sim::compile_impairment(spec, 42, 4096, &stations);
+  EXPECT_EQ(a.noise_words, b.noise_words);
+  EXPECT_EQ(a.corrupt_words, b.corrupt_words);
+  EXPECT_EQ(a.jam_slots, b.jam_slots);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.byzantine, b.byzantine);
+  // A different seed realizes differently (overwhelmingly likely at this
+  // size) — the plan is a function of the seed, not just the spec.
+  const auto c = wu::sim::compile_impairment(spec, 43, 4096, &stations);
+  EXPECT_NE(a.noise_words, c.noise_words);
+}
+
+TEST(ImpairmentEngine, JamBudgetIsExactAndClamped) {
+  for (const char* sched : {"front", "spread", "random"}) {
+    const auto spec =
+        wu::mac::ImpairmentSpec::parse("jam:budget:48:" + std::string(sched));
+    const auto plan = wu::sim::compile_impairment(spec, 7, 1024);
+    EXPECT_EQ(plan.jam_slots.size(), 48u) << sched;
+    EXPECT_EQ(popcount_words(plan.corrupt_words), 48u) << sched;
+    // Ascending, distinct, inside the horizon.
+    std::set<wu::mac::Slot> distinct(plan.jam_slots.begin(), plan.jam_slots.end());
+    EXPECT_EQ(distinct.size(), plan.jam_slots.size()) << sched;
+    EXPECT_TRUE(std::is_sorted(plan.jam_slots.begin(), plan.jam_slots.end())) << sched;
+    EXPECT_GE(plan.jam_slots.front(), 0) << sched;
+    EXPECT_LT(plan.jam_slots.back(), 1024) << sched;
+    EXPECT_EQ(plan.corrupted_in(0, 1024), 48u) << sched;
+  }
+  // A budget past the horizon jams every slot, nothing more.
+  const auto flood = wu::sim::compile_impairment(
+      wu::mac::ImpairmentSpec::parse("jam:budget:9999:random"), 7, 100);
+  EXPECT_EQ(flood.jam_slots.size(), 100u);
+  EXPECT_EQ(flood.corrupted_in(0, 100), 100u);
+}
+
+TEST(ImpairmentEngine, FaultDrawsAreExactAndDisjoint) {
+  const auto spec = wu::mac::ImpairmentSpec::parse("crash:0.25+byzantine:0.125");
+  const auto stations = station_range(64);
+  const auto plan = wu::sim::compile_impairment(spec, 11, 2048, &stations);
+  EXPECT_EQ(plan.crashes.size(), 16u);    // 0.25 * 64
+  EXPECT_EQ(plan.byzantine.size(), 8u);   // 0.125 * 64
+  for (const auto& [station, cutoff] : plan.crashes) {
+    EXPECT_FALSE(plan.is_byzantine(station)) << station;  // disjoint draws
+    EXPECT_GE(cutoff, 0);
+    EXPECT_LT(cutoff, 2048);
+    EXPECT_EQ(plan.crash_cutoff(station), cutoff);
+    EXPECT_FALSE(plan.participates(station, cutoff));
+    EXPECT_TRUE(cutoff == 0 || plan.participates(station, cutoff - 1)) << station;
+  }
+  for (const auto u : plan.byzantine) EXPECT_FALSE(plan.participates(u, 0)) << u;
+  EXPECT_EQ(plan.crash_cutoff(/*u=*/63 + 1), -1);  // out-of-population station
+
+  // A fixed cutoff slot pins every crash to it.
+  const auto fixed = wu::sim::compile_impairment(
+      wu::mac::ImpairmentSpec::parse("crash:0.5:77"), 11, 2048, &stations);
+  EXPECT_EQ(fixed.crashes.size(), 32u);
+  for (const auto& [station, cutoff] : fixed.crashes) EXPECT_EQ(cutoff, 77) << station;
+
+  // Fault clauses without a station population are a contract violation.
+  EXPECT_THROW((void)wu::sim::compile_impairment(spec, 11, 2048), std::invalid_argument);
+}
+
+TEST(ImpairmentEngine, EffectiveOutcomeMatchesWordAlgebra) {
+  const auto stations = station_range(8);
+  const auto plan = wu::sim::compile_impairment(
+      wu::mac::ImpairmentSpec::parse("noise:iid:0.3+jam:budget:64:random"), 3, 512,
+      &stations);
+  for (wu::mac::Slot t = 0; t < 512; ++t) {
+    for (std::size_t transmitters = 0; transmitters <= 2; ++transmitters) {
+      const auto outcome = plan.effective_outcome(t, transmitters);
+      if (plan.corrupted(t) || transmitters > 1) {
+        EXPECT_EQ(outcome, wu::mac::SlotOutcome::kCollision) << t;
+      } else if (transmitters == 0) {
+        EXPECT_EQ(outcome, wu::mac::SlotOutcome::kSilence) << t;  // noise is inaudible
+      } else {
+        EXPECT_EQ(outcome, plan.noisy(t) ? wu::mac::SlotOutcome::kCollision
+                                         : wu::mac::SlotOutcome::kSuccess)
+            << t;
+      }
+    }
+  }
+  // Beyond the compiled horizon the channel degrades to clean.
+  EXPECT_EQ(plan.effective_outcome(512, 1), wu::mac::SlotOutcome::kSuccess);
+  EXPECT_EQ(plan.effective_outcome(1 << 20, 0), wu::mac::SlotOutcome::kSilence);
+  EXPECT_EQ(plan.corrupted_in(512, 1 << 20), 0u);
+}
+
+TEST(ImpairmentEngine, JamOverrideReplacesTheSchedule) {
+  const auto spec = wu::mac::ImpairmentSpec::parse("jam:budget:4:adversarial");
+  // Adversarial without an override is an error (the search resolves it).
+  EXPECT_THROW((void)wu::sim::compile_impairment(spec, 5, 256), std::invalid_argument);
+  const std::vector<wu::mac::Slot> slots = {3, 3, 600, -1, 17, 9};  // dup + out of range
+  const auto plan = wu::sim::compile_impairment(spec, 5, 256, nullptr, &slots);
+  EXPECT_EQ(plan.jam_slots, (std::vector<wu::mac::Slot>{3, 9, 17}));
+  EXPECT_TRUE(plan.corrupted(3));
+  EXPECT_TRUE(plan.corrupted(9));
+  EXPECT_TRUE(plan.corrupted(17));
+  EXPECT_EQ(plan.corrupted_in(0, 256), 3u);
+}
+
+}  // namespace

@@ -167,6 +167,104 @@ TEST(SweepSpec, AdversarialPatternIsSingleChannelOnly) {
   EXPECT_THROW((void)we::expand(spec), std::invalid_argument);
 }
 
+TEST(SweepSpec, ImpairmentAxisMultipliesCellsAndTagsOnlyImpairedOnes) {
+  auto spec = small_spec();
+  spec.impairments = {"none", "noise:iid:0.05", "jam:budget:16:random"};
+  const auto cells = we::expand(spec);
+  ASSERT_EQ(cells.size(), 24u);  // 8 base cells x 3 impairment values
+  std::size_t clean = 0, tagged = 0;
+  for (const auto& cell : cells) {
+    if (cell.impairment.clean()) {
+      ++clean;
+      // Clean cells keep the pre-impairment tag text, so their seeds (and
+      // resumed manifests) are unchanged by the axis existing.
+      EXPECT_EQ(cell.tag.find("impairment="), std::string::npos) << cell.tag;
+    } else {
+      ++tagged;
+      EXPECT_NE(cell.tag.find(",impairment=" + cell.impairment.name()),
+                std::string::npos)
+          << cell.tag;
+    }
+  }
+  EXPECT_EQ(clean, 8u);
+  EXPECT_EQ(tagged, 16u);
+  // The clean slice is tag-identical to a grid with no impairment axis.
+  const auto base = we::expand(small_spec());
+  for (const auto& cell : base) {
+    EXPECT_TRUE(std::any_of(cells.begin(), cells.end(),
+                            [&](const we::Cell& c) { return c.tag == cell.tag; }))
+        << cell.tag;
+  }
+}
+
+TEST(SweepSpec, FaultClausesOnStaticGridNameTheOffendingValue) {
+  auto spec = small_spec();
+  spec.impairments = {"noise:iid:0.05", "crash:0.25+byzantine:0.1"};
+  try {
+    (void)we::expand(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("crash:0.25+byzantine:0.1"), std::string::npos) << what;
+    EXPECT_NE(what.find("dynamic"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepSpec, AdversarialJamOnDynamicGridNamesTheOffendingValue) {
+  we::SweepSpec spec;
+  spec.protocols = {"round_robin"};
+  spec.ns = {64};
+  spec.ks = {4};
+  spec.trials = 4;
+  spec.arrivals = {wakeup::mac::ArrivalSpec::parse("poisson:0.2")};
+  spec.horizon = 256;
+  spec.impairments = {"jam:budget:8:adversarial"};
+  try {
+    (void)we::expand(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("jam:budget:8:adversarial"), std::string::npos) << what;
+    EXPECT_NE(what.find("front/spread/random"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepSpec, AdversarialJamOnMultichannelGridNamesTheOffendingValue) {
+  auto spec = small_spec();
+  spec.channels = {4};
+  spec.impairments = {"jam:budget:8:adversarial"};
+  try {
+    (void)we::expand(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("jam:budget:8:adversarial"), std::string::npos) << what;
+    EXPECT_NE(what.find("single-channel"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepSpec, StaticOnlyProtocolOnArrivalAxisNamesTheValues) {
+  we::SweepSpec spec;
+  spec.protocols = {"select_among_the_first"};
+  spec.ns = {64};
+  spec.ks = {4};
+  spec.trials = 4;
+  spec.arrivals = {wakeup::mac::ArrivalSpec::parse("poisson:0.2"),
+                   wakeup::mac::ArrivalSpec::parse("bursty:0.5:0.05")};
+  spec.horizon = 256;
+  try {
+    (void)we::expand(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("select_among_the_first"), std::string::npos) << what;
+    // The message must name the axis *values* forcing dynamic mode, not
+    // just say "the arrival axis".
+    EXPECT_NE(what.find("poisson:0.2"), std::string::npos) << what;
+    EXPECT_NE(what.find("bursty:0.5:0.05"), std::string::npos) << what;
+  }
+}
+
 TEST(SweepSpec, AxisGrammar) {
   EXPECT_EQ(we::parse_axis_u32("2^10..2^13"),
             (std::vector<std::uint32_t>{1024, 2048, 4096, 8192}));

@@ -73,11 +73,19 @@ run options:
   --horizon=<int>        slots per dynamic trial (default 2048)
   --arrival-file=<csv>   replay a fixed "station,slot" packet trace instead
                          (one row per packet; stations may repeat)
+  --noise=<spec>         feedback noise: iid:P | bursty:P:SWITCH (mac/impairment
+                         grammar minus the "noise:" prefix; "none" = clean)
+  --jam=<spec>           budgeted jamming: budget:J[:front|spread|random|adversarial]
+                         (adversarial searches the worst placement; static only)
+  --faults=<spec>        station faults: crash:F[:slot] | byzantine:F
+                         (dynamic traffic only); clauses compose, e.g.
+                         --noise=iid:0.01 --jam=budget:16
 
 sweep options:
   --preset=<name>        figure-scenario-a/b/c, crossover, multichannel-scaling,
-                         smoke, frontier-scaling, dynamic-throughput (grid
-                         flags below override preset axes)
+                         smoke, frontier-scaling, dynamic-throughput,
+                         robustness-curves (grid flags below override preset
+                         axes)
   --protocols=<a,b,..>   protocol axis: registry names and/or striped_rr,
                          group_wag, random_rpd
   --n=<axis>             axis grammar: N, 2^E, doubling range A..B, commas
@@ -88,6 +96,12 @@ sweep options:
   --arrival=<a,b,..>     dynamic-traffic axis (replaces --pattern), e.g.
                          --arrival=poisson:0.1,bursty:0.5:0.05,pareto:1.5
   --horizon=<int>        slots per dynamic trial (default 2048)
+  --noise=<a,b,..> --jam=<a,b,..> --faults=<a,b,..>
+                         impairment axis: each flag is a comma list of clause
+                         values ("none" allowed); the axis is their cross
+                         product with clauses joined by '+', so
+                         --noise=none,iid:0.05 --jam=none,budget:16 sweeps the
+                         clean channel, each impairment alone, and both
   --engine=<a,b,..>      auto|interpret|batch (axis)
   --trials=<int>         Monte-Carlo trials per cell
   --out=<dir>            output directory (manifest.jsonl, report.csv/json;
@@ -105,6 +119,24 @@ sweep options:
 note: --save-pattern generates one pattern up front, saves it, and replays
 it for every trial (use --pattern-file to re-run it later).
 )";
+}
+
+/// Composes `run`'s --noise/--jam/--faults flags into one impairment spec:
+/// each flag contributes its clause ("none" and absent flags contribute
+/// nothing), clauses joined by '+' through the mac/impairment grammar.
+mac::ImpairmentSpec parse_impairment_flags(const util::Args& args) {
+  std::string text;
+  const auto add = [&text](const char* prefix, const std::string& value) {
+    if (value.empty() || value == "none") return;
+    if (!text.empty()) text += '+';
+    text += prefix;
+    text += value;
+  };
+  if (args.has("noise")) add("noise:", args.get("noise"));
+  if (args.has("jam")) add("jam:", args.get("jam"));
+  if (args.has("faults")) add("", args.get("faults"));
+  if (text.empty()) return {};
+  return mac::ImpairmentSpec::parse(text);
 }
 
 mac::patterns::Kind parse_kind(const std::string& label) {
@@ -168,6 +200,38 @@ int cmd_sweep(const util::Args& args) {
     }
   }
   if (args.has("arrival")) spec.arrivals = exp::parse_arrival_axis(args.get("arrival"));
+  if (args.has("noise") || args.has("jam") || args.has("faults")) {
+    // Impairment axis: each flag carries a comma list of clause values; the
+    // axis is their cross product with the clauses of one combination joined
+    // by '+' ("none" in a list keeps the clause absent, so mixed lists build
+    // L-shaped grids: clean + each ladder alone).
+    const auto clause_values = [&args](const char* key, const char* prefix) {
+      std::vector<std::string> out;
+      if (!args.has(key)) return out = {""}, out;
+      for (const auto& item : exp::split_list(args.get(key))) {
+        out.push_back(item == "none" ? "" : prefix + item);
+      }
+      if (out.empty()) throw std::invalid_argument("--" + std::string(key) + " is empty");
+      return out;
+    };
+    const auto noises = clause_values("noise", "noise:");
+    const auto jams = clause_values("jam", "jam:");
+    const auto faults = clause_values("faults", "");
+    spec.impairments.clear();
+    for (const auto& nz : noises) {
+      for (const auto& jm : jams) {
+        for (const auto& fl : faults) {
+          std::string text;
+          for (const std::string* clause : {&nz, &jm, &fl}) {
+            if (clause->empty()) continue;
+            if (!text.empty()) text += '+';
+            text += *clause;
+          }
+          spec.impairments.push_back(text.empty() ? "none" : text);
+        }
+      }
+    }
+  }
   if (args.has("horizon")) {
     const std::int64_t horizon = args.get_int("horizon", 2048);
     if (horizon < 1) throw std::invalid_argument("--horizon must be >= 1");
@@ -312,6 +376,7 @@ int cmd_run_dynamic(const util::Args& args) {
   spec.trials = trials;
   spec.base_seed = base_seed;
   spec.sim.engine = parse_engine(args.get("engine", "auto"));
+  spec.impairment = parse_impairment_flags(args);
   spec.make_protocol = [&args](std::uint64_t seed) { return build_protocol(args, seed); };
 
   const std::int64_t horizon_flag = args.get_int("horizon", 0);
@@ -335,7 +400,11 @@ int cmd_run_dynamic(const util::Args& args) {
 
   std::cout << "protocol: " << build_protocol(args, base_seed)->name() << "\n"
             << "n=" << n << " k=" << k << " arrival=" << arrival.name()
-            << " horizon=" << spec.horizon << " trials=" << trials << "\n"
+            << " horizon=" << spec.horizon << " trials=" << trials << "\n";
+  if (!spec.impairment.clean()) {
+    std::cout << "impairment: " << spec.impairment.name() << "\n";
+  }
+  std::cout
             << "packets: " << cell.packet_arrivals << " arrived, " << cell.delivered
             << " delivered, " << cell.backlog << " backlogged at the horizon\n"
             << "throughput mean=" << cell.throughput.mean << " packets/slot"
@@ -393,6 +462,7 @@ int cmd_run(const util::Args& args) {
   spec.trials = trials;
   spec.base_seed = base_seed;
   spec.trial_csv = csv.get();
+  spec.impairment = parse_impairment_flags(args);
   spec.sim.max_slots = args.get_int("max-slots", 0);
   spec.sim.engine = parse_engine(args.get("engine", "auto"));
   spec.sim.record_trace = args.get_flag("trace");
@@ -467,6 +537,9 @@ int cmd_run(const util::Args& args) {
     const std::size_t pattern_k = spec.pattern != nullptr ? fixed.k() : k;
     std::cout << "protocol: " << name << "\nn=" << n << " k=" << pattern_k
               << " s=" << result.s << "\n";
+    if (!spec.impairment.clean()) {
+      std::cout << "impairment: " << spec.impairment.name() << "\n";
+    }
     if (result.success) {
       std::cout << "wake-up at slot " << result.success_slot << " (rounds " << result.rounds
                 << ") by station " << result.winner << "\n"
