@@ -1,0 +1,262 @@
+#include "exp/claim_ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace wakeup::exp {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::string header_line(const ManifestHeader& header) {
+  std::ostringstream out;
+  out << "{\"claims\":\"wakeup-sweep\",\"version\":" << kClaimsVersion
+      << ",\"base_seed\":" << header.base_seed << ",\"grid_hash\":" << header.grid_hash
+      << ",\"cells\":" << header.cells << "}\n";
+  return out.str();
+}
+
+/// Validates an existing ledger's header against ours.  The creator writes
+/// the header with the same write() that creates visibility, but another
+/// worker can still open the file in the gap between O_EXCL creation and
+/// that write — retry briefly on an empty file before giving up.
+void validate_header(const std::string& path, const ManifestHeader& header) {
+  for (int attempt = 0;; ++attempt) {
+    std::ifstream in(path);
+    if (!in.good()) throw std::runtime_error("claims: cannot open " + path);
+    std::string line;
+    if (std::getline(in, line)) {
+      std::map<std::string, std::string> fields;
+      try {
+        fields = detail::parse_flat_object(line);
+        if (detail::field_str(fields, "claims") != "wakeup-sweep") {
+          throw std::runtime_error("not a wakeup-sweep claims ledger");
+        }
+      } catch (const std::exception& e) {
+        throw std::runtime_error("claims: bad header in " + path + ": " + e.what());
+      }
+      if (detail::field_u64(fields, "version") != kClaimsVersion) {
+        throw std::runtime_error("claims: " + path + " is version " +
+                                 fields.at("version") + ", this build writes version " +
+                                 std::to_string(kClaimsVersion));
+      }
+      if (detail::field_u64(fields, "base_seed") != header.base_seed ||
+          detail::field_u64(fields, "grid_hash") != header.grid_hash ||
+          detail::field_u64(fields, "cells") != header.cells) {
+        throw std::runtime_error(
+            "claims: " + path +
+            " was written by a different spec or base seed — refusing to mix work "
+            "(delete the directory or change --out)");
+      }
+      return;
+    }
+    if (attempt >= 200) {
+      throw std::runtime_error("claims: " + path + " stayed empty — torn creation?");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+bool ClaimLedger::State::complete(const std::vector<std::uint8_t>& completed) const {
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (!done[i] && !(i < completed.size() && completed[i])) return false;
+  }
+  return true;
+}
+
+ClaimLedger::ClaimLedger(std::string path, const ManifestHeader& header,
+                         ClaimLedgerOptions options)
+    : path_(std::move(path)), cells_(header.cells), options_(std::move(options)) {
+  // Exactly one racing creator wins O_EXCL and writes the header; everyone
+  // else opens the existing file and validates it.
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_EXCL, 0644);
+  if (fd_ >= 0) {
+    const std::string line = header_line(header);
+    if (::write(fd_, line.data(), line.size()) != static_cast<ssize_t>(line.size())) {
+      const int err = errno;
+      ::close(fd_);
+      throw std::runtime_error("claims: cannot write header to " + path_ + ": " +
+                               std::strerror(err));
+    }
+    return;
+  }
+  if (errno != EEXIST) {
+    throw std::runtime_error("claims: cannot create " + path_ + ": " + std::strerror(errno));
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    throw std::runtime_error("claims: cannot open " + path_ + ": " + std::strerror(errno));
+  }
+  validate_header(path_, header);
+  // Torn-tail hygiene: a kill mid-append can leave the file without a final
+  // newline, and the next append would glue onto the fragment, losing both
+  // lines.  A lone "\n" isolates the fragment into its own (skipped) line;
+  // racing this repair is harmless — blank lines are skipped too.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  if (in.good() && in.tellg() > 0) {
+    in.seekg(-1, std::ios::end);
+    char last = '\n';
+    in.get(last);
+    if (last != '\n') append_line("");
+  }
+}
+
+ClaimLedger::~ClaimLedger() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t ClaimLedger::now_ms() const {
+  return options_.now_ms ? options_.now_ms() : steady_ms();
+}
+
+void ClaimLedger::append_line(const std::string& line) const {
+  const std::string out = line + "\n";
+  // One write() per line: O_APPEND makes the seek+write atomic, so lines
+  // from concurrent workers never interleave on a local filesystem.
+  if (::write(fd_, out.data(), out.size()) != static_cast<ssize_t>(out.size())) {
+    throw std::runtime_error("claims: append to " + path_ + " failed: " + std::strerror(errno));
+  }
+}
+
+ClaimLedger::State ClaimLedger::load() const {
+  State state;
+  state.done.assign(cells_, 0);
+  state.owner.assign(cells_, -1);
+
+  std::ifstream in(path_);
+  if (!in.good()) throw std::runtime_error("claims: cannot open " + path_);
+  const std::uint64_t now = now_ms();
+  // Latest claim deadline per (cell, worker); releases erase the entry, so
+  // "latest event wins" falls out of replaying the file in append order.
+  std::map<std::uint64_t, std::map<std::uint32_t, std::uint64_t>> leases;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, std::string> fields;
+    try {
+      fields = detail::parse_flat_object(line);
+      if (fields.count("claims") != 0) continue;  // header (validated at open)
+      const std::string kind = detail::field_str(fields, "kind");
+      const auto worker = static_cast<std::uint32_t>(detail::field_u64(fields, "worker"));
+      if (kind == "done") {
+        const std::uint64_t cell = detail::field_u64(fields, "cell");
+        if (cell < cells_) state.done[cell] = 1;
+      } else if (kind == "claim" || kind == "release") {
+        const std::uint64_t begin = detail::field_u64(fields, "begin");
+        const std::uint64_t end = std::min(detail::field_u64(fields, "end"), cells_);
+        const std::uint64_t deadline =
+            kind == "claim" ? detail::field_u64(fields, "deadline") : 0;
+        for (std::uint64_t c = begin; c < end; ++c) {
+          if (kind == "claim") {
+            leases[c][worker] = deadline;
+          } else {
+            leases[c].erase(worker);
+          }
+        }
+      } else {
+        ++state.skipped_lines;
+      }
+    } catch (const std::exception&) {
+      // Torn tail, or a fragment another worker's append glued onto: the
+      // ledger is advisory, so a lost claim costs at most duplicated work.
+      ++state.skipped_lines;
+    }
+  }
+  for (const auto& [cell, workers] : leases) {
+    if (state.done[cell]) continue;
+    for (const auto& [worker, deadline] : workers) {
+      if (deadline <= now) continue;  // expired: stealable
+      if (state.owner[cell] < 0 || static_cast<std::int64_t>(worker) < state.owner[cell]) {
+        state.owner[cell] = static_cast<std::int64_t>(worker);
+      }
+    }
+  }
+  return state;
+}
+
+ClaimChunk ClaimLedger::claim(std::uint32_t worker, const std::vector<std::uint8_t>& completed,
+                              std::uint64_t max_cells, std::uint64_t ttl_ms) {
+  const State state = load();
+  const auto claimable = [&](std::uint64_t c) {
+    return !state.done[c] && !(c < completed.size() && completed[c]) && state.owner[c] < 0;
+  };
+  ClaimChunk chunk;
+  for (std::uint64_t c = 0; c < cells_; ++c) {
+    if (!claimable(c)) continue;
+    chunk.begin = c;
+    chunk.end = c;
+    while (chunk.end < cells_ && chunk.size() < max_cells && claimable(chunk.end)) ++chunk.end;
+    break;
+  }
+  if (chunk.empty()) return {};
+  return claim_range(worker, chunk, ttl_ms);
+}
+
+ClaimChunk ClaimLedger::claim_range(std::uint32_t worker, ClaimChunk chunk,
+                                    std::uint64_t ttl_ms) {
+  extend(worker, chunk, ttl_ms);
+  // Verify: another worker may have raced the same cells between our read
+  // and our append.  Re-read and keep the longest contiguous run we own
+  // (lowest active worker id wins each cell); release the contested rest so
+  // its canonical owner is unambiguous to every later observer.
+  const State after = load();
+  ClaimChunk best;
+  ClaimChunk run;
+  for (std::uint64_t c = chunk.begin; c <= chunk.end; ++c) {
+    const bool owned = c < chunk.end && !after.done[c] &&
+                       after.owner[c] == static_cast<std::int64_t>(worker);
+    if (owned) {
+      if (run.empty()) run.begin = c;
+      run.end = c + 1;
+    } else if (!run.empty()) {
+      if (run.size() > best.size()) best = run;
+      run = {};
+    }
+  }
+  if (best.begin > chunk.begin) release(worker, {chunk.begin, best.begin});
+  if (best.end < chunk.end || best.empty()) {
+    release(worker, {best.empty() ? chunk.begin : best.end, chunk.end});
+  }
+  return best;
+}
+
+void ClaimLedger::extend(std::uint32_t worker, ClaimChunk chunk, std::uint64_t ttl_ms) {
+  if (chunk.empty()) return;
+  std::ostringstream out;
+  out << "{\"kind\":\"claim\",\"worker\":" << worker << ",\"begin\":" << chunk.begin
+      << ",\"end\":" << chunk.end << ",\"deadline\":" << now_ms() + ttl_ms << "}";
+  append_line(out.str());
+}
+
+void ClaimLedger::mark_done(std::uint32_t worker, std::uint64_t cell) {
+  std::ostringstream out;
+  out << "{\"kind\":\"done\",\"worker\":" << worker << ",\"cell\":" << cell << "}";
+  append_line(out.str());
+}
+
+void ClaimLedger::release(std::uint32_t worker, ClaimChunk chunk) {
+  if (chunk.empty()) return;
+  std::ostringstream out;
+  out << "{\"kind\":\"release\",\"worker\":" << worker << ",\"begin\":" << chunk.begin
+      << ",\"end\":" << chunk.end << "}";
+  append_line(out.str());
+}
+
+}  // namespace wakeup::exp

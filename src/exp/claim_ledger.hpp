@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file claim_ledger.hpp
+/// Crash-safe work-stealing claim ledger for multi-process sweeps.
+///
+/// N cooperating worker processes (or hosts on a shared filesystem) divide
+/// one sweep grid by leasing contiguous chunks of cell indices through an
+/// append-only `claims.jsonl` next to the manifest shards.  Every line is a
+/// flat JSON object appended with a single O_APPEND write, so concurrent
+/// appenders never interleave bytes of one line:
+///
+///   {"claims":"wakeup-sweep","version":1,"base_seed":...,"grid_hash":...,"cells":N}
+///   {"kind":"claim","worker":0,"begin":0,"end":8,"deadline":123456}
+///   {"kind":"done","worker":0,"cell":3}
+///   {"kind":"release","worker":0,"begin":4,"end":8}
+///
+/// The header pins the same grid fingerprint the manifest uses, so workers
+/// from a different spec or base seed are refused up front.  A lease is a
+/// claim with a monotonic-clock deadline; expired leases are stealable
+/// (crashed workers lose their cells after `ttl`), and when two workers
+/// race one chunk the *lowest worker id with an active lease* owns each
+/// cell — both observers resolve the race identically from the file, so
+/// one canonical owner always emerges.  Losing a race (or executing a cell
+/// twice after a steal) is benign: cell results are pure functions of
+/// (base_seed, tag), and the merge step deduplicates shard records by tag,
+/// asserting the duplicates are byte-identical.
+///
+/// Torn lines (a kill mid-append, or a fragment another process glued onto)
+/// are skipped and counted, never fatal: the ledger is advisory — the
+/// deterministic merge is the correctness backstop, so the worst a dropped
+/// claim can cost is duplicated work.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/manifest.hpp"
+
+namespace wakeup::exp {
+
+/// Current claims-ledger schema version.
+inline constexpr std::uint64_t kClaimsVersion = 1;
+
+/// A contiguous range of cell indices [begin, end).
+struct ClaimChunk {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return empty() ? 0 : end - begin; }
+};
+
+struct ClaimLedgerOptions {
+  /// Injectable monotonic clock in milliseconds (tests simulate lease
+  /// expiry without sleeping); the default is std::chrono::steady_clock,
+  /// which Linux makes comparable across processes on one machine.
+  std::function<std::uint64_t()> now_ms;
+};
+
+class ClaimLedger {
+ public:
+  /// Opens or creates `path`.  Creation is raced safely across processes
+  /// (O_CREAT|O_EXCL; exactly one worker writes the header, the others
+  /// re-open and validate).  Throws std::runtime_error when an existing
+  /// ledger's header disagrees with `header` (version, base seed, grid
+  /// fingerprint or cell count) — the same refusal the manifest applies on
+  /// resume.
+  ClaimLedger(std::string path, const ManifestHeader& header, ClaimLedgerOptions options = {});
+  ~ClaimLedger();
+
+  ClaimLedger(const ClaimLedger&) = delete;
+  ClaimLedger& operator=(const ClaimLedger&) = delete;
+
+  /// One observer's reconstruction of the ledger at a point in time.
+  struct State {
+    std::vector<std::uint8_t> done;   ///< cell completed (any worker's done line)
+    std::vector<std::int64_t> owner;  ///< lowest active-lease worker id, -1 = unleased/expired
+    std::uint64_t skipped_lines = 0;  ///< torn/glued fragments ignored
+    /// True when every cell is done or in `completed` (the caller's view of
+    /// cells already present in manifest shards).
+    [[nodiscard]] bool complete(const std::vector<std::uint8_t>& completed) const;
+  };
+
+  /// Re-reads the file and resolves ownership at `now_ms()`.
+  [[nodiscard]] State load() const;
+
+  /// Leases up to `max_cells` contiguous claimable cells (not done, not in
+  /// `completed`, not actively leased): appends the claim, re-reads the
+  /// ledger, and returns the verified owned range — shortened (and the
+  /// contested remainder released) when a lower-id worker raced the same
+  /// cells, empty when nothing was claimable or the whole chunk was lost.
+  [[nodiscard]] ClaimChunk claim(std::uint32_t worker, const std::vector<std::uint8_t>& completed,
+                                 std::uint64_t max_cells, std::uint64_t ttl_ms);
+
+  /// The racy core of `claim`, exposed for direct use and tests: appends a
+  /// claim for exactly [begin, end) and returns the longest contiguous run
+  /// the worker actually owns after resolution, releasing the rest.
+  [[nodiscard]] ClaimChunk claim_range(std::uint32_t worker, ClaimChunk chunk,
+                                       std::uint64_t ttl_ms);
+
+  /// Renews a lease (same line as a claim; the latest deadline wins).
+  void extend(std::uint32_t worker, ClaimChunk chunk, std::uint64_t ttl_ms);
+
+  /// Records a completed cell (append right after the shard append, so
+  /// waiting workers observe progress without re-reading shards).
+  void mark_done(std::uint32_t worker, std::uint64_t cell);
+
+  /// Returns unexecuted leased cells to the pool before the deadline (a
+  /// capped or cleanly-exiting worker frees its remainder immediately).
+  void release(std::uint32_t worker, ClaimChunk chunk);
+
+  [[nodiscard]] std::uint64_t now_ms() const;
+  [[nodiscard]] std::uint64_t cells() const noexcept { return cells_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void append_line(const std::string& line) const;
+
+  std::string path_;
+  std::uint64_t cells_ = 0;
+  ClaimLedgerOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace wakeup::exp

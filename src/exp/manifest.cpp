@@ -1,5 +1,6 @@
 #include "exp/manifest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -29,9 +30,10 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Flat-object scanner for the manifest's own output: string and scalar
-/// values only, no nesting.  Returns raw value text for scalars and
-/// unescaped content for strings.
+}  // namespace
+
+namespace detail {
+
 std::map<std::string, std::string> parse_flat_object(const std::string& line) {
   std::map<std::string, std::string> fields;
   std::size_t i = 0;
@@ -127,6 +129,15 @@ std::string field_str(const std::map<std::string, std::string>& fields, const st
   if (it == fields.end()) throw std::runtime_error("manifest: missing field '" + key + "'");
   return it->second;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::field_double;
+using detail::field_str;
+using detail::field_u64;
+using detail::parse_flat_object;
 
 void emit_summary(std::ostringstream& out, const char* prefix, const util::Summary& s) {
   out << ",\"" << prefix << "_count\":" << s.count
@@ -361,6 +372,40 @@ void ManifestWriter::append(const CellRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
   out_ << manifest_line(record) << "\n";
   out_.flush();
+}
+
+std::string shard_manifest_name(std::uint32_t worker) {
+  return "manifest-" + std::to_string(worker) + ".jsonl";
+}
+
+std::vector<std::string> list_manifest_paths(const std::string& out_dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> ordered;
+  const std::string legacy = out_dir + "/manifest.jsonl";
+  if (std::filesystem::exists(legacy)) ordered.emplace_back(0, legacy);
+  if (std::filesystem::is_directory(out_dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(out_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= 15 || name.compare(0, 9, "manifest-") != 0 ||
+          name.compare(name.size() - 6, 6, ".jsonl") != 0) {
+        continue;
+      }
+      const std::string id = name.substr(9, name.size() - 15);
+      std::size_t pos = 0;
+      std::uint64_t worker = 0;
+      try {
+        worker = std::stoull(id, &pos);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (pos != id.size()) continue;
+      ordered.emplace_back(worker + 1, entry.path().string());
+    }
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::string> paths;
+  paths.reserve(ordered.size());
+  for (auto& [key, path] : ordered) paths.push_back(std::move(path));
+  return paths;
 }
 
 }  // namespace wakeup::exp

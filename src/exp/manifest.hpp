@@ -21,11 +21,31 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "exp/aggregator.hpp"
 #include "exp/sweep_spec.hpp"
 
 namespace wakeup::exp {
+
+namespace detail {
+
+/// Flat-object JSONL scanner for the manifest's and claim ledger's own
+/// output: string and scalar values only, no nesting.  Returns raw value
+/// text for scalars and unescaped content for strings; throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] std::map<std::string, std::string> parse_flat_object(const std::string& line);
+
+/// Typed field accessors over parse_flat_object's map; throw
+/// std::runtime_error on missing keys or unparseable values.
+[[nodiscard]] double field_double(const std::map<std::string, std::string>& fields,
+                                  const std::string& key);
+[[nodiscard]] std::uint64_t field_u64(const std::map<std::string, std::string>& fields,
+                                      const std::string& key);
+[[nodiscard]] std::string field_str(const std::map<std::string, std::string>& fields,
+                                    const std::string& key);
+
+}  // namespace detail
 
 /// A completed cell: identity + statistics + the theory-bound columns.
 struct CellRecord {
@@ -80,6 +100,17 @@ struct ManifestData {
 /// malformed *trailing* record line (torn by a kill) is dropped and
 /// counted, any other malformed line throws.
 [[nodiscard]] ManifestData load_manifest(const std::string& path);
+
+/// The per-worker manifest shard name used by multi-process sweeps:
+/// "manifest-<worker>.jsonl".  Shards keep every append single-writer, so
+/// ManifestWriter's torn-tail repair stays sound with N processes on one
+/// out_dir.
+[[nodiscard]] std::string shard_manifest_name(std::uint32_t worker);
+
+/// Every manifest in `out_dir`, sorted: the legacy single-process
+/// "manifest.jsonl" (if present) followed by the "manifest-<worker>.jsonl"
+/// shards in worker order.  Non-matching files are ignored.
+[[nodiscard]] std::vector<std::string> list_manifest_paths(const std::string& out_dir);
 
 /// Appends records to `path`, serialized by an internal mutex and flushed
 /// per line.  Fresh manifests (`append` false) are truncated and get the

@@ -771,3 +771,49 @@ TEST(SweepRunner, DynamicGridRejectsPerTrialCsv) {
   options.trial_csv = &sink;
   EXPECT_THROW((void)we::run_sweep(dynamic_spec(), options), std::invalid_argument);
 }
+
+TEST(SweepRunner, HeartbeatFiresEveryNCellsAndIsOffByDefault) {
+  EXPECT_EQ(we::SweepOptions{}.heartbeat_cells, 0u);  // CI logs stay clean
+
+  const auto spec = small_spec();  // 8 cells
+  wu::ThreadPool inline_pool(0);   // sequential, so beat order is exact
+  we::SweepOptions options;
+  options.out_dir = fresh_dir("heartbeat");
+  options.ci_resamples = 0;
+  options.pool = &inline_pool;
+  options.heartbeat_cells = 3;
+  std::vector<we::SweepHeartbeat> beats;
+  options.heartbeat = [&beats](const we::SweepHeartbeat& hb) { beats.push_back(hb); };
+  const auto outcome = we::run_sweep(spec, options);
+  ASSERT_TRUE(outcome.completed);
+
+  ASSERT_EQ(beats.size(), 2u);  // after cells 3 and 6 of 8
+  EXPECT_EQ(beats[0].completed, 3u);
+  EXPECT_EQ(beats[1].completed, 6u);
+  for (const auto& hb : beats) {
+    EXPECT_EQ(hb.worker_id, -1);  // single-process mode
+    EXPECT_EQ(hb.total, 8u);
+    EXPECT_GT(hb.cells_per_sec, 0.0);
+    EXPECT_GE(hb.eta_sec, 0.0);
+  }
+
+  // Resumed cells count toward `completed`, so a restarted sweep reports
+  // whole-grid progress rather than this invocation's.
+  auto resumed = options;
+  resumed.resume = true;
+  resumed.max_cells = 0;
+  std::vector<we::SweepHeartbeat> resumed_beats;
+  resumed.heartbeat = [&resumed_beats](const we::SweepHeartbeat& hb) {
+    resumed_beats.push_back(hb);
+  };
+  options.max_cells = 5;
+  auto partial_dir = fresh_dir("heartbeat_resume");
+  options.out_dir = partial_dir;
+  resumed.out_dir = partial_dir;
+  (void)we::run_sweep(spec, options);
+  const auto finished = we::run_sweep(spec, resumed);
+  ASSERT_TRUE(finished.completed);
+  ASSERT_EQ(resumed_beats.size(), 1u);  // 5 resumed + 3 run -> one beat at 8
+  EXPECT_EQ(resumed_beats[0].completed, 8u);
+  EXPECT_EQ(resumed_beats[0].total, 8u);
+}

@@ -13,6 +13,8 @@
 ///   wakeup_cli sweep --preset=figure-scenario-b --out=sweep_b [--resume]
 ///   wakeup_cli sweep --protocols=wakeup_with_k,round_robin --n=2^10..2^13 --k=1,8,64
 ///   wakeup_cli sweep --preset=dynamic-throughput   # sustained-load grid
+///   wakeup_cli sweep --preset=figure-scenario-b --out=sweep_b --workers=4
+///   wakeup_cli sweep merge --out=sweep_b           # shards -> report
 ///   wakeup_cli adversary --protocol=round_robin --n=128 --k=16 [--seed=1]
 ///   wakeup_cli certify --n=16 [--c=2] [--seed=1]          # waking-matrix seed search
 ///   wakeup_cli list                                       # protocols + capabilities
@@ -115,6 +117,27 @@ sweep options:
   --max-cells=<int>      stop after N pending cells (CI/kill simulation)
   --per-trial-csv=<csv>  stream one row per trial across all cells
   --quiet                suppress per-cell progress lines
+  --progress=<N>         heartbeat every N completed cells: completed/total,
+                         cells/sec, ETA (off by default; workers prefix
+                         their lines with [worker W])
+  --workers=<N>          fork N cooperating worker processes against --out:
+                         cells are leased through the claim ledger
+                         (claims.jsonl), results land in per-worker shards
+                         (manifest-<w>.jsonl), and the driver merges them
+                         into the canonical report on exit
+  --worker-id=<W>        run THIS process as worker W of an externally
+                         launched fleet (cluster schedulers; every worker
+                         shares --out on one filesystem); drain, then run
+                         `sweep merge --out=<dir>` once to emit the report
+  --lease-cells=<N>      cells leased per claim (default 8)
+  --lease-ttl=<ms>       lease duration before a crashed worker's cells
+                         become stealable (default 10000)
+
+sweep merge:
+  wakeup_cli sweep merge --out=<dir>
+                         merge every manifest shard in <dir> and write the
+                         report (byte-identical to a single-process run);
+                         exit 1 while cells are still missing
 
 note: --save-pattern generates one pattern up front, saves it, and replays
 it for every trial (use --pattern-file to re-run it later).
@@ -137,6 +160,27 @@ mac::ImpairmentSpec parse_impairment_flags(const util::Args& args) {
   if (args.has("faults")) add("", args.get("faults"));
   if (text.empty()) return {};
   return mac::ImpairmentSpec::parse(text);
+}
+
+/// Bounded integer flag shared by every command: a negative value would
+/// wrap through the uint64 casts into a ~2^64 trial count / loop bound.
+std::int64_t bounded_flag(const util::Args& args, const char* key, std::int64_t fallback,
+                          std::int64_t lo, std::int64_t hi) {
+  const std::int64_t v = args.get_int(key, fallback);
+  if (v < lo || v > hi) {
+    throw std::invalid_argument("--" + std::string(key) + " must be in [" + std::to_string(lo) +
+                                ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+/// The --threads flag, shared by run/sweep: builds a dedicated pool
+/// (0 = inline).  Returns nullptr when the flag is absent — callers fall
+/// back to the process-wide shared pool.
+std::unique_ptr<util::ThreadPool> make_own_pool(const util::Args& args) {
+  if (!args.has("threads")) return nullptr;
+  const std::int64_t threads = bounded_flag(args, "threads", 0, 0, 1024);
+  return std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
 }
 
 mac::patterns::Kind parse_kind(const std::string& label) {
@@ -180,7 +224,26 @@ int cmd_list() {
   return 0;
 }
 
+/// `sweep merge --out=dir`: standalone deterministic merge for cluster
+/// launchers whose workers ran with --worker-id on a shared filesystem.
+int cmd_sweep_merge(const util::Args& args) {
+  const std::string out_dir = args.get("out", "sweep_out");
+  const exp::SweepOutcome outcome = exp::merge_sweep(out_dir);
+  std::cout << "cells: " << outcome.cells_total << " total, " << outcome.cells_resumed
+            << " merged, " << outcome.cells_remaining << " remaining\n";
+  if (!outcome.completed) {
+    std::cout << "grid incomplete — run the remaining cells (more workers, or --resume) "
+                 "before merging\n";
+    return 1;
+  }
+  std::cout << "report: " << outcome.csv_path << "  " << outcome.json_path << "\n";
+  return 0;
+}
+
 int cmd_sweep(const util::Args& args) {
+  if (args.positional().size() > 1 && args.positional()[1] == "merge") {
+    return cmd_sweep_merge(args);
+  }
   exp::SweepSpec spec =
       args.has("preset") ? exp::make_preset(args.get("preset")) : exp::SweepSpec{};
   if (args.has("protocols")) spec.protocols = exp::split_list(args.get("protocols"));
@@ -237,32 +300,66 @@ int cmd_sweep(const util::Args& args) {
     if (horizon < 1) throw std::invalid_argument("--horizon must be >= 1");
     spec.horizon = horizon;
   }
-  // Bounded integer options: a negative value would wrap through the
-  // uint64 casts into a ~2^64 trial count / resample loop.
-  const auto bounded = [&args](const char* key, std::int64_t fallback, std::int64_t lo,
-                               std::int64_t hi) {
-    const std::int64_t v = args.get_int(key, fallback);
-    if (v < lo || v > hi) {
-      throw std::invalid_argument("--" + std::string(key) + " must be in [" +
-                                  std::to_string(lo) + ", " + std::to_string(hi) + "]");
-    }
-    return v;
-  };
   if (args.has("trials")) {
-    spec.trials = static_cast<std::uint64_t>(bounded("trials", 64, 1, 1'000'000'000));
+    spec.trials = static_cast<std::uint64_t>(bounded_flag(args, "trials", 64, 1, 1'000'000'000));
   }
   if (args.has("seed")) spec.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  if (args.has("s")) spec.s = bounded("s", 0, 0, std::numeric_limits<std::int64_t>::max());
+  if (args.has("s")) {
+    spec.s = bounded_flag(args, "s", 0, 0, std::numeric_limits<std::int64_t>::max());
+  }
   if (args.has("max-slots")) spec.sim.max_slots = args.get_int("max-slots", 0);
 
   exp::SweepOptions options;
   options.out_dir = args.get("out", "sweep_out");
   options.resume = args.get_flag("resume");
   options.ci_resamples =
-      static_cast<std::uint64_t>(bounded("ci-resamples", 2000, 0, 1'000'000));
+      static_cast<std::uint64_t>(bounded_flag(args, "ci-resamples", 2000, 0, 1'000'000));
   options.max_cells =
-      static_cast<std::uint64_t>(bounded("max-cells", 0, 0, 1'000'000'000));
+      static_cast<std::uint64_t>(bounded_flag(args, "max-cells", 0, 0, 1'000'000'000));
   options.progress = !args.get_flag("quiet");
+  if (args.has("progress")) {
+    // --progress=N: heartbeat (completed/total, cells/sec, ETA) every N
+    // cells; bare --progress means every cell.
+    options.heartbeat_cells =
+        static_cast<std::uint64_t>(bounded_flag(args, "progress", 1, 1, 1'000'000'000));
+  }
+  options.lease_cells =
+      static_cast<std::uint64_t>(bounded_flag(args, "lease-cells", 8, 1, 1'000'000'000));
+  options.lease_ttl_ms =
+      static_cast<std::uint64_t>(bounded_flag(args, "lease-ttl", 10000, 1, 86'400'000));
+  const std::int64_t workers = bounded_flag(args, "workers", 0, 0, 1024);
+  if (args.has("worker-id")) {
+    if (workers > 0) {
+      throw std::invalid_argument(
+          "--workers forks a local fleet, --worker-id joins an externally launched one — "
+          "pick one");
+    }
+    options.worker_id =
+        static_cast<std::int32_t>(bounded_flag(args, "worker-id", 0, 0, 1'000'000));
+  }
+
+  // Fleet mode forks before this process owns any threads (fork carries
+  // only the calling thread), so it must run before --threads builds a
+  // pool and before any sink opens.
+  if (workers > 0) {
+    if (args.has("per-trial-csv")) {
+      throw std::invalid_argument(
+          "--per-trial-csv cannot serialize rows across worker processes");
+    }
+    const auto worker_threads =
+        static_cast<std::size_t>(bounded_flag(args, "threads", 0, 0, 1024));
+    const exp::SweepOutcome outcome = exp::run_sweep_fleet(
+        spec, options, static_cast<std::uint32_t>(workers), worker_threads);
+    std::cout << "workers: " << workers << "\ncells: " << outcome.cells_total << " total, "
+              << outcome.cells_resumed << " merged, " << outcome.cells_remaining
+              << " remaining\n";
+    if (!outcome.completed) {
+      std::cout << "sweep interrupted by --max-cells; re-run with --resume to finish\n";
+      return 1;
+    }
+    std::cout << "report: " << outcome.csv_path << "  " << outcome.json_path << "\n";
+    return 0;
+  }
   const std::string sharding = args.get("sharding", "auto");
   if (sharding == "cells") {
     options.sharding = exp::Sharding::kCells;
@@ -282,15 +379,8 @@ int cmd_sweep(const util::Args& args) {
     csv = std::make_unique<sim::TrialCsvSink>(args.get("per-trial-csv"));
     options.trial_csv = csv.get();
   }
-  std::unique_ptr<util::ThreadPool> own_pool;
-  if (args.has("threads")) {
-    const std::int64_t threads = args.get_int("threads", 0);
-    if (threads < 0 || threads > 1024) {
-      throw std::invalid_argument("--threads must be in [0, 1024] (0 = inline)");
-    }
-    own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
-    options.pool = own_pool.get();
-  }
+  const std::unique_ptr<util::ThreadPool> own_pool = make_own_pool(args);
+  if (own_pool) options.pool = own_pool.get();
 
   const exp::SweepOutcome outcome = exp::run_sweep(spec, options);
   std::cout << "cells: " << outcome.cells_total << " total, " << outcome.cells_run << " run, "
@@ -298,6 +388,18 @@ int cmd_sweep(const util::Args& args) {
             << " remaining\n"
             << "manifest: " << outcome.manifest_path << "\n";
   if (csv) std::cout << "[per-trial csv] " << csv->path() << " (" << csv->rows() << " rows)\n";
+  if (options.worker_id >= 0) {
+    // One worker of an externally launched fleet: no report here — the
+    // launcher merges once the grid is drained.
+    if (!outcome.drained) {
+      std::cout << "worker " << options.worker_id
+                << " exited with cells outstanding; run more workers (or re-run) to drain\n";
+      return 1;
+    }
+    std::cout << "grid drained; emit the report with `wakeup_cli sweep merge --out="
+              << options.out_dir << "`\n";
+    return 0;
+  }
   if (!outcome.completed) {
     std::cout << "sweep interrupted by --max-cells; re-run with --resume to finish\n";
     return 1;
@@ -363,14 +465,7 @@ int cmd_run_dynamic(const util::Args& args) {
     throw std::invalid_argument("--per-trial-csv has no row schema for dynamic trials yet");
   }
 
-  std::unique_ptr<util::ThreadPool> own_pool;
-  if (args.has("threads")) {
-    const std::int64_t threads = args.get_int("threads", 0);
-    if (threads < 0 || threads > 1024) {
-      throw std::invalid_argument("--threads must be in [0, 1024] (0 = inline)");
-    }
-    own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
-  }
+  const std::unique_ptr<util::ThreadPool> own_pool = make_own_pool(args);
 
   sim::RunSpec spec;
   spec.trials = trials;
@@ -446,14 +541,7 @@ int cmd_run(const util::Args& args) {
   }
   // --threads=N builds a dedicated pool (0 = inline); otherwise sim::Run
   // parallelizes multi-trial sweeps on the process-wide shared pool.
-  std::unique_ptr<util::ThreadPool> own_pool;
-  if (args.has("threads")) {
-    const std::int64_t threads = args.get_int("threads", 0);
-    if (threads < 0 || threads > 1024) {
-      throw std::invalid_argument("--threads must be in [0, 1024] (0 = inline)");
-    }
-    own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
-  }
+  const std::unique_ptr<util::ThreadPool> own_pool = make_own_pool(args);
 
   // One sim::Run call covers the whole sweep: pattern per trial from the
   // facade's seed contract, protocol hoisted per cell (randomized
