@@ -39,9 +39,11 @@ inline std::uint64_t peak_rss_bytes() {
   return 0;
 }
 
-/// One JSON scalar: number or string (bools become 0/1 numbers).
+/// One JSON scalar: number or string (bools become 0/1 numbers), plus a
+/// raw passthrough for pre-rendered JSON (nested objects such as the
+/// optional per-row `metrics` field, see `raw_json`).
 struct JsonValue {
-  enum class Kind { kNumber, kInteger, kString } kind;
+  enum class Kind { kNumber, kInteger, kString, kRaw } kind;
   double num = 0;
   std::uint64_t integer = 0;
   std::string str;
@@ -57,6 +59,9 @@ struct JsonValue {
   void emit(std::ostream& out) const {
     char buf[40];
     switch (kind) {
+      case Kind::kRaw:
+        out << str;
+        return;
       case Kind::kNumber:
         if (!std::isfinite(num)) {  // JSON has no inf/nan token
           out << "null";
@@ -86,6 +91,15 @@ struct JsonValue {
 };
 
 using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Wraps already-rendered JSON so it embeds verbatim — the vehicle for the
+/// optional `metrics` object on a report row:
+/// `fields.emplace_back("metrics", raw_json(obs::metrics_object_text(snap)))`.
+inline JsonValue raw_json(std::string json) {
+  JsonValue value(std::move(json));
+  value.kind = JsonValue::Kind::kRaw;
+  return value;
+}
 
 /// Machine-readable bench artifact: collects config fields plus one object
 /// per measured cell and writes `<results_dir>/BENCH_<name>.json` (the

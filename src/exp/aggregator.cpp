@@ -1,6 +1,27 @@
 #include "exp/aggregator.hpp"
 
+#include <algorithm>
+
 namespace wakeup::exp {
+
+namespace {
+
+/// Per-trial mean/max reduction of a result's station-energy vector.
+template <class Slot>
+void fold_energy(const std::vector<std::uint64_t>& station_energy, Slot& slot) {
+  if (station_energy.empty()) return;
+  slot.has_energy = true;
+  double sum = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t e : station_energy) {
+    sum += static_cast<double>(e);
+    max = std::max(max, e);
+  }
+  slot.energy_mean = sum / static_cast<double>(station_energy.size());
+  slot.energy_max = static_cast<double>(max);
+}
+
+}  // namespace
 
 Aggregator::Aggregator(std::uint64_t trials, bool dynamic)
     : slots_(trials), dynamic_slots_(dynamic ? trials : 0) {}
@@ -11,9 +32,12 @@ void Aggregator::add(std::uint64_t trial, const sim::SimResult& result) {
   slot.rounds = static_cast<double>(result.rounds);
   slot.collisions = static_cast<double>(result.collisions);
   slot.silences = static_cast<double>(result.silences);
+  fold_energy(result.station_energy, slot);
 }
 
 void Aggregator::add(std::uint64_t trial, const sim::McSimResult& result) {
+  // The C-channel model does not account energy yet; its cells finalize
+  // with empty energy summaries.
   TrialSlot& slot = slots_.at(trial);
   slot.success = result.success;
   slot.rounds = static_cast<double>(result.rounds);
@@ -31,6 +55,7 @@ void Aggregator::add(std::uint64_t trial, const sim::DynamicResult& result) {
   slot.delivered = result.delivered;
   slot.backlog = result.backlog;
   slot.latency = result.latency;
+  fold_energy(result.station_energy, slot);
 }
 
 CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed,
@@ -42,7 +67,7 @@ CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed
     // Dynamic cells: the horizon is the budget and every slot of it
     // resolves, so there is no exhaustion to fail on.
     stats.success_rate = 1.0;
-    util::Sample throughput, jain, collisions, silences, latency;
+    util::Sample throughput, jain, collisions, silences, latency, energy_mean, energy_max;
     for (const DynamicSlot& slot : dynamic_slots_) {
       throughput.push(slot.throughput);
       jain.push(slot.jain);
@@ -52,6 +77,10 @@ CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed
       stats.packet_arrivals += slot.arrivals;
       stats.delivered += slot.delivered;
       stats.backlog += slot.backlog;
+      if (slot.has_energy) {
+        energy_mean.push(slot.energy_mean);
+        energy_max.push(slot.energy_max);
+      }
     }
     stats.throughput = util::Summary::of(throughput);
     stats.jain = util::Summary::of(jain);
@@ -62,11 +91,21 @@ CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed
         util::BootstrapCI::of_mean(throughput, ci_level, ci_resamples, ci_seed);
     stats.rounds_median_ci =
         util::BootstrapCI::of_quantile(throughput, 0.5, ci_level, ci_resamples, ci_seed);
+    stats.energy_mean = util::Summary::of(energy_mean);
+    stats.energy_max = util::Summary::of(energy_max);
+    stats.energy_mean_ci =
+        util::BootstrapCI::of_mean(energy_mean, ci_level, ci_resamples, ci_seed);
     return stats;
   }
-  util::Sample rounds, collisions, silences;
+  util::Sample rounds, collisions, silences, energy_mean, energy_max;
   rounds.reserve(slots_.size());
   for (const TrialSlot& slot : slots_) {
+    // Energy lands whether or not the trial reached wake-up (a failed trial
+    // pays the whole budget), so push before the success gate.
+    if (slot.has_energy) {
+      energy_mean.push(slot.energy_mean);
+      energy_max.push(slot.energy_max);
+    }
     if (!slot.success) {
       ++stats.failures;
       continue;
@@ -85,6 +124,10 @@ CellStats Aggregator::finalize(std::uint64_t ci_resamples, std::uint64_t ci_seed
   stats.rounds_mean_ci = util::BootstrapCI::of_mean(rounds, ci_level, ci_resamples, ci_seed);
   stats.rounds_median_ci =
       util::BootstrapCI::of_quantile(rounds, 0.5, ci_level, ci_resamples, ci_seed);
+  stats.energy_mean = util::Summary::of(energy_mean);
+  stats.energy_max = util::Summary::of(energy_max);
+  stats.energy_mean_ci =
+      util::BootstrapCI::of_mean(energy_mean, ci_level, ci_resamples, ci_seed);
   return stats;
 }
 

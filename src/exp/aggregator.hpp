@@ -41,6 +41,14 @@ struct CellStats {
   std::uint64_t packet_arrivals = 0;  ///< total packets arrived, all trials
   std::uint64_t delivered = 0;
   std::uint64_t backlog = 0;  ///< still queued at the horizon, all trials
+
+  // -- Energy accounting (cells run with an EnergyModel; zero otherwise) --
+  /// Per-trial mean / max station energy (slots transmitting or listening),
+  /// summarized over every trial — failed trials included: they burn the
+  /// whole budget, which is exactly what an energy measurement must see.
+  util::Summary energy_mean;
+  util::Summary energy_max;
+  util::BootstrapCI energy_mean_ci;  ///< bootstrap CI of the per-trial means
 };
 
 /// Collects per-trial results of one cell.  `add` may be called
@@ -69,6 +77,9 @@ class Aggregator {
     double rounds = 0;
     double collisions = 0;
     double silences = 0;
+    bool has_energy = false;
+    double energy_mean = 0;
+    double energy_max = 0;
   };
   struct DynamicSlot {
     double throughput = 0;
@@ -79,6 +90,9 @@ class Aggregator {
     std::uint64_t delivered = 0;
     std::uint64_t backlog = 0;
     std::vector<double> latency;
+    bool has_energy = false;
+    double energy_mean = 0;
+    double energy_max = 0;
   };
   std::vector<TrialSlot> slots_;
   std::vector<DynamicSlot> dynamic_slots_;  ///< empty unless dynamic

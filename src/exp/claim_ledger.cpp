@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace wakeup::exp {
 
 namespace {
@@ -139,6 +141,7 @@ ClaimLedger::State ClaimLedger::load() const {
   State state;
   state.done.assign(cells_, 0);
   state.owner.assign(cells_, -1);
+  state.expired.assign(cells_, 0);
 
   std::ifstream in(path_);
   if (!in.good()) throw std::runtime_error("claims: cannot open " + path_);
@@ -181,12 +184,23 @@ ClaimLedger::State ClaimLedger::load() const {
   }
   for (const auto& [cell, workers] : leases) {
     if (state.done[cell]) continue;
+    bool any_expired = false;
     for (const auto& [worker, deadline] : workers) {
-      if (deadline <= now) continue;  // expired: stealable
+      if (deadline <= now) {  // expired: stealable
+        any_expired = true;
+        continue;
+      }
       if (state.owner[cell] < 0 || static_cast<std::int64_t>(worker) < state.owner[cell]) {
         state.owner[cell] = static_cast<std::int64_t>(worker);
       }
     }
+    if (any_expired && state.owner[cell] < 0) state.expired[cell] = 1;
+  }
+  if (obs::active()) {
+    obs::Gauge::get("ledger.torn_lines").maximize(state.skipped_lines);
+    std::uint64_t expired_cells = 0;
+    for (const std::uint8_t e : state.expired) expired_cells += e;
+    obs::Gauge::get("ledger.expired_leases").maximize(expired_cells);
   }
   return state;
 }
@@ -206,7 +220,15 @@ ClaimChunk ClaimLedger::claim(std::uint32_t worker, const std::vector<std::uint8
     break;
   }
   if (chunk.empty()) return {};
-  return claim_range(worker, chunk, ttl_ms);
+  const ClaimChunk kept = claim_range(worker, chunk, ttl_ms);
+  if (obs::active() && !kept.empty()) {
+    obs::Counter::get("ledger.claims").inc();
+    obs::Counter::get("ledger.claimed_cells").add(kept.size());
+    std::uint64_t steals = 0;
+    for (std::uint64_t c = kept.begin; c < kept.end; ++c) steals += state.expired[c];
+    if (steals > 0) obs::Counter::get("ledger.lease_steals").add(steals);
+  }
+  return kept;
 }
 
 ClaimChunk ClaimLedger::claim_range(std::uint32_t worker, ClaimChunk chunk,

@@ -75,6 +75,9 @@ class ClaimLedger {
   struct State {
     std::vector<std::uint8_t> done;   ///< cell completed (any worker's done line)
     std::vector<std::int64_t> owner;  ///< lowest active-lease worker id, -1 = unleased/expired
+    /// Cell not done, no active lease, but some worker's lease expired on it
+    /// — claiming such a cell is a steal from a crashed/stalled worker.
+    std::vector<std::uint8_t> expired;
     std::uint64_t skipped_lines = 0;  ///< torn/glued fragments ignored
     /// True when every cell is done or in `completed` (the caller's view of
     /// cells already present in manifest shards).

@@ -200,6 +200,10 @@ std::string manifest_line(const CellRecord& record) {
   emit_summary(out, "throughput", stats.throughput);
   emit_summary(out, "jain", stats.jain);
   emit_summary(out, "latency", stats.latency);
+  emit_summary(out, "energy_mean", stats.energy_mean);
+  emit_summary(out, "energy_max", stats.energy_max);
+  out << ",\"energy_ci_lo\":" << json_double(stats.energy_mean_ci.lo)
+      << ",\"energy_ci_hi\":" << json_double(stats.energy_mean_ci.hi);
   out << ",\"packet_arrivals\":" << stats.packet_arrivals
       << ",\"delivered\":" << stats.delivered << ",\"backlog\":" << stats.backlog
       << ",\"bound\":" << json_double(record.bound)
@@ -248,6 +252,11 @@ CellRecord parse_manifest_line(const std::string& line) {
   stats.throughput = parse_summary(fields, "throughput");
   stats.jain = parse_summary(fields, "jain");
   stats.latency = parse_summary(fields, "latency");
+  stats.energy_mean = parse_summary(fields, "energy_mean");
+  stats.energy_max = parse_summary(fields, "energy_max");
+  stats.energy_mean_ci.mean = stats.energy_mean.mean;
+  stats.energy_mean_ci.lo = field_double(fields, "energy_ci_lo");
+  stats.energy_mean_ci.hi = field_double(fields, "energy_ci_hi");
   stats.packet_arrivals = field_u64(fields, "packet_arrivals");
   stats.delivered = field_u64(fields, "delivered");
   stats.backlog = field_u64(fields, "backlog");
@@ -286,9 +295,9 @@ ManifestData load_manifest(const std::string& path) {
         ", but this build writes version " + std::to_string(kManifestVersion) +
         (data.header.version < kManifestVersion
              ? " (v2 added p99 and throughput/fairness columns, v3 added the impairment "
-               "identity and rounds_inflation robustness column to every line) — a resumed "
-               "report could not be byte-identical; re-run the sweep fresh (delete the "
-               "output directory or pass a new --out)"
+               "identity and rounds_inflation robustness column, v4 added the energy block "
+               "to every line) — a resumed report could not be byte-identical; re-run the "
+               "sweep fresh (delete the output directory or pass a new --out)"
              : " — this manifest was written by a newer build"));
   }
 

@@ -76,10 +76,11 @@ struct CellRecord {
 /// Current manifest schema version.  v2 added the p99 percentile to every
 /// Summary block and the dynamic-traffic columns (arrival/horizon identity,
 /// throughput/jain/latency summaries, packet totals); v3 added the
-/// channel-impairment identity and the rounds_inflation robustness column.
-/// Older manifests cannot round-trip byte-identically and are rejected
-/// with a friendly error.
-inline constexpr std::uint64_t kManifestVersion = 3;
+/// channel-impairment identity and the rounds_inflation robustness column;
+/// v4 added the energy block (energy_mean / energy_max summaries and the
+/// energy_mean CI).  Older manifests cannot round-trip byte-identically and
+/// are rejected with a friendly error.
+inline constexpr std::uint64_t kManifestVersion = 4;
 
 struct ManifestHeader {
   std::uint64_t version = kManifestVersion;

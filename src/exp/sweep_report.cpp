@@ -25,7 +25,10 @@ const std::vector<std::string>& report_columns() {
       "backlog",
       // Robustness columns (impairment axis; empty/-1 for clean cells with
       // no impaired twin in the grid).
-      "impairment",   "rounds_inflation"};
+      "impairment",   "rounds_inflation",
+      // Energy columns (cells run with an EnergyModel; zero otherwise).
+      "energy_mean",  "energy_mean_ci_lo", "energy_mean_ci_hi",
+      "energy_max"};
   return columns;
 }
 
@@ -79,7 +82,11 @@ void write_csv_report(const std::string& path, const std::vector<CellRecord>& re
         << ',' << json_double(r.stats.latency.p99) << ',' << r.stats.packet_arrivals << ','
         << r.stats.delivered << ',' << r.stats.backlog << ','
         << util::csv_escape(r.cell.impairment.clean() ? "" : r.cell.impairment.name()) << ','
-        << json_double(r.rounds_inflation) << "\n";
+        << json_double(r.rounds_inflation) << ','
+        << json_double(r.stats.energy_mean.mean) << ','
+        << json_double(r.stats.energy_mean_ci.lo) << ','
+        << json_double(r.stats.energy_mean_ci.hi) << ','
+        << json_double(r.stats.energy_max.mean) << "\n";
   }
 }
 

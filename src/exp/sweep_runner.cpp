@@ -20,6 +20,8 @@
 #include "exp/claim_ledger.hpp"
 #include "exp/sweep_report.hpp"
 #include "mac/wake_pattern.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/multichannel.hpp"
 #include "protocols/registry.hpp"
 #include "sim/adversary.hpp"
@@ -28,6 +30,7 @@
 #include "util/csv.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace wakeup::exp {
 
@@ -75,8 +78,8 @@ proto::McProtocolPtr build_mc_protocol(const Cell& cell, std::uint64_t seed) {
 /// calling thread is already a pool worker and Run's
 /// ThreadPool::current() detection keeps the trials inline instead of
 /// deadlocking on (or oversubscribing) the pool the cells are sharded on.
-CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions& options,
-                    util::ThreadPool* trial_pool) {
+CellRecord run_cell_impl(const SweepSpec& spec, const Cell& cell, const SweepOptions& options,
+                         util::ThreadPool* trial_pool) {
   sim::RunSpec run;
   run.trials = cell.trials;
   run.base_seed = spec.base_seed;
@@ -84,6 +87,11 @@ CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions&
   run.sim = spec.sim;
   run.sim.engine = cell.engine;
   run.impairment = cell.impairment;
+  // Sweep cells account energy under the listen:all model.  Energy is pure
+  // side-accounting (the trial seed streams and outcomes are untouched) and
+  // deliberately NOT part of the cell tag — every manifest v4 record simply
+  // carries the block, so resumed and fresh reports stay byte-identical.
+  run.sim.energy = sim::EnergyModel::kListenAll;
 
   if (cell.dynamic) {
     // Dynamic cells: arrival-generated traffic in place of a wake pattern;
@@ -167,6 +175,49 @@ CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions&
   return record;
 }
 
+/// run_cell_impl plus the per-cell observability: wall time into the
+/// "sweep.cell_wall_us" histogram, a "sweep.cells_run" tick, and one
+/// Perfetto duration event named by the cell tag.  All of it is sidecar
+/// state — the record itself is untouched, so reports stay byte-identical
+/// with obs on, off, or compiled out.
+CellRecord run_cell(const SweepSpec& spec, const Cell& cell, const SweepOptions& options,
+                    util::ThreadPool* trial_pool) {
+  const bool observing = obs::active() || obs::trace_active();
+  const std::uint64_t t0 = observing ? obs::trace_now_us() : 0;
+  CellRecord record = run_cell_impl(spec, cell, options, trial_pool);
+  if (observing) {
+    const std::uint64_t wall = obs::trace_now_us() - t0;
+    if (obs::active()) {
+      static const auto c_cells = obs::Counter::get("sweep.cells_run");
+      static const auto h_wall = obs::Histogram::get("sweep.cell_wall_us");
+      c_cells.inc();
+      h_wall.observe(wall);
+    }
+    if (obs::trace_active()) {
+      obs::trace_duration(cell.tag, "cell", t0, wall,
+                          {{"protocol", cell.protocol},
+                           {"n", std::to_string(cell.n)},
+                           {"k", std::to_string(cell.k)}});
+    }
+  }
+  return record;
+}
+
+/// Once per sweep invocation: pins which SIMD kernel table ran the batch
+/// engines into the registry ("simd.kernel.<name>" = 1).
+void note_sweep_start() {
+  if (!obs::active()) return;
+  obs::Counter::get(std::string("simd.kernel.") + util::simd::active_name()).inc();
+}
+
+/// Writes the metrics/trace sidecar files a single-process run asked for.
+/// Runs on every exit path (capped runs included) so smoke legs always
+/// produce the files they validate.
+void write_sidecars(const SweepOptions& options) {
+  if (!options.metrics_path.empty()) obs::write_metrics_json(options.metrics_path);
+  if (!options.trace_path.empty()) obs::write_trace_json(options.trace_path);
+}
+
 /// Emits one progress heartbeat through the sink (or the default stderr
 /// line, prefixed with the worker id in worker mode).
 void emit_heartbeat(const SweepOptions& options, std::uint64_t done_now, std::uint64_t resumed,
@@ -181,15 +232,25 @@ void emit_heartbeat(const SweepOptions& options, std::uint64_t done_now, std::ui
   if (hb.cells_per_sec > 0 && hb.total > hb.completed) {
     hb.eta_sec = static_cast<double>(hb.total - hb.completed) / hb.cells_per_sec;
   }
+  if (obs::active()) {
+    const obs::Snapshot snap = obs::snapshot();
+    hb.cache_hit_rate = obs::snapshot_ratio(snap, "cache.find_hits", "cache.find_misses");
+    hb.lease_steals = obs::snapshot_value(snap, "ledger.lease_steals");
+  }
   if (options.heartbeat) {
     options.heartbeat(hb);
     return;
   }
   char prefix[32] = "";
   if (hb.worker_id >= 0) std::snprintf(prefix, sizeof prefix, "[worker %d] ", hb.worker_id);
-  std::fprintf(stderr, "%ssweep: %llu/%llu cells  %.2f cells/s  eta %.0fs\n", prefix,
+  char registry[64] = "";
+  if (obs::active()) {
+    std::snprintf(registry, sizeof registry, "  cache-hit %.0f%%  steals %llu",
+                  100.0 * hb.cache_hit_rate, static_cast<unsigned long long>(hb.lease_steals));
+  }
+  std::fprintf(stderr, "%ssweep: %llu/%llu cells  %.2f cells/s  eta %.0fs%s\n", prefix,
                static_cast<unsigned long long>(hb.completed),
-               static_cast<unsigned long long>(hb.total), hb.cells_per_sec, hb.eta_sec);
+               static_cast<unsigned long long>(hb.total), hb.cells_per_sec, hb.eta_sec, registry);
 }
 
 /// Worker-mode run_sweep: lease contiguous chunks from the claim ledger,
@@ -212,6 +273,10 @@ SweepOutcome run_sweep_worker(const SweepSpec& spec, const SweepOptions& options
     throw std::runtime_error("sweep: cannot create output directory " + options.out_dir);
   }
   const auto worker = static_cast<std::uint32_t>(options.worker_id);
+  note_sweep_start();
+  if (!options.trace_path.empty()) {
+    obs::trace_set_process(options.worker_id, "worker-" + std::to_string(worker));
+  }
 
   ManifestHeader header;
   header.base_seed = spec.base_seed;
@@ -294,6 +359,15 @@ SweepOutcome run_sweep_worker(const SweepSpec& spec, const SweepOptions& options
     if (completed[i] || state.done[i]) ++banked;
   }
   outcome.cells_remaining = cells.size() - banked;
+
+  // Sidecars shard per worker process (single-writer files, like the
+  // manifest shards); the fleet driver merges the trace shards.
+  if (!options.metrics_path.empty()) {
+    obs::write_metrics_json(options.out_dir + "/metrics-" + std::to_string(worker) + ".json");
+  }
+  if (!options.trace_path.empty()) {
+    obs::write_trace_json(options.out_dir + "/trace-" + std::to_string(worker) + ".json");
+  }
   return outcome;
 }
 
@@ -318,6 +392,7 @@ double cell_bound(const Cell& cell) {
 
 SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   if (options.worker_id >= 0) return run_sweep_worker(spec, options);
+  note_sweep_start();
   const std::vector<Cell> cells = expand(spec);
   if (cells.empty()) {
     throw std::invalid_argument("sweep: the grid expanded to zero feasible cells");
@@ -407,7 +482,10 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   }
   outcome.cells_run = pending.size();
 
-  if (outcome.cells_remaining > 0) return outcome;  // capped: no report yet
+  if (outcome.cells_remaining > 0) {
+    write_sidecars(options);
+    return outcome;  // capped: no report yet
+  }
 
   // Assemble the report in grid order from resumed + fresh records.
   std::map<std::string, const CellRecord*> fresh_by_tag;
@@ -429,6 +507,7 @@ SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   write_csv_report(outcome.csv_path, outcome.records);
   write_json_report(outcome.json_path, header, outcome.records);
   outcome.completed = true;
+  write_sidecars(options);
   return outcome;
 }
 
@@ -518,12 +597,19 @@ SweepOutcome run_sweep_fleet(const SweepSpec& spec, const SweepOptions& options,
   }
   if (!options.resume) {
     // Fresh run: stale coordination state (an old grid's ledger, orphaned
-    // shards, reports) must not leak into the merge.
+    // shards, reports, sidecar shards) must not leak into the merge.
     std::filesystem::remove(options.out_dir + "/claims.jsonl");
     std::filesystem::remove(options.out_dir + "/report.csv");
     std::filesystem::remove(options.out_dir + "/report.json");
     for (const std::string& path : list_manifest_paths(options.out_dir)) {
       std::filesystem::remove(path);
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(options.out_dir)) {
+      const std::string name = entry.path().filename().string();
+      if ((name.rfind("trace-", 0) == 0 || name.rfind("metrics-", 0) == 0) &&
+          name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+        std::filesystem::remove(entry.path());
+      }
     }
   }
 
@@ -572,7 +658,24 @@ SweepOutcome run_sweep_fleet(const SweepSpec& spec, const SweepOptions& options,
         "sweep: a worker process failed — see its stderr above; the manifest shards keep "
         "every completed cell, so re-running with --resume continues where it stopped");
   }
-  return merge_sweep(options.out_dir);
+  SweepOutcome outcome = merge_sweep(options.out_dir);
+  if (!options.trace_path.empty()) {
+    // The workers each wrote a process-row shard; stitch them textually
+    // into one Perfetto-loadable file (missing shards — e.g. a worker that
+    // claimed nothing — are skipped by the merger).
+    std::vector<std::string> shards;
+    shards.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      shards.push_back(options.out_dir + "/trace-" + std::to_string(w) + ".json");
+    }
+    obs::merge_trace_shards(shards, options.trace_path);
+  }
+  if (!options.metrics_path.empty()) {
+    // Per-worker registries live in <out_dir>/metrics-<W>.json; this
+    // top-level file carries the driver-side (merge) registry.
+    obs::write_metrics_json(options.metrics_path);
+  }
+  return outcome;
 }
 
 }  // namespace wakeup::exp

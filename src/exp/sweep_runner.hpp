@@ -51,6 +51,10 @@ struct SweepHeartbeat {
   std::uint64_t total = 0;        ///< grid size
   double cells_per_sec = 0.0;     ///< this invocation's completion rate
   double eta_sec = 0.0;           ///< remaining / rate (0 while rate unknown)
+  /// Registry-sourced extras, sampled from obs::snapshot() at emit time
+  /// (zero when the obs layer is compiled out or runtime-disabled).
+  double cache_hit_rate = 0.0;     ///< ScheduleCache find hits / lookups
+  std::uint64_t lease_steals = 0;  ///< expired leases re-claimed (fleet mode)
 };
 
 struct SweepOptions {
@@ -80,6 +84,24 @@ struct SweepOptions {
   /// Heartbeat sink override (tests, embedding); the default logs a line
   /// to stderr.
   std::function<void(const SweepHeartbeat&)> heartbeat;
+
+  // ---- observability sidecars ----------------------------------------
+  /// When non-empty, write the obs registry snapshot (metrics.json) here
+  /// once the run finishes — capped runs included, so smoke legs always
+  /// get a file.  Worker mode writes the per-process shard
+  /// <out_dir>/metrics-<W>.json instead; the fleet driver then writes its
+  /// own (merge-side) registry to this path and leaves the worker shards
+  /// in out_dir for per-process inspection.  The registry must be
+  /// runtime-enabled (obs::set_enabled) for the snapshot to carry data;
+  /// the sidecar never feeds back into results.
+  std::string metrics_path;
+  /// When non-empty, write a Chrome trace-event (Perfetto-loadable) file
+  /// here: one duration event per executed cell, named by the cell tag.
+  /// Worker mode records onto its own process row (pid = worker id) and
+  /// writes <out_dir>/trace-<W>.json; the fleet driver textually merges
+  /// the worker shards into this path after the result merge.  Requires
+  /// obs::set_trace_enabled(true) to record events.
+  std::string trace_path;
 
   // ---- multi-process worker mode -------------------------------------
   /// >= 0 runs this process as worker W of a cooperating fleet: cells are

@@ -1,6 +1,7 @@
 #include "mac/trace.hpp"
 
 #include <ostream>
+#include <utility>
 
 namespace wakeup::mac {
 
@@ -15,14 +16,34 @@ void ExecutionTrace::add(Slot slot, SlotOutcome outcome,
     rec.transmitters.assign(transmitters.begin(),
                             transmitters.begin() + static_cast<std::ptrdiff_t>(keep));
   }
+  if (capacity_ > 0 && records_.size() == capacity_) {
+    records_[head_] = std::move(rec);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    return;
+  }
   records_.push_back(std::move(rec));
 }
 
+std::vector<SlotRecord> ExecutionTrace::ordered() const {
+  std::vector<SlotRecord> out;
+  out.reserve(records_.size());
+  // head_ is the oldest retained record once the ring has wrapped; before
+  // that (and for unbounded traces) storage order is already chronological.
+  const std::size_t start = dropped_ > 0 ? head_ : 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(start + i) % records_.size()]);
+  }
+  return out;
+}
+
 void ExecutionTrace::print(std::ostream& os, std::size_t max_lines) const {
+  if (dropped_ > 0) os << "  ... (" << dropped_ << " earlier slots rotated out)\n";
+  const std::vector<SlotRecord> chron = ordered();
   std::size_t lines = 0;
-  for (const SlotRecord& rec : records_) {
+  for (const SlotRecord& rec : chron) {
     if (lines++ >= max_lines) {
-      os << "  ... (" << (records_.size() - max_lines) << " more slots)\n";
+      os << "  ... (" << (chron.size() - max_lines) << " more slots)\n";
       return;
     }
     os << "  slot " << rec.slot << ": " << to_string(rec.outcome);

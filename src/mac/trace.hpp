@@ -4,6 +4,8 @@
 /// Per-slot execution record of a channel run, for debugging, examples and
 /// the structure benches.
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -23,14 +25,27 @@ struct SlotRecord {
 class ExecutionTrace {
  public:
   /// `record_transmitters`: keep per-slot transmitter lists (up to
-  /// `max_listed` per slot).
-  explicit ExecutionTrace(bool record_transmitters = false, std::size_t max_listed = 8)
-      : record_transmitters_(record_transmitters), max_listed_(max_listed) {}
+  /// `max_listed` per slot).  `capacity` > 0 turns the trace into a ring
+  /// buffer holding the *last* `capacity` slots — long runs keep their tail
+  /// (the interesting part: the resolution) under a fixed memory cap, and
+  /// `dropped()` says how many early records rotated out.  0 = unbounded.
+  explicit ExecutionTrace(bool record_transmitters = false, std::size_t max_listed = 8,
+                          std::size_t capacity = 0)
+      : record_transmitters_(record_transmitters), max_listed_(max_listed),
+        capacity_(capacity) {}
 
   void add(Slot slot, SlotOutcome outcome, const std::vector<StationId>& transmitters);
 
+  /// Raw storage — chronological only while the ring has not wrapped
+  /// (`dropped() == 0`); prefer `ordered()` otherwise.
   [[nodiscard]] const std::vector<SlotRecord>& records() const noexcept { return records_; }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Records rotated out of a bounded trace (0 when unbounded or not full).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Retained records in chronological order, unwrapping the ring.
+  [[nodiscard]] std::vector<SlotRecord> ordered() const;
 
   /// Human-readable timeline (one line per slot), e.g. for examples.
   void print(std::ostream& os, std::size_t max_lines = 64) const;
@@ -38,6 +53,9 @@ class ExecutionTrace {
  private:
   bool record_transmitters_;
   std::size_t max_listed_;
+  std::size_t capacity_ = 0;   ///< ring size; 0 = unbounded
+  std::size_t head_ = 0;       ///< next overwrite position once full
+  std::uint64_t dropped_ = 0;  ///< records overwritten so far
   std::vector<SlotRecord> records_;
 };
 

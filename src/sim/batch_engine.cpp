@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/impairment_engine.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/schedule_cache.hpp"
@@ -60,6 +61,58 @@ namespace {
 using detail::CachedWords;
 using detail::DirectWords;
 namespace simd = util::simd;
+
+/// Post-hoc per-station energy over the finished run: the awake span is
+/// arithmetic (the models only move its endpoint), and the transmit
+/// component is a masked popcount over the station's schedule words in
+/// [wake, tx_end] — `masked_popcount_pair(row, row, mask, ...)` delivers
+/// transmit slots in its collision accumulator (popcount(row & mask)) and
+/// in-span listen slots in its silence accumulator in one kernel call.
+/// Refetching through `words` is cheap for cached runs and O(span/64) for
+/// direct ones; nothing here feeds back into the simulation.
+/// `depart[i]` is the i-th arrival's full-resolution departure slot (-1 if
+/// it never departed); `last_slot` the last slot the run examined.
+template <class Words>
+void accumulate_energy(const Words& words, const mac::WakePattern& pattern,
+                       const SimConfig& config, mac::Slot last_slot,
+                       const std::vector<mac::Slot>& depart, SimResult& result) {
+  const auto& arrivals = pattern.arrivals();
+  result.station_energy.assign(arrivals.size(), 0);
+  result.station_transmits.assign(arrivals.size(), 0);
+  std::array<std::uint64_t, kMaxTileWords> row{};
+  std::array<std::uint64_t, kMaxTileWords> mask{};
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const mac::Slot wake = arrivals[i].wake;
+    if (wake > last_slot) break;  // sorted by wake: nobody later woke either
+    // A departed station stops transmitting at its departure; whether it
+    // keeps listening afterwards is the model.
+    const mac::Slot tx_end = depart[i] >= 0 ? std::min(depart[i], last_slot) : last_slot;
+    const mac::Slot span_end =
+        config.energy == EnergyModel::kListenUntilWoken ? tx_end : last_slot;
+    result.station_energy[i] = static_cast<std::uint64_t>(span_end - wake + 1);
+
+    std::uint64_t transmits = 0;
+    std::uint64_t listens = 0;  // computed by the pair kernel, span covers it
+    mac::Slot from = wake / 64 * 64;
+    while (from <= tx_end) {
+      const auto nw = std::min<std::size_t>(
+          kMaxTileWords, static_cast<std::size_t>((tx_end - from) / 64) + 1);
+      words.tile(i, arrivals[i].station, wake, from, row.data(), nw);
+      for (std::size_t w = 0; w < nw; ++w) {
+        const mac::Slot ws = from + static_cast<mac::Slot>(64 * w);
+        std::uint64_t m = ~std::uint64_t{0};
+        if (wake > ws) m &= ~std::uint64_t{0} << (wake - ws);
+        const mac::Slot rem = tx_end - ws;
+        if (rem < 63) m &= (std::uint64_t{1} << (rem + 1)) - 1;
+        mask[w] = m;
+      }
+      simd::active().masked_popcount_pair(row.data(), row.data(), mask.data(), nw, &listens,
+                                          &transmits);
+      from += static_cast<mac::Slot>(64 * nw);
+    }
+    result.station_transmits[i] = transmits;
+  }
+}
 
 /// Tile-wise core.  `start` is the first slot to resolve (>= s; arrivals
 /// before it join immediately) and `carry` holds outcome counters already
@@ -123,6 +176,14 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
   std::uint64_t collisions = carry != nullptr ? carry->collisions : 0;
   std::uint64_t successes = carry != nullptr ? carry->successes : 0;
   bool halted = false;
+  // Energy bookkeeping (side-state only): per-arrival departure slots and
+  // the last slot examined.  The hot loop pays one store per departure.
+  std::vector<mac::Slot> depart;
+  if (config.energy != EnergyModel::kOff) depart.assign(arrivals.size(), -1);
+  mac::Slot last_slot = end - 1;
+  // Observability (side-state only): flushed once after the loop.
+  std::uint64_t obs_tiles = 0;
+  std::uint64_t obs_words = 0;
 
   // First block boundary at or below `start` (wakes are validated >= 0,
   // so start >= 0 and plain division floors).
@@ -170,7 +231,9 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
       }
       words.tile(st.arrival, st.id, st.wake, from, row + w0, tw - w0);
       if (st.wake > from) row[w0] &= ~std::uint64_t{0} << (st.wake - from);
+      obs_words += tw - w0;
     }
+    ++obs_tiles;
 
     simd::or_reduce_2pass(matrix.data(), active.size(), W, tw, any.data(), multi.data());
     if (plan != nullptr) fold_impairment(any.data(), multi.data(), tb, 0, tw);
@@ -238,6 +301,7 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
         }
         if (!config.full_resolution) {
           halted = true;
+          last_slot = t;
           break;
         }
 
@@ -246,6 +310,7 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
         for (std::size_t r = 0; r < active.size(); ++r) {
           if (active[r].id != winner || active[r].done) continue;
           active[r].done = true;
+          if (!depart.empty()) depart[active[r].arrival] = t;
           std::fill(matrix.begin() + static_cast<std::ptrdiff_t>(r * W + w),
                     matrix.begin() + static_cast<std::ptrdiff_t>(r * W + tw), 0);
         }
@@ -255,6 +320,7 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
           result.completion_slot = t;
           result.completion_rounds = t - s;
           halted = true;
+          last_slot = t;
           break;
         }
         simd::or_reduce_2pass(matrix.data() + w, active.size(), W, tw - w, any.data() + w,
@@ -267,6 +333,15 @@ SimResult run_batch_from(const Words& words, const mac::WakePattern& pattern,
   result.silences = silences;
   result.collisions = collisions;
   result.successes = successes;
+  if (config.energy != EnergyModel::kOff) {
+    accumulate_energy(words, pattern, config, last_slot, depart, result);
+  }
+  if (obs::active()) {
+    static const auto c_tiles = obs::Counter::get("batch.tiles");
+    static const auto c_words = obs::Counter::get("batch.words_fetched");
+    c_tiles.add(obs_tiles);
+    c_words.add(obs_words);
+  }
   return result;
 }
 

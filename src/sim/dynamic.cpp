@@ -67,13 +67,17 @@ struct StationQueues {
 
 DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
                                       const mac::DynamicScenario& scenario,
-                                      const ImpairmentPlan* plan) {
+                                      const ImpairmentPlan* plan, EnergyModel energy) {
   DynamicResult result;
   result.horizon = scenario.horizon();
   result.arrivals = scenario.packets_total();
   result.stations = scenario.stations();
   result.delivered_per_station.assign(result.stations.size(), 0);
   if (plan != nullptr && plan->clean()) plan = nullptr;
+  if (energy != EnergyModel::kOff) {
+    result.station_energy.assign(result.stations.size(), 0);
+    result.station_transmits.assign(result.stations.size(), 0);
+  }
 
   const StationQueues queues(scenario);
 
@@ -132,6 +136,19 @@ DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
     for (Active& st : stations) {
       if (st.backlogged() && st.follows(t) && st.dyn->transmits(t)) {
         transmitters.push_back(&st);
+        if (energy != EnergyModel::kOff) ++result.station_transmits[st.index];
+      }
+    }
+    if (energy != EnergyModel::kOff) {
+      // Counted per slot, deliberately independent of the batch engine's
+      // arithmetic-span + lazy-popcount derivation (tested bit-identical).
+      // listen:all keeps every live receiver on for the whole horizon;
+      // listen:until_woken powers it only while the queue is backlogged.
+      for (const Active& st : stations) {
+        if (!st.follows(t)) continue;
+        if (energy == EnergyModel::kListenAll || st.backlogged()) {
+          ++result.station_energy[st.index];
+        }
       }
     }
 
@@ -186,16 +203,16 @@ bool dynamic_batch_supports(const proto::Protocol& protocol) {
 
 DynamicResult dispatch_dynamic(const proto::Protocol& protocol,
                                const mac::DynamicScenario& scenario, Engine engine,
-                               const ImpairmentPlan* plan) {
+                               const ImpairmentPlan* plan, EnergyModel energy) {
   switch (engine) {
     case Engine::kAuto:
       return dynamic_batch_supports(protocol)
-                 ? run_dynamic_batch(protocol, scenario, plan)
-                 : run_dynamic_interpreter(protocol, scenario, plan);
+                 ? run_dynamic_batch(protocol, scenario, plan, energy)
+                 : run_dynamic_interpreter(protocol, scenario, plan, energy);
     case Engine::kInterpreter:
-      return run_dynamic_interpreter(protocol, scenario, plan);
+      return run_dynamic_interpreter(protocol, scenario, plan, energy);
     case Engine::kBatch:
-      return run_dynamic_batch(protocol, scenario, plan);
+      return run_dynamic_batch(protocol, scenario, plan, energy);
   }
   throw std::invalid_argument("dispatch_dynamic: unknown engine");
 }

@@ -56,6 +56,17 @@ struct DynamicResult {
   /// delivery order — identical across engines, not just as a multiset.
   std::vector<double> latency;
 
+  /// Per-station energy, parallel to `stations` (empty when the run's
+  /// EnergyModel is kOff).  kListenAll charges every slot of the horizon
+  /// (the receiver stays on); kListenUntilWoken charges only backlogged
+  /// slots.  Crashed stations stop paying at their cutoff; byzantine
+  /// stations never followed the protocol and pay 0.  `station_transmits`
+  /// is the transmit-slot component — counted per slot by the interpreter,
+  /// by lazy row popcounts in the batch engine (independent derivations,
+  /// and the defaulted operator== below makes engine parity cover them).
+  std::vector<std::uint64_t> station_energy;
+  std::vector<std::uint64_t> station_transmits;
+
   /// Sustained throughput: delivered packets per slot.
   [[nodiscard]] double throughput() const noexcept {
     return horizon > 0 ? static_cast<double>(delivered) / static_cast<double>(horizon) : 0.0;
@@ -85,7 +96,8 @@ struct DynamicResult {
 /// backlog.
 [[nodiscard]] DynamicResult run_dynamic_interpreter(const proto::Protocol& protocol,
                                                     const mac::DynamicScenario& scenario,
-                                                    const ImpairmentPlan* plan = nullptr);
+                                                    const ImpairmentPlan* plan = nullptr,
+                                                    EnergyModel energy = EnergyModel::kOff);
 
 /// Can `run_dynamic_batch` execute this protocol?  Requires an oblivious
 /// single-lane schedule (dynamic traffic is single-channel).
@@ -98,7 +110,8 @@ struct DynamicResult {
 /// cutoffs mask row bits, byzantine rows stay zero.
 [[nodiscard]] DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
                                               const mac::DynamicScenario& scenario,
-                                              const ImpairmentPlan* plan = nullptr);
+                                              const ImpairmentPlan* plan = nullptr,
+                                              EnergyModel energy = EnergyModel::kOff);
 
 /// Engine selection, mirroring `dispatch_wakeup`: kAuto batches oblivious
 /// protocols and interprets the rest; kBatch throws where
@@ -106,6 +119,7 @@ struct DynamicResult {
 [[nodiscard]] DynamicResult dispatch_dynamic(const proto::Protocol& protocol,
                                              const mac::DynamicScenario& scenario,
                                              Engine engine = Engine::kAuto,
-                                             const ImpairmentPlan* plan = nullptr);
+                                             const ImpairmentPlan* plan = nullptr,
+                                             EnergyModel energy = EnergyModel::kOff);
 
 }  // namespace wakeup::sim

@@ -70,11 +70,34 @@ void fill_row(const proto::ObliviousSchedule& schedule, const Row& st, mac::Slot
   }
 }
 
+/// Popcount of `row` bits in the absolute-slot range [a, b), where the row
+/// covers the tile starting at tb.  Used by the energy pass: row bits are
+/// exactly the station's transmissions (fill_row already masked the
+/// contention start and any crash cutoff), so counting them lazily —
+/// (marker, delivery] at each delivery, (marker, tile_end) at tile end —
+/// reproduces the interpreter's per-slot transmit tally.
+std::uint64_t count_row_bits(const std::uint64_t* row, mac::Slot tb, mac::Slot a,
+                             mac::Slot b) {
+  if (a >= b) return 0;
+  const auto off_b = static_cast<std::size_t>(b - tb);
+  const std::size_t wa = static_cast<std::size_t>(a - tb) / 64;
+  const std::size_t wb = (off_b - 1) / 64;
+  std::uint64_t total = 0;
+  for (std::size_t w = wa; w <= wb; ++w) {
+    std::uint64_t word = row[w];
+    const mac::Slot ws = tb + static_cast<mac::Slot>(64 * w);
+    if (a > ws) word &= ~std::uint64_t{0} << (a - ws);
+    if (b < ws + 64) word &= (std::uint64_t{1} << (b - ws)) - 1;
+    total += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return total;
+}
+
 }  // namespace
 
 DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
                                 const mac::DynamicScenario& scenario,
-                                const ImpairmentPlan* plan) {
+                                const ImpairmentPlan* plan, EnergyModel energy) {
   if (!dynamic_batch_supports(protocol)) {
     throw std::invalid_argument(
         "dynamic batch engine requires a single-channel oblivious protocol");
@@ -87,6 +110,10 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
   result.arrivals = scenario.packets_total();
   result.stations = scenario.stations();
   result.delivered_per_station.assign(result.stations.size(), 0);
+  if (energy != EnergyModel::kOff) {
+    result.station_energy.assign(result.stations.size(), 0);
+    result.station_transmits.assign(result.stations.size(), 0);
+  }
 
   // Group the slot-sorted packet stream into per-station arrival lists.
   std::vector<std::vector<mac::Slot>> arr(result.stations.size());
@@ -124,6 +151,12 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
   std::uint64_t collisions = 0;
   const mac::Slot horizon = scenario.horizon();
 
+  // Energy pass state: counted_from[r] = absolute slot from which row r's
+  // transmit bits have not been popcounted yet (reset to the tile base every
+  // tile, advanced past each delivery before the row is refilled).
+  std::vector<mac::Slot> counted_from;
+  if (energy != EnergyModel::kOff) counted_from.assign(m, 0);
+
   // Same 1 -> W tile ramp as the one-shot engine: scenarios that are mostly
   // idle early never buy words they cannot use.
   std::size_t cur = 1;
@@ -137,6 +170,7 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
     for (std::size_t r = 0; r < m; ++r) {
       fill_row(schedule, rows[r], tb, tile_end, matrix.data() + r * W, tw);
     }
+    if (energy != EnergyModel::kOff) std::fill(counted_from.begin(), counted_from.end(), tb);
 
     simd::or_reduce_2pass(matrix.data(), m, W, tw, any.data(), multi.data());
 
@@ -165,6 +199,11 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
     if (hit == simd::kNoBit) {
       simd::active().masked_popcount_pair(any.data(), multi.data(), pend.data(), tw,
                                           &silences, &collisions);
+      if (energy != EnergyModel::kOff) {
+        for (std::size_t r = 0; r < m; ++r) {
+          result.station_transmits[r] += count_row_bits(matrix.data() + r * W, tb, tb, tile_end);
+        }
+      }
       continue;
     }
     const std::size_t first_w = hit / 64;
@@ -202,6 +241,18 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
         result.latency.push_back(static_cast<double>(t - (*st.arr)[st.head] + 1));
         ++result.delivered_per_station[st.index];
         ++st.head;
+        if (energy != EnergyModel::kOff) {
+          // Count the departing packet's transmit bits before the refill
+          // overwrites its row, and close its backlogged span arithmetically
+          // (the packet paid every slot from its contention start through t).
+          result.station_transmits[st.index] += count_row_bits(
+              matrix.data() + winner * W, tb, counted_from[winner], t + 1);
+          counted_from[winner] = t + 1;
+          if (energy == EnergyModel::kListenUntilWoken) {
+            result.station_energy[st.index] +=
+                static_cast<std::uint64_t>(t - st.head_start + 1);
+          }
+        }
 
         // The still-backlogged update: next queued packet re-contends from
         // t + 1, a future arrival re-activates the row at its slot, and a
@@ -221,6 +272,34 @@ DynamicResult run_dynamic_batch(const proto::Protocol& protocol,
             any[v] |= corrupt;
           }
         }
+      }
+    }
+
+    // Tile-end flush: bits of every live row past its marker are
+    // transmissions that drew no delivery this tile.
+    if (energy != EnergyModel::kOff) {
+      for (std::size_t r = 0; r < m; ++r) {
+        result.station_transmits[r] +=
+            count_row_bits(matrix.data() + r * W, tb, counted_from[r], tile_end);
+      }
+    }
+  }
+
+  if (energy != EnergyModel::kOff) {
+    // Listen components, closed arithmetically.  listen:all — every live
+    // receiver is on for the whole horizon (capped at a crash cutoff,
+    // byzantine pays 0).  listen:until_woken — delivered packets already
+    // paid their spans above; a still-backlogged head packet pays from its
+    // contention start to the horizon (or cutoff).
+    for (std::size_t r = 0; r < m; ++r) {
+      const Row& st = rows[r];
+      mac::Slot end_eff = horizon;
+      if (st.crash_cutoff >= 0) end_eff = std::min(end_eff, st.crash_cutoff);
+      if (energy == EnergyModel::kListenAll) {
+        const bool byz = plan != nullptr && plan->is_byzantine(st.id);
+        result.station_energy[r] = byz ? 0 : static_cast<std::uint64_t>(end_eff);
+      } else if (st.head_start != kIdle && st.head_start < end_eff) {
+        result.station_energy[r] += static_cast<std::uint64_t>(end_eff - st.head_start);
       }
     }
   }

@@ -15,7 +15,8 @@ SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
   struct Active {
     mac::StationId id;
     std::unique_ptr<proto::StationRuntime> runtime;
-    bool done = false;  // full-resolution: already delivered its message
+    std::size_t index = 0;  // position in pattern arrival order (energy slots)
+    bool done = false;      // full-resolution: already delivered its message
   };
 
   const auto& arrivals = pattern.arrivals();  // sorted by wake
@@ -37,6 +38,16 @@ SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
   if (plan != nullptr && plan->clean()) plan = nullptr;
   std::uint64_t silences = 0, collisions = 0, successes = 0;
 
+  // Energy accounting: counted slot by slot, in-run, straight off the
+  // `transmits(t)` calls — deliberately NOT derived from schedule words, so
+  // the batch engines' post-hoc masked-popcount derivation is an
+  // independent cross-check (tested bit-identical).
+  const EnergyModel energy = config.energy;
+  if (energy != EnergyModel::kOff) {
+    result.station_energy.assign(arrivals.size(), 0);
+    result.station_transmits.assign(arrivals.size(), 0);
+  }
+
   std::vector<Active> active;
   active.reserve(pattern.k());
   std::size_t next_arrival = 0;
@@ -46,14 +57,25 @@ SimResult run_wakeup_interpreter(const proto::Protocol& protocol,
   for (mac::Slot t = s; t - s < budget; ++t) {
     while (next_arrival < arrivals.size() && arrivals[next_arrival].wake == t) {
       const auto& a = arrivals[next_arrival];
-      active.push_back(Active{a.station, protocol.make_runtime(a.station, a.wake), false});
+      active.push_back(
+          Active{a.station, protocol.make_runtime(a.station, a.wake), next_arrival, false});
       ++next_arrival;
     }
 
     transmitters.clear();
     for (Active& st : active) {
       if (st.done) continue;
-      if (st.runtime->transmits(t)) transmitters.push_back(st.id);
+      if (st.runtime->transmits(t)) {
+        transmitters.push_back(st.id);
+        if (energy != EnergyModel::kOff) ++result.station_transmits[st.index];
+      }
+    }
+    if (energy != EnergyModel::kOff) {
+      // Every awake station pays 1 this slot (transmit or listen); done
+      // stations keep their receiver on only under listen:all.
+      for (const Active& st : active) {
+        if (!st.done || energy == EnergyModel::kListenAll) ++result.station_energy[st.index];
+      }
     }
 
     mac::SlotOutcome outcome;

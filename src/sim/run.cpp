@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/adversary.hpp"
 #include "sim/batch_engine.hpp"
 #include "sim/impairment_engine.hpp"
@@ -30,7 +31,24 @@ struct TrialOut {
   double silences = 0;
   bool completed = false;
   double completion = 0;
+  bool has_energy = false;
+  double energy_mean = 0;  ///< mean station energy of this trial
+  double energy_max = 0;   ///< max station energy of this trial
 };
+
+/// Per-trial energy reduction shared by the engines' result types.
+void fold_energy(const std::vector<std::uint64_t>& station_energy, TrialOut& t) {
+  if (station_energy.empty()) return;
+  t.has_energy = true;
+  double sum = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t e : station_energy) {
+    sum += static_cast<double>(e);
+    max = std::max(max, e);
+  }
+  t.energy_mean = sum / static_cast<double>(station_energy.size());
+  t.energy_max = static_cast<double>(max);
+}
 
 // Spec-level spellings of the public seed hooks (bottom of this file).
 std::uint64_t trial_seed(const RunSpec& spec, std::uint64_t i) {
@@ -96,6 +114,7 @@ void record_sc(const RunSpec& spec, RunOutcome& out, std::vector<TrialOut>& outs
   t.silences = static_cast<double>(r.silences);
   t.completed = r.completed;
   t.completion = static_cast<double>(r.completion_rounds);
+  fold_energy(r.station_energy, t);
   if (spec.trials == 1) out.sim = r;
   if (spec.per_trial) spec.per_trial(i, r);
   if (spec.trial_csv != nullptr) spec.trial_csv->write(i, r);
@@ -114,10 +133,17 @@ void record_mc(const RunSpec& spec, RunOutcome& out, std::vector<TrialOut>& outs
 }
 
 CellResult aggregate(const RunSpec& spec, const std::vector<TrialOut>& outs) {
-  util::Sample rounds, collisions, silences, completion;
+  util::Sample rounds, collisions, silences, completion, energy_mean, energy_max;
   CellResult result;
   result.trials = spec.trials;
   for (const TrialOut& out : outs) {
+    // Energy is paid whether or not the trial reached wake-up — failed
+    // trials burn the whole budget, which is exactly what an energy
+    // measurement must see.
+    if (out.has_energy) {
+      energy_mean.push(out.energy_mean);
+      energy_max.push(out.energy_max);
+    }
     if (!out.success) {
       ++result.failures;
       continue;
@@ -131,6 +157,8 @@ CellResult aggregate(const RunSpec& spec, const std::vector<TrialOut>& outs) {
   result.collisions = util::Summary::of(collisions);
   result.silences = util::Summary::of(silences);
   result.completion = util::Summary::of(completion);
+  result.energy_mean = util::Summary::of(energy_mean);
+  result.energy_max = util::Summary::of(energy_max);
   return result;
 }
 
@@ -342,13 +370,14 @@ void run_dynamic(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
       plan = compile_impairment(spec.impairment, seed, spec.horizon, &scenario.stations());
       plan_ptr = &plan;
     }
-    DynamicResult r =
-        dispatch_dynamic(rebuilt ? *rebuilt : *protocol, scenario, spec.sim.engine, plan_ptr);
+    DynamicResult r = dispatch_dynamic(rebuilt ? *rebuilt : *protocol, scenario,
+                                       spec.sim.engine, plan_ptr, spec.sim.energy);
     if (spec.per_trial_dynamic) spec.per_trial_dynamic(i, r);
     results[i] = std::move(r);
   });
 
-  util::Sample throughput, jain, collisions, silences, latency;
+  util::Sample throughput, jain, collisions, silences, latency, energy_mean, energy_max;
+  std::uint64_t peak_backlog = 0;
   CellResult& cell = out.cell;
   cell.trials = spec.trials;
   for (const DynamicResult& r : results) {
@@ -360,12 +389,22 @@ void run_dynamic(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
     cell.packet_arrivals += r.arrivals;
     cell.delivered += r.delivered;
     cell.backlog += r.backlog;
+    peak_backlog = std::max(peak_backlog, r.backlog);
+    TrialOut e;
+    fold_energy(r.station_energy, e);
+    if (e.has_energy) {
+      energy_mean.push(e.energy_mean);
+      energy_max.push(e.energy_max);
+    }
   }
   cell.throughput = util::Summary::of(throughput);
   cell.jain = util::Summary::of(jain);
   cell.collisions = util::Summary::of(collisions);
   cell.silences = util::Summary::of(silences);
   cell.latency = util::Summary::of(latency);
+  cell.energy_mean = util::Summary::of(energy_mean);
+  cell.energy_max = util::Summary::of(energy_max);
+  if (obs::active()) obs::Gauge::get("dynamic.peak_backlog").maximize(peak_backlog);
   if (spec.trials == 1) out.dynamic = std::move(results.front());
 }
 
@@ -557,9 +596,14 @@ void run_sc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
   if (plan_census_gate_declines(cache, spec, patterns, force, stats)) {
     // Gate declined the memo: run the trial loop, with the kAuto warm-up
     // prefix re-sized from the probes' measured schedule-word cost.
+    if (obs::active()) obs::Counter::get("cache.census_declines").inc();
     SimConfig rest = spec.sim;
     if (rest.engine == Engine::kAuto && rest.warmup_slots < 0 && !rest.full_resolution) {
       rest.warmup_slots = calibrated_warmup(*protocol, *schedule, patterns[0], stats.mean_run);
+      if (obs::active() && rest.warmup_slots >= 0) {
+        obs::Histogram::get("run.warmup_slots")
+            .observe(static_cast<std::uint64_t>(rest.warmup_slots));
+      }
     }
     for_each_trial(spec.trials - stats.probes, pool, [&](std::size_t j) {
       const std::size_t i = j + stats.probes;
@@ -653,6 +697,7 @@ void run_mc(const RunSpec& spec, util::ThreadPool* pool, RunOutcome& out) {
 
   ScheduleCache cache(*schedule, sized_cache_config(spec, force, stats));
   if (plan_census_gate_declines(cache, spec, patterns, force, stats)) {
+    if (obs::active()) obs::Counter::get("cache.census_declines").inc();
     SimConfig rest = spec.sim;
     // The C-channel model has no interpreted warm-up hybrid, so kAuto's
     // probe-informed counterpart lives here: when trials end well inside

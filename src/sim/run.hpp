@@ -82,6 +82,14 @@ struct CellResult {
   std::uint64_t packet_arrivals = 0;  ///< total packets arrived, all trials
   std::uint64_t delivered = 0;
   std::uint64_t backlog = 0;  ///< still queued at the horizon, all trials
+
+  // -- Energy accounting (SimConfig::energy != kOff; zero otherwise) ----
+  /// Per-trial mean and max station energy (slots spent transmitting or
+  /// listening under the selected EnergyModel), summarized over trials.
+  /// Filled for static single-channel and dynamic runs; the C-channel
+  /// model does not account energy yet.
+  util::Summary energy_mean;
+  util::Summary energy_max;
 };
 
 /// What to run.  Exactly one of {protocol, mc_protocol, make_protocol,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace wakeup::sim {
@@ -52,6 +53,10 @@ void ScheduleCache::fill_planned(util::ThreadPool* pool) {
     });
   }
   pending_.clear();
+  if (obs::active()) {
+    obs::Gauge::get("cache.bytes_resident").maximize(bytes_);
+    obs::Gauge::get("cache.entries").maximize(entries_.size());
+  }
 }
 
 void ScheduleCache::populate(
@@ -152,6 +157,13 @@ void ScheduleCache::fill(Entry& entry, mac::StationId u, mac::Slot wake) const {
 
 const ScheduleCache::Entry* ScheduleCache::find(mac::StationId u, mac::Slot wake) const {
   const auto it = entries_.find(Key{u, schedule_.wake_key(wake)});
+  if (obs::active()) {
+    // One relaxed thread-local increment; the interned handles are static
+    // so the steady-state cost is the guard load plus the add.
+    static const auto c_hits = obs::Counter::get("cache.find_hits");
+    static const auto c_misses = obs::Counter::get("cache.find_misses");
+    (it == entries_.end() ? c_misses : c_hits).inc();
+  }
   return it == entries_.end() ? nullptr : &it->second;
 }
 

@@ -1,12 +1,35 @@
 #include "sim/simulator.hpp"
 
 #include <limits>
+#include <stdexcept>
 
 #include "sim/batch_engine.hpp"
 #include "sim/interpreter.hpp"
 #include "util/math.hpp"
 
 namespace wakeup::sim {
+
+std::string energy_model_name(EnergyModel model) {
+  switch (model) {
+    case EnergyModel::kOff:
+      return "off";
+    case EnergyModel::kListenAll:
+      return "listen:all";
+    case EnergyModel::kListenUntilWoken:
+      return "listen:until_woken";
+  }
+  return "off";
+}
+
+EnergyModel parse_energy_model(const std::string& label) {
+  if (label == "off" || label.empty()) return EnergyModel::kOff;
+  if (label == "listen:all" || label == "all") return EnergyModel::kListenAll;
+  if (label == "listen:until_woken" || label == "until_woken") {
+    return EnergyModel::kListenUntilWoken;
+  }
+  throw std::invalid_argument("unknown energy model '" + label +
+                              "' (one of: off, listen:all, listen:until_woken)");
+}
 
 mac::Slot auto_slot_budget(std::uint32_t n, std::size_t k) {
   // Generous: 64x the weakest (Scenario C) theory bound, plus room for

@@ -18,6 +18,8 @@
 /// oblivious protocols (sim/batch_engine.hpp) — per SimConfig::engine.
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "mac/channel.hpp"
 #include "mac/trace.hpp"
@@ -41,6 +43,26 @@ enum class Engine : std::uint8_t {
   /// RunSpec-facade spelling of kInterpreter.
   kInterpret = kInterpreter,
 };
+
+/// Channel-energy cost model (De Marco–Kowalski–Stachowiak: energy = the
+/// number of slots a station actually transmits or listens).  A slot spent
+/// transmitting and a slot spent listening each cost 1; the models differ
+/// in how long a station keeps its receiver on:
+///   kListenAll        — every awake slot until the run ends.
+///   kListenUntilWoken — every awake slot until the station itself is done
+///                       (its full-resolution departure); identical to
+///                       kListenAll in plain wake-up mode, where the first
+///                       success ends the run for everyone.  For dynamic
+///                       traffic, stations pay only while backlogged.
+/// Energy lives in the sim layer (not obs/), so results — including the
+/// energy block in sweep reports — are byte-identical whether or not
+/// WAKEUP_OBS metrics are compiled or enabled.
+enum class EnergyModel : std::uint8_t { kOff, kListenAll, kListenUntilWoken };
+
+/// CLI spellings: "off", "listen:all", "listen:until_woken" (the short
+/// aliases "all" / "until_woken" parse too).
+[[nodiscard]] std::string energy_model_name(EnergyModel model);
+[[nodiscard]] EnergyModel parse_energy_model(const std::string& label);
 
 struct SimConfig {
   /// Hard slot budget counted from s; <= 0 selects an automatic generous
@@ -67,6 +89,11 @@ struct SimConfig {
   /// engine folds the same plan, so interpreter ≡ batch holds under
   /// impairment exactly as it does clean.
   const ImpairmentPlan* impairment = nullptr;
+  /// Per-station energy accounting (kOff skips it entirely).  The energy
+  /// model is deliberately NOT part of the sweep cell identity: it changes
+  /// only what is *measured*, never the simulated bytes, so historical
+  /// seeds and tags stay stable.
+  EnergyModel energy = EnergyModel::kOff;
 };
 
 struct SimResult {
@@ -84,6 +111,18 @@ struct SimResult {
   mac::Slot completion_slot = -1;
   std::int64_t completion_rounds = -1;
   bool completed = false;
+
+  /// Per-station energy (SimConfig::energy != kOff; empty otherwise), in
+  /// pattern arrival order: station_energy[i] = slots the i-th waking
+  /// station spent transmitting or listening under the selected model, and
+  /// station_transmits[i] its transmit-slot component.  The interpreter
+  /// counts both in-run from its `transmits(t)` calls; the batch engines
+  /// recompute transmits post-hoc via masked popcounts over the
+  /// station-major word matrices — two independent derivations, tested
+  /// bit-identical.  Stations the run never woke (arrival after the end)
+  /// hold 0.
+  std::vector<std::uint64_t> station_energy;
+  std::vector<std::uint64_t> station_transmits;
 
   std::optional<mac::ExecutionTrace> trace;
 };

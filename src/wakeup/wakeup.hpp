@@ -36,6 +36,9 @@
 #include "exp/sweep_runner.hpp"  // IWYU pragma: export
 #include "exp/sweep_spec.hpp"    // IWYU pragma: export
 
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
+
 #include "mac/arrival_process.hpp"  // IWYU pragma: export
 #include "mac/channel.hpp"       // IWYU pragma: export
 #include "mac/multichannel.hpp"  // IWYU pragma: export

@@ -82,6 +82,14 @@ run options:
   --faults=<spec>        station faults: crash:F[:slot] | byzantine:F
                          (dynamic traffic only); clauses compose, e.g.
                          --noise=iid:0.01 --jam=budget:16
+  --energy=<model>       per-station energy accounting: off | listen:all |
+                         listen:until_woken (identical numbers from every
+                         engine; prints the station mean/max)
+  --metrics=<json>       write the obs metrics registry snapshot (counters,
+                         gauges, histograms; deterministic key order)
+  --trace=<json>         with a file path: write a Chrome trace-event /
+                         Perfetto file (slot timeline as instant events);
+                         bare --trace keeps the classic stdout print
 
 sweep options:
   --preset=<name>        figure-scenario-a/b/c, crossover, multichannel-scaling,
@@ -132,6 +140,12 @@ sweep options:
   --lease-cells=<N>      cells leased per claim (default 8)
   --lease-ttl=<ms>       lease duration before a crashed worker's cells
                          become stealable (default 10000)
+  --metrics=<json>       write the obs registry snapshot after the sweep
+                         (cache hit rates, cell wall times, ledger steals;
+                         fleet workers shard to <out>/metrics-<w>.json)
+  --trace=<json>         write a Perfetto trace: one duration event per
+                         cell; fleet workers get their own process row and
+                         the driver merges <out>/trace-<w>.json shards here
 
 sweep merge:
   wakeup_cli sweep merge --out=<dir>
@@ -160,6 +174,31 @@ mac::ImpairmentSpec parse_impairment_flags(const util::Args& args) {
   if (args.has("faults")) add("", args.get("faults"));
   if (text.empty()) return {};
   return mac::ImpairmentSpec::parse(text);
+}
+
+/// The run commands' --energy flag (off when absent).
+sim::EnergyModel parse_energy_flag(const util::Args& args) {
+  if (!args.has("energy")) return sim::EnergyModel::kOff;
+  return sim::parse_energy_model(args.get("energy"));
+}
+
+/// The --metrics=FILE flag: enables the registry and returns the path ("" =
+/// flag absent).  Enabling must precede the simulation so the counters see
+/// every event.
+std::string metrics_flag(const util::Args& args) {
+  if (!args.has("metrics")) return "";
+  const std::string path = args.get("metrics");
+  if (path.empty()) throw std::invalid_argument("--metrics needs a file path");
+  obs::set_enabled(true);
+  return path;
+}
+
+/// The run command's --trace flag is overloaded: bare/boolean values keep
+/// the classic stdout timeline print, anything else is a Perfetto output
+/// path.  Returns the path ("" = print mode or absent).
+std::string trace_path_flag(const util::Args& args) {
+  if (!args.has("trace") || args.get_flag("trace")) return "";
+  return args.get("trace");
 }
 
 /// Bounded integer flag shared by every command: a negative value would
@@ -327,6 +366,19 @@ int cmd_sweep(const util::Args& args) {
       static_cast<std::uint64_t>(bounded_flag(args, "lease-cells", 8, 1, 1'000'000'000));
   options.lease_ttl_ms =
       static_cast<std::uint64_t>(bounded_flag(args, "lease-ttl", 10000, 1, 86'400'000));
+  options.metrics_path = metrics_flag(args);
+  if (args.has("trace")) {
+    options.trace_path = args.get("trace");
+    if (options.trace_path.empty()) {
+      throw std::invalid_argument("sweep --trace needs a file path (there is no timeline print)");
+    }
+    obs::set_trace_enabled(true);
+    obs::trace_set_process(0, "sweep");
+  }
+  // The registry also powers the --progress heartbeat extras (cache
+  // hit-rate, lease steals); enable it here — before the fleet forks, so
+  // worker processes inherit the flag.
+  if (args.has("progress")) obs::set_enabled(true);
   const std::int64_t workers = bounded_flag(args, "workers", 0, 0, 1024);
   if (args.has("worker-id")) {
     if (workers > 0) {
@@ -358,6 +410,8 @@ int cmd_sweep(const util::Args& args) {
       return 1;
     }
     std::cout << "report: " << outcome.csv_path << "  " << outcome.json_path << "\n";
+    if (!options.metrics_path.empty()) std::cout << "[metrics] " << options.metrics_path << "\n";
+    if (!options.trace_path.empty()) std::cout << "[trace] " << options.trace_path << "\n";
     return 0;
   }
   const std::string sharding = args.get("sharding", "auto");
@@ -405,6 +459,8 @@ int cmd_sweep(const util::Args& args) {
     return 1;
   }
   std::cout << "report: " << outcome.csv_path << "  " << outcome.json_path << "\n";
+  if (!options.metrics_path.empty()) std::cout << "[metrics] " << options.metrics_path << "\n";
+  if (!options.trace_path.empty()) std::cout << "[trace] " << options.trace_path << "\n";
   std::uint64_t failures = 0;
   for (const auto& record : outcome.records) failures += record.stats.failures;
   std::cout << "trials with budget exhaustion across the grid: " << failures << "\n";
@@ -454,7 +510,7 @@ int cmd_run_dynamic(const util::Args& args) {
   if (args.get_int("channels", 1) != 1 || args.has("mc")) {
     throw std::invalid_argument("dynamic traffic is single-channel — drop --channels/--mc");
   }
-  if (args.get_flag("trace") || args.get_flag("cd")) {
+  if (args.has("trace") || args.get_flag("cd")) {
     throw std::invalid_argument("--trace and --cd are one-shot features; drop --arrival");
   }
   if (args.has("pattern") || args.has("pattern-file") || args.has("save-pattern")) {
@@ -466,11 +522,13 @@ int cmd_run_dynamic(const util::Args& args) {
   }
 
   const std::unique_ptr<util::ThreadPool> own_pool = make_own_pool(args);
+  const std::string metrics_path = metrics_flag(args);
 
   sim::RunSpec spec;
   spec.trials = trials;
   spec.base_seed = base_seed;
   spec.sim.engine = parse_engine(args.get("engine", "auto"));
+  spec.sim.energy = parse_energy_flag(args);
   spec.impairment = parse_impairment_flags(args);
   spec.make_protocol = [&args](std::uint64_t seed) { return build_protocol(args, seed); };
 
@@ -508,6 +566,15 @@ int cmd_run_dynamic(const util::Args& args) {
             << " p99=" << cell.latency.p99 << " max=" << cell.latency.max << "\n"
             << "collisions mean=" << cell.collisions.mean
             << " silences mean=" << cell.silences.mean << "\n";
+  if (spec.sim.energy != sim::EnergyModel::kOff) {
+    std::cout << "energy (" << sim::energy_model_name(spec.sim.energy)
+              << "): station mean=" << cell.energy_mean.mean
+              << " max=" << cell.energy_max.mean << " slots\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics_json(metrics_path);
+    std::cout << "[metrics] " << metrics_path << "\n";
+  }
   if (trials == 1) {
     // Per-station delivery spread of the single trial (truncated).
     const auto& d = out.dynamic;
@@ -530,9 +597,16 @@ int cmd_run(const util::Args& args) {
   const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto channels = static_cast<std::uint32_t>(args.get_int("channels", 1));
   const bool multichannel = channels > 1 || args.has("mc");
-  if (multichannel && (args.get_flag("trace") || args.get_flag("cd"))) {
+  if (multichannel && (args.has("trace") || args.get_flag("cd"))) {
     throw std::invalid_argument(
         "--trace and --cd are single-channel features; drop --channels/--mc to use them");
+  }
+  const std::string metrics_path = metrics_flag(args);
+  const std::string trace_path = trace_path_flag(args);
+  const bool trace_print = args.get_flag("trace");
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(true);
+    obs::trace_set_process(0, "wakeup_cli run");
   }
 
   std::unique_ptr<sim::TrialCsvSink> csv;
@@ -553,7 +627,8 @@ int cmd_run(const util::Args& args) {
   spec.impairment = parse_impairment_flags(args);
   spec.sim.max_slots = args.get_int("max-slots", 0);
   spec.sim.engine = parse_engine(args.get("engine", "auto"));
-  spec.sim.record_trace = args.get_flag("trace");
+  spec.sim.energy = parse_energy_flag(args);
+  spec.sim.record_trace = trace_print || !trace_path.empty();
   spec.sim.record_transmitters = spec.sim.record_trace;
   spec.sim.feedback = args.get_flag("cd") ? mac::FeedbackModel::kCollisionDetection
                                           : mac::FeedbackModel::kNone;
@@ -636,9 +711,25 @@ int cmd_run(const util::Args& args) {
     } else {
       std::cout << "FAILED: no wake-up within the slot budget\n";
     }
-    if (!multichannel && out.sim.trace) out.sim.trace->print(std::cout, 48);
+    if (trace_print && !multichannel && out.sim.trace) out.sim.trace->print(std::cout, 48);
   }
   if (csv) std::cout << "[per-trial csv] " << csv->path() << " (" << csv->rows() << " rows)\n";
+  if (spec.sim.energy != sim::EnergyModel::kOff) {
+    std::cout << "energy (" << sim::energy_model_name(spec.sim.energy)
+              << "): station mean=" << out.cell.energy_mean.mean
+              << " max=" << out.cell.energy_max.mean << " slots\n";
+  }
+  if (!trace_path.empty()) {
+    // Single-trial runs carry the slot-by-slot ExecutionTrace; render it as
+    // instant events.  Multi-trial runs still get the (empty) valid file.
+    if (out.sim.trace) obs::trace_execution(*out.sim.trace, obs::trace_now_us());
+    obs::write_trace_json(trace_path);
+    std::cout << "[trace] " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics_json(metrics_path);
+    std::cout << "[metrics] " << metrics_path << "\n";
+  }
 
   if (trials > 1) {
     const auto summary = util::Summary::of(rounds);
